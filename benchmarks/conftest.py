@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+The harness caches relations and built structures at module level inside
+``repro.bench.harness``, so every benchmark file in one pytest session
+reuses them. Set ``REPRO_FULL=1`` for the paper's full parameter sweep
+(N up to 12 000, k up to 5) — the default is a reduced sweep sized for
+regular runs.
+"""
+
+import os
+import time
+
+import pytest
+
+_SESSION_START = time.time()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _announce_scale():
+    from repro.bench import full_run, k_values, n_values
+
+    mode = "FULL (paper scale)" if full_run() else "reduced (set REPRO_FULL=1 for paper scale)"
+    print(f"\n[repro] benchmark sweep: {mode}; N={n_values()} k={k_values()}")
+    yield
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay this session's figure/ablation reports after the run.
+
+    ``repro.bench.harness.emit`` saves every report under
+    ``benchmarks/results/``; pytest's fd-level capture swallows the live
+    prints, so the terminal summary (never captured) replays them.
+    """
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    if not os.path.isdir(results_dir):
+        return
+    fresh = sorted(
+        name
+        for name in os.listdir(results_dir)
+        if name.endswith(".txt")
+        and os.path.getmtime(os.path.join(results_dir, name)) >= _SESSION_START - 1
+    )
+    if not fresh:
+        return
+    terminalreporter.section("repro — Section 5 reproduction reports")
+    for name in fresh:
+        with open(os.path.join(results_dir, name)) as handle:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(handle.read().rstrip())

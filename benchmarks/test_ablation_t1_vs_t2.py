@@ -1,0 +1,61 @@
+"""Ablation A1 — T1 vs T2: duplicates, candidates, false hits, pages.
+
+The paper's motivation for T2 is the *duplication problem* of T1
+(Section 4.2): two app-queries retrieve overlapping result sets. T2's
+two disjoint sweeps produce zero duplicates by construction. This
+ablation quantifies both techniques on identical queries.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import dual_planner, emit, format_table, n_values, queries_for
+from repro.core import ALL, EXIST, DualIndexPlanner
+
+SIZE = "small"
+K = 3
+
+
+@pytest.fixture(scope="module")
+def planners():
+    t2 = dual_planner(n_values()[1], SIZE, K)
+    t1 = DualIndexPlanner(t2.index, technique="T1")
+    return t1, t2
+
+
+def test_t1_vs_t2(benchmark, planners):
+    t1, t2 = planners
+    n = n_values()[1]
+    rows = []
+    for qtype in (EXIST, ALL):
+        queries = queries_for(n, SIZE, qtype, K)
+        for planner, label in ((t1, "T1"), (t2, "T2")):
+            results = [planner.query(q) for q in queries]
+            rows.append(
+                [
+                    qtype,
+                    label,
+                    statistics.mean(r.duplicates for r in results),
+                    statistics.mean(r.candidates for r in results),
+                    statistics.mean(r.false_hits for r in results),
+                    statistics.mean(r.page_accesses for r in results),
+                    statistics.mean(r.index_accesses for r in results),
+                ]
+            )
+    emit(
+        format_table(
+            f"Ablation A1 — T1 vs T2 (N={n}, k={K}, {SIZE} objects)",
+            ["type", "tech", "duplicates", "candidates", "false hits",
+             "total pages", "index pages"],
+            rows,
+        ),
+        save_as="ablation_t1_vs_t2.txt",
+    )
+    # T2's defining property: zero duplicates; T1 must show some.
+    t2_dups = [r[2] for r in rows if r[1] == "T2"]
+    t1_dups = [r[2] for r in rows if r[1] == "T1"]
+    assert all(d == 0 for d in t2_dups)
+    assert any(d > 0 for d in t1_dups)
+    query = queries_for(n, SIZE, EXIST, K)[0]
+    benchmark.pedantic(t1.query, args=(query,), rounds=3, iterations=1)

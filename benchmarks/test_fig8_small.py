@@ -1,0 +1,118 @@
+"""Figure 8 — EXIST/ALL page accesses on SMALL objects (1–5 % area).
+
+Regenerates both sub-figures as ASCII series (T2 for each k, plus the
+R+-tree), saves them under ``benchmarks/results/``, asserts the paper's
+shape claims, and times representative queries with pytest-benchmark.
+
+Paper claims verified here:
+
+* technique T2 always performs better than the R+-tree (index-access
+  metric — the metric of Theorems 3.1/4.2; see EXPERIMENTS.md);
+* the advantage of T2 over the R+-tree is wider for ALL selections.
+"""
+
+import pytest
+
+from repro.bench import (
+    dual_planner,
+    emit,
+    figure_8_9,
+    k_values,
+    n_values,
+    queries_for,
+    render_figure,
+    rplus_planner,
+)
+from repro.core import ALL, EXIST
+
+SIZE = "small"
+
+
+@pytest.fixture(scope="module")
+def exist_series():
+    return figure_8_9(SIZE, EXIST)
+
+
+@pytest.fixture(scope="module")
+def all_series():
+    return figure_8_9(SIZE, ALL)
+
+
+def _advantage(series, n):
+    """R+ pages divided by worst T2 pages at cardinality N."""
+    rplus = next(s for s in series if s.label == "R+-tree")
+    t2 = [s for s in series if s.label.startswith("T2")]
+    worst_t2 = max(s.points[n].index_accesses for s in t2)
+    return rplus.points[n].index_accesses / max(worst_t2, 1e-9)
+
+
+def test_fig8a_exist(benchmark, exist_series):
+    emit(
+        render_figure(
+            "Figure 8(a) — EXIST selections, small objects "
+            "(index page accesses)",
+            exist_series,
+        ),
+        save_as="fig8a_exist_small_index.txt",
+    )
+    emit(
+        render_figure(
+            "Figure 8(a) companion — EXIST, small objects "
+            "(total accesses incl. refinement)",
+            exist_series,
+            metric="total_accesses",
+        ),
+        save_as="fig8a_exist_small_total.txt",
+    )
+    for n in n_values():
+        if n >= 2000:
+            assert _advantage(exist_series, n) > 1.0, (
+                f"T2 should beat the R+-tree on EXIST at N={n}"
+            )
+    planner = dual_planner(max(n_values()), SIZE, max(k_values()))
+    query = queries_for(max(n_values()), SIZE, EXIST, max(k_values()))[0]
+    benchmark.pedantic(planner.query, args=(query,), rounds=3, iterations=1)
+
+
+def test_fig8b_all(benchmark, all_series, exist_series):
+    emit(
+        render_figure(
+            "Figure 8(b) — ALL selections, small objects "
+            "(index page accesses)",
+            all_series,
+        ),
+        save_as="fig8b_all_small_index.txt",
+    )
+    emit(
+        render_figure(
+            "Figure 8(b) companion — ALL, small objects "
+            "(total accesses incl. refinement)",
+            all_series,
+            metric="total_accesses",
+        ),
+        save_as="fig8b_all_small_total.txt",
+    )
+    n_top = max(n_values())
+    assert _advantage(all_series, n_top) > 1.0, "T2 should beat R+ on ALL"
+    # "the advantage of T2 over the R+-tree is wider for ALL selections"
+    assert _advantage(all_series, n_top) > _advantage(exist_series, n_top), (
+        "T2's advantage should be wider for ALL than for EXIST"
+    )
+    planner = rplus_planner(n_top, SIZE)
+    query = queries_for(n_top, SIZE, ALL, max(k_values()))[0]
+    benchmark.pedantic(planner.query, args=(query,), rounds=3, iterations=1)
+
+
+def test_fig8_results_match_oracle(benchmark):
+    """Spot-check: both structures return identical (oracle) answers."""
+    from repro.bench import cross_check
+
+    n = n_values()[1]
+    dual = dual_planner(n, SIZE, 3)
+    rplus = rplus_planner(n, SIZE)
+    queries = queries_for(n, SIZE, EXIST, 3, count=3) + queries_for(
+        n, SIZE, ALL, 3, count=3
+    )
+    benchmark.pedantic(
+        cross_check, args=(dual, rplus, queries), rounds=1, iterations=1
+    )

@@ -1,0 +1,116 @@
+"""Figure 9 — EXIST/ALL page accesses on MEDIUM objects (≤ 50 % area).
+
+Adds the cross-figure claims of Section 5:
+
+* the R+-tree performs better with small objects than with medium ones
+  (duplication/clipping grows with object size);
+* the behaviour of technique T2 does not significantly change when the
+  object size changes (it indexes single TOP/BOT values per tuple).
+"""
+
+import pytest
+
+from repro.bench import (
+    dual_planner,
+    emit,
+    figure_8_9,
+    k_values,
+    n_values,
+    queries_for,
+    render_figure,
+)
+from repro.core import ALL, EXIST
+
+SIZE = "medium"
+
+
+@pytest.fixture(scope="module")
+def exist_series():
+    return figure_8_9(SIZE, EXIST)
+
+
+@pytest.fixture(scope="module")
+def all_series():
+    return figure_8_9(SIZE, ALL)
+
+
+def _line(series, label):
+    return next(s for s in series if s.label == label)
+
+
+def test_fig9a_exist(benchmark, exist_series):
+    emit(
+        render_figure(
+            "Figure 9(a) — EXIST selections, medium objects "
+            "(index page accesses)",
+            exist_series,
+        ),
+        save_as="fig9a_exist_medium_index.txt",
+    )
+    rplus = _line(exist_series, "R+-tree")
+    for n in n_values():
+        if n < 2000:
+            continue
+        for k in k_values():
+            t2 = _line(exist_series, f"T2 k={k}")
+            assert (
+                t2.points[n].index_accesses < rplus.points[n].index_accesses
+            ), f"T2 k={k} should beat R+ on medium EXIST at N={n}"
+    planner = dual_planner(max(n_values()), SIZE, max(k_values()))
+    query = queries_for(max(n_values()), SIZE, EXIST, max(k_values()))[0]
+    benchmark.pedantic(planner.query, args=(query,), rounds=3, iterations=1)
+
+
+def test_fig9b_all(benchmark, all_series):
+    emit(
+        render_figure(
+            "Figure 9(b) — ALL selections, medium objects "
+            "(index page accesses)",
+            all_series,
+        ),
+        save_as="fig9b_all_medium_index.txt",
+    )
+    emit(
+        render_figure(
+            "Figure 9(b) companion — ALL, medium objects "
+            "(total accesses incl. refinement)",
+            all_series,
+            metric="total_accesses",
+        ),
+        save_as="fig9b_all_medium_total.txt",
+    )
+    rplus = _line(all_series, "R+-tree")
+    n_top = max(n_values())
+    worst_t2 = max(
+        _line(all_series, f"T2 k={k}").points[n_top].index_accesses
+        for k in k_values()
+    )
+    assert worst_t2 < rplus.points[n_top].index_accesses
+    planner = dual_planner(n_top, SIZE, min(k_values()))
+    query = queries_for(n_top, SIZE, ALL, min(k_values()))[0]
+    benchmark.pedantic(planner.query, args=(query,), rounds=3, iterations=1)
+
+
+def test_object_size_sensitivity(benchmark, exist_series):
+    """T2 is size-insensitive; the R+-tree prefers small objects."""
+    small_series = figure_8_9("small", EXIST)
+    n_top = max(n_values())
+    k = max(k_values())
+    t2_small = _line(small_series, f"T2 k={k}").points[n_top].index_accesses
+    t2_medium = _line(exist_series, f"T2 k={k}").points[n_top].index_accesses
+    assert t2_medium <= 2.0 * max(t2_small, 1.0), (
+        "T2 index accesses should not blow up with object size"
+    )
+    rp_small = _line(small_series, "R+-tree").points[n_top].index_accesses
+    rp_medium = _line(exist_series, "R+-tree").points[n_top].index_accesses
+    assert rp_medium >= rp_small, (
+        "the R+-tree should degrade as objects grow"
+    )
+    emit(
+        "Object-size sensitivity at N=%d (EXIST index accesses)\n"
+        "  T2 k=%d: small %.1f -> medium %.1f\n"
+        "  R+-tree: small %.1f -> medium %.1f"
+        % (n_top, k, t2_small, t2_medium, rp_small, rp_medium),
+        save_as="fig9_size_sensitivity.txt",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

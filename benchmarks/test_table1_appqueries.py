@@ -1,0 +1,32 @@
+"""Table 1 — verification bench for the app-query operator choice.
+
+Table 1 defines θ1/θ2 for the three slope cases. Correctness means the
+union of the two app-query half-planes *covers* the original query
+half-plane (every answer tuple is caught by at least one app-query).
+This bench verifies the covering by randomized point sampling across
+thousands of (slope set, query, pivot) combinations, and reports how
+often each Table 1 case fired.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table, table_1_check
+
+
+def test_table1_operator_choice(benchmark):
+    cases = benchmark.pedantic(
+        table_1_check, kwargs={"trials": 1500}, rounds=1, iterations=1
+    )
+    rows = [[case, count] for case, count in sorted(cases.items())]
+    emit(
+        format_table(
+            "Table 1 verification — app-query coverage by slope case",
+            ["case", "trials"],
+            rows,
+        ),
+        save_as="table1_cases.txt",
+    )
+    # every non-exact case must have been exercised
+    assert cases["interior"] > 0
+    assert cases["above"] > 0
+    assert cases["below"] > 0

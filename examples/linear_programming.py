@@ -1,0 +1,89 @@
+"""Operations-research scenario: screening LP feasible regions.
+
+The paper motivates infinite (unbounded) objects with Operations Research
+applications: a constraint database stores the *feasible regions* of many
+planning problems — most of them unbounded polyhedra that no R-tree can
+index. An analyst screens them against objective-value half-planes:
+
+* ``EXIST(profit >= c)`` — which plans can achieve profit at least c?
+  (the profit functional defines a half-plane in decision space)
+* ``ALL(y <= cap)``      — which plans are certain to respect a cap,
+  whatever feasible point is chosen?
+
+Run:  python examples/linear_programming.py
+"""
+
+import random
+
+from repro import GeneralizedRelation, parse_tuple
+from repro.core import DualIndexPlanner, SlopeSet
+from repro.geometry import bot, top
+
+
+def build_portfolio(seed: int = 3) -> GeneralizedRelation:
+    """Feasible regions over decision variables (x = units of product A,
+    y = units of product B). Deliberately a mix of bounded and unbounded
+    plans (some have no demand ceiling)."""
+    rng = random.Random(seed)
+    relation = GeneralizedRelation(name="plans")
+    templates = [
+        # classic bounded production plan
+        "x >= 0 and y >= 0 and y <= -0.8x + {cap} and y <= {ylim}",
+        # no ceiling on product B: unbounded upward
+        "x >= 0 and y >= 0 and y >= 0.5x - {slack}",
+        # contractual floor: everything above a line
+        "y >= 1.2x - {floor}",
+        # tolerance band around a target mix
+        "y >= 0.9x - {band} and y <= 0.9x + {band}",
+    ]
+    for i in range(40):
+        template = templates[i % len(templates)]
+        text = template.format(
+            cap=rng.uniform(20, 60),
+            ylim=rng.uniform(10, 40),
+            slack=rng.uniform(5, 25),
+            floor=rng.uniform(0, 10),
+            band=rng.uniform(1, 8),
+        )
+        relation.add(parse_tuple(text, label=f"plan-{i}"))
+    return relation
+
+
+def main() -> None:
+    plans = build_portfolio()
+    unbounded = sum(
+        1 for _, t in plans if not t.extension().is_bounded
+    )
+    print(f"{len(plans)} feasible regions, {unbounded} of them unbounded "
+          f"(un-indexable by R-trees)")
+
+    planner = DualIndexPlanner.build(plans, SlopeSet([-1.0, 0.0, 1.0]))
+
+    # Profit functional: 2A + 1B >= c  <=>  y >= -2x + c.
+    print("\nprofit screening  EXIST(y >= -2x + c):")
+    for c in (10.0, 40.0, 120.0):
+        res = planner.exist(-2.0, c, ">=")
+        print(f"  profit >= {c:>5.0f}: {len(res.ids):>2} plans reachable "
+              f"[{res.technique}, {res.page_accesses} pages]")
+
+    # Capacity certainty: every feasible point satisfies y <= cap.
+    print("\ncapacity certainty  ALL(y <= cap):")
+    for cap in (15.0, 45.0, 200.0):
+        res = planner.all(0.0, cap, "<=")
+        print(f"  y <= {cap:>5.0f} guaranteed by {len(res.ids):>2} plans "
+              f"[{res.technique}]")
+
+    # Inspect one unbounded plan's dual representation.
+    tid, plan = next(
+        (tid, t) for tid, t in plans if not t.extension().is_bounded
+    )
+    poly = plan.extension()
+    print(f"\ndual view of unbounded {plan.label}:")
+    for s in (-1.0, 0.0, 1.0):
+        print(f"  slope {s:>4}: TOP = {top(poly, s)}, BOT = {bot(poly, s)}")
+    print("(±inf values are stored directly as index keys — the dual "
+          "index needs no clipping window)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: the paper's Example 2.1, end to end.
+
+Builds a tiny constraint relation, shows the dual representation
+(TOP/BOT values and the piecewise-linear TOP profile), runs the worked
+half-plane queries of Figure 2 through the indexed planner, and prints
+the per-query diagnostics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GeneralizedRelation, GeneralizedTuple, parse_tuple
+from repro.core import DualIndexPlanner, SlopeSet
+from repro.geometry import bot, top, top_profile_2d
+
+
+def main() -> None:
+    # --- the polygon of Figure 2 ------------------------------------
+    # A convex pentagon with TOP(0) = 4.5, BOT(-1) > -1 and
+    # BOT(1) < 0 < TOP(1) — exactly the facts Example 2.1 uses.
+    pentagon = GeneralizedTuple.from_vertices_2d(
+        [(1, 2), (3, 1), (5, 3), (4, 4.5), (2, 4)], label="t"
+    )
+    poly = pentagon.extension()
+    print("tuple t:", pentagon)
+    print(f"  vertices : {poly.vertices()}")
+    print(f"  TOP(-1) = {top(poly, -1.0):.3f}   BOT(-1) = {bot(poly, -1.0):.3f}")
+    print(f"  TOP(0)  = {top(poly, 0.0):.3f}   BOT(0)  = {bot(poly, 0.0):.3f}")
+    print(f"  TOP(1)  = {top(poly, 1.0):.3f}   BOT(1)  = {bot(poly, 1.0):.3f}")
+
+    profile = top_profile_2d(poly)
+    print(f"  TOP graph: {len(profile.pieces)} linear pieces, "
+          f"breakpoints at {[round(b, 3) for b in profile.breakpoints]}")
+
+    # --- index it ----------------------------------------------------
+    relation = GeneralizedRelation([pentagon], name="example21")
+    relation.add(parse_tuple("y >= x - 6 and y <= x - 2 and x <= 12",
+                             label="t2"))
+    planner = DualIndexPlanner.build(relation, SlopeSet([-1.0, 0.0, 1.0]))
+
+    # --- the worked queries of Example 2.1 ---------------------------
+    queries = [
+        ("ALL  (y >= -x - 1)", planner.all(-1.0, -1.0, ">=")),
+        ("EXIST(y >=  4.5  )", planner.exist(0.0, 4.5, ">=")),
+        ("EXIST(y >=  x    )", planner.exist(1.0, 0.0, ">=")),
+        ("ALL  (y <=  4.5  )", planner.all(0.0, 4.5, "<=")),
+        ("EXIST(y <=  x    )", planner.exist(1.0, 0.0, "<=")),
+    ]
+    print("\nquery results (tuple ids; 0 = the pentagon):")
+    for text, result in queries:
+        names = sorted(relation.get(tid).label or str(tid) for tid in result.ids)
+        print(
+            f"  {text}  ->  {names}   "
+            f"[{result.technique}, {result.page_accesses} page accesses, "
+            f"{result.false_hits} false hits]"
+        )
+
+    # --- a slope outside S: the T2 approximation kicks in ------------
+    result = planner.exist(0.4, 2.0, ">=")
+    print(
+        f"\nEXIST(y >= 0.4x + 2) with 0.4 ∉ S -> technique {result.technique}, "
+        f"answer {sorted(result.ids)}, candidates {result.candidates}, "
+        f"false hits {result.false_hits}"
+    )
+
+
+if __name__ == "__main__":
+    main()

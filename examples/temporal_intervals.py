@@ -1,0 +1,74 @@
+"""Temporal scenario: resource envelopes over time.
+
+Constraint databases model temporal data as constraints over a time
+variable (paper, Section 1). Here each tuple is a *resource envelope*:
+the set of (t, load) points a service may occupy — ramp-ups, decays and
+steady states, several of them open-ended in time (unbounded tuples).
+
+Queries are half-planes in (t, load) space:
+
+* ``EXIST(load >= L)``          — which envelopes can ever exceed L?
+* ``ALL(load <= L)``            — which envelopes are provably capped?
+* ``EXIST(load >= r·t + b)``    — which envelopes outgrow a budget line
+  that itself grows at rate r?
+
+Run:  python examples/temporal_intervals.py
+"""
+
+from repro import GeneralizedRelation, parse_tuple
+from repro.core import DualIndexPlanner, SlopeSet
+
+
+def build_envelopes() -> GeneralizedRelation:
+    relation = GeneralizedRelation(name="envelopes")
+    specs = [
+        # steady services, capped forever (unbounded in time)
+        ("steady-a", "t >= 0 and y >= 2 and y <= 4"),
+        ("steady-b", "t >= 0 and y >= 8 and y <= 9"),
+        # ramp-up: load grows at most 0.5/hour from 1, at least 0.2/hour
+        ("ramp", "t >= 0 and y <= 0.5t + 1 and y >= 0.2t + 1"),
+        # burst: triangular envelope, fully bounded
+        ("burst", "y >= 0 and y <= 2t and y <= -2t + 40"),
+        # decaying batch job
+        ("decay", "t >= 0 and t <= 30 and y >= 0 and y <= -0.3t + 10"),
+        # runaway: no upper bound at all
+        ("runaway", "t >= 5 and y >= t - 5"),
+    ]
+    for name, text in specs:
+        relation.add(parse_tuple(text, dimension=2, label=name))
+    return relation
+
+
+def names(relation, ids):
+    return sorted(relation.get(tid).label for tid in ids)
+
+
+def main() -> None:
+    envelopes = build_envelopes()
+    planner = DualIndexPlanner.build(
+        envelopes, SlopeSet([-0.5, 0.0, 0.5]), key_bytes=8
+    )
+    print(f"{len(envelopes)} resource envelopes indexed\n")
+
+    print("can the load ever exceed L?   EXIST(load >= L)")
+    for level in (3.0, 9.5, 25.0):
+        res = planner.exist(0.0, level, ">=")
+        print(f"  L = {level:>4}: {names(envelopes, res.ids)}")
+
+    print("\nprovably capped at L?         ALL(load <= L)")
+    for level in (4.0, 10.0, 50.0):
+        res = planner.all(0.0, level, "<=")
+        print(f"  L = {level:>4}: {names(envelopes, res.ids)}")
+
+    print("\noutgrows a budget line load = 0.4·t + 2?   EXIST(load >= 0.4t + 2)")
+    res = planner.exist(0.4, 2.0, ">=")
+    print(f"  {names(envelopes, res.ids)}   "
+          f"[{res.technique}: slope 0.4 ∉ S, handicap search used]")
+
+    print("\nstays under the budget line forever?       ALL(load <= 0.4t + 2)")
+    res = planner.all(0.4, 2.0, "<=")
+    print(f"  {names(envelopes, res.ids)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — dual-representation indexing for linear constraint databases.
+
+A full reproduction of E. Bertino, B. Catania, B. Chidlovskii,
+*Indexing Constraint Databases by Using a Dual Representation* (ICDE 1999):
+the constraint data model, the dual transformation, the restricted
+B+-tree index of Section 3, the T1/T2 approximation techniques of
+Section 4, the R+-tree baseline, and the full experimental harness of
+Section 5 — all on a byte-accurate simulated disk with page-access
+accounting.
+
+Quick start::
+
+    from repro import parse_tuple, GeneralizedRelation, DualIndexPlanner
+    r = GeneralizedRelation([parse_tuple("y >= x and y <= 4 and x >= 0")])
+    planner = DualIndexPlanner.build(r, slopes=[-1.0, 0.0, 1.0])
+    planner.exist(slope=0.5, intercept=1.0, theta=">=")
+"""
+
+from repro.constraints import (
+    GeneralizedRelation,
+    GeneralizedTuple,
+    LinearConstraint,
+    Theta,
+    parse_constraint,
+    parse_tuple,
+    parse_tuples,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Theta",
+    "LinearConstraint",
+    "GeneralizedTuple",
+    "GeneralizedRelation",
+    "parse_constraint",
+    "parse_tuple",
+    "parse_tuples",
+    "ReproError",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "ConvexPolyhedron": ("repro.geometry", "ConvexPolyhedron"),
+    "DualIndex": ("repro.core", "DualIndex"),
+    "DualIndexPlanner": ("repro.core", "DualIndexPlanner"),
+    "SlopeSet": ("repro.core", "SlopeSet"),
+    "HalfPlaneQuery": ("repro.core", "HalfPlaneQuery"),
+    "RPlusTree": ("repro.rtree", "RPlusTree"),
+    "BPlusTree": ("repro.btree", "BPlusTree"),
+    "Pager": ("repro.storage", "Pager"),
+}
+
+
+def __getattr__(name: str):
+    """Lazy re-exports of the heavier subsystems.
+
+    Keeps ``import repro`` light while still exposing the one-stop API
+    (``repro.DualIndexPlanner``, ``repro.RPlusTree``, …).
+    """
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

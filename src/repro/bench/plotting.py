@@ -1,0 +1,90 @@
+"""ASCII chart rendering for benchmark series.
+
+The paper's Figures 8–10 are line charts; this module renders the
+measured series as terminal charts so `python -m repro figure --chart`
+gives a visual impression without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Marks assigned to series, in order.
+MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    y_label: str = "pages",
+) -> str:
+    """Render named series over shared x positions as an ASCII chart.
+
+    X positions are spread by rank (the paper's N axis is categorical);
+    the y axis is linear from 0 to the data maximum.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("series lengths must match x_values")
+    y_max = max(
+        (v for values in series.values() for v in values if math.isfinite(v)),
+        default=1.0,
+    )
+    y_max = max(y_max, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    xpos = [
+        int(round(i * (width - 1) / max(1, n - 1))) for i in range(n)
+    ]
+    legend = []
+    for mark, (label, values) in zip(MARKS, sorted(series.items())):
+        legend.append(f"{mark} = {label}")
+        for i, value in enumerate(values):
+            if not math.isfinite(value):
+                continue
+            row = height - 1 - int(round(value / y_max * (height - 1)))
+            row = min(height - 1, max(0, row))
+            col = xpos[i]
+            grid[row][col] = mark if grid[row][col] == " " else "8"
+    lines = [title, "=" * len(title)]
+    label_width = len(f"{y_max:.0f}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.0f}"
+        elif row_index == height - 1:
+            label = "0"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    tick_line = [" "] * width
+    for i, col in enumerate(xpos):
+        tick = str(x_values[i])
+        start = col if col + len(tick) <= width else width - len(tick)
+        for j, ch in enumerate(tick):
+            tick_line[max(0, start) + j] = ch
+    lines.append(" " * label_width + "  " + "".join(tick_line))
+    lines.append(f"y: {y_label}; overlapping points shown as '8'")
+    lines.extend(f"  {entry}" for entry in legend)
+    return "\n".join(lines)
+
+
+def chart_figure(series_list, metric: str = "index_accesses") -> str:
+    """Chart a list of :class:`repro.bench.figures.FigureSeries`."""
+    xs = sorted({n for line in series_list for n in line.points})
+    data = {
+        line.label: [
+            getattr(line.points[n], metric) if n in line.points else math.nan
+            for n in xs
+        ]
+        for line in series_list
+    }
+    return ascii_chart(
+        f"page accesses ({metric})", xs, data, y_label=metric
+    )

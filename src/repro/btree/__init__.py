@@ -1,0 +1,23 @@
+"""Disk-based B+-tree with leaf handicap slots.
+
+The workhorse of the dual-representation index: every ``B^up``/``B^down``
+structure of Sections 3–4, and the handicap directories used for dynamic
+maintenance, are instances of :class:`BPlusTree`.
+"""
+
+from repro.btree.node import (
+    FLAG_HANDICAPS_VALID,
+    InternalNode,
+    LeafNode,
+    NodeLayout,
+)
+from repro.btree.tree import BPlusTree, LeafVisit
+
+__all__ = [
+    "BPlusTree",
+    "LeafVisit",
+    "LeafNode",
+    "InternalNode",
+    "NodeLayout",
+    "FLAG_HANDICAPS_VALID",
+]

@@ -1,0 +1,205 @@
+"""On-page B+-tree node layouts.
+
+Every node lives in exactly one page of the simulated disk. Entries are
+``(key, rid)`` pairs — the tree orders by the *composite* ``(key, rid)``
+so duplicate keys (many tuples sharing a ``TOP``/``BOT`` value) keep a
+total order and deletes stay unambiguous.
+
+Leaf layout::
+
+    u8 kind=0 | u8 flags | u16 count | u32 prev | u32 next
+    | aux_slots × key   (handicap values, Section 4.2/4.3)
+    | count × (key, u32 rid)
+
+Internal layout::
+
+    u8 kind=1 | u8 flags | u16 count
+    | (count+1) × u32 child
+    | count × (key, u32 rid)       (composite separators)
+
+``key`` is 4 or 8 bytes according to the tree's :class:`KeyCodec` —
+4 bytes reproduces the paper's value size and fan-out.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.disk import NULL_PAGE
+from repro.storage.serialize import KeyCodec
+
+_LEAF_KIND = 0
+_INTERNAL_KIND = 1
+_HEADER = struct.Struct("<BBH")
+_LINKS = struct.Struct("<II")
+_RID = struct.Struct("<I")
+
+#: flags bit 0: leaf handicap aggregates are valid.
+FLAG_HANDICAPS_VALID = 0x01
+
+
+@dataclass
+class LeafNode:
+    """Decoded leaf node."""
+
+    keys: list[float] = field(default_factory=list)
+    rids: list[int] = field(default_factory=list)
+    prev: int = NULL_PAGE
+    next: int = NULL_PAGE
+    aux: list[float] = field(default_factory=list)
+    flags: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.keys)
+
+    @property
+    def handicaps_valid(self) -> bool:
+        return bool(self.flags & FLAG_HANDICAPS_VALID)
+
+    def set_handicaps(self, values: list[float]) -> None:
+        """Install handicap aggregates and mark them valid."""
+        self.aux = list(values)
+        self.flags |= FLAG_HANDICAPS_VALID
+
+    def invalidate_handicaps(self) -> None:
+        self.flags &= ~FLAG_HANDICAPS_VALID
+
+    def entries(self) -> list[tuple[float, int]]:
+        return list(zip(self.keys, self.rids))
+
+
+@dataclass
+class InternalNode:
+    """Decoded internal node.
+
+    ``seps`` holds composite separators ``(key, rid)``; ``children`` has
+    ``len(seps) + 1`` page ids. ``seps[i]`` is a copy of the smallest
+    composite entry in ``children[i+1]``'s subtree.
+    """
+
+    seps: list[tuple[float, int]] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.seps)
+
+
+class NodeLayout:
+    """Capacity math and page codecs for one tree's configuration."""
+
+    def __init__(self, page_size: int, key_codec: KeyCodec, aux_slots: int) -> None:
+        self.page_size = page_size
+        self.key_codec = key_codec
+        self.aux_slots = aux_slots
+        kb = key_codec.key_bytes
+        leaf_fixed = _HEADER.size + _LINKS.size + aux_slots * kb
+        self.leaf_capacity = (page_size - leaf_fixed) // (kb + _RID.size)
+        internal_fixed = _HEADER.size + _RID.size  # header + first child
+        self.internal_capacity = (page_size - internal_fixed) // (
+            kb + 2 * _RID.size
+        )
+        if self.leaf_capacity < 4 or self.internal_capacity < 4:
+            raise StorageError(
+                f"page size {page_size} too small for B+-tree nodes"
+            )
+        self._leaf_fixed = leaf_fixed
+
+    # ------------------------------------------------------------------
+    # leaf codec
+    # ------------------------------------------------------------------
+    def encode_leaf(self, node: LeafNode) -> bytes:
+        if node.count > self.leaf_capacity:
+            raise StorageError("leaf overflow at encode time")
+        if len(node.aux) not in (0, self.aux_slots):
+            raise StorageError(
+                f"leaf has {len(node.aux)} aux values, layout expects "
+                f"{self.aux_slots}"
+            )
+        out = bytearray(self.page_size)
+        _HEADER.pack_into(out, 0, _LEAF_KIND, node.flags, node.count)
+        _LINKS.pack_into(out, _HEADER.size, node.prev, node.next)
+        pos = _HEADER.size + _LINKS.size
+        kb = self.key_codec.key_bytes
+        aux = node.aux if node.aux else [0.0] * self.aux_slots
+        for value in aux:
+            out[pos : pos + kb] = self.key_codec.encode(value)
+            pos += kb
+        for key, rid in zip(node.keys, node.rids):
+            out[pos : pos + kb] = self.key_codec.encode(key)
+            pos += kb
+            _RID.pack_into(out, pos, rid)
+            pos += _RID.size
+        return bytes(out)
+
+    def decode_leaf(self, data: bytes) -> LeafNode:
+        kind, flags, count = _HEADER.unpack_from(data, 0)
+        if kind != _LEAF_KIND:
+            raise StorageError("page is not a leaf node")
+        prev, nxt = _LINKS.unpack_from(data, _HEADER.size)
+        pos = _HEADER.size + _LINKS.size
+        kb = self.key_codec.key_bytes
+        aux = []
+        for _ in range(self.aux_slots):
+            aux.append(self.key_codec.decode(data[pos : pos + kb]))
+            pos += kb
+        keys: list[float] = []
+        rids: list[int] = []
+        for _ in range(count):
+            keys.append(self.key_codec.decode(data[pos : pos + kb]))
+            pos += kb
+            rids.append(_RID.unpack_from(data, pos)[0])
+            pos += _RID.size
+        return LeafNode(keys, rids, prev, nxt, aux, flags)
+
+    # ------------------------------------------------------------------
+    # internal codec
+    # ------------------------------------------------------------------
+    def encode_internal(self, node: InternalNode) -> bytes:
+        if node.count > self.internal_capacity:
+            raise StorageError("internal overflow at encode time")
+        if len(node.children) != node.count + 1:
+            raise StorageError("internal node children/separator mismatch")
+        out = bytearray(self.page_size)
+        _HEADER.pack_into(out, 0, _INTERNAL_KIND, 0, node.count)
+        pos = _HEADER.size
+        for child in node.children:
+            _RID.pack_into(out, pos, child)
+            pos += _RID.size
+        kb = self.key_codec.key_bytes
+        for key, rid in node.seps:
+            out[pos : pos + kb] = self.key_codec.encode(key)
+            pos += kb
+            _RID.pack_into(out, pos, rid)
+            pos += _RID.size
+        return bytes(out)
+
+    def decode_internal(self, data: bytes) -> InternalNode:
+        kind, _flags, count = _HEADER.unpack_from(data, 0)
+        if kind != _INTERNAL_KIND:
+            raise StorageError("page is not an internal node")
+        pos = _HEADER.size
+        children = []
+        for _ in range(count + 1):
+            children.append(_RID.unpack_from(data, pos)[0])
+            pos += _RID.size
+        kb = self.key_codec.key_bytes
+        seps: list[tuple[float, int]] = []
+        for _ in range(count):
+            key = self.key_codec.decode(data[pos : pos + kb])
+            pos += kb
+            rid = _RID.unpack_from(data, pos)[0]
+            pos += _RID.size
+            seps.append((key, rid))
+        return InternalNode(seps, children)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    @staticmethod
+    def page_kind(data: bytes) -> int:
+        """0 for leaf pages, 1 for internal pages."""
+        return data[0]

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library, configuration and experiment overview.
+``demo``
+    Run the Example 2.1 quickstart inline.
+``figure --id 8a|8b|9a|9b|10 [--full]``
+    Regenerate one of the paper's figures and print the series.
+``query --tuples FILE --type ALL|EXIST --slope A --intercept B [--theta GE|LE]``
+    Index a relation read from a text file (one generalized tuple per
+    line, ``#`` comments allowed) and run a single half-plane query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dual-representation indexing for linear constraint databases "
+            "(Bertino, Catania & Chidlovskii, ICDE 1999 — reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and experiment overview")
+    sub.add_parser("demo", help="run the Example 2.1 quickstart")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "--id",
+        required=True,
+        choices=["8a", "8b", "9a", "9b", "10"],
+        help="figure identifier",
+    )
+    figure.add_argument(
+        "--full", action="store_true", help="paper-scale parameter sweep"
+    )
+    figure.add_argument(
+        "--chart", action="store_true", help="also render an ASCII chart"
+    )
+
+    query = sub.add_parser("query", help="query a relation from a file")
+    query.add_argument("--tuples", required=True, help="tuple file path")
+    query.add_argument("--type", required=True, choices=["ALL", "EXIST"])
+    query.add_argument("--slope", type=float, required=True)
+    query.add_argument("--intercept", type=float, required=True)
+    query.add_argument("--theta", default="GE", choices=["GE", "LE"])
+    query.add_argument(
+        "--slopes",
+        default=None,
+        help="comma-separated predefined slope set (default: 3 uniform)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _info()
+    if args.command == "demo":
+        return _demo()
+    if args.command == "figure":
+        return _figure(args)
+    if args.command == "query":
+        return _query(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _info() -> int:
+    from repro.bench import PAPER_K_VALUES, PAPER_N_VALUES
+
+    print(f"repro {__version__} — dual-representation constraint-database "
+          f"indexing (ICDE 1999 reproduction)")
+    print("subsystems: constraints, geometry, storage, btree, rtree, core, "
+          "intervals, workloads, bench")
+    print(f"paper sweep: N ∈ {PAPER_N_VALUES}, k ∈ {PAPER_K_VALUES}, "
+          f"object classes small/medium, selectivity 10–15%")
+    print("experiments: figures 8a 8b 9a 9b 10, Table 1 check, "
+          "ablations A1–A7 (see benchmarks/)")
+    return 0
+
+
+def _demo() -> int:
+    import runpy
+
+    candidates = [
+        os.path.join(os.getcwd(), "examples", "quickstart.py"),
+        os.path.abspath(
+            os.path.join(
+                os.path.dirname(__file__), "..", "..", "examples",
+                "quickstart.py",
+            )
+        ),
+    ]
+    for path in candidates:
+        if os.path.exists(path):
+            runpy.run_path(path, run_name="__main__")
+            return 0
+    print("examples/quickstart.py not found", file=sys.stderr)
+    return 1
+
+
+def _figure(args) -> int:
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    from repro.bench import (
+        figure_8_9,
+        figure_10,
+        render_figure,
+        render_figure_10,
+    )
+    from repro.core import ALL, EXIST
+
+    if args.id == "10":
+        print(render_figure_10(figure_10("small")))
+        return 0
+    size = "small" if args.id.startswith("8") else "medium"
+    query_type = EXIST if args.id.endswith("a") else ALL
+    series = figure_8_9(size, query_type)
+    label = {"8a": "Figure 8(a)", "8b": "Figure 8(b)",
+             "9a": "Figure 9(a)", "9b": "Figure 9(b)"}[args.id]
+    print(
+        render_figure(
+            f"{label} — {query_type} selections, {size} objects "
+            f"(index page accesses)",
+            series,
+        )
+    )
+    print()
+    print(
+        render_figure(
+            f"{label} — total accesses incl. refinement",
+            series,
+            metric="total_accesses",
+        )
+    )
+    if args.chart:
+        from repro.bench.plotting import chart_figure
+
+        print()
+        print(chart_figure(series))
+    return 0
+
+
+def _query(args) -> int:
+    from repro.constraints import GeneralizedRelation, parse_tuple
+    from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+
+    relation = GeneralizedRelation(name=os.path.basename(args.tuples))
+    with open(args.tuples) as handle:
+        for line_no, line in enumerate(handle, 1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            relation.add(parse_tuple(text, dimension=2, label=f"line {line_no}"))
+    if len(relation) == 0:
+        print("no tuples found", file=sys.stderr)
+        return 1
+    if args.slopes:
+        slopes = SlopeSet(float(v) for v in args.slopes.split(","))
+    else:
+        slopes = SlopeSet.uniform_angles(3)
+    planner = DualIndexPlanner.build(relation, slopes)
+    theta = ">=" if args.theta == "GE" else "<="
+    result = planner.query(
+        HalfPlaneQuery(args.type, args.slope, args.intercept, theta)
+    )
+    print(f"query    : {args.type}(y {theta} {args.slope}·x + {args.intercept})")
+    print(f"technique: {result.technique}")
+    print(f"answers  : {len(result.ids)} of {len(relation)} tuples")
+    for tid in sorted(result.ids):
+        print(f"  - tuple {tid} ({relation.get(tid).label})")
+    print(
+        f"cost     : {result.page_accesses} page accesses "
+        f"({result.candidates} candidates, {result.false_hits} false hits)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Constraint data model: operators, linear constraints, tuples, relations.
+
+This package implements the symbolic layer of the paper's data model
+(Section 2): linear constraints ``a·x + c θ 0``, generalized tuples
+(conjunctions, extensions are convex polyhedra) and generalized relations
+(sets of tuples with stable ids).
+"""
+
+from repro.constraints.linear import LinearConstraint, variable_name
+from repro.constraints.normalize import deduplicate_canonical, normalize
+from repro.constraints.parser import parse_constraint, parse_tuple, parse_tuples
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+
+__all__ = [
+    "Theta",
+    "LinearConstraint",
+    "GeneralizedTuple",
+    "GeneralizedRelation",
+    "normalize",
+    "deduplicate_canonical",
+    "parse_constraint",
+    "parse_tuple",
+    "parse_tuples",
+    "variable_name",
+]

@@ -1,0 +1,260 @@
+"""Linear constraints over d real variables.
+
+A :class:`LinearConstraint` is the atomic formula of the constraint data
+model (paper, Section 2)::
+
+    a_1 x_1 + … + a_d x_d + c  θ  0
+
+Coefficients are stored as a tuple of floats; the dimension is the length
+of that tuple. Constraints are immutable and hashable so tuples and
+relations can use them in sets and as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.theta import Theta
+from repro.errors import ConstraintError, GeometryError
+
+#: Default absolute tolerance used by point-membership tests.
+DEFAULT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """An immutable linear constraint ``coeffs·x + const θ 0``.
+
+    Parameters
+    ----------
+    coeffs:
+        Coefficients ``(a_1, …, a_d)``; ``d`` is the constraint dimension.
+    const:
+        The additive constant ``c``.
+    theta:
+        The comparison operator.
+    """
+
+    coeffs: tuple[float, ...]
+    const: float
+    theta: Theta
+
+    def __init__(
+        self,
+        coeffs: Sequence[float],
+        const: float,
+        theta: Theta | str = Theta.LE,
+    ) -> None:
+        if isinstance(theta, str):
+            theta = Theta.from_symbol(theta)
+        coeffs_t = tuple(float(a) for a in coeffs)
+        if not coeffs_t:
+            raise ConstraintError("a constraint needs at least one variable")
+        if any(math.isnan(a) or math.isinf(a) for a in coeffs_t):
+            raise ConstraintError(f"non-finite coefficient in {coeffs_t}")
+        const_f = float(const)
+        if math.isnan(const_f) or math.isinf(const_f):
+            raise ConstraintError(f"non-finite constant {const!r}")
+        object.__setattr__(self, "coeffs", coeffs_t)
+        object.__setattr__(self, "const", const_f)
+        object.__setattr__(self, "theta", theta)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of variables the constraint ranges over."""
+        return len(self.coeffs)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every coefficient is zero (constraint is 0-ary)."""
+        return all(a == 0.0 for a in self.coeffs)
+
+    @property
+    def is_tautology(self) -> bool:
+        """True when the constraint holds for every point (e.g. ``0 ≤ 1``)."""
+        return self.is_trivial and self.theta.holds(self.const)
+
+    @property
+    def is_contradiction(self) -> bool:
+        """True when no point satisfies the constraint (e.g. ``1 ≤ 0``)."""
+        return self.is_trivial and not self.theta.holds(self.const)
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when the last coordinate has a zero coefficient.
+
+        The dual transformation (Section 2.1) requires non-vertical
+        boundary hyperplanes: ``a_d ≠ 0``.
+        """
+        return self.coeffs[-1] == 0.0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def lhs(self, point: Sequence[float]) -> float:
+        """Evaluate ``coeffs·point + const``."""
+        if len(point) != self.dimension:
+            raise ConstraintError(
+                f"point of dimension {len(point)} against constraint of "
+                f"dimension {self.dimension}"
+            )
+        return math.fsum(a * x for a, x in zip(self.coeffs, point)) + self.const
+
+    def satisfied_by(self, point: Sequence[float], tol: float = DEFAULT_TOL) -> bool:
+        """True when ``point`` satisfies the constraint within ``tol``."""
+        return self.theta.holds(self.lhs(point), 0.0, tol)
+
+    # ------------------------------------------------------------------
+    # rewriting
+    # ------------------------------------------------------------------
+    def negated(self) -> "LinearConstraint":
+        """The constraint describing the complement region (``¬θ``)."""
+        return LinearConstraint(self.coeffs, self.const, self.theta.negated())
+
+    def flipped(self) -> "LinearConstraint":
+        """Multiply both sides by ``-1`` (same point set, mirrored form)."""
+        return LinearConstraint(
+            tuple(-a for a in self.coeffs), -self.const, self.theta.flipped()
+        )
+
+    def scaled(self, factor: float) -> "LinearConstraint":
+        """Scale by a positive factor (same point set)."""
+        if factor <= 0:
+            raise ConstraintError("scaling factor must be positive")
+        return LinearConstraint(
+            tuple(a * factor for a in self.coeffs), self.const * factor, self.theta
+        )
+
+    def normalized(self) -> "LinearConstraint":
+        """Canonical scaling: the coefficient vector gets unit 2-norm.
+
+        Trivial constraints are returned unchanged. Canonical scaling makes
+        syntactically different encodings of the same half-plane compare
+        equal after :meth:`canonical_le`.
+        """
+        norm = math.sqrt(math.fsum(a * a for a in self.coeffs))
+        if norm == 0.0:
+            return self
+        return self.scaled(1.0 / norm)
+
+    def canonical_le(self) -> "LinearConstraint":
+        """Rewrite a weak inequality to the ``≤`` direction, unit norm."""
+        if self.theta is Theta.GE:
+            return self.flipped().normalized()
+        if self.theta is Theta.LE:
+            return self.normalized()
+        raise ConstraintError(
+            f"canonical_le requires a weak inequality, got {self.theta}"
+        )
+
+    # ------------------------------------------------------------------
+    # slope/intercept view (2-D convenience used throughout the index)
+    # ------------------------------------------------------------------
+    def slope_intercept(self) -> tuple[float, float]:
+        """Solve the boundary for the last variable: ``x_d = b·x' + c``.
+
+        For a 2-D constraint ``a x + b y + c θ 0`` with ``b ≠ 0`` this
+        returns ``(-a/b, -c/b)``, the slope/intercept of the boundary line.
+        For a d-dimensional constraint the first ``d-1`` slope coordinates
+        are folded into the returned slope only when ``d == 2``; use
+        :meth:`dual_point` for general dimensions.
+        """
+        if self.dimension != 2:
+            raise GeometryError("slope_intercept is a 2-D convenience")
+        a, b = self.coeffs
+        if b == 0.0:
+            raise GeometryError("vertical constraint has no slope/intercept")
+        return (-a / b, -self.const / b)
+
+    def dual_point(self) -> tuple[float, ...]:
+        """Dual representation of the boundary hyperplane (Section 2.1).
+
+        The hyperplane ``a_1 x_1 + … + a_d x_d + c = 0`` with ``a_d ≠ 0``
+        is rewritten ``x_d = b_1 x_1 + … + b_{d-1} x_{d-1} + b_d`` with
+        ``b_i = -a_i/a_d`` and ``b_d = -c/a_d``; its dual is the point
+        ``(b_1, …, b_d)``.
+        """
+        a_d = self.coeffs[-1]
+        if a_d == 0.0:
+            raise GeometryError("vertical hyperplane has no dual point")
+        body = tuple(-a / a_d for a in self.coeffs[:-1])
+        return body + (-self.const / a_d,)
+
+    # ------------------------------------------------------------------
+    # construction helpers & display
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_slope_intercept(
+        cls, slope: float, intercept: float, theta: Theta | str
+    ) -> "LinearConstraint":
+        """Build the 2-D constraint ``y θ slope·x + intercept``.
+
+        Note the operator applies to ``y`` relative to the line, i.e. the
+        constraint stored is ``-slope·x + y - intercept θ 0``.
+        """
+        return cls((-float(slope), 1.0), -float(intercept), theta)
+
+    def substitute(self, values: dict[int, float]) -> "LinearConstraint":
+        """Partially evaluate: fix variables ``{index: value}``.
+
+        Returns a constraint over the remaining variables, in their
+        original order.
+        """
+        keep = [i for i in range(self.dimension) if i not in values]
+        if not keep:
+            raise ConstraintError("cannot substitute every variable away")
+        const = self.const + math.fsum(
+            self.coeffs[i] * v for i, v in values.items()
+        )
+        return LinearConstraint(tuple(self.coeffs[i] for i in keep), const, self.theta)
+
+    def __str__(self) -> str:
+        terms: list[str] = []
+        for i, a in enumerate(self.coeffs):
+            if a == 0.0:
+                continue
+            name = variable_name(i, self.dimension)
+            if a == 1.0:
+                terms.append(f"+ {name}")
+            elif a == -1.0:
+                terms.append(f"- {name}")
+            elif a < 0:
+                terms.append(f"- {abs(a):g}*{name}")
+            else:
+                terms.append(f"+ {a:g}*{name}")
+        if self.const != 0.0 or not terms:
+            sign = "-" if self.const < 0 else "+"
+            terms.append(f"{sign} {abs(self.const):g}")
+        body = " ".join(terms).lstrip("+ ").strip()
+        return f"{body} {self.theta} 0"
+
+
+def variable_name(index: int, dimension: int) -> str:
+    """Human-readable variable names: x, y for 2-D; x1..xd otherwise."""
+    if dimension == 2:
+        return "xy"[index] if index < 2 else f"x{index + 1}"
+    return f"x{index + 1}"
+
+
+def common_dimension(constraints: Iterable[LinearConstraint]) -> int:
+    """The shared dimension of a collection of constraints.
+
+    Raises :class:`ConstraintError` on an empty collection or a dimension
+    mismatch.
+    """
+    dim = 0
+    for constraint in constraints:
+        if dim == 0:
+            dim = constraint.dimension
+        elif constraint.dimension != dim:
+            raise ConstraintError(
+                f"mixed constraint dimensions {dim} and {constraint.dimension}"
+            )
+    if dim == 0:
+        raise ConstraintError("empty constraint collection")
+    return dim

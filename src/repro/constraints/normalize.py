@@ -1,0 +1,107 @@
+"""Normalisation of constraint conjunctions into canonical tuple form.
+
+The paper assumes ``θ ∈ {=, ≤, ≥}`` and replaces each equality
+``expr = 0`` by ``expr ≥ 0 ∧ expr ≤ 0`` (Section 2). Generalized tuples in
+this library therefore hold only weak inequalities. :func:`normalize`
+performs this rewriting and additionally:
+
+* drops tautological constraints (``0 ≤ 1``),
+* collapses the whole conjunction to a contradiction marker if any atom is
+  contradictory (``1 ≤ 0``),
+* closes strict inequalities to their weak counterparts (the topological
+  closure — the standard move for indexing purposes, where measure-zero
+  boundaries do not affect containment/intersection up to tolerance),
+* removes exact duplicates while preserving order.
+
+``≠`` constraints describe non-convex regions and are rejected: the dual
+representation of the paper is defined for convex polyhedra only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.theta import Theta
+from repro.errors import ConstraintError
+
+
+def normalize(
+    constraints: Iterable[LinearConstraint],
+) -> tuple[tuple[LinearConstraint, ...], bool]:
+    """Canonicalise a conjunction of constraints.
+
+    Returns
+    -------
+    (atoms, contradictory):
+        ``atoms`` is the canonical sequence of weak inequalities;
+        ``contradictory`` is True when the conjunction is syntactically
+        unsatisfiable (a trivially false atom was present). A geometric
+        emptiness test still has to be run on the atoms (the conjunction
+        may be unsatisfiable without containing a trivially false atom).
+    """
+    atoms: list[LinearConstraint] = []
+    seen: set[tuple[tuple[float, ...], float, Theta]] = set()
+    contradictory = False
+
+    for constraint in constraints:
+        for weak in _weaken(constraint):
+            if weak.is_tautology:
+                continue
+            if weak.is_contradiction:
+                contradictory = True
+                continue
+            key = (weak.coeffs, weak.const, weak.theta)
+            if key in seen:
+                continue
+            seen.add(key)
+            atoms.append(weak)
+    return tuple(atoms), contradictory
+
+
+def _weaken(constraint: LinearConstraint) -> Sequence[LinearConstraint]:
+    """Rewrite one atom into zero or more weak inequalities."""
+    theta = constraint.theta
+    if theta is Theta.NE:
+        raise ConstraintError(
+            "'!=' constraints describe non-convex regions; generalized "
+            "tuples must be convex (split the disjunction at a higher level)"
+        )
+    if theta is Theta.EQ:
+        return (
+            LinearConstraint(constraint.coeffs, constraint.const, Theta.GE),
+            LinearConstraint(constraint.coeffs, constraint.const, Theta.LE),
+        )
+    if theta.is_strict:
+        return (
+            LinearConstraint(constraint.coeffs, constraint.const, theta.closure()),
+        )
+    return (constraint,)
+
+
+def deduplicate_canonical(
+    constraints: Sequence[LinearConstraint],
+) -> tuple[LinearConstraint, ...]:
+    """Remove constraints that are scalar multiples of an earlier one.
+
+    Operates on weak inequalities only; two constraints are considered the
+    same half-plane when their :meth:`LinearConstraint.canonical_le` forms
+    agree within a small tolerance.
+    """
+    result: list[LinearConstraint] = []
+    canon: list[LinearConstraint] = []
+    for constraint in constraints:
+        c = constraint.canonical_le()
+        duplicate = any(_close(c, other) for other in canon)
+        if not duplicate:
+            result.append(constraint)
+            canon.append(c)
+    return tuple(result)
+
+
+def _close(a: LinearConstraint, b: LinearConstraint, tol: float = 1e-12) -> bool:
+    if len(a.coeffs) != len(b.coeffs):
+        return False
+    if abs(a.const - b.const) > tol:
+        return False
+    return all(abs(x - y) <= tol for x, y in zip(a.coeffs, b.coeffs))

@@ -1,0 +1,182 @@
+"""A small text parser for linear constraints and generalized tuples.
+
+Accepted grammar (informally)::
+
+    tuple       :=  constraint ( ('and' | '&' | ',' | '∧') constraint )*
+    constraint  :=  expr OP expr
+    OP          :=  '<=' | '>=' | '<' | '>' | '=' | '==' | '!=' | unicode ≤ ≥ ≠
+    expr        :=  term ( ('+' | '-') term )*
+    term        :=  number | variable | number '*'? variable
+    variable    :=  'x' | 'y' | 'z' | 'x1' … 'x9' …
+
+Variables map to coordinates: in explicit ``xN`` form, ``xN`` is coordinate
+``N-1``; the short names ``x, y, z`` are coordinates 0, 1, 2. The tuple's
+dimension is the smallest d covering every variable mentioned, or can be
+forced with the ``dimension`` argument.
+
+Examples
+--------
+>>> parse_tuple("x <= 2 and y >= 3").constraints
+(...)
+>>> parse_constraint("y >= 0.5x - 1", dimension=2)
+LinearConstraint(...)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import ParseError
+
+_OP_RE = re.compile(r"(<=|>=|==|!=|<>|=<|=>|≤|≥|≠|<|>|=)")
+_TERM_RE = re.compile(
+    r"""
+    \s*(?P<sign>[+-]?)\s*
+    (?:
+        (?P<coeff>\d+(?:\.\d*)?|\.\d+)\s*\*?\s*(?P<var1>[a-wyzA-WYZ]\w*|x\d*)
+      | (?P<var2>[a-wyzA-WYZ]\w*|x\d*)
+      | (?P<num>\d+(?:\.\d*)?|\.\d+)
+    )
+    \s*
+    """,
+    re.VERBOSE,
+)
+
+_SHORT_NAMES = {"x": 0, "y": 1, "z": 2, "t": 0, "u": 3, "v": 4, "w": 5}
+_SPLIT_RE = re.compile(r"\band\b|&&|&|,|∧", re.IGNORECASE)
+
+
+def parse_constraint(text: str, dimension: int | None = None) -> LinearConstraint:
+    """Parse one linear constraint from text.
+
+    When ``dimension`` is None, the dimension is inferred from the highest
+    variable index used (minimum 1).
+    """
+    parts = _OP_RE.split(text)
+    if len(parts) != 3:
+        raise ParseError(
+            f"expected exactly one comparison operator in {text!r}, "
+            f"found {max(0, (len(parts) - 1) // 2)}"
+        )
+    lhs_text, op_text, rhs_text = parts
+    theta = Theta.from_symbol(op_text)
+    lhs = _parse_expr(lhs_text)
+    rhs = _parse_expr(rhs_text)
+    # Move everything to the left: lhs - rhs θ 0.
+    coeffs: dict[int, float] = dict(lhs[0])
+    for idx, value in rhs[0].items():
+        coeffs[idx] = coeffs.get(idx, 0.0) - value
+    const = lhs[1] - rhs[1]
+
+    max_index = max(coeffs, default=-1)
+    if dimension is None:
+        dimension = max(max_index + 1, 1)
+    elif max_index >= dimension:
+        raise ParseError(
+            f"constraint {text!r} uses coordinate {max_index} but "
+            f"dimension={dimension}"
+        )
+    vector = tuple(coeffs.get(i, 0.0) for i in range(dimension))
+    return LinearConstraint(vector, const, theta)
+
+
+def parse_tuple(
+    text: str,
+    dimension: int | None = None,
+    label: str | None = None,
+) -> GeneralizedTuple:
+    """Parse a conjunction of constraints into a generalized tuple."""
+    chunks = [c for c in _SPLIT_RE.split(text) if c.strip()]
+    if not chunks:
+        raise ParseError(f"no constraints found in {text!r}")
+    if dimension is None:
+        dimension = max(
+            _infer_dimension(chunk) for chunk in chunks
+        )
+    atoms = [parse_constraint(chunk, dimension=dimension) for chunk in chunks]
+    return GeneralizedTuple(atoms, label=label)
+
+
+def parse_tuples(
+    texts: Iterable[str], dimension: int | None = None
+) -> list[GeneralizedTuple]:
+    """Parse many tuples with a shared (inferred or given) dimension."""
+    texts = list(texts)
+    if dimension is None:
+        dimension = max((_infer_dimension(t) for t in texts), default=1)
+    return [parse_tuple(t, dimension=dimension) for t in texts]
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _infer_dimension(text: str) -> int:
+    best = 1
+    for part in _OP_RE.split(text):
+        if _OP_RE.fullmatch(part.strip() or "="):
+            continue
+        try:
+            coeffs, _ = _parse_expr(part)
+        except ParseError:
+            continue
+        if coeffs:
+            best = max(best, max(coeffs) + 1)
+    return best
+
+
+def _variable_index(name: str) -> int:
+    if re.fullmatch(r"x\d+", name):
+        index = int(name[1:]) - 1
+        if index < 0:
+            raise ParseError(f"variable {name!r}: indices start at x1")
+        return index
+    key = name.lower()
+    if key in _SHORT_NAMES and key != "t":
+        return _SHORT_NAMES[key]
+    if key == "x":
+        return 0
+    if key == "t":
+        return 0
+    raise ParseError(f"unknown variable name {name!r}")
+
+
+def _parse_expr(text: str) -> tuple[dict[int, float], float]:
+    """Parse a linear expression into ({var_index: coeff}, constant)."""
+    stripped = text.strip()
+    if not stripped:
+        raise ParseError("empty expression")
+    coeffs: dict[int, float] = {}
+    const = 0.0
+    pos = 0
+    first = True
+    while pos < len(stripped):
+        match = _TERM_RE.match(stripped, pos)
+        if not match or match.end() == pos:
+            raise ParseError(
+                f"cannot parse expression {stripped!r} at offset {pos}"
+            )
+        sign_text = match.group("sign")
+        if not sign_text and not first:
+            raise ParseError(
+                f"missing '+'/'-' between terms in {stripped!r} at {pos}"
+            )
+        sign = -1.0 if sign_text == "-" else 1.0
+        if match.group("num") is not None:
+            const += sign * float(match.group("num"))
+        else:
+            if match.group("var1") is not None:
+                coeff = sign * float(match.group("coeff"))
+                name = match.group("var1")
+            else:
+                coeff = sign
+                name = match.group("var2")
+            index = _variable_index(name)
+            coeffs[index] = coeffs.get(index, 0.0) + coeff
+        pos = match.end()
+        first = False
+    coeffs = {i: c for i, c in coeffs.items() if c != 0.0}
+    return coeffs, const

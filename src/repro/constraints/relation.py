@@ -1,0 +1,109 @@
+"""Generalized relations: ordered collections of generalized tuples.
+
+A *generalized relation* (paper, Section 2) is a set of generalized
+tuples. This in-memory representation assigns each tuple a stable integer
+id — the identity the index structures and the heap file agree on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import ConstraintError
+
+
+class GeneralizedRelation:
+    """A collection of same-dimension generalized tuples with stable ids.
+
+    Ids are dense on construction and never reused after a delete, so they
+    can serve as external keys (RIDs map to them in the heap file).
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[GeneralizedTuple] = (),
+        name: str = "r",
+    ) -> None:
+        self.name = name
+        self._tuples: dict[int, GeneralizedTuple] = {}
+        self._dimension: int | None = None
+        self._next_id = 0
+        for t in tuples:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Dimension of the stored tuples (0 when the relation is empty)."""
+        return self._dimension or 0
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple[int, GeneralizedTuple]]:
+        return iter(sorted(self._tuples.items()))
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._tuples
+
+    def ids(self) -> Sequence[int]:
+        """All live tuple ids, ascending."""
+        return sorted(self._tuples)
+
+    def get(self, tuple_id: int) -> GeneralizedTuple:
+        """Tuple by id; raises :class:`ConstraintError` on a dead id."""
+        try:
+            return self._tuples[tuple_id]
+        except KeyError:
+            raise ConstraintError(
+                f"no tuple with id {tuple_id} in relation {self.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, t: GeneralizedTuple) -> int:
+        """Insert a tuple; returns its new id."""
+        if self._dimension is None:
+            self._dimension = t.dimension
+        elif t.dimension != self._dimension:
+            raise ConstraintError(
+                f"tuple of dimension {t.dimension} into relation of "
+                f"dimension {self._dimension}"
+            )
+        tuple_id = self._next_id
+        self._next_id += 1
+        self._tuples[tuple_id] = t
+        return tuple_id
+
+    def remove(self, tuple_id: int) -> GeneralizedTuple:
+        """Delete a tuple by id; returns the removed tuple."""
+        t = self.get(tuple_id)
+        del self._tuples[tuple_id]
+        return t
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+    def extend(self, tuples: Iterable[GeneralizedTuple]) -> list[int]:
+        """Insert many tuples; returns their ids in input order."""
+        return [self.add(t) for t in tuples]
+
+    def satisfiable_only(self) -> "GeneralizedRelation":
+        """A new relation keeping only tuples with non-empty extensions.
+
+        The paper's experiments index satisfiable tuples; generators use
+        this to discard the occasional degenerate draw.
+        """
+        return GeneralizedRelation(
+            (t for _, t in self if t.is_satisfiable()), name=self.name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeneralizedRelation {self.name!r} dim={self.dimension} "
+            f"tuples={len(self)}>"
+        )

@@ -1,0 +1,125 @@
+"""Comparison operators for linear constraints.
+
+The paper (Section 2) allows ``θ ∈ {=, ≠, ≤, <, ≥, >}`` but works with the
+closed subset ``{=, ≤, ≥}``, replacing each equality by a conjunction of
+the two weak inequalities. :class:`Theta` models the full operator set so
+that the normalisation step (``repro.constraints.normalize``) can rewrite
+tuples into the canonical weak-inequality form used by the index.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConstraintError
+
+
+class Theta(enum.Enum):
+    """A comparison operator in a linear constraint ``a·x + c θ 0``."""
+
+    EQ = "="
+    NE = "!="
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def is_weak_inequality(self) -> bool:
+        """True for the two operators the canonical form allows (≤, ≥)."""
+        return self in (Theta.LE, Theta.GE)
+
+    @property
+    def is_strict(self) -> bool:
+        """True for ``<``, ``>`` and ``≠``."""
+        return self in (Theta.LT, Theta.GT, Theta.NE)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def negated(self) -> "Theta":
+        """The operator written ``¬θ`` in the paper's Table 1.
+
+        The paper defines ``¬θ`` only for the weak inequalities: ``¬≥ = ≤``
+        and ``¬≤ = ≥``.  We extend it to the natural complement-flip for
+        the remaining operators.
+        """
+        return _NEGATED[self]
+
+    def flipped(self) -> "Theta":
+        """The operator after multiplying both constraint sides by ``-1``."""
+        return _FLIPPED[self]
+
+    def closure(self) -> "Theta":
+        """The weak form of a strict operator (``<`` → ``≤``, ``>`` → ``≥``)."""
+        if self is Theta.LT:
+            return Theta.LE
+        if self is Theta.GT:
+            return Theta.GE
+        return self
+
+    def holds(self, lhs: float, rhs: float = 0.0, tol: float = 0.0) -> bool:
+        """Evaluate ``lhs θ rhs`` with an absolute tolerance ``tol``.
+
+        ``tol`` loosens non-strict comparisons and tightens strict ones,
+        which is the safe direction for geometric predicates.
+        """
+        diff = lhs - rhs
+        if self is Theta.EQ:
+            return abs(diff) <= tol
+        if self is Theta.NE:
+            return abs(diff) > tol
+        if self is Theta.LE:
+            return diff <= tol
+        if self is Theta.LT:
+            return diff < -tol
+        if self is Theta.GE:
+            return diff >= -tol
+        if self is Theta.GT:
+            return diff > tol
+        raise ConstraintError(f"unknown operator {self!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Theta":
+        """Parse an operator symbol (accepts unicode ≤ ≥ ≠ as well)."""
+        normalized = _SYMBOL_ALIASES.get(symbol.strip(), symbol.strip())
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ConstraintError(f"unknown comparison operator {symbol!r}")
+
+
+_NEGATED = {
+    Theta.EQ: Theta.NE,
+    Theta.NE: Theta.EQ,
+    Theta.LE: Theta.GE,
+    Theta.GE: Theta.LE,
+    Theta.LT: Theta.GT,
+    Theta.GT: Theta.LT,
+}
+
+# Multiplying "expr θ 0" by -1 keeps =, != and mirrors the order operators.
+_FLIPPED = {
+    Theta.EQ: Theta.EQ,
+    Theta.NE: Theta.NE,
+    Theta.LE: Theta.GE,
+    Theta.GE: Theta.LE,
+    Theta.LT: Theta.GT,
+    Theta.GT: Theta.LT,
+}
+
+_SYMBOL_ALIASES = {
+    "≤": "<=",
+    "≥": ">=",
+    "≠": "!=",
+    "=<": "<=",
+    "=>": ">=",
+    "==": "=",
+    "<>": "!=",
+}

@@ -1,0 +1,184 @@
+"""Generalized tuples: conjunctions of linear constraints.
+
+A *generalized tuple* (paper, Section 2) finitely represents a possibly
+infinite set of relational tuples — geometrically, a convex polyhedron in
+``E^d`` called the tuple's *extension*. This module keeps the symbolic
+side; the geometric side (vertices, rays, support values) lives in
+``repro.geometry`` and is reached through :meth:`GeneralizedTuple.extension`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.constraints.linear import LinearConstraint, common_dimension
+from repro.constraints.normalize import normalize
+from repro.errors import ConstraintError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geometry.polyhedron import ConvexPolyhedron
+
+
+class GeneralizedTuple:
+    """An immutable conjunction of weak linear inequalities.
+
+    Construction normalises the atoms (equalities split, strict operators
+    closed, tautologies dropped — see ``repro.constraints.normalize``).
+
+    Parameters
+    ----------
+    constraints:
+        The conjuncts. Must share one dimension.
+    label:
+        Optional application-level identifier carried around by examples
+        and the heap file (not used by the index logic).
+    """
+
+    __slots__ = ("_atoms", "_dimension", "_contradictory", "_extension", "label")
+
+    def __init__(
+        self,
+        constraints: Iterable[LinearConstraint],
+        label: str | None = None,
+    ) -> None:
+        raw = tuple(constraints)
+        if not raw:
+            raise ConstraintError("a generalized tuple needs at least one atom")
+        dimension = common_dimension(raw)
+        atoms, contradictory = normalize(raw)
+        self._atoms = atoms
+        self._dimension = dimension
+        self._contradictory = contradictory
+        self._extension: "ConvexPolyhedron | None" = None
+        self.label = label
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> tuple[LinearConstraint, ...]:
+        """The canonical conjuncts (weak inequalities)."""
+        return self._atoms
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``d`` of the space the tuple lives in."""
+        return self._dimension
+
+    @property
+    def syntactically_false(self) -> bool:
+        """True when normalisation already proved the tuple unsatisfiable."""
+        return self._contradictory
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[LinearConstraint]:
+        return iter(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedTuple):
+            return NotImplemented
+        return (
+            self._dimension == other._dimension
+            and self._contradictory == other._contradictory
+            and self._atoms == other._atoms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._dimension, self._contradictory, self._atoms))
+
+    def __repr__(self) -> str:
+        body = " and ".join(str(c) for c in self._atoms) or "false"
+        name = f" label={self.label!r}" if self.label else ""
+        return f"<GeneralizedTuple{name} {body}>"
+
+    # ------------------------------------------------------------------
+    # geometry bridge
+    # ------------------------------------------------------------------
+    def extension(self) -> "ConvexPolyhedron":
+        """The convex polyhedron of solutions (cached)."""
+        if self._extension is None:
+            from repro.geometry.polyhedron import ConvexPolyhedron
+
+            self._extension = ConvexPolyhedron(self)
+        return self._extension
+
+    def is_satisfiable(self) -> bool:
+        """True when the extension is non-empty."""
+        if self._contradictory:
+            return False
+        return not self.extension().is_empty
+
+    def satisfied_by(self, point: Sequence[float], tol: float = 1e-9) -> bool:
+        """Point membership in the extension."""
+        if self._contradictory:
+            return False
+        return all(atom.satisfied_by(point, tol) for atom in self._atoms)
+
+    def conjoin(self, other: "GeneralizedTuple") -> "GeneralizedTuple":
+        """The tuple representing the intersection of the two extensions."""
+        if other.dimension != self.dimension:
+            raise ConstraintError(
+                f"cannot conjoin tuples of dimension {self.dimension} "
+                f"and {other.dimension}"
+            )
+        return GeneralizedTuple(self._atoms + other._atoms, label=self.label)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_box(
+        cls,
+        lows: Sequence[float],
+        highs: Sequence[float],
+        label: str | None = None,
+    ) -> "GeneralizedTuple":
+        """Axis-aligned box ``lows ≤ x ≤ highs`` as a generalized tuple."""
+        if len(lows) != len(highs):
+            raise ConstraintError("lows/highs length mismatch")
+        d = len(lows)
+        atoms: list[LinearConstraint] = []
+        for i, (lo, hi) in enumerate(zip(lows, highs)):
+            if lo > hi:
+                raise ConstraintError(f"empty box: lows[{i}] > highs[{i}]")
+            unit = tuple(1.0 if j == i else 0.0 for j in range(d))
+            atoms.append(LinearConstraint(unit, -float(hi), "<="))
+            atoms.append(LinearConstraint(unit, -float(lo), ">="))
+        return cls(atoms, label=label)
+
+    @classmethod
+    def from_vertices_2d(
+        cls,
+        vertices: Sequence[Sequence[float]],
+        label: str | None = None,
+    ) -> "GeneralizedTuple":
+        """Convex polygon from its 2-D vertices (hull of the input points).
+
+        Builds one half-plane per hull edge, oriented to keep the polygon
+        inside. Degenerate inputs (all points collinear or coincident) are
+        rejected, matching the paper's full-dimensional tuples.
+        """
+        from repro.geometry.hull import convex_hull_2d
+
+        hull = convex_hull_2d([(float(p[0]), float(p[1])) for p in vertices])
+        if len(hull) < 3:
+            raise ConstraintError(
+                "from_vertices_2d needs at least 3 non-collinear vertices"
+            )
+        points = [(float(p[0]), float(p[1])) for p in vertices]
+        atoms = []
+        n = len(hull)
+        for i in range(n):
+            (x1, y1), (x2, y2) = hull[i], hull[(i + 1) % n]
+            # Inward half-plane for CCW hull edge (x1,y1)->(x2,y2):
+            # cross((x2-x1, y2-y1), (x-x1, y-y1)) >= 0. The constant is
+            # taken from the *input* points' support so that every input
+            # point is contained even when the hull's collinearity
+            # tolerance trimmed a near-degenerate vertex.
+            a = -(y2 - y1)
+            b = x2 - x1
+            c = -min(a * px + b * py for px, py in points)
+            atoms.append(LinearConstraint((a, b), c, ">="))
+        return cls(atoms, label=label)

@@ -1,0 +1,162 @@
+"""Technique T2: single-tree approximation with handicap values
+(Sections 4.2–4.3 — the paper's main contribution).
+
+The query is answered with *one* B+-tree — the one of the slope nearest
+to the query slope — by two opposite-direction leaf sweeps that touch
+disjoint key ranges, so no duplicates can occur:
+
+1. the *primary sweep* runs in the query's natural direction from the
+   query intercept, collecting result candidates and, from every visited
+   leaf, the handicap aggregate of the strip the query slope falls in;
+2. the combined handicap (``low(q)`` / ``high(q)``) bounds how far a
+   *secondary sweep* must run in the opposite direction to pick up every
+   tuple the discarded second app-query would have found.
+
+Both sweeps produce candidates only; the planner refines them against
+the exact predicate (false hits remain possible, duplicates do not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.btree.tree import BPlusTree
+from repro.core.dual_index import (
+    AUX_HIGH_NEXT,
+    AUX_HIGH_PREV,
+    AUX_LOW_NEXT,
+    AUX_LOW_PREV,
+    DualIndex,
+)
+from repro.core.query import HalfPlaneQuery
+from repro.errors import QueryError
+from repro.storage.disk import NULL_PAGE
+
+
+@dataclass
+class T2Trace:
+    """Diagnostics of one T2 execution."""
+
+    candidates: set[int] = field(default_factory=set)
+    primary_leaves: int = 0
+    secondary_leaves: int = 0
+    handicap: float = math.nan  # low(q) or high(q)
+    anchor_index: int = -1
+    side: str = ""
+
+
+def t2_candidates(index: DualIndex, query: HalfPlaneQuery) -> T2Trace:
+    """Candidate RIDs for an interior-slope query via the handicap search.
+
+    Raises :class:`QueryError` when the query slope is outside
+    ``(min S, max S)`` — the planner falls back to T1 there.
+    """
+    a = query.slope_2d
+    anchor = index.slopes.anchor_for(a)
+    if anchor is None:
+        raise QueryError(
+            f"T2 interior case needs min S < {a} < max S "
+            f"(S spans [{index.slopes[0]}, {index.slopes[-1]}])"
+        )
+    anchor_index, side = anchor
+    trees, upward = index.trees_for(query.query_type, query.theta)
+    tree = trees[anchor_index]
+    trace = T2Trace(anchor_index=anchor_index, side=side)
+    if upward:
+        _sweep_up_then_down(index, tree, query.intercept, side, trace)
+    else:
+        _sweep_down_then_up(index, tree, query.intercept, side, trace)
+    return trace
+
+
+def _sweep_up_then_down(
+    index: DualIndex,
+    tree: BPlusTree,
+    intercept: float,
+    side: str,
+    trace: T2Trace,
+) -> None:
+    """EXIST(q(>=)) in B^up / ALL(q(>=)) in B^down."""
+    slot = AUX_LOW_NEXT if side == "next" else AUX_LOW_PREV
+    margin = index.margin(intercept)
+    start = tree.quantize(intercept - margin)
+    # Extension A7: when the query intercept exceeds every assignment
+    # key, no tuple can require the secondary sweep — the last leaf's
+    # aggregate (which covers an unbounded assignment range) would
+    # otherwise force one.
+    extrema = index.assign_extrema.get((tree.name, side))
+    secondary_possible = extrema is None or start <= extrema[1]
+    low_q = math.inf
+    first_visit = None
+    for visit in tree.sweep_up(start):
+        if first_visit is None:
+            first_visit = visit
+        trace.primary_leaves += 1
+        aux = visit.leaf.aux[slot]
+        if aux < low_q:
+            low_q = aux
+        for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+            if key >= start:
+                trace.candidates.add(rid)
+    trace.handicap = low_q
+    if first_visit is None or low_q >= start or not secondary_possible:
+        return
+    # Secondary, downward sweep: keys in [low(q) - margin, start). The
+    # first leaf was already decoded by the primary sweep — charge no
+    # second access for it (the paper: "the search accesses a leaf node
+    # only once").
+    threshold = tree.quantize(low_q - index.margin(low_q))
+    leaf = first_visit.leaf
+    while True:
+        for key, rid in zip(leaf.keys, leaf.rids):
+            if threshold <= key < start:
+                trace.candidates.add(rid)
+        if leaf.keys and leaf.keys[0] < threshold:
+            return
+        if leaf.prev == NULL_PAGE:
+            return
+        leaf = tree.read_leaf(leaf.prev)
+        trace.secondary_leaves += 1
+
+
+def _sweep_down_then_up(
+    index: DualIndex,
+    tree: BPlusTree,
+    intercept: float,
+    side: str,
+    trace: T2Trace,
+) -> None:
+    """ALL(q(<=)) in B^up / EXIST(q(<=)) in B^down."""
+    slot = AUX_HIGH_NEXT if side == "next" else AUX_HIGH_PREV
+    margin = index.margin(intercept)
+    start = tree.quantize(intercept + margin)
+    extrema = index.assign_extrema.get((tree.name, side))
+    secondary_possible = extrema is None or start >= extrema[0]
+    high_q = -math.inf
+    first_visit = None
+    for visit in tree.sweep_down(start):
+        if first_visit is None:
+            first_visit = visit
+        trace.primary_leaves += 1
+        aux = visit.leaf.aux[slot]
+        if aux > high_q:
+            high_q = aux
+        for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+            if key <= start:
+                trace.candidates.add(rid)
+    trace.handicap = high_q
+    if first_visit is None or high_q <= start or not secondary_possible:
+        return
+    threshold = tree.quantize(high_q + index.margin(high_q))
+    leaf = first_visit.leaf
+    while True:
+        for key, rid in zip(leaf.keys, leaf.rids):
+            if start < key <= threshold:
+                trace.candidates.add(rid)
+        if leaf.keys and leaf.keys[-1] > threshold:
+            return
+        if leaf.next == NULL_PAGE:
+            return
+        leaf = tree.read_leaf(leaf.next)
+        trace.secondary_leaves += 1

@@ -1,0 +1,545 @@
+"""The dual-representation index structure (Sections 3, 4.2, 4.3).
+
+For every slope ``s_i`` in the predefined set ``S``, two B+-trees index
+the relation: ``B^up_i`` keyed by ``TOP^P(s_i)`` and ``B^down_i`` keyed by
+``BOT^P(s_i)``. Tuple records live in a heap file; tree entries point at
+record RIDs. Every leaf carries four handicap aggregates::
+
+    aux[0] = low_prev,  aux[1] = low_next    (min of tree keys of tuples
+             assigned to the leaf by their strip TOP-maximum — used by
+             EXIST(q(>=)) in B^up and ALL(q(>=)) in B^down)
+    aux[2] = high_prev, aux[3] = high_next   (max of tree keys of tuples
+             assigned by their strip BOT-minimum — used by ALL(q(<=)) in
+             B^up and EXIST(q(<=)) in B^down)
+
+Assignment keys are intercept-axis values, so one pair of *handicap
+directories* per (slope, side) — B+-trees keyed by assignment key —
+serves both the up and the down tree during dynamic maintenance.
+Statically built indexes compute all aggregates in one merge pass and
+need no directories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.btree.tree import BPlusTree
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import IndexError_, QueryError
+from repro.geometry import dual
+from repro.storage.heap import HeapFile
+from repro.storage.pager import Pager
+from repro.storage.serialize import KeyCodec, decode_tuple, encode_tuple
+from repro.core.slope_set import SlopeSet
+
+#: Leaf aux slot layout.
+AUX_LOW_PREV = 0
+AUX_LOW_NEXT = 1
+AUX_HIGH_PREV = 2
+AUX_HIGH_NEXT = 3
+AUX_SLOTS = 4
+
+#: Sentinels meaning "no tuple assigned to this leaf/strip".
+NO_LOW = math.inf
+NO_HIGH = -math.inf
+
+_SIDES = ("prev", "next")
+
+
+@dataclass
+class EntryKeys:
+    """All index keys derived from one tuple's geometry.
+
+    ``top``/``bot`` are the tree keys per slope; ``assign_top``/
+    ``assign_bot`` are the strip assignment keys per (slope, side) —
+    ``None`` when the slope has no neighbour on that side.
+    """
+
+    top: list[float]
+    bot: list[float]
+    assign_top: list[dict[str, float | None]]
+    assign_bot: list[dict[str, float | None]]
+
+
+@dataclass
+class IndexSpace:
+    """Page breakdown for Figure 10."""
+
+    tree_pages: int
+    directory_pages: int
+    heap_pages: int
+
+    @property
+    def index_pages(self) -> int:
+        """Query-structure pages (what Figure 10 compares)."""
+        return self.tree_pages
+
+    @property
+    def total_pages(self) -> int:
+        return self.tree_pages + self.directory_pages + self.heap_pages
+
+
+class DualIndex:
+    """The per-slope B+-tree forest with handicap maintenance.
+
+    Parameters
+    ----------
+    pager:
+        Storage stack shared by trees, directories, and the heap file.
+    slopes:
+        The predefined slope set ``S``.
+    key_codec:
+        Key width; the default 4 bytes matches the paper.
+    dynamic:
+        When True, handicap directories are maintained so inserts and
+        deletes keep handicaps repairable in ``O(log_B n)`` amortised
+        page accesses (Section 4.2 Step 2). Statically built benchmark
+        indexes leave this off.
+    """
+
+    def __init__(
+        self,
+        pager: Pager | None = None,
+        slopes: SlopeSet | Iterable[float] = (0.0,),
+        key_codec: KeyCodec | None = None,
+        dynamic: bool = False,
+        name: str = "dual",
+    ) -> None:
+        self.pager = pager if pager is not None else Pager()
+        self.slopes = slopes if isinstance(slopes, SlopeSet) else SlopeSet(slopes)
+        self.codec = key_codec if key_codec is not None else KeyCodec(4)
+        self.dynamic = dynamic
+        self.name = name
+        self.heap = HeapFile(self.pager)
+        k = len(self.slopes)
+        self.up = [
+            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.up[{i}]")
+            for i in range(k)
+        ]
+        self.down = [
+            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.down[{i}]")
+            for i in range(k)
+        ]
+        # Handicap directories: per slope, per side, one tree keyed by
+        # the TOP-strip-max assignment key and one by the BOT-strip-min.
+        self.dir_top: list[dict[str, BPlusTree]] = [dict() for _ in range(k)]
+        self.dir_bot: list[dict[str, BPlusTree]] = [dict() for _ in range(k)]
+        if dynamic:
+            for i in range(k):
+                for side in _SIDES:
+                    if self.slopes.strip(i, side) is None:
+                        continue
+                    self.dir_top[i][side] = BPlusTree(
+                        self.pager, self.codec, 0, f"{name}.dirT[{i}.{side}]"
+                    )
+                    self.dir_bot[i][side] = BPlusTree(
+                        self.pager, self.codec, 0, f"{name}.dirB[{i}.{side}]"
+                    )
+        # Catalog: tuple id <-> heap RID (a real system's data dictionary),
+        # plus a key cache so handicap maintenance does not have to fetch
+        # records to re-derive tree keys (kept consistent by insert/delete).
+        self.rid_of: dict[int, int] = {}
+        self.tid_of: dict[int, int] = {}
+        self.keys_cache: dict[int, EntryKeys] = {}
+        # Global assignment-key extrema per (tree name, side): a query
+        # whose intercept lies beyond every assignment key can skip the
+        # secondary sweep entirely (extension A7; conservative under
+        # deletes — extrema only widen).
+        self.assign_extrema: dict[tuple[str, str], tuple[float, float]] = {}
+        self.size = 0
+        self.skipped: list[int] = []  # unsatisfiable tuples seen at build
+
+    # ------------------------------------------------------------------
+    # key derivation
+    # ------------------------------------------------------------------
+    def compute_keys(self, t: GeneralizedTuple) -> EntryKeys:
+        """Tree and strip-assignment keys for one satisfiable tuple."""
+        poly = t.extension()
+        if poly.is_empty:
+            raise IndexError_("cannot index a tuple with an empty extension")
+        tops: list[float] = []
+        bots: list[float] = []
+        assign_top: list[dict[str, float | None]] = []
+        assign_bot: list[dict[str, float | None]] = []
+        for i, s in enumerate(self.slopes):
+            top_v = dual.top(poly, s)
+            bot_v = dual.bot(poly, s)
+            assert top_v is not None and bot_v is not None
+            tops.append(top_v)
+            bots.append(bot_v)
+            at: dict[str, float | None] = {}
+            ab: dict[str, float | None] = {}
+            for side in _SIDES:
+                strip = self.slopes.strip(i, side)
+                if strip is None:
+                    at[side] = None
+                    ab[side] = None
+                else:
+                    at[side] = dual.strip_top_max(poly, strip[0], strip[1])
+                    ab[side] = dual.strip_bot_min(poly, strip[0], strip[1])
+            assign_top.append(at)
+            assign_bot.append(ab)
+        return EntryKeys(tops, bots, assign_top, assign_bot)
+
+    # ------------------------------------------------------------------
+    # bulk build
+    # ------------------------------------------------------------------
+    def build(self, relation: GeneralizedRelation, fill: float = 0.9) -> None:
+        """Index a whole relation: heap records, 2k bulk-loaded trees,
+        one merge pass of handicap aggregates, and (in dynamic mode) the
+        handicap directories. Unsatisfiable tuples are skipped and listed
+        in :attr:`skipped`.
+        """
+        if self.size:
+            raise IndexError_("build on a non-empty index")
+        if relation.dimension not in (0, 2):
+            raise IndexError_(
+                "DualIndex is the 2-D structure; use DDimDualIndex for d > 2"
+            )
+        k = len(self.slopes)
+        up_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
+        down_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
+        keys_by_rid: dict[int, EntryKeys] = {}
+        # Cluster the heap by TOP at the middle slope: T2 candidate sets
+        # are contiguous key ranges, so a key-clustered heap turns the
+        # refinement fetch into (mostly) sequential page reads — the
+        # standard clustered-index layout (see DESIGN.md §5).
+        middle = len(self.slopes) // 2
+        staged: list[tuple[float, int, GeneralizedTuple, EntryKeys]] = []
+        for tid, t in relation:
+            if not t.is_satisfiable():
+                self.skipped.append(tid)
+                continue
+            keys = self.compute_keys(t)
+            cluster_key = keys.top[middle]
+            if not math.isfinite(cluster_key):
+                cluster_key = math.copysign(1e30, cluster_key)
+            staged.append((cluster_key, tid, t, keys))
+        staged.sort(key=lambda item: item[0])
+        for _cluster_key, tid, t, keys in staged:
+            rid = self.heap.insert(encode_tuple(tid, t))
+            self.rid_of[tid] = rid
+            self.tid_of[rid] = tid
+            keys_by_rid[rid] = keys
+            self.keys_cache[rid] = keys
+            for i in range(k):
+                up_entries[i].append((keys.top[i], rid))
+                down_entries[i].append((keys.bot[i], rid))
+            self.size += 1
+        for i in range(k):
+            self.up[i].bulk_load(up_entries[i], fill)
+            self.down[i].bulk_load(down_entries[i], fill)
+        self._rebuild_handicaps(keys_by_rid)
+        if self.dynamic:
+            self._bulk_load_directories(keys_by_rid, fill)
+
+    def _bulk_load_directories(
+        self, keys_by_rid: dict[int, EntryKeys], fill: float
+    ) -> None:
+        for i in range(len(self.slopes)):
+            for side in _SIDES:
+                if side not in self.dir_top[i]:
+                    continue
+                self.dir_top[i][side].bulk_load(
+                    (
+                        (keys.assign_top[i][side], rid)
+                        for rid, keys in keys_by_rid.items()
+                    ),
+                    fill,
+                )
+                self.dir_bot[i][side].bulk_load(
+                    (
+                        (keys.assign_bot[i][side], rid)
+                        for rid, keys in keys_by_rid.items()
+                    ),
+                    fill,
+                )
+
+    # ------------------------------------------------------------------
+    # handicap aggregates
+    # ------------------------------------------------------------------
+    def _rebuild_handicaps(self, keys_by_rid: dict[int, EntryKeys]) -> None:
+        """Recompute every leaf's four aggregates in one pass per tree."""
+        for i in range(len(self.slopes)):
+            for tree, key_field in ((self.up[i], "top"), (self.down[i], "bot")):
+                assignments_low: dict[str, list[tuple[float, float]]] = {}
+                assignments_high: dict[str, list[tuple[float, float]]] = {}
+                for side in _SIDES:
+                    if self.slopes.strip(i, side) is None:
+                        continue
+                    low_list = []
+                    high_list = []
+                    for rid, keys in keys_by_rid.items():
+                        value = tree.quantize(getattr(keys, key_field)[i])
+                        a_top = keys.assign_top[i][side]
+                        a_bot = keys.assign_bot[i][side]
+                        assert a_top is not None and a_bot is not None
+                        low_list.append((tree.quantize(a_top), value))
+                        high_list.append((tree.quantize(a_bot), value))
+                    assignments_low[side] = low_list
+                    assignments_high[side] = high_list
+                    if low_list:
+                        self.assign_extrema[(tree.name, side)] = (
+                            min(a for a, _ in high_list),
+                            max(a for a, _ in low_list),
+                        )
+                _write_aggregates(tree, assignments_low, assignments_high)
+
+    def refresh_handicaps(self) -> int:
+        """Dynamic-mode maintenance: recompute aggregates of every leaf
+        whose handicap flag was invalidated by an update. Returns the
+        number of refreshed leaves. Requires directories.
+        """
+        if not self.dynamic:
+            raise IndexError_("refresh_handicaps requires dynamic mode")
+        refreshed = 0
+        for i in range(len(self.slopes)):
+            for tree, key_field in ((self.up[i], "top"), (self.down[i], "bot")):
+                refreshed += self._refresh_tree(i, tree, key_field)
+        return refreshed
+
+    def _refresh_tree(self, i: int, tree: BPlusTree, key_field: str) -> int:
+        from repro.storage.disk import NULL_PAGE
+
+        refreshed = 0
+        for pid in sorted(tree.dirty_leaves):
+            if pid not in tree.owned_pages:
+                continue
+            leaf = tree.read_leaf(pid)
+            if leaf.handicaps_valid or not leaf.keys:
+                tree.dirty_leaves.discard(pid)
+                continue
+            # Ownership range: [first key, next leaf's first key), with the
+            # first leaf owning everything below its keys too.
+            lo = -math.inf if leaf.prev == NULL_PAGE else leaf.keys[0]
+            if leaf.next == NULL_PAGE:
+                hi = math.inf
+            else:
+                nxt = tree.read_leaf(leaf.next)
+                hi = nxt.keys[0] if nxt.keys else math.inf
+            aux = [NO_LOW, NO_LOW, NO_HIGH, NO_HIGH]
+            for side in _SIDES:
+                if side not in self.dir_top[i]:
+                    continue
+                low_slot = AUX_LOW_PREV if side == "prev" else AUX_LOW_NEXT
+                high_slot = AUX_HIGH_PREV if side == "prev" else AUX_HIGH_NEXT
+                for rid in _directory_range(self.dir_top[i][side], lo, hi):
+                    value = self._tree_key_of(rid, i, key_field)
+                    if value < aux[low_slot]:
+                        aux[low_slot] = value
+                for rid in _directory_range(self.dir_bot[i][side], lo, hi):
+                    value = self._tree_key_of(rid, i, key_field)
+                    if value > aux[high_slot]:
+                        aux[high_slot] = value
+            leaf.set_handicaps(aux)
+            tree.write_leaf(pid, leaf)
+            refreshed += 1
+        return refreshed
+
+    def _tree_key_of(self, rid: int, i: int, key_field: str) -> float:
+        """A tuple's tree key, from the catalog cache or (on a cache
+        miss, e.g. after a restart) from its fetched record."""
+        keys = self.keys_cache.get(rid)
+        if keys is None:
+            _tid, t = decode_tuple(self.heap.fetch(rid))
+            keys = self.compute_keys(t)
+            self.keys_cache[rid] = keys
+        value = getattr(keys, key_field)[i]
+        return self.codec.quantize(value)
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def insert(self, tid: int, t: GeneralizedTuple) -> None:
+        """Insert one tuple into all 2k trees (+ directories).
+
+        Affected leaves get their handicap flag cleared; call
+        :meth:`refresh_handicaps` before the next approximate query
+        (write-deferred maintenance).
+        """
+        if tid in self.rid_of:
+            raise IndexError_(f"tuple id {tid} already indexed")
+        keys = self.compute_keys(t)
+        rid = self.heap.insert(encode_tuple(tid, t))
+        self.rid_of[tid] = rid
+        self.tid_of[rid] = tid
+        self.keys_cache[rid] = keys
+        for i in range(len(self.slopes)):
+            self.up[i].insert(keys.top[i], rid)
+            self.down[i].insert(keys.bot[i], rid)
+            if self.dynamic:
+                for side in _SIDES:
+                    if side not in self.dir_top[i]:
+                        continue
+                    a_top = keys.assign_top[i][side]
+                    a_bot = keys.assign_bot[i][side]
+                    assert a_top is not None and a_bot is not None
+                    self.dir_top[i][side].insert(a_top, rid)
+                    self.dir_bot[i][side].insert(a_bot, rid)
+                    self._invalidate_owner(self.up[i], a_top)
+                    self._invalidate_owner(self.up[i], a_bot)
+                    self._invalidate_owner(self.down[i], a_top)
+                    self._invalidate_owner(self.down[i], a_bot)
+            for side in _SIDES:
+                a_top = keys.assign_top[i][side]
+                a_bot = keys.assign_bot[i][side]
+                if a_top is None or a_bot is None:
+                    continue
+                for tree in (self.up[i], self.down[i]):
+                    lo, hi = self.assign_extrema.get(
+                        (tree.name, side), (math.inf, -math.inf)
+                    )
+                    self.assign_extrema[(tree.name, side)] = (
+                        min(lo, tree.quantize(a_bot)),
+                        max(hi, tree.quantize(a_top)),
+                    )
+        self.size += 1
+
+    def delete(self, tid: int) -> None:
+        """Remove a tuple from trees, directories and the heap."""
+        rid = self.rid_of.pop(tid, None)
+        if rid is None:
+            raise IndexError_(f"tuple id {tid} is not indexed")
+        del self.tid_of[rid]
+        keys = self.keys_cache.pop(rid, None)
+        if keys is None:
+            _stored_tid, t = decode_tuple(self.heap.fetch(rid))
+            keys = self.compute_keys(t)
+        for i in range(len(self.slopes)):
+            if not self.up[i].delete(keys.top[i], rid):
+                raise IndexError_(f"up[{i}] entry missing for tuple {tid}")
+            if not self.down[i].delete(keys.bot[i], rid):
+                raise IndexError_(f"down[{i}] entry missing for tuple {tid}")
+            if self.dynamic:
+                for side in _SIDES:
+                    if side not in self.dir_top[i]:
+                        continue
+                    a_top = keys.assign_top[i][side]
+                    a_bot = keys.assign_bot[i][side]
+                    assert a_top is not None and a_bot is not None
+                    self.dir_top[i][side].delete(a_top, rid)
+                    self.dir_bot[i][side].delete(a_bot, rid)
+                    self._invalidate_owner(self.up[i], a_top)
+                    self._invalidate_owner(self.up[i], a_bot)
+                    self._invalidate_owner(self.down[i], a_top)
+                    self._invalidate_owner(self.down[i], a_bot)
+        self.heap.delete(rid)
+        self.size -= 1
+
+    def _invalidate_owner(self, tree: BPlusTree, assign_key: float) -> None:
+        """Clear the handicap flag of the leaf owning an assignment key."""
+        if tree.root is None:
+            return
+        pid = tree._descend_right((tree.quantize(assign_key), 0xFFFFFFFF))
+        leaf = tree.read_leaf(pid)
+        if leaf.handicaps_valid:
+            leaf.invalidate_handicaps()
+            tree.write_leaf(pid, leaf)
+
+    # ------------------------------------------------------------------
+    # accounting & helpers
+    # ------------------------------------------------------------------
+    def space(self) -> IndexSpace:
+        """Page breakdown (Figure 10 compares ``tree_pages``)."""
+        tree_pages = sum(t.page_count for t in self.up + self.down)
+        dir_pages = 0
+        for per_slope in (self.dir_top, self.dir_bot):
+            for sides in per_slope:
+                dir_pages += sum(t.page_count for t in sides.values())
+        return IndexSpace(tree_pages, dir_pages, self.heap.page_count)
+
+    def fetch_tuple(self, rid: int) -> tuple[int, GeneralizedTuple]:
+        """Fetch and decode a record (one counted page read)."""
+        return decode_tuple(self.heap.fetch(rid))
+
+    def margin(self, value: float) -> float:
+        """Safety widening of sweep boundaries.
+
+        Covers float32 key quantisation plus the oracle tolerance, so a
+        candidate sweep can never drop a qualifying tuple; the refinement
+        step discards the handful of extra candidates.
+        """
+        scale = max(1.0, abs(value))
+        if self.codec.key_bytes == 4:
+            return 1e-5 * scale
+        return 1e-8 * scale
+
+    def trees_for(self, query_type: str, theta) -> tuple[list[BPlusTree], bool]:
+        """Route a (type, θ) pair to its tree family and sweep direction.
+
+        Returns ``(trees, upward)`` following Section 3:
+        ALL(≥) → B^down up-sweep; ALL(≤) → B^up down-sweep;
+        EXIST(≥) → B^up up-sweep; EXIST(≤) → B^down down-sweep.
+        """
+        from repro.constraints.theta import Theta
+
+        if query_type == "ALL":
+            if theta is Theta.GE:
+                return self.down, True
+            return self.up, False
+        if query_type == "EXIST":
+            if theta is Theta.GE:
+                return self.up, True
+            return self.down, False
+        raise QueryError(f"unknown query type {query_type!r}")
+
+
+# ----------------------------------------------------------------------
+# module helpers
+# ----------------------------------------------------------------------
+def _write_aggregates(
+    tree: BPlusTree,
+    assignments_low: dict[str, list[tuple[float, float]]],
+    assignments_high: dict[str, list[tuple[float, float]]],
+) -> None:
+    """One merge pass: per-leaf min/max of assigned tuple keys."""
+    pids: list[int] = []
+    boundaries: list[float] = []
+    for pid in tree.leaf_pids():
+        leaf = tree.read_leaf(pid)
+        pids.append(pid)
+        boundaries.append(leaf.keys[0] if leaf.keys else math.inf)
+    if not pids:
+        return
+    aggregates = [[NO_LOW, NO_LOW, NO_HIGH, NO_HIGH] for _ in pids]
+
+    def owner(value: float) -> int:
+        lo, hi = 0, len(boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if boundaries[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(0, lo - 1)
+
+    for side, low_list in assignments_low.items():
+        slot = AUX_LOW_PREV if side == "prev" else AUX_LOW_NEXT
+        for assign_key, value in low_list:
+            index = owner(assign_key)
+            if value < aggregates[index][slot]:
+                aggregates[index][slot] = value
+    for side, high_list in assignments_high.items():
+        slot = AUX_HIGH_PREV if side == "prev" else AUX_HIGH_NEXT
+        for assign_key, value in high_list:
+            index = owner(assign_key)
+            if value > aggregates[index][slot]:
+                aggregates[index][slot] = value
+    for pid, aux in zip(pids, aggregates):
+        leaf = tree.read_leaf(pid)
+        leaf.set_handicaps(aux)
+        tree.write_leaf(pid, leaf)
+
+
+def _directory_range(tree: BPlusTree, lo: float, hi: float) -> Iterator[int]:
+    """RIDs with assignment key in ``[lo, hi)``."""
+    start = lo if math.isfinite(lo) else None
+    for visit in tree.sweep_up(start):
+        for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+            if key >= hi:
+                return
+            if lo == -math.inf or key >= lo:
+                yield rid

@@ -1,0 +1,218 @@
+"""The query planner: technique dispatch plus the refinement step.
+
+Given a half-plane query, the planner picks the cheapest sound path:
+
+* slope ∈ S → the restricted technique (Section 3): one sweep, entries
+  safely past the boundary margin accepted without fetching the record;
+* slope ∉ S, interior → T2 (two disjoint sweeps in one tree);
+* slope ∉ S, wrap-around (outside ``(min S, max S)``) or technique
+  forced to T1 → two app-queries (Section 4.1);
+
+and then *refines*: every candidate RID is fetched from the heap (one
+counted page access each) and checked against the exact ALL/EXIST
+predicate, so the final answer always equals the oracle's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.theta import Theta
+from repro.core.approx_t1 import t1_candidates
+from repro.core.approx_t2 import t2_candidates
+from repro.core.dual_index import DualIndex
+from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
+from repro.core.slope_set import SlopeSet
+from repro.errors import QueryError
+from repro.geometry.predicates import all_halfplane, exist_halfplane
+from repro.storage.pager import Pager
+from repro.storage.serialize import KeyCodec
+
+#: Slope-set membership tolerance: query slopes this close to a slope in
+#: S take the exact path.
+SLOPE_TOL = 1e-12
+
+
+class DualIndexPlanner:
+    """High-level query interface over a :class:`DualIndex`."""
+
+    def __init__(
+        self,
+        index: DualIndex,
+        technique: str = "T2",
+        pivot_x: float = 0.0,
+    ) -> None:
+        if technique not in ("T1", "T2"):
+            raise QueryError("technique must be 'T1' or 'T2'")
+        self.index = index
+        self.technique = technique
+        self.pivot_x = pivot_x
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        relation: GeneralizedRelation,
+        slopes: SlopeSet | Iterable[float],
+        pager: Pager | None = None,
+        key_bytes: int = 4,
+        technique: str = "T2",
+        dynamic: bool = False,
+        fill: float = 0.9,
+        pivot_x: float = 0.0,
+    ) -> "DualIndexPlanner":
+        """Index a relation and return a ready planner."""
+        index = DualIndex(
+            pager=pager,
+            slopes=slopes,
+            key_codec=KeyCodec(key_bytes),
+            dynamic=dynamic,
+        )
+        index.build(relation, fill)
+        return cls(index, technique=technique, pivot_x=pivot_x)
+
+    # ------------------------------------------------------------------
+    # public query API
+    # ------------------------------------------------------------------
+    def query(self, query: HalfPlaneQuery, refresh: bool = True) -> QueryResult:
+        """Answer a half-plane query; the result matches the exact oracle.
+
+        When the index is dynamic and updates invalidated handicaps,
+        maintenance runs first (outside the per-query I/O measurement)
+        unless ``refresh=False``.
+        """
+        if query.dimension != 2:
+            raise QueryError("DualIndexPlanner is 2-D; use DDimPlanner")
+        if refresh and self.index.dynamic and self._has_dirty_leaves():
+            self.index.refresh_handicaps()
+        with self.index.pager.measure() as scope:
+            result = self._execute(query)
+        result.io = scope.delta
+        return result
+
+    def exist(
+        self, slope: float, intercept: float, theta: Theta | str = ">="
+    ) -> QueryResult:
+        """EXIST selection: tuples whose extension meets the half-plane."""
+        return self.query(HalfPlaneQuery(EXIST, slope, intercept, theta))
+
+    def all(
+        self, slope: float, intercept: float, theta: Theta | str = ">="
+    ) -> QueryResult:
+        """ALL selection: tuples contained in the half-plane."""
+        return self.query(HalfPlaneQuery(ALL, slope, intercept, theta))
+
+    # ------------------------------------------------------------------
+    # updates (pass-through with deferred maintenance)
+    # ------------------------------------------------------------------
+    def insert(self, tid: int, t) -> None:
+        """Insert a tuple (dynamic index only)."""
+        self.index.insert(tid, t)
+
+    def delete(self, tid: int) -> None:
+        """Delete a tuple by id (dynamic index only)."""
+        self.index.delete(tid)
+
+    # ------------------------------------------------------------------
+    # execution paths
+    # ------------------------------------------------------------------
+    def _execute(self, query: HalfPlaneQuery) -> QueryResult:
+        slope_index = self.index.slopes.index_of(query.slope_2d, SLOPE_TOL)
+        if slope_index is not None:
+            return self._exact_path(query, slope_index)
+        if self.technique == "T2":
+            if self.index.slopes.anchor_for(query.slope_2d) is not None:
+                return self._t2_path(query)
+            # Wrap-around case: Section 4.2 develops T2 for the interior
+            # case only; the planner executes the wrap cases through T1
+            # with in-memory de-duplication (see DESIGN.md).
+        return self._t1_path(query)
+
+    def _exact_path(self, query: HalfPlaneQuery, slope_index: int) -> QueryResult:
+        trees, upward = self.index.trees_for(query.query_type, query.theta)
+        tree = trees[slope_index]
+        margin = self.index.margin(query.intercept)
+        accepted: set[int] = set()
+        boundary: set[int] = set()
+        if upward:
+            start = tree.quantize(query.intercept - margin)
+            accept_from = tree.quantize(query.intercept + margin)
+            for visit in tree.sweep_up(start):
+                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                    if key >= accept_from:
+                        accepted.add(rid)
+                    elif key >= start:
+                        boundary.add(rid)
+        else:
+            start = tree.quantize(query.intercept + margin)
+            accept_to = tree.quantize(query.intercept - margin)
+            for visit in tree.sweep_down(start):
+                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                    if key <= accept_to:
+                        accepted.add(rid)
+                    elif key <= start:
+                        boundary.add(rid)
+        result = QueryResult(technique="exact")
+        result.accepted_without_refinement = len(accepted)
+        result.candidates = len(accepted) + len(boundary)
+        result.ids = {self.index.tid_of[rid] for rid in accepted}
+        confirmed, false_hits, pages = self._refine(query, boundary)
+        result.ids |= confirmed
+        result.false_hits = false_hits
+        result.refinement_pages = pages
+        return result
+
+    def _t1_path(self, query: HalfPlaneQuery) -> QueryResult:
+        rids, duplicates = t1_candidates(self.index, query, self.pivot_x)
+        result = QueryResult(technique="T1")
+        result.candidates = len(rids)
+        result.duplicates = duplicates
+        result.ids, result.false_hits, result.refinement_pages = self._refine(
+            query, rids
+        )
+        return result
+
+    def _t2_path(self, query: HalfPlaneQuery) -> QueryResult:
+        trace = t2_candidates(self.index, query)
+        result = QueryResult(technique="T2")
+        result.candidates = len(trace.candidates)
+        result.ids, result.false_hits, result.refinement_pages = self._refine(
+            query, trace.candidates
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # refinement
+    # ------------------------------------------------------------------
+    def _refine(
+        self, query: HalfPlaneQuery, rids: Iterable[int]
+    ) -> tuple[set[int], int, int]:
+        """Fetch candidate records (page-batched) and apply the exact
+        predicate; the I/O cost is one page access per distinct heap page
+        holding a candidate. Returns (confirmed ids, false hits, pages)."""
+        from repro.storage.heap import unpack_rid
+        from repro.storage.serialize import decode_tuple
+
+        predicate = all_halfplane if query.query_type == ALL else exist_halfplane
+        confirmed: set[int] = set()
+        false_hits = 0
+        rids = list(rids)
+        pages = len({unpack_rid(rid)[0] for rid in rids})
+        records = self.index.heap.fetch_batch(rids)
+        for data in records.values():
+            tid, t = decode_tuple(data)
+            if predicate(
+                t.extension(), query.slope_2d, query.intercept, query.theta
+            ):
+                confirmed.add(tid)
+            else:
+                false_hits += 1
+        return confirmed, false_hits, pages
+
+    def _has_dirty_leaves(self) -> bool:
+        return any(
+            tree.dirty_leaves for tree in self.index.up + self.index.down
+        )

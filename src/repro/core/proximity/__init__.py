@@ -1,0 +1,8 @@
+"""Proximity substrate for the d-dimensional extension (Section 4.4):
+a KD-tree for nearest-anchor lookup and Delaunay/Voronoi adjacency for
+cell construction."""
+
+from repro.core.proximity.delaunay import delaunay_triangles, voronoi_neighbors
+from repro.core.proximity.kdtree import KDTree
+
+__all__ = ["KDTree", "delaunay_triangles", "voronoi_neighbors"]

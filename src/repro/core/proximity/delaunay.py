@@ -1,0 +1,126 @@
+"""2-D Delaunay triangulation (Bowyer–Watson) and Voronoi adjacency.
+
+Section 4.4 locates a query slope's nearest anchor via the proximity
+partition induced by the Voronoi diagram of ``S``. The Voronoi cell of a
+point is bounded by bisectors against its *Delaunay neighbours* only, so
+the adjacency computed here lets the d-dimensional index build cells
+without considering all pairs.
+
+For slope spaces of dimension ≠ 2 the adjacency conservatively falls
+back to all pairs (a superset of the true Voronoi adjacency — redundant
+bisectors are harmless, merely non-tight).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Point2 = tuple[float, float]
+
+
+def delaunay_triangles(points: Sequence[Point2]) -> list[tuple[int, int, int]]:
+    """Bowyer–Watson triangulation; returns index triples.
+
+    Degenerate inputs (fewer than 3 points, or all collinear) return an
+    empty triangle list.
+    """
+    pts = [(float(x), float(y)) for x, y in points]
+    n = len(pts)
+    if n < 3:
+        return []
+    # Super-triangle comfortably containing everything.
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    cx, cy = (min(xs) + max(xs)) / 2, (min(ys) + max(ys)) / 2
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0) * 64.0
+    super_pts = [
+        (cx - span, cy - span / 2),
+        (cx + span, cy - span / 2),
+        (cx, cy + span),
+    ]
+    vertices = pts + super_pts
+    s0, s1, s2 = n, n + 1, n + 2
+    triangles: set[tuple[int, int, int]] = {(s0, s1, s2)}
+
+    for i, p in enumerate(pts):
+        bad = [t for t in triangles if _in_circumcircle(vertices, t, p)]
+        if not bad:
+            # numerically degenerate (collinear duplicates); skip point
+            continue
+        boundary: dict[tuple[int, int], int] = {}
+        for tri in bad:
+            for edge in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+                key = (min(edge), max(edge))
+                boundary[key] = boundary.get(key, 0) + 1
+        triangles.difference_update(bad)
+        for (a, b), count in boundary.items():
+            if count == 1:  # edge on the cavity boundary
+                triangles.add(_normalize((a, b, i)))
+    return [
+        t
+        for t in triangles
+        if s0 not in t and s1 not in t and s2 not in t
+    ]
+
+
+def _normalize(tri: tuple[int, int, int]) -> tuple[int, int, int]:
+    a, b, c = sorted(tri)
+    return (a, b, c)
+
+
+def _in_circumcircle(
+    vertices: list[Point2], tri: tuple[int, int, int], p: Point2
+) -> bool:
+    (ax, ay), (bx, by), (cx, cy) = (vertices[i] for i in tri)
+    # Ensure counter-clockwise orientation for the determinant test.
+    orient = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if orient < 0:
+        bx, by, cx, cy = cx, cy, bx, by
+    elif orient == 0:
+        return False  # degenerate triangle has no circumcircle
+    adx, ady = ax - p[0], ay - p[1]
+    bdx, bdy = bx - p[0], by - p[1]
+    cdx, cdy = cx - p[0], cy - p[1]
+    det = (
+        (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+        - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+        + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+    )
+    return det > 0
+
+
+def voronoi_neighbors(points: Sequence[Sequence[float]]) -> dict[int, set[int]]:
+    """Voronoi adjacency of a point set.
+
+    2-D point sets use the Delaunay dual; other dimensions fall back to
+    the conservative all-pairs superset.
+    """
+    n = len(points)
+    adjacency: dict[int, set[int]] = {i: set() for i in range(n)}
+    if n <= 1:
+        return adjacency
+    dim = len(points[0])
+    if dim == 2:
+        triangles = delaunay_triangles([(p[0], p[1]) for p in points])
+        if triangles:
+            for a, b, c in triangles:
+                adjacency[a].update((b, c))
+                adjacency[b].update((a, c))
+                adjacency[c].update((a, b))
+            return adjacency
+        # collinear 2-D points: neighbours along the line order
+        order = sorted(range(n), key=lambda i: (points[i][0], points[i][1]))
+        for left, right in zip(order, order[1:]):
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+        return adjacency
+    if dim == 1:
+        order = sorted(range(n), key=lambda i: points[i][0])
+        for left, right in zip(order, order[1:]):
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+        return adjacency
+    for i in range(n):
+        adjacency[i] = set(range(n)) - {i}
+    return adjacency

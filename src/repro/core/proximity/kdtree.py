@@ -1,0 +1,103 @@
+"""A from-scratch KD-tree for nearest-slope lookup (Section 4.4).
+
+In ``E^d`` the predefined set ``S`` is a set of points in ``E^{d-1}``;
+every approximate query starts by locating the slope point nearest to
+the query slope. ``S`` is tiny (the paper uses k ≤ 5), so the KD-tree is
+about interface rather than asymptotics — but it is exact, handles
+duplicates-free point sets of any dimension, and is tested against brute
+force.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GeometryError
+
+Point = tuple[float, ...]
+
+
+@dataclass
+class _Node:
+    point: Point
+    index: int
+    axis: int
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class KDTree:
+    """Static KD-tree over a list of points (indices are positions)."""
+
+    def __init__(self, points: Sequence[Sequence[float]]) -> None:
+        pts = [tuple(float(v) for v in p) for p in points]
+        if not pts:
+            raise GeometryError("KDTree needs at least one point")
+        self.dimension = len(pts[0])
+        if any(len(p) != self.dimension for p in pts):
+            raise GeometryError("mixed point dimensions")
+        self.points = pts
+        self._root = self._build(list(enumerate(pts)), depth=0)
+
+    def _build(self, items: list[tuple[int, Point]], depth: int) -> _Node | None:
+        if not items:
+            return None
+        axis = depth % self.dimension
+        items.sort(key=lambda item: item[1][axis])
+        mid = len(items) // 2
+        index, point = items[mid]
+        return _Node(
+            point,
+            index,
+            axis,
+            self._build(items[:mid], depth + 1),
+            self._build(items[mid + 1 :], depth + 1),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nearest(self, query: Sequence[float]) -> tuple[int, float]:
+        """(index, distance) of the nearest stored point."""
+        q = tuple(float(v) for v in query)
+        if len(q) != self.dimension:
+            raise GeometryError(
+                f"query of dimension {len(q)} against KD-tree of "
+                f"dimension {self.dimension}"
+            )
+        best: list = [None, math.inf]  # [index, squared distance]
+        self._search(self._root, q, best)
+        return best[0], math.sqrt(best[1])
+
+    def _search(self, node: _Node | None, q: Point, best: list) -> None:
+        if node is None:
+            return
+        d2 = sum((a - b) ** 2 for a, b in zip(node.point, q))
+        if d2 < best[1] or (d2 == best[1] and (best[0] is None or node.index < best[0])):
+            best[0], best[1] = node.index, d2
+        delta = q[node.axis] - node.point[node.axis]
+        near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+        self._search(near, q, best)
+        if delta * delta <= best[1]:
+            self._search(far, q, best)
+
+    def within(self, query: Sequence[float], radius: float) -> list[int]:
+        """Indices of points within ``radius`` of the query."""
+        q = tuple(float(v) for v in query)
+        result: list[int] = []
+        self._range(self._root, q, radius * radius, result)
+        return sorted(result)
+
+    def _range(self, node: _Node | None, q: Point, r2: float, out: list[int]) -> None:
+        if node is None:
+            return
+        d2 = sum((a - b) ** 2 for a, b in zip(node.point, q))
+        if d2 <= r2:
+            out.append(node.index)
+        delta = q[node.axis] - node.point[node.axis]
+        near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+        self._range(near, q, r2, out)
+        if delta * delta <= r2:
+            self._range(far, q, r2, out)

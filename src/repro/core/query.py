@@ -1,0 +1,142 @@
+"""Half-plane queries and query results.
+
+A :class:`HalfPlaneQuery` is the paper's query object
+``Q(x_d θ b_1 x_1 + … + b_{d-1} x_{d-1} + b_d)`` with
+``Q ∈ {ALL, EXIST}``: a query type, a slope (scalar in 2-D, vector in
+d-D), an intercept, and a weak comparison operator.
+
+:class:`QueryResult` carries the answer set plus the per-query
+diagnostics the experiments report: candidates retrieved, false hits
+discarded by refinement, duplicates produced by the approximation, and
+the page accesses charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.theta import Theta
+from repro.errors import QueryError
+from repro.storage.stats import IOStats
+
+ALL = "ALL"
+EXIST = "EXIST"
+
+
+@dataclass(frozen=True)
+class HalfPlaneQuery:
+    """An ALL or EXIST selection against a half-plane."""
+
+    query_type: str
+    slope: tuple[float, ...]
+    intercept: float
+    theta: Theta
+
+    def __init__(
+        self,
+        query_type: str,
+        slope: float | Sequence[float],
+        intercept: float,
+        theta: Theta | str,
+    ) -> None:
+        if query_type not in (ALL, EXIST):
+            raise QueryError(
+                f"query type must be {ALL!r} or {EXIST!r}, got {query_type!r}"
+            )
+        if isinstance(theta, str):
+            theta = Theta.from_symbol(theta)
+        if theta not in (Theta.GE, Theta.LE):
+            raise QueryError(f"half-plane queries use >= or <=, got {theta}")
+        if isinstance(slope, (int, float)):
+            slope_t: tuple[float, ...] = (float(slope),)
+        else:
+            slope_t = tuple(float(v) for v in slope)
+        if not slope_t:
+            raise QueryError("empty query slope")
+        object.__setattr__(self, "query_type", query_type)
+        object.__setattr__(self, "slope", slope_t)
+        object.__setattr__(self, "intercept", float(intercept))
+        object.__setattr__(self, "theta", theta)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Dimension of the space the query lives in."""
+        return len(self.slope) + 1
+
+    @property
+    def slope_2d(self) -> float:
+        """The scalar angular coefficient (2-D queries only)."""
+        if len(self.slope) != 1:
+            raise QueryError("slope_2d on a non-2-D query")
+        return self.slope[0]
+
+    def as_constraint(self) -> LinearConstraint:
+        """The query half-plane as a linear constraint."""
+        coeffs = tuple(-v for v in self.slope) + (1.0,)
+        return LinearConstraint(coeffs, -self.intercept, self.theta)
+
+    def with_type(self, query_type: str) -> "HalfPlaneQuery":
+        """Same half-plane, different selection type."""
+        return HalfPlaneQuery(query_type, self.slope, self.intercept, self.theta)
+
+    def __repr__(self) -> str:
+        slope = self.slope[0] if len(self.slope) == 1 else self.slope
+        return (
+            f"{self.query_type}(x{self.dimension} {self.theta} "
+            f"{slope}·x' + {self.intercept:g})"
+        )
+
+
+@dataclass(frozen=True)
+class AppQuery:
+    """One approximation query produced by T1 (Section 4.1).
+
+    ``slope_index`` points into the predefined slope set, so the query is
+    executable by the restricted technique of Section 3.
+    """
+
+    query_type: str
+    slope_index: int
+    intercept: float
+    theta: Theta
+
+
+@dataclass
+class QueryResult:
+    """Answer set plus execution diagnostics."""
+
+    ids: set[int] = field(default_factory=set)
+    technique: str = ""
+    candidates: int = 0
+    false_hits: int = 0
+    duplicates: int = 0
+    accepted_without_refinement: int = 0
+    refinement_pages: int = 0
+    io: IOStats = field(default_factory=IOStats)
+
+    @property
+    def page_accesses(self) -> int:
+        """Total pages touched: index traversal plus refinement fetches."""
+        return self.io.logical_reads + self.io.logical_writes
+
+    @property
+    def index_accesses(self) -> int:
+        """Index-structure page accesses only (descent + sweeps/nodes).
+
+        This is the metric of the paper's Theorems 3.1/4.1/4.2, which
+        charge the candidate stream at ``T/B`` — i.e. leaf pages, not
+        per-record fetches.
+        """
+        return self.page_accesses - self.refinement_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResult {self.technique} |ids|={len(self.ids)} "
+            f"candidates={self.candidates} false_hits={self.false_hits} "
+            f"duplicates={self.duplicates} pages={self.page_accesses}>"
+        )

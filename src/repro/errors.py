@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subclasses are split by subsystem
+(constraint model, geometry, storage, indexing) to keep error handling
+precise without forcing callers to import deep modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConstraintError(ReproError):
+    """Malformed constraint, tuple, or relation."""
+
+
+class ParseError(ConstraintError):
+    """A constraint expression string could not be parsed."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric operation (e.g. dual of a vertical hyperplane)."""
+
+
+class EmptyExtensionError(GeometryError):
+    """An operation required a non-empty extension but got an empty one."""
+
+
+class StorageError(ReproError):
+    """Errors from the simulated disk, buffer pool, or heap file."""
+
+
+class PageOverflowError(StorageError):
+    """A record or node image did not fit in a page."""
+
+
+class IndexError_(ReproError):
+    """Errors from index structures (B+-tree, R+-tree, dual index).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class SlopeSetError(IndexError_):
+    """Invalid predefined slope set (empty, duplicated, or vertical)."""
+
+
+class QueryError(IndexError_):
+    """A query is malformed or unsupported by the chosen technique."""

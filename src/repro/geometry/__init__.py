@@ -1,0 +1,55 @@
+"""Computational geometry substrate.
+
+Everything the dual-representation index needs about convex polyhedra:
+support functions (exact 2-D engine, LP-backed d-dim engine), recession
+cones, hulls, the dual transformation with ``TOP``/``BOT`` evaluation, and
+the exact ALL/EXIST predicates used as oracle and refinement step.
+"""
+
+from repro.geometry.dual import (
+    bot,
+    bot_profile_2d,
+    dual_line_of_point,
+    evaluate_dual_line,
+    slope_vector,
+    strip_bot_min,
+    strip_top_max,
+    top,
+    top_profile_2d,
+)
+from repro.geometry.envelope import EnvelopePiece, lower_envelope, upper_envelope
+from repro.geometry.hull import convex_hull_2d, polygon_area, polygon_centroid
+from repro.geometry.polyhedron import ConvexPolyhedron
+from repro.geometry.predicates import (
+    all_by_sampling,
+    all_halfplane,
+    evaluate_relation,
+    exist_by_conjunction,
+    exist_halfplane,
+    halfplane_constraint,
+)
+
+__all__ = [
+    "ConvexPolyhedron",
+    "top",
+    "bot",
+    "strip_top_max",
+    "strip_bot_min",
+    "slope_vector",
+    "dual_line_of_point",
+    "evaluate_dual_line",
+    "top_profile_2d",
+    "bot_profile_2d",
+    "upper_envelope",
+    "lower_envelope",
+    "EnvelopePiece",
+    "convex_hull_2d",
+    "polygon_area",
+    "polygon_centroid",
+    "exist_halfplane",
+    "all_halfplane",
+    "halfplane_constraint",
+    "exist_by_conjunction",
+    "all_by_sampling",
+    "evaluate_relation",
+]

@@ -1,0 +1,197 @@
+"""The dual transformation and the ``TOP``/``BOT`` functions (Section 2.1).
+
+A non-vertical hyperplane ``x_d = b_1 x_1 + … + b_{d-1} x_{d-1} + b_d``
+dualises to the point ``(b_1, …, b_d)``; a point ``p`` dualises to the
+hyperplane ``x_d = -p_1 x_1 - … - p_{d-1} x_{d-1} + p_d``. A polyhedron
+``P`` dualises to the function pair::
+
+    TOP^P(s) = max intercept b_d such that slope-s hyperplane meets P
+    BOT^P(s) = min such intercept
+
+computed here as support values: ``TOP^P(s) = sup{ x_d - s·x' : x ∈ P }``
+(convex in ``s``), ``BOT^P(s) = inf{ x_d - s·x' }`` (concave in ``s``).
+Unbounded polyhedra yield ``±inf``; empty ones yield ``None``.
+
+Proposition 2.2's four ALL/EXIST reductions live in
+``repro.geometry.predicates``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.envelope import EnvelopePiece, lower_envelope, upper_envelope
+from repro.geometry.polyhedron import ConvexPolyhedron
+
+Slope = "float | Sequence[float]"
+
+
+def slope_vector(slope, dimension: int) -> tuple[float, ...]:
+    """Normalise a slope argument to a (d-1)-vector.
+
+    2-D callers may pass a bare float; d-dimensional callers pass a
+    sequence of length ``d-1``.
+    """
+    if isinstance(slope, (int, float)):
+        if dimension != 2:
+            raise GeometryError(
+                f"scalar slope against a {dimension}-dimensional polyhedron"
+            )
+        return (float(slope),)
+    vec = tuple(float(v) for v in slope)
+    if len(vec) != dimension - 1:
+        raise GeometryError(
+            f"slope of length {len(vec)} against dimension {dimension} "
+            f"(need {dimension - 1})"
+        )
+    return vec
+
+
+def top(poly: ConvexPolyhedron, slope) -> float | None:
+    """``TOP^P(slope)``: max intercept of a slope-``s`` hyperplane meeting P."""
+    s = slope_vector(slope, poly.dimension)
+    direction = tuple(-v for v in s) + (1.0,)
+    return poly.support(direction)
+
+
+def bot(poly: ConvexPolyhedron, slope) -> float | None:
+    """``BOT^P(slope)``: min intercept of a slope-``s`` hyperplane meeting P."""
+    s = slope_vector(slope, poly.dimension)
+    direction = s + (-1.0,)
+    value = poly.support(direction)
+    if value is None:
+        return None
+    return -value
+
+
+def strip_top_max(poly: ConvexPolyhedron, slope_a, slope_b) -> float | None:
+    """``max { TOP^P(s) : s on segment [slope_a, slope_b] }``.
+
+    ``TOP^P`` is convex, so the maximum over a segment is attained at an
+    endpoint. This is the T2 assignment key for EXIST(≥)/ALL(≥) handicaps.
+    """
+    va = top(poly, slope_a)
+    vb = top(poly, slope_b)
+    if va is None or vb is None:
+        return None
+    return max(va, vb)
+
+
+def strip_bot_min(poly: ConvexPolyhedron, slope_a, slope_b) -> float | None:
+    """``min { BOT^P(s) : s on segment [slope_a, slope_b] }``.
+
+    ``BOT^P`` is concave, so the minimum over a segment is attained at an
+    endpoint. This is the T2 assignment key for EXIST(≤)/ALL(≤) handicaps.
+    """
+    va = bot(poly, slope_a)
+    vb = bot(poly, slope_b)
+    if va is None or vb is None:
+        return None
+    return min(va, vb)
+
+
+def dual_line_of_point(point: Sequence[float]) -> tuple[tuple[float, ...], float]:
+    """Dual hyperplane of a point, as ``(slope_vector, intercept)``.
+
+    ``D(p)`` is ``x_d = -p_1 x_1 - … - p_{d-1} x_{d-1} + p_d``.
+    """
+    p = tuple(float(v) for v in point)
+    if len(p) < 2:
+        raise GeometryError("dual of a point needs dimension >= 2")
+    return tuple(-v for v in p[:-1]), p[-1]
+
+
+def evaluate_dual_line(point: Sequence[float], slope) -> float:
+    """``F_{D(p)}(slope)`` — the paper's per-vertex linear contribution."""
+    p = tuple(float(v) for v in point)
+    s = slope_vector(slope, len(p))
+    return p[-1] - math.fsum(a * b for a, b in zip(p[:-1], s))
+
+
+# ----------------------------------------------------------------------
+# 2-D profiles: the full piecewise-linear graphs of TOP / BOT
+# ----------------------------------------------------------------------
+def top_profile_2d(poly: ConvexPolyhedron) -> "DualProfile":
+    """The graph of ``TOP^P`` for a 2-D polyhedron.
+
+    The finite part is the upper envelope of one line per vertex
+    (slope ``-v_x``, intercept ``v_y``); rays bound the domain over which
+    ``TOP`` stays finite.
+    """
+    return _profile(poly, upper=True)
+
+
+def bot_profile_2d(poly: ConvexPolyhedron) -> "DualProfile":
+    """The graph of ``BOT^P`` for a 2-D polyhedron."""
+    return _profile(poly, upper=False)
+
+
+class DualProfile:
+    """A piecewise-linear ``TOP``/``BOT`` graph with an infinite sign.
+
+    ``pieces`` cover the finite domain; outside ``[domain_lo, domain_hi]``
+    the function is ``+inf`` (TOP) / ``-inf`` (BOT). A polyhedron that is
+    unbounded vertically has no finite domain at all.
+    """
+
+    def __init__(
+        self,
+        pieces: list[EnvelopePiece],
+        domain_lo: float,
+        domain_hi: float,
+        infinite_value: float,
+    ) -> None:
+        self.pieces = pieces
+        self.domain_lo = domain_lo
+        self.domain_hi = domain_hi
+        self.infinite_value = infinite_value
+
+    def __call__(self, s: float) -> float:
+        if s < self.domain_lo or s > self.domain_hi:
+            return self.infinite_value
+        for piece in self.pieces:
+            if piece.x_from - 1e-12 <= s <= piece.x_to + 1e-12:
+                return piece.slope * s + piece.intercept
+        return self.infinite_value  # pragma: no cover - empty finite domain
+
+    @property
+    def breakpoints(self) -> list[float]:
+        """Interior slope values where the graph bends."""
+        return [p.x_from for p in self.pieces[1:]]
+
+    def __repr__(self) -> str:
+        return (
+            f"<DualProfile pieces={len(self.pieces)} "
+            f"domain=[{self.domain_lo:g},{self.domain_hi:g}]>"
+        )
+
+
+def _profile(poly: ConvexPolyhedron, upper: bool) -> DualProfile:
+    if poly.dimension != 2:
+        raise GeometryError("dual profiles are implemented for dimension 2")
+    if poly.is_empty:
+        raise GeometryError("dual profile of an empty polyhedron")
+    infinite = math.inf if upper else -math.inf
+    lo, hi = -math.inf, math.inf
+    for rx, ry in poly.rays():
+        # TOP(s) = +inf iff some ray has ry - s*rx > 0 (mirrored for BOT).
+        gain = 1.0 if upper else -1.0
+        value = gain * ry
+        if rx == 0.0:
+            if value > 0.0:
+                lo, hi = 0.0, -1.0  # empty finite domain
+                break
+            continue
+        threshold = ry / rx
+        if gain * rx > 0.0:
+            # positive for s < threshold (TOP) — finite domain is right of it
+            lo = max(lo, threshold)
+        else:
+            hi = min(hi, threshold)
+    lines = [(-vx, vy) for vx, vy in poly.vertices()]
+    if not lines:
+        return DualProfile([], 0.0, -1.0, infinite)
+    pieces = upper_envelope(lines) if upper else lower_envelope(lines)
+    return DualProfile(pieces, lo, hi, infinite)

@@ -1,0 +1,93 @@
+"""Upper and lower envelopes of line arrangements.
+
+The graph of ``TOP^P`` is the upper envelope of the dual lines of the
+polyhedron's vertices (the paper's isomorphism between the upper hull of
+``P`` and the ``TOP^P`` graph); ``BOT^P`` is the lower envelope. These
+utilities compute the envelopes explicitly — used for profiles, plots,
+and property tests that cross-check support-based TOP/BOT evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+Line = tuple[float, float]  # (slope, intercept): y = slope*x + intercept
+
+
+@dataclass(frozen=True)
+class EnvelopePiece:
+    """One linear piece of an envelope, valid on ``[x_from, x_to]``."""
+
+    x_from: float
+    x_to: float
+    slope: float
+    intercept: float
+
+    def value(self, x: float) -> float:
+        """Evaluate the piece's line at ``x`` (no domain check)."""
+        return self.slope * x + self.intercept
+
+
+def upper_envelope(lines: Sequence[Line]) -> list[EnvelopePiece]:
+    """Pieces of ``max_i (m_i x + q_i)``, left to right, covering all of R.
+
+    Duplicate and dominated lines are removed. The classic incremental
+    method: sort by slope, keep a "hull" of lines whose pairwise
+    intersections are x-monotone.
+    """
+    return _envelope(lines, upper=True)
+
+
+def lower_envelope(lines: Sequence[Line]) -> list[EnvelopePiece]:
+    """Pieces of ``min_i (m_i x + q_i)``, left to right."""
+    mirrored = [(-m, -q) for m, q in lines]
+    pieces = _envelope(mirrored, upper=True)
+    return [
+        EnvelopePiece(p.x_from, p.x_to, -p.slope, -p.intercept) for p in pieces
+    ]
+
+
+def _envelope(lines: Sequence[Line], upper: bool) -> list[EnvelopePiece]:
+    if not lines:
+        return []
+    # Keep, per slope, only the best intercept (max for upper envelope).
+    best: dict[float, float] = {}
+    for m, q in lines:
+        if m not in best or q > best[m]:
+            best[m] = q
+    ordered = sorted(best.items())  # ascending slope
+    hull: list[Line] = []
+    # x-coordinates where hull[i] hands over to hull[i+1]
+    handover: list[float] = []
+    for m, q in ordered:
+        while hull:
+            m0, q0 = hull[-1]
+            # intersection with the current top of the hull
+            x = (q0 - q) / (m - m0)
+            if handover and x <= handover[-1]:
+                hull.pop()
+                handover.pop()
+            else:
+                hull.append((m, q))
+                handover.append(x)
+                break
+        if not hull:
+            hull.append((m, q))
+    pieces: list[EnvelopePiece] = []
+    for i, (m, q) in enumerate(hull):
+        x_from = -math.inf if i == 0 else handover[i - 1]
+        x_to = math.inf if i == len(hull) - 1 else handover[i]
+        pieces.append(EnvelopePiece(x_from, x_to, m, q))
+    return pieces
+
+
+def envelope_value(pieces: Sequence[EnvelopePiece], x: float) -> float:
+    """Evaluate an envelope at ``x`` (binary search not needed for tests)."""
+    if not pieces:
+        raise ValueError("empty envelope")
+    for piece in pieces:
+        if piece.x_from - 1e-12 <= x <= piece.x_to + 1e-12:
+            return piece.value(x)
+    raise ValueError(f"x={x} outside envelope domain")  # pragma: no cover

@@ -1,0 +1,168 @@
+"""Exact ALL/EXIST predicates — the ground-truth oracle.
+
+Proposition 2.2 of the paper reduces half-plane containment and
+intersection to comparisons against ``TOP^P`` / ``BOT^P``::
+
+    ALL(q(>=), t)   iff  b_d <= BOT^P(s)
+    ALL(q(<=), t)   iff  b_d >= TOP^P(s)
+    EXIST(q(>=), t) iff  b_d <= TOP^P(s)
+    EXIST(q(<=), t) iff  b_d >= BOT^P(s)
+
+These predicates serve three roles:
+
+* the reference oracle against which every index answer is validated;
+* the *refinement step* of the approximation techniques (false-hit
+  filtering);
+* an independent brute-force cross-check (:func:`exist_by_conjunction`)
+  used by the property tests.
+
+Empty extensions follow set semantics: EXIST is false, ALL is vacuously
+true. Index structures reject empty tuples at insert time, so the
+vacuous case only matters for the standalone oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import QueryError
+from repro.geometry import dual
+from repro.geometry.polyhedron import ConvexPolyhedron
+
+#: Absolute tolerance for intercept comparisons in the oracle.
+ORACLE_TOL = 1e-7
+
+
+def _check_theta(theta: Theta) -> None:
+    if theta not in (Theta.GE, Theta.LE):
+        raise QueryError(f"half-plane queries use >= or <=, got {theta}")
+
+
+def exist_halfplane(
+    poly: ConvexPolyhedron,
+    slope,
+    intercept: float,
+    theta: Theta,
+    tol: float = ORACLE_TOL,
+) -> bool:
+    """EXIST(q(θ), t): does the extension meet ``x_d θ s·x' + b``?"""
+    _check_theta(theta)
+    if poly.is_empty:
+        return False
+    if theta is Theta.GE:
+        top_value = dual.top(poly, slope)
+        assert top_value is not None
+        return intercept <= top_value + tol
+    bot_value = dual.bot(poly, slope)
+    assert bot_value is not None
+    return intercept >= bot_value - tol
+
+
+def all_halfplane(
+    poly: ConvexPolyhedron,
+    slope,
+    intercept: float,
+    theta: Theta,
+    tol: float = ORACLE_TOL,
+) -> bool:
+    """ALL(q(θ), t): is the extension contained in ``x_d θ s·x' + b``?"""
+    _check_theta(theta)
+    if poly.is_empty:
+        return True  # vacuous containment
+    if theta is Theta.GE:
+        bot_value = dual.bot(poly, slope)
+        assert bot_value is not None
+        if bot_value == -math.inf:
+            return False
+        return intercept <= bot_value + tol
+    top_value = dual.top(poly, slope)
+    assert top_value is not None
+    if top_value == math.inf:
+        return False
+    return intercept >= top_value - tol
+
+
+def halfplane_constraint(slope, intercept: float, theta: Theta, dimension: int) -> LinearConstraint:
+    """The query half-plane ``x_d θ s·x' + b`` as a linear constraint.
+
+    Stored as ``-s·x' + x_d - b θ 0``.
+    """
+    _check_theta(theta)
+    s = dual.slope_vector(slope, dimension)
+    coeffs = tuple(-v for v in s) + (1.0,)
+    return LinearConstraint(coeffs, -float(intercept), theta)
+
+
+def exist_by_conjunction(
+    t: GeneralizedTuple, slope, intercept: float, theta: Theta
+) -> bool:
+    """Brute-force EXIST: satisfiability of ``t ∧ q``.
+
+    Independent of the TOP/BOT reduction — used to cross-validate it.
+    """
+    q = halfplane_constraint(slope, intercept, theta, t.dimension)
+    return t.conjoin(GeneralizedTuple([q])).is_satisfiable()
+
+
+def all_by_sampling(
+    t: GeneralizedTuple,
+    slope,
+    intercept: float,
+    theta: Theta,
+    tol: float = ORACLE_TOL,
+) -> bool:
+    """Brute-force necessary test for ALL: every vertex satisfies ``q``.
+
+    For *bounded* polyhedra vertex containment is also sufficient, making
+    this an exact independent check on the paper's workloads; unbounded
+    polyhedra additionally require every recession ray to point into the
+    closed half-plane.
+    """
+    poly = t.extension()
+    if poly.is_empty:
+        return True
+    q = halfplane_constraint(slope, intercept, theta, t.dimension)
+    if not all(q.satisfied_by(v, tol) for v in poly.vertices()):
+        return False
+    if poly.dimension == 2 and not poly.is_bounded:
+        s = dual.slope_vector(slope, 2)[0]
+        for rx, ry in poly.rays():
+            drift = ry - s * rx
+            if theta is Theta.GE and drift < -tol:
+                return False
+            if theta is Theta.LE and drift > tol:
+                return False
+        # A vertex-free region (e.g. a half-plane) needs a witness point too.
+        if not poly.vertices():
+            witness = poly.feasible_point()
+            assert witness is not None
+            if not q.satisfied_by(witness, tol):
+                return False
+    return True
+
+
+def evaluate_relation(
+    relation,
+    query_type: str,
+    slope,
+    intercept: float,
+    theta: Theta,
+    tol: float = ORACLE_TOL,
+) -> set[int]:
+    """Oracle answer set over a :class:`GeneralizedRelation`.
+
+    ``query_type`` is ``"ALL"`` or ``"EXIST"``; returns the satisfying
+    tuple ids. This is what every index result is compared against.
+    """
+    if query_type not in ("ALL", "EXIST"):
+        raise QueryError(f"query type must be ALL or EXIST, got {query_type!r}")
+    predicate = all_halfplane if query_type == "ALL" else exist_halfplane
+    answer: set[int] = set()
+    for tuple_id, t in relation:
+        if predicate(t.extension(), slope, intercept, theta, tol):
+            answer.add(tuple_id)
+    return answer

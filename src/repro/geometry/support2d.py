@@ -1,0 +1,188 @@
+"""Exact 2-D support functions over constraint conjunctions.
+
+The support of a convex set ``P`` in direction ``c`` is
+``h_P(c) = sup { c·x : x ∈ P }``. Everything the dual representation needs
+reduces to support evaluations::
+
+    TOP^P(s) = sup { y - s·x } = h_P((-s, 1))
+    BOT^P(s) = inf { y - s·x } = -h_P((s, -1))
+
+The evaluation strategy is candidate enumeration (sound for 2-D systems
+with a handful of constraints, which is the paper's workload — 3..6
+constraints per tuple):
+
+1. decide unboundedness in direction ``c`` from the recession cone;
+2. otherwise the supremum is attained on the boundary: enumerate all
+   pairwise constraint-line intersections (vertices) and all per-line
+   feasible intervals (edges), and take the best feasible value.
+
+Infeasible systems are reported as ``None``; unbounded suprema as
+``math.inf`` (and infima as ``-math.inf`` through :func:`infimum_2d`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.geometry.cone2d import cone_normals, unbounded_in
+
+Vec2 = tuple[float, float]
+Ineq = tuple[Vec2, float]  # ((nx, ny), beta) meaning nx*x + ny*y <= beta
+
+#: Relative feasibility tolerance for candidate points.
+FEAS_TOL = 1e-7
+
+
+def ineqs_from_atoms(atoms: Iterable) -> list[Ineq]:
+    """Convert weak-inequality :class:`LinearConstraint` atoms to ≤-form.
+
+    ``a·x + c ≤ 0`` becomes ``a·x ≤ -c``; ``≥`` atoms are mirrored.
+    Trivial atoms must have been removed by normalisation; a remaining
+    contradiction is encoded as an unsatisfiable inequality ``0 ≤ -1``
+    handled by the feasibility check.
+    """
+    from repro.constraints.theta import Theta
+
+    result: list[Ineq] = []
+    for atom in atoms:
+        if len(atom.coeffs) != 2:
+            raise ValueError("ineqs_from_atoms is 2-D only")
+        a, b = atom.coeffs
+        if atom.theta is Theta.LE:
+            result.append(((a, b), -atom.const))
+        elif atom.theta is Theta.GE:
+            result.append(((-a, -b), atom.const))
+        else:
+            raise ValueError(f"non-weak operator {atom.theta} after normalize")
+    return result
+
+
+def _scale(ineqs: Sequence[Ineq]) -> float:
+    largest = 1.0
+    for (nx, ny), beta in ineqs:
+        largest = max(largest, abs(nx), abs(ny), abs(beta))
+    return largest
+
+
+def _feasible(ineqs: Sequence[Ineq], x: float, y: float, tol: float) -> bool:
+    for (nx, ny), beta in ineqs:
+        slack_tol = tol * max(1.0, abs(nx), abs(ny)) * max(1.0, abs(x), abs(y))
+        if nx * x + ny * y - beta > slack_tol:
+            return False
+    return True
+
+
+def _candidate_points(ineqs: Sequence[Ineq], tol: float) -> list[Vec2]:
+    """Feasible vertices plus one feasible witness per constraint line."""
+    points: list[Vec2] = []
+    m = len(ineqs)
+    # Pairwise line intersections.
+    for i in range(m):
+        (a1, b1), r1 = ineqs[i]
+        for j in range(i + 1, m):
+            (a2, b2), r2 = ineqs[j]
+            det = a1 * b2 - a2 * b1
+            scale = max(abs(a1), abs(b1), 1.0) * max(abs(a2), abs(b2), 1.0)
+            if abs(det) <= 1e-13 * scale:
+                continue
+            x = (r1 * b2 - r2 * b1) / det
+            y = (a1 * r2 - a2 * r1) / det
+            if _feasible(ineqs, x, y, tol):
+                points.append((x, y))
+    # One witness per line (covers vertex-free regions such as half-planes
+    # and slabs): clip the line by all other constraints and take a point
+    # in the surviving parameter interval.
+    for i in range(m):
+        witness = _line_witness(ineqs, i, tol)
+        if witness is not None:
+            points.append(witness)
+    return points
+
+
+def _line_witness(
+    ineqs: Sequence[Ineq], index: int, tol: float
+) -> Vec2 | None:
+    (a, b), beta = ineqs[index]
+    norm_sq = a * a + b * b
+    if norm_sq == 0.0:
+        return None
+    # Foot of the perpendicular from the origin; direction along the line.
+    px, py = a * beta / norm_sq, b * beta / norm_sq
+    dx, dy = -b, a
+    t_lo, t_hi = -math.inf, math.inf
+    for j, ((nx, ny), rhs) in enumerate(ineqs):
+        if j == index:
+            continue
+        coef = nx * dx + ny * dy
+        rest = rhs - (nx * px + ny * py)
+        bound_tol = tol * max(1.0, abs(nx), abs(ny))
+        if abs(coef) <= 1e-13:
+            if rest < -bound_tol * max(1.0, abs(px), abs(py)):
+                return None  # line entirely infeasible for constraint j
+            continue
+        t = rest / coef
+        if coef > 0:
+            t_hi = min(t_hi, t)
+        else:
+            t_lo = max(t_lo, t)
+    if t_lo > t_hi + tol:
+        return None
+    if math.isfinite(t_lo) and math.isfinite(t_hi):
+        t = 0.5 * (t_lo + t_hi)
+    elif math.isfinite(t_lo):
+        t = t_lo
+    elif math.isfinite(t_hi):
+        t = t_hi
+    else:
+        t = 0.0
+    return (px + t * dx, py + t * dy)
+
+
+def feasible_point_2d(ineqs: Sequence[Ineq], tol: float = FEAS_TOL) -> Vec2 | None:
+    """A point satisfying all inequalities, or ``None`` when infeasible."""
+    for (nx, ny), beta in ineqs:
+        if nx == 0.0 and ny == 0.0 and beta < 0.0:
+            return None  # encoded contradiction 0 <= beta < 0
+    nontrivial = [((nx, ny), b) for (nx, ny), b in ineqs if (nx, ny) != (0.0, 0.0)]
+    if not nontrivial:
+        return (0.0, 0.0)
+    if _feasible(nontrivial, 0.0, 0.0, tol):
+        return (0.0, 0.0)
+    candidates = _candidate_points(nontrivial, tol)
+    return candidates[0] if candidates else None
+
+
+def support_2d(
+    ineqs: Sequence[Ineq], c: Vec2, tol: float = FEAS_TOL
+) -> float | None:
+    """``sup { c·x : x feasible }``.
+
+    Returns ``None`` for an infeasible system, ``math.inf`` when the
+    system is unbounded in direction ``c``, otherwise the finite supremum.
+    """
+    nontrivial = [((nx, ny), b) for (nx, ny), b in ineqs if (nx, ny) != (0.0, 0.0)]
+    for (nx, ny), beta in ineqs:
+        if nx == 0.0 and ny == 0.0 and beta < 0.0:
+            return None
+    if not nontrivial:
+        if c == (0.0, 0.0):
+            return 0.0
+        return math.inf
+    normals = cone_normals(nontrivial)
+    candidates = _candidate_points(nontrivial, tol)
+    if not candidates:
+        return None
+    if (c[0] != 0.0 or c[1] != 0.0) and unbounded_in(normals, c):
+        return math.inf
+    return max(c[0] * x + c[1] * y for x, y in candidates)
+
+
+def infimum_2d(
+    ineqs: Sequence[Ineq], c: Vec2, tol: float = FEAS_TOL
+) -> float | None:
+    """``inf { c·x : x feasible }`` (``-math.inf`` when unbounded below)."""
+    sup = support_2d(ineqs, (-c[0], -c[1]), tol)
+    if sup is None:
+        return None
+    return -sup

@@ -1,0 +1,109 @@
+"""Support functions in arbitrary dimension via linear programming.
+
+The 2-D path of the library is self-contained (``repro.geometry.support2d``).
+For ``d > 2`` — the paper's Section 4.4 extension, which its experiments do
+not evaluate — supports are computed with ``scipy.optimize.linprog``
+(documented substitution, see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constraints.theta import Theta
+from repro.errors import GeometryError
+
+IneqND = tuple[tuple[float, ...], float]  # (n, beta) meaning n·x <= beta
+
+
+def ineqs_from_atoms_nd(atoms: Iterable) -> list[IneqND]:
+    """Convert weak-inequality atoms to ``n·x ≤ β`` form (any dimension)."""
+    result: list[IneqND] = []
+    for atom in atoms:
+        if atom.theta is Theta.LE:
+            result.append((atom.coeffs, -atom.const))
+        elif atom.theta is Theta.GE:
+            result.append((tuple(-a for a in atom.coeffs), atom.const))
+        else:
+            raise GeometryError(f"non-weak operator {atom.theta} after normalize")
+    return result
+
+
+def support_nd(ineqs: Sequence[IneqND], c: Sequence[float]) -> float | None:
+    """``sup { c·x }`` over the system; ``None`` if infeasible, ``inf`` if unbounded."""
+    from scipy.optimize import linprog
+
+    if not ineqs:
+        return math.inf if any(v != 0.0 for v in c) else 0.0
+    a_ub = np.array([n for n, _ in ineqs], dtype=float)
+    b_ub = np.array([beta for _, beta in ineqs], dtype=float)
+    result = linprog(
+        c=-np.asarray(c, dtype=float),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * a_ub.shape[1],
+        method="highs",
+    )
+    if result.status == 2:  # infeasible
+        return None
+    if result.status == 3:  # unbounded
+        return math.inf
+    if not result.success:  # pragma: no cover - numerical trouble
+        raise GeometryError(f"linprog failed: {result.message}")
+    return float(-result.fun)
+
+
+def feasible_point_nd(ineqs: Sequence[IneqND]) -> tuple[float, ...] | None:
+    """Chebyshev-centre-style interior/feasible point, ``None`` if infeasible.
+
+    Maximises the slack radius ``r`` with ``n·x + |n|·r ≤ β``; for
+    full-dimensional bounded systems this is the Chebyshev centre. For
+    unbounded systems the radius variable is capped to keep the LP bounded.
+    """
+    from scipy.optimize import linprog
+
+    if not ineqs:
+        return None
+    dim = len(ineqs[0][0])
+    norms = [math.sqrt(sum(v * v for v in n)) for n, _ in ineqs]
+    a_ub = np.array(
+        [list(n) + [norm] for (n, _), norm in zip(ineqs, norms)], dtype=float
+    )
+    b_ub = np.array([beta for _, beta in ineqs], dtype=float)
+    c = np.zeros(dim + 1)
+    c[-1] = -1.0  # maximise r
+    bounds = [(None, None)] * dim + [(0.0, 1e6)]
+    result = linprog(c=c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if result.status == 2 or not result.success:
+        return None
+    return tuple(float(v) for v in result.x[:dim])
+
+
+def vertices_nd(ineqs: Sequence[IneqND]) -> list[tuple[float, ...]]:
+    """Vertices of a bounded full-dimensional d-dim polytope.
+
+    Uses ``scipy.spatial.HalfspaceIntersection`` seeded with a Chebyshev
+    centre. Raises :class:`GeometryError` on empty or unbounded input.
+    """
+    from scipy.spatial import HalfspaceIntersection
+
+    interior = feasible_point_nd(ineqs)
+    if interior is None:
+        raise GeometryError("vertices_nd: empty polytope")
+    halfspaces = np.array(
+        [list(n) + [-beta] for n, beta in ineqs], dtype=float
+    )
+    try:
+        intersection = HalfspaceIntersection(halfspaces, np.asarray(interior))
+    except Exception as exc:  # qhull raises plain errors on unbounded input
+        raise GeometryError(f"vertices_nd failed (unbounded input?): {exc}") from exc
+    points = intersection.intersections
+    unique: list[tuple[float, ...]] = []
+    for p in points:
+        tp = tuple(round(float(v), 9) for v in p)
+        if tp not in unique:
+            unique.append(tp)
+    return unique

@@ -1,0 +1,6 @@
+"""Interval management (footnote 6): paged interval tree + line queries."""
+
+from repro.intervals.line_index import LineQueryIndex
+from repro.intervals.tree import Interval, IntervalTree
+
+__all__ = ["Interval", "IntervalTree", "LineQueryIndex"]

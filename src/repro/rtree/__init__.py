@@ -1,0 +1,21 @@
+"""R-tree family: the paper's R+-tree baseline and a Guttman R-tree.
+
+Both operate on the simulated disk with the paper's page/value sizes so
+page-access comparisons against the dual-representation index are
+structurally faithful.
+"""
+
+from repro.rtree.base import HalfPlaneCandidates, RTreeBase
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.mbr import Rect, rect_2d, spread_axis
+from repro.rtree.rplus import RPlusTree
+
+__all__ = [
+    "Rect",
+    "rect_2d",
+    "spread_axis",
+    "RTreeBase",
+    "RPlusTree",
+    "GuttmanRTree",
+    "HalfPlaneCandidates",
+]

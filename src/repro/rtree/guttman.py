@@ -1,0 +1,83 @@
+"""The classic Guttman R-tree (1984) — ablation baseline.
+
+Same page layout and search machinery as :class:`RTreeBase`; trees are
+built either by repeated dynamic insertion or by Sort-Tile-Recursive
+(STR) packing. Unlike the R+-tree, sibling regions may overlap and
+objects are never clipped, so EXIST traversals may follow several paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import IndexError_
+from repro.rtree.base import RTreeBase
+from repro.rtree.mbr import Rect
+from repro.rtree.node import INTERNAL_KIND, LEAF_KIND, RTreeNode
+
+
+class GuttmanRTree(RTreeBase):
+    """Overlapping-region R-tree with STR bulk loading."""
+
+    def bulk_load(
+        self, items: Iterable[tuple[int, Rect]], fill: float = 0.7
+    ) -> None:
+        """Sort-Tile-Recursive packing (Leutenegger et al. 1997)."""
+        if self.root is not None:
+            raise IndexError_("bulk_load on a non-empty tree")
+        data = [(rid, rect) for rid, rect in items]
+        if not data:
+            return
+        target = max(2, int(self.layout.capacity * fill))
+        level: list[tuple[Rect, int]] = []
+        for chunk in _str_tiles(data, target, self.dimension):
+            node = RTreeNode(
+                LEAF_KIND,
+                [rect for _, rect in chunk],
+                [rid for rid, _ in chunk],
+            )
+            pid = self._alloc()
+            self._write(pid, node)
+            level.append((node.covering_rect(), pid))
+        self.height = 1
+        while len(level) > 1:
+            wrapped = [(pid, rect) for rect, pid in level]
+            next_level: list[tuple[Rect, int]] = []
+            for chunk in _str_tiles(wrapped, target, self.dimension):
+                node = RTreeNode(
+                    INTERNAL_KIND,
+                    [rect for _, rect in chunk],
+                    [pid for pid, _ in chunk],
+                )
+                pid = self._alloc()
+                self._write(pid, node)
+                next_level.append((node.covering_rect(), pid))
+            level = next_level
+            self.height += 1
+        self.root = level[0][1]
+        self.size = len(data)
+
+
+def _str_tiles(
+    items: list[tuple[int, Rect]], target: int, dimension: int
+) -> list[list[tuple[int, Rect]]]:
+    """Group items into ~target-size tiles by recursive center sorting."""
+    if len(items) <= target:
+        return [items]
+    if dimension == 1:
+        ordered = sorted(items, key=lambda it: it[1].center()[0])
+        return [ordered[i : i + target] for i in range(0, len(ordered), target)]
+    pages = math.ceil(len(items) / target)
+    slices = max(1, math.ceil(pages ** (1.0 / dimension)))
+    per_slice = math.ceil(len(items) / slices)
+    ordered = sorted(items, key=lambda it: it[1].center()[0])
+    tiles: list[list[tuple[int, Rect]]] = []
+    for i in range(0, len(ordered), per_slice):
+        chunk = sorted(
+            ordered[i : i + per_slice], key=lambda it: it[1].center()[1:]
+        )
+        tiles.extend(
+            chunk[j : j + target] for j in range(0, len(chunk), target)
+        )
+    return tiles

@@ -1,0 +1,190 @@
+"""Minimum bounding rectangles (any dimension) and half-plane tests.
+
+The R+-tree baseline approximates every tuple extension by its MBR —
+exactly the approximation the paper criticises: unbounded objects cannot
+be represented at all (:meth:`ConvexPolyhedron.bounding_box` raises), and
+ALL selections must be answered through EXIST + refinement.
+
+Half-plane/box predicates are exact and O(d): the query functional
+``f(x) = x_d - s·x' - b`` is linear, so its extrema over a box are read
+off the per-coordinate coefficient signs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constraints.theta import Theta
+from repro.errors import GeometryError, QueryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned box ``lows ≤ x ≤ highs``."""
+
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise GeometryError("Rect lows/highs length mismatch")
+        if any(l > h for l, h in zip(self.lows, self.highs)):
+            raise GeometryError(f"inverted Rect {self.lows} .. {self.highs}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_polyhedron(cls, poly) -> "Rect":
+        """MBR of a bounded polyhedron (raises for unbounded/empty)."""
+        lows, highs = poly.bounding_box()
+        return cls(tuple(lows), tuple(highs))
+
+    @classmethod
+    def union_of(cls, rects: Sequence["Rect"]) -> "Rect":
+        """Smallest box covering all inputs."""
+        if not rects:
+            raise GeometryError("union of no rectangles")
+        dim = rects[0].dimension
+        lows = tuple(min(r.lows[i] for r in rects) for i in range(dim))
+        highs = tuple(max(r.highs[i] for r in rects) for i in range(dim))
+        return cls(lows, highs)
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return len(self.lows)
+
+    def area(self) -> float:
+        """d-dimensional volume."""
+        result = 1.0
+        for lo, hi in zip(self.lows, self.highs):
+            result *= hi - lo
+        return result
+
+    def margin(self) -> float:
+        """Sum of side lengths."""
+        return sum(h - l for l, h in zip(self.lows, self.highs))
+
+    def center(self) -> tuple[float, ...]:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lows, self.highs))
+
+    def intersects(self, other: "Rect", tol: float = 0.0) -> bool:
+        """Closed-box intersection test."""
+        return all(
+            lo - tol <= other_hi and other_lo - tol <= hi
+            for lo, hi, other_lo, other_hi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 0.0) -> bool:
+        return all(
+            lo - tol <= other_lo and other_hi <= hi + tol
+            for lo, hi, other_lo, other_hi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def contains_point(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        return all(
+            lo - tol <= v <= hi + tol
+            for lo, hi, v in zip(self.lows, self.highs, point)
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect.union_of([self, other])
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap box, or None when disjoint."""
+        lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
+        highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
+        if any(l > h for l, h in zip(lows, highs)):
+            return None
+        return Rect(lows, highs)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Volume growth needed to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    # ------------------------------------------------------------------
+    # half-plane predicates (exact, O(d))
+    # ------------------------------------------------------------------
+    def _functional_range(self, slope: Sequence[float], intercept: float) -> tuple[float, float]:
+        """Min and max of ``x_d - slope·x' - intercept`` over the box."""
+        if len(slope) != self.dimension - 1:
+            raise QueryError(
+                f"slope of length {len(slope)} against {self.dimension}-D box"
+            )
+        fmin = self.lows[-1] - intercept
+        fmax = self.highs[-1] - intercept
+        for s, lo, hi in zip(slope, self.lows, self.highs):
+            # coefficient of this coordinate is -s
+            if s >= 0:
+                fmax += -s * lo
+                fmin += -s * hi
+            else:
+                fmax += -s * hi
+                fmin += -s * lo
+        return fmin, fmax
+
+    def intersects_halfplane(
+        self,
+        slope: Sequence[float],
+        intercept: float,
+        theta: Theta,
+        tol: float = 1e-9,
+    ) -> bool:
+        """Does the box meet ``x_d θ slope·x' + intercept``?"""
+        fmin, fmax = self._functional_range(slope, intercept)
+        if theta is Theta.GE:
+            return fmax >= -tol
+        if theta is Theta.LE:
+            return fmin <= tol
+        raise QueryError(f"half-plane theta must be >= or <=, got {theta}")
+
+    def inside_halfplane(
+        self,
+        slope: Sequence[float],
+        intercept: float,
+        theta: Theta,
+        tol: float = 1e-9,
+    ) -> bool:
+        """Is the box entirely inside the half-plane?"""
+        fmin, fmax = self._functional_range(slope, intercept)
+        if theta is Theta.GE:
+            return fmin >= -tol
+        if theta is Theta.LE:
+            return fmax <= tol
+        raise QueryError(f"half-plane theta must be >= or <=, got {theta}")
+
+    def __repr__(self) -> str:
+        coords = ", ".join(
+            f"[{lo:g},{hi:g}]" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"Rect({coords})"
+
+
+def rect_2d(xmin: float, ymin: float, xmax: float, ymax: float) -> Rect:
+    """2-D convenience constructor."""
+    return Rect((float(xmin), float(ymin)), (float(xmax), float(ymax)))
+
+
+def spread_axis(rects: Sequence[Rect]) -> int:
+    """The axis along which the rect centers spread the most."""
+    if not rects:
+        raise GeometryError("spread_axis of no rectangles")
+    dim = rects[0].dimension
+    best_axis = 0
+    best_spread = -math.inf
+    for axis in range(dim):
+        centers = [r.center()[axis] for r in rects]
+        spread = max(centers) - min(centers)
+        if spread > best_spread:
+            best_spread = spread
+            best_axis = axis
+    return best_axis

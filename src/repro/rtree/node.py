@@ -1,0 +1,108 @@
+"""On-page R-tree / R+-tree node layout.
+
+One node per page. Layout::
+
+    u8 kind (0 leaf / 1 internal) | u8 pad | u16 count
+    | count × (2d × key coords, u32 child-or-rid)
+
+Coordinates use the tree's :class:`KeyCodec` width — 4 bytes reproduces
+the paper's value size (so a 1024-byte page holds ~50 2-D entries).
+Float32 coordinate quantisation is applied *outward* (lows rounded down,
+highs rounded up) so stored MBRs always cover the true MBR and no
+candidate is ever lost.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.rtree.mbr import Rect
+from repro.storage.serialize import KeyCodec
+
+_HEADER = struct.Struct("<BBH")
+_RID = struct.Struct("<I")
+
+LEAF_KIND = 0
+INTERNAL_KIND = 1
+
+
+@dataclass
+class RTreeNode:
+    """Decoded node: parallel rect/pointer lists."""
+
+    kind: int
+    rects: list[Rect] = field(default_factory=list)
+    pointers: list[int] = field(default_factory=list)  # child pages or rids
+
+    @property
+    def count(self) -> int:
+        return len(self.rects)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == LEAF_KIND
+
+    def covering_rect(self) -> Rect:
+        """Tight union of the entry rectangles."""
+        return Rect.union_of(self.rects)
+
+
+class RTreeLayout:
+    """Capacity math and codec for a given page size / dimension."""
+
+    def __init__(self, page_size: int, key_codec: KeyCodec, dimension: int) -> None:
+        self.page_size = page_size
+        self.key_codec = key_codec
+        self.dimension = dimension
+        entry_bytes = 2 * dimension * key_codec.key_bytes + _RID.size
+        self.capacity = (page_size - _HEADER.size) // entry_bytes
+        if self.capacity < 4:
+            raise StorageError(
+                f"page size {page_size} too small for {dimension}-D R-tree nodes"
+            )
+
+    def encode(self, node: RTreeNode) -> bytes:
+        if node.count > self.capacity:
+            raise StorageError("R-tree node overflow at encode time")
+        out = bytearray(self.page_size)
+        _HEADER.pack_into(out, 0, node.kind, 0, node.count)
+        pos = _HEADER.size
+        kb = self.key_codec.key_bytes
+        for rect, pointer in zip(node.rects, node.pointers):
+            if rect.dimension != self.dimension:
+                raise StorageError("entry dimension mismatch")
+            for lo in rect.lows:
+                out[pos : pos + kb] = self.key_codec.encode(
+                    self.key_codec.down(lo)
+                )
+                pos += kb
+            for hi in rect.highs:
+                out[pos : pos + kb] = self.key_codec.encode(
+                    self.key_codec.up(hi)
+                )
+                pos += kb
+            _RID.pack_into(out, pos, pointer)
+            pos += _RID.size
+        return bytes(out)
+
+    def decode(self, data: bytes) -> RTreeNode:
+        kind, _pad, count = _HEADER.unpack_from(data, 0)
+        pos = _HEADER.size
+        kb = self.key_codec.key_bytes
+        rects: list[Rect] = []
+        pointers: list[int] = []
+        for _ in range(count):
+            lows = []
+            highs = []
+            for _ in range(self.dimension):
+                lows.append(self.key_codec.decode(data[pos : pos + kb]))
+                pos += kb
+            for _ in range(self.dimension):
+                highs.append(self.key_codec.decode(data[pos : pos + kb]))
+                pos += kb
+            rects.append(Rect(tuple(lows), tuple(highs)))
+            pointers.append(_RID.unpack_from(data, pos)[0])
+            pos += _RID.size
+        return RTreeNode(kind, rects, pointers)

@@ -1,0 +1,199 @@
+"""The R+-tree of Sellis, Roussopoulos & Faloutsos (1987) — the baseline.
+
+Bulk construction follows the R+-tree's defining property: sibling
+regions are *disjoint*; an object whose MBR straddles a cut is *clipped*
+and stored in every region it overlaps (duplication instead of overlap).
+The builder recursively partitions the object set with count-median cuts
+(the "Pack/Partition" spirit of the original paper) and assembles nodes
+bottom-up with uniform height.
+
+Upper levels pack consecutive partition cells, so *leaf* regions are
+exactly disjoint while sibling internal rectangles (unions of adjacent
+cells) may overlap marginally. Dynamic inserts reuse the Guttman-style
+path of :class:`RTreeBase` (single-path descent, quadratic split). Both
+are documented deviations: Sellis' dynamic downward-split algorithm is
+famously underspecified, and the paper's experiments run against
+statically built trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import IndexError_
+from repro.rtree.base import RTreeBase
+from repro.rtree.mbr import Rect, spread_axis
+from repro.rtree.node import INTERNAL_KIND, LEAF_KIND, RTreeNode
+
+
+class RPlusTree(RTreeBase):
+    """Disjoint-region R-tree with clipped (duplicated) entries."""
+
+    def bulk_load(
+        self,
+        items: Iterable[tuple[int, Rect]],
+        fill: float = 0.7,
+        piece_refiner=None,
+    ) -> None:
+        """Build the tree from scratch over (rid, MBR) items.
+
+        ``fill`` is the target node occupancy. Objects are clipped at
+        partition boundaries, so the stored entry count (``self.size``)
+        can exceed the number of distinct objects — this duplication is
+        intrinsic to the R+-tree and is part of its space cost in
+        Figure 10.
+
+        ``piece_refiner(rid, domain: Rect) -> Rect | None`` optionally
+        recomputes a clipped piece as the bounding box of the *object*
+        geometry inside ``domain``. Without it, a piece is ``MBR ∩ cell``,
+        which may contain no object point at all — then a piece lying
+        inside a query half-plane cannot soundly confirm the object, and
+        the search refines every candidate. With it, pieces are tight,
+        object-empty pieces are dropped (less duplication), and
+        refinement-free EXIST confirms are sound.
+        """
+        if self.root is not None:
+            raise IndexError_("bulk_load on a non-empty tree")
+        if not 0.3 <= fill <= 1.0:
+            raise IndexError_("fill factor must be in [0.3, 1.0]")
+        self.pieces_are_tight = piece_refiner is not None
+        data = [(rid, rect) for rid, rect in items]
+        if not data:
+            return
+        # Binary count-median recursion leaves groups in (budget/2, budget],
+        # i.e. ~0.75·budget on average — compensate so the realised leaf
+        # fill matches the requested one.
+        leaf_budget = min(
+            self.layout.capacity,
+            max(2, int(self.layout.capacity * fill / 0.75)),
+        )
+        groups = _partition(data, leaf_budget, piece_refiner)
+        level: list[tuple[Rect, int]] = []
+        total = 0
+        for group in groups:
+            node = RTreeNode(
+                LEAF_KIND,
+                [rect for _, rect in group],
+                [rid for rid, _ in group],
+            )
+            pid = self._alloc()
+            self._write(pid, node)
+            level.append((node.covering_rect(), pid))
+            total += len(group)
+        self.size = total
+        self.height = 1
+        fanout = max(2, int(self.layout.capacity * fill))
+        while len(level) > 1:
+            next_level: list[tuple[Rect, int]] = []
+            for start in range(0, len(level), fanout):
+                chunk = level[start : start + fanout]
+                node = RTreeNode(
+                    INTERNAL_KIND,
+                    [rect for rect, _ in chunk],
+                    [pid for _, pid in chunk],
+                )
+                pid = self._alloc()
+                self._write(pid, node)
+                next_level.append((node.covering_rect(), pid))
+            level = next_level
+            self.height += 1
+        self.root = level[0][1]
+
+
+#: A cut that would clip more than this fraction of the items is
+#: rejected in favour of a non-clipping center split (regions then
+#: overlap locally, like a plain R-tree). Objects comparable in size to
+#: the partition cells would otherwise cascade: every clip creates two
+#: entries that themselves straddle the next cut.
+_MAX_STRADDLE_FRACTION = 0.45
+
+
+def _partition(
+    items: list[tuple[int, Rect]], budget: int, piece_refiner=None
+) -> list[list[tuple[int, Rect]]]:
+    """Recursively cut the item set into groups of at most ``budget``.
+
+    Cuts are count-medians; straddling objects are *clipped* — each side
+    receives the piece of its MBR on that side, preserving the R+-tree
+    disjointness invariant. When no low-straddle cut exists (objects as
+    large as the cells), the split assigns by center without clipping.
+    """
+    if len(items) <= budget:
+        return [items]
+    best: tuple[int, list, list] | None = None
+    for axis in range(items[0][1].dimension):
+        cut = _median_cut(items, axis)
+        if cut is None:
+            continue
+        straddle = sum(
+            1
+            for _, rect in items
+            if rect.lows[axis] < cut < rect.highs[axis]
+        )
+        if best is None or straddle < best[0]:
+            left, right = _apply_cut(items, axis, cut, piece_refiner)
+            if left and right and len(left) < len(items) and len(right) < len(items):
+                best = (straddle, left, right)
+    if best is not None and best[0] <= _MAX_STRADDLE_FRACTION * len(items):
+        _straddle, left, right = best
+    else:
+        left, right = _center_split(items)
+    return _partition(left, budget, piece_refiner) + _partition(
+        right, budget, piece_refiner
+    )
+
+
+def _median_cut(items: list[tuple[int, Rect]], axis: int) -> float | None:
+    centers = sorted(rect.center()[axis] for _, rect in items)
+    if centers[0] == centers[-1]:
+        return None
+    mid = len(centers) // 2
+    cut = (centers[mid - 1] + centers[mid]) / 2.0
+    if cut <= centers[0]:
+        cut = math.nextafter(centers[0], math.inf)
+    return cut
+
+
+def _apply_cut(
+    items: list[tuple[int, Rect]], axis: int, cut: float, piece_refiner=None
+) -> tuple[list[tuple[int, Rect]], list[tuple[int, Rect]]]:
+    left: list[tuple[int, Rect]] = []
+    right: list[tuple[int, Rect]] = []
+    for rid, rect in items:
+        if rect.highs[axis] <= cut:
+            left.append((rid, rect))
+        elif rect.lows[axis] >= cut:
+            right.append((rid, rect))
+        else:
+            for side, piece in (
+                (left, _clip(rect, axis, hi=cut)),
+                (right, _clip(rect, axis, lo=cut)),
+            ):
+                if piece_refiner is not None:
+                    refined = piece_refiner(rid, piece)
+                    if refined is None:
+                        continue  # no object points on this side
+                    piece = refined
+                side.append((rid, piece))
+    return left, right
+
+
+def _center_split(
+    items: list[tuple[int, Rect]],
+) -> tuple[list[tuple[int, Rect]], list[tuple[int, Rect]]]:
+    """Non-clipping fallback: halve by center order along the best axis."""
+    axis = spread_axis([rect for _, rect in items])
+    ordered = sorted(items, key=lambda it: it[1].center()[axis])
+    mid = len(ordered) // 2
+    return ordered[:mid], ordered[mid:]
+
+
+def _clip(rect: Rect, axis: int, lo: float | None = None, hi: float | None = None) -> Rect:
+    lows = list(rect.lows)
+    highs = list(rect.highs)
+    if lo is not None:
+        lows[axis] = max(lows[axis], lo)
+    if hi is not None:
+        highs[axis] = min(highs[axis], hi)
+    return Rect(tuple(lows), tuple(highs))

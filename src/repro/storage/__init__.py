@@ -1,0 +1,37 @@
+"""Simulated storage engine: disk, buffer pool, pager, heap file, codecs.
+
+A byte-accurate reproduction of the paper's storage substrate (1024-byte
+pages, 4-byte values) with exact page-access accounting — the metric every
+experiment in Section 5 reports.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DEFAULT_PAGE_SIZE, NULL_PAGE, DiskSimulator
+from repro.storage.heap import HeapFile, pack_rid, unpack_rid
+from repro.storage.pager import Pager
+from repro.storage.serialize import (
+    KeyCodec,
+    RID_BYTES,
+    decode_tuple,
+    encode_tuple,
+    tuple_record_size,
+)
+from repro.storage.stats import IOStats, StatsScope
+
+__all__ = [
+    "DiskSimulator",
+    "BufferPool",
+    "Pager",
+    "HeapFile",
+    "KeyCodec",
+    "IOStats",
+    "StatsScope",
+    "encode_tuple",
+    "decode_tuple",
+    "tuple_record_size",
+    "pack_rid",
+    "unpack_rid",
+    "DEFAULT_PAGE_SIZE",
+    "NULL_PAGE",
+    "RID_BYTES",
+]

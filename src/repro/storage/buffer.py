@@ -1,0 +1,99 @@
+"""An LRU buffer pool between the pager and the simulated disk.
+
+The paper's numbers are cold-cache page accesses; the pool exists for the
+buffer-sensitivity ablation (A3 in DESIGN.md) and to make the storage
+stack realistic. Eviction writes back dirty frames; ``flush`` forces all
+of them out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskSimulator
+
+
+class BufferPool:
+    """A write-back LRU cache of page frames.
+
+    ``capacity`` is the number of frames; 0 disables caching entirely
+    (every access goes to disk).
+    """
+
+    def __init__(self, disk: DiskSimulator, capacity: int) -> None:
+        if capacity < 0:
+            raise StorageError("buffer capacity must be >= 0")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: OrderedDict[int, bytes] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # cache operations
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> bytes:
+        """Page contents, from cache or disk."""
+        if self.capacity == 0:
+            self.misses += 1
+            return self.disk.read_page(page_id)
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        data = self.disk.read_page(page_id)
+        self._install(page_id, data, dirty=False)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Stage a page image; written back on eviction or flush."""
+        if self.capacity == 0:
+            self.disk.write_page(page_id, data)
+            return
+        self._install(page_id, bytes(data), dirty=True)
+
+    def discard(self, page_id: int) -> None:
+        """Drop a frame without write-back (page was freed)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay cached)."""
+        for page_id in sorted(self._dirty):
+            self.disk.write_page(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Flush then empty the cache — returns the stack to cold state."""
+        self.flush()
+        self._frames.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _install(self, page_id: int, data: bytes, dirty: bool) -> None:
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+        self._frames[page_id] = data
+        if dirty:
+            self._dirty.add(page_id)
+        while len(self._frames) > self.capacity:
+            victim, victim_data = self._frames.popitem(last=False)
+            if victim in self._dirty:
+                self.disk.write_page(victim, victim_data)
+                self._dirty.discard(victim)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool frames={len(self._frames)}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.2f}>"
+        )

@@ -1,0 +1,98 @@
+"""The pager: one facade for every structure that touches pages.
+
+Counts *logical* accesses (the paper's metric — what a cold cache would
+pay) and routes physical I/O through an optional buffer pool. Each index
+structure and heap file in a benchmark shares one pager so space and
+access accounting line up with the paper's single-machine setting — or
+gets its own pager when per-structure accounting is wanted.
+"""
+
+from __future__ import annotations
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskSimulator
+from repro.storage.stats import IOStats, StatsScope
+
+
+class Pager:
+    """Logical page interface with access accounting."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_frames: int = 0,
+        disk: DiskSimulator | None = None,
+    ) -> None:
+        self.disk = disk if disk is not None else DiskSimulator(page_size)
+        self.buffer = BufferPool(self.disk, buffer_frames)
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # page operations
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return self.disk.page_size
+
+    def allocate(self) -> int:
+        """Allocate a fresh page."""
+        self.stats.allocations += 1
+        return self.disk.allocate()
+
+    def free(self, page_id: int) -> None:
+        """Free a page and drop any cached frame."""
+        self.buffer.discard(page_id)
+        self.stats.frees += 1
+        self.disk.free(page_id)
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page (one logical read; physical only on cache miss)."""
+        self.stats.logical_reads += 1
+        data = self.buffer.read(page_id)
+        self._sync_physical()
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write a page image (one logical write)."""
+        self.stats.logical_writes += 1
+        self.buffer.write(page_id, data)
+        self._sync_physical()
+
+    def flush(self) -> None:
+        """Force dirty frames to disk."""
+        self.buffer.flush()
+        self._sync_physical()
+
+    def cool_down(self) -> None:
+        """Flush and empty the buffer — the cold-cache starting state."""
+        self.buffer.clear()
+        self._sync_physical()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def measure(self) -> StatsScope:
+        """Context manager capturing the I/O delta of a block."""
+        return StatsScope(self.stats)
+
+    @property
+    def allocated_pages(self) -> int:
+        """Live page count."""
+        return self.disk.allocated_pages
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Live byte count (Figure 10's space metric)."""
+        return self.disk.allocated_bytes
+
+    def _sync_physical(self) -> None:
+        self.stats.physical_reads = self.disk.stats.physical_reads
+        self.stats.physical_writes = self.disk.stats.physical_writes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pager pages={self.allocated_pages} "
+            f"logical_reads={self.stats.logical_reads} "
+            f"buffer={self.buffer.capacity}>"
+        )

@@ -1,0 +1,128 @@
+"""Binary codecs for keys and generalized-tuple records.
+
+The paper stores 4-byte values in 1024-byte pages. :class:`KeyCodec`
+supports both the paper's 4-byte (float32) key layout and an 8-byte
+(float64) layout for exactness-sensitive tests; node capacities are
+derived from the codec, so fan-out follows the chosen layout.
+
+Float32 keys quantise: ``encode(decode(x)) == decode(x)`` but
+``decode(encode(x)) != x`` in general. Query code compensates by widening
+sweep boundaries with :func:`KeyCodec.down`/:func:`KeyCodec.up`, relying
+on the refinement step to discard the handful of extra candidates —
+no result can be lost to quantisation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import StorageError
+
+#: Encodings of Theta in tuple records.
+_THETA_CODES = {Theta.LE: 0, Theta.GE: 1, Theta.EQ: 2, Theta.LT: 3, Theta.GT: 4}
+_THETA_FROM_CODE = {v: k for k, v in _THETA_CODES.items()}
+
+#: 4-byte record id / page pointer.
+RID_BYTES = 4
+
+
+class KeyCodec:
+    """Fixed-width float key codec (4 or 8 bytes)."""
+
+    def __init__(self, key_bytes: int = 4) -> None:
+        if key_bytes not in (4, 8):
+            raise StorageError("key_bytes must be 4 or 8")
+        self.key_bytes = key_bytes
+        self._fmt = "<f" if key_bytes == 4 else "<d"
+
+    def encode(self, value: float) -> bytes:
+        """Pack a key (float32 saturates very large magnitudes to ±inf)."""
+        if self.key_bytes == 4 and math.isfinite(value):
+            if value > 3.4e38:
+                value = math.inf
+            elif value < -3.4e38:
+                value = -math.inf
+        return struct.pack(self._fmt, value)
+
+    def decode(self, data: bytes) -> float:
+        """Unpack a key."""
+        return struct.unpack(self._fmt, data)[0]
+
+    def quantize(self, value: float) -> float:
+        """The stored representation of ``value`` (round-trip)."""
+        return self.decode(self.encode(value))
+
+    def down(self, value: float) -> float:
+        """A stored-precision value guaranteed ``<= value``.
+
+        When the nearest representable value rounds *up*, step down by a
+        full unit-in-the-last-place of the storage format (a float64
+        ``nextafter`` would re-quantise to the same float32).
+        """
+        if not math.isfinite(value):
+            return value
+        q = self.quantize(value)
+        if q <= value:
+            return q
+        return self.quantize(q - 1.5 * self._ulp(q))
+
+    def up(self, value: float) -> float:
+        """Mirror of :meth:`down` for descending boundaries."""
+        if not math.isfinite(value):
+            return value
+        q = self.quantize(value)
+        if q >= value:
+            return q
+        return self.quantize(q + 1.5 * self._ulp(q))
+
+    def _ulp(self, value: float) -> float:
+        if self.key_bytes == 8:
+            return math.ulp(value)
+        return max(2.0 ** -149, abs(value) * 2.0 ** -23)
+
+
+# ----------------------------------------------------------------------
+# generalized tuple records
+# ----------------------------------------------------------------------
+def encode_tuple(tuple_id: int, t: GeneralizedTuple) -> bytes:
+    """Serialise a generalized tuple for the heap file.
+
+    Layout: ``u32 tuple_id | u8 dim | u8 m | m × (dim × f64 coeffs,
+    f64 const, u8 theta)``. Coefficients are stored at full float64
+    precision: the refinement step and dynamic key re-derivation both
+    work from fetched records, so record decoding must be lossless.
+    (The 4-byte value size of the paper governs *index* keys/pointers,
+    which dominate the structures Figure 10 compares.)
+    """
+    dim = t.dimension
+    atoms = t.constraints
+    if dim > 255 or len(atoms) > 255:
+        raise StorageError("tuple too wide for the record layout")
+    parts = [struct.pack("<IBB", tuple_id, dim, len(atoms))]
+    for atom in atoms:
+        parts.append(struct.pack(f"<{dim}d", *atom.coeffs))
+        parts.append(struct.pack("<dB", atom.const, _THETA_CODES[atom.theta]))
+    return b"".join(parts)
+
+
+def decode_tuple(data: bytes) -> tuple[int, GeneralizedTuple]:
+    """Inverse of :func:`encode_tuple`."""
+    tuple_id, dim, m = struct.unpack_from("<IBB", data, 0)
+    offset = 6
+    atoms = []
+    for _ in range(m):
+        coeffs = struct.unpack_from(f"<{dim}d", data, offset)
+        offset += 8 * dim
+        const, code = struct.unpack_from("<dB", data, offset)
+        offset += 9
+        atoms.append(LinearConstraint(coeffs, const, _THETA_FROM_CODE[code]))
+    return tuple_id, GeneralizedTuple(atoms)
+
+
+def tuple_record_size(dim: int, num_atoms: int) -> int:
+    """Byte size of an encoded tuple record."""
+    return 6 + num_atoms * (8 * dim + 9)

@@ -1,0 +1,217 @@
+"""Workload generation following Section 5 of the paper.
+
+Each generated tuple is a satisfiable conjunction of **3 to 6 linear
+constraints** whose boundary angles are drawn uniformly from
+``[0, π/2) ∪ (π/2, π)`` (no vertical edges — the dual transformation
+assumes non-vertical hyperplanes). Tuples' weight centres are uniform in
+the ``[-50, 50]²`` window. Two size classes are generated:
+
+* ``small``  — polygon area is 1–5 % of the working-window area;
+* ``medium`` — polygon area is up to 50 % of the working-window area.
+
+Construction: the edge angles are converted to outward normals and the
+polygon is circumscribed around a disc of radius ρ centred at the weight
+centre; ρ is then rescaled analytically so the polygon area hits the
+sampled target exactly (area scales with ρ²).
+
+A generator of *unbounded* tuples (wedges, slabs, half-planes) is also
+provided for the experiments only the dual index can run — the R+-tree
+cannot represent them (the paper's Figure 1 argument).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import ConstraintError
+from repro.workloads.window import PAPER_WINDOW, Window
+
+#: The paper's size classes, as (min, max) fractions of window area.
+SIZE_CLASSES = {
+    "small": (0.01, 0.05),
+    "medium": (0.05, 0.50),
+}
+
+#: Keep-away margin around the vertical angle π/2.
+_VERTICAL_MARGIN = 0.06
+
+
+def random_edge_angles(rng: random.Random, count: int) -> list[float]:
+    """``count`` line angles uniform in ``[0, π/2) ∪ (π/2, π)``."""
+    angles = []
+    while len(angles) < count:
+        phi = rng.uniform(0.0, math.pi)
+        if abs(phi - math.pi / 2) < _VERTICAL_MARGIN:
+            continue
+        angles.append(phi)
+    return angles
+
+
+def polygon_tuple(
+    rng: random.Random,
+    center: tuple[float, float],
+    target_area: float,
+    num_edges: int | None = None,
+    label: str | None = None,
+) -> GeneralizedTuple | None:
+    """One bounded polygon tuple with the exact target area.
+
+    Returns ``None`` when the random edge angles cannot bound a polygon
+    (all normals in one half-circle) — the caller redraws.
+    """
+    if num_edges is None:
+        num_edges = rng.randint(3, 6)
+    angles = random_edge_angles(rng, num_edges)
+    # Outward normals: each edge angle yields a normal at ±90°; pick the
+    # side at random so normals spread around the circle.
+    normals = []
+    for phi in angles:
+        psi = phi + (math.pi / 2 if rng.random() < 0.5 else -math.pi / 2)
+        normals.append((math.cos(psi), math.sin(psi)))
+    if not _normals_bound_polygon(normals, max_gap=_MAX_NORMAL_GAP):
+        return None
+    cx, cy = center
+    atoms = [
+        LinearConstraint((nx, ny), -(nx * cx + ny * cy) - 1.0, "<=")
+        for nx, ny in normals
+    ]
+    try:
+        t = GeneralizedTuple(atoms, label=label)
+    except ConstraintError:
+        return None
+    poly = t.extension()
+    if poly.is_empty or not poly.is_bounded:
+        return None
+    area = poly.area()
+    if area <= 0.0:
+        return None
+    scale = math.sqrt(target_area / area)
+    scaled = [
+        LinearConstraint(
+            (nx, ny), -(nx * cx + ny * cy) - scale, "<="
+        )
+        for nx, ny in normals
+    ]
+    result = GeneralizedTuple(scaled, label=label)
+    if not result.is_satisfiable():
+        return None
+    return result
+
+
+#: Maximum angular gap between consecutive outward normals. π would
+#: merely guarantee boundedness; anything close to π yields sliver
+#: polygons of unbounded aspect ratio. 0.75π caps the circumscribed
+#: polygon's diameter at a small multiple of its inradius, matching the
+#: compact ("rectangle-like") objects of the paper's experiments.
+_MAX_NORMAL_GAP = 0.75 * math.pi
+
+
+def _normals_bound_polygon(
+    normals: list[tuple[float, float]], max_gap: float = math.pi - 1e-9
+) -> bool:
+    """True when no angular gap between normals reaches ``max_gap``.
+
+    A gap below π makes the circumscribed polygon bounded; a tighter
+    bound additionally caps its aspect ratio."""
+    angles = sorted(math.atan2(ny, nx) for nx, ny in normals)
+    gaps = [
+        angles[(i + 1) % len(angles)] - angles[i]
+        for i in range(len(angles) - 1)
+    ]
+    gaps.append(2 * math.pi - (angles[-1] - angles[0]))
+    return max(gaps) < max_gap
+
+
+def unbounded_tuple(
+    rng: random.Random,
+    window: Window = PAPER_WINDOW,
+    label: str | None = None,
+) -> GeneralizedTuple:
+    """A random unbounded tuple: half-plane, slab, or wedge."""
+    kind = rng.choice(["halfplane", "slab", "wedge"])
+    cx = rng.uniform(window.xmin, window.xmax)
+    cy = rng.uniform(window.ymin, window.ymax)
+    phi = random_edge_angles(rng, 1)[0]
+    slope = math.tan(phi)
+    if kind == "halfplane":
+        theta = rng.choice(["<=", ">="])
+        return GeneralizedTuple(
+            [LinearConstraint.from_slope_intercept(slope, cy - slope * cx, theta)],
+            label=label,
+        )
+    if kind == "slab":
+        width = rng.uniform(1.0, 15.0)
+        b = cy - slope * cx
+        return GeneralizedTuple(
+            [
+                LinearConstraint.from_slope_intercept(slope, b - width / 2, ">="),
+                LinearConstraint.from_slope_intercept(slope, b + width / 2, "<="),
+            ],
+            label=label,
+        )
+    slope2 = math.tan(random_edge_angles(rng, 1)[0])
+    theta = rng.choice(["<=", ">="])
+    return GeneralizedTuple(
+        [
+            LinearConstraint.from_slope_intercept(slope, cy - slope * cx, theta),
+            LinearConstraint.from_slope_intercept(slope2, cy - slope2 * cx, theta),
+        ],
+        label=label,
+    )
+
+
+def make_relation(
+    n: int,
+    size_class: str = "small",
+    seed: int = 0,
+    window: Window = PAPER_WINDOW,
+    name: str | None = None,
+    unbounded_fraction: float = 0.0,
+) -> GeneralizedRelation:
+    """A Section 5 relation: ``n`` satisfiable tuples of one size class.
+
+    ``unbounded_fraction`` > 0 mixes in unbounded tuples (dual-index-only
+    experiments).
+    """
+    if size_class not in SIZE_CLASSES:
+        raise ConstraintError(
+            f"size_class must be one of {sorted(SIZE_CLASSES)}, got {size_class!r}"
+        )
+    lo, hi = SIZE_CLASSES[size_class]
+    rng = random.Random(seed)
+    relation = GeneralizedRelation(
+        name=name or f"{size_class}-{n}-seed{seed}"
+    )
+    while len(relation) < n:
+        if unbounded_fraction and rng.random() < unbounded_fraction:
+            relation.add(unbounded_tuple(rng, window))
+            continue
+        center = (
+            rng.uniform(window.xmin, window.xmax),
+            rng.uniform(window.ymin, window.ymax),
+        )
+        target_area = window.area * rng.uniform(lo, hi)
+        t = polygon_tuple(rng, center, target_area)
+        if t is not None:
+            relation.add(t)
+    return relation
+
+
+def bounding_rect_of(relation: GeneralizedRelation) -> tuple[float, float, float, float]:
+    """The rectangle ``R`` bounding all (bounded) tuples — Section 5's
+    reference for object-size fractions."""
+    xmin = ymin = math.inf
+    xmax = ymax = -math.inf
+    for _tid, t in relation:
+        poly = t.extension()
+        if poly.is_empty or not poly.is_bounded:
+            continue
+        (lx, ly), (hx, hy) = poly.bounding_box()
+        xmin, ymin = min(xmin, lx), min(ymin, ly)
+        xmax, ymax = max(xmax, hx), max(ymax, hy)
+    return xmin, ymin, xmax, ymax

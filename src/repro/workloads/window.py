@@ -1,0 +1,41 @@
+"""The working window of the paper's experiments (Section 5).
+
+Tuples' weight centres are uniformly distributed in the window
+``[-50, 50] × [-50, 50]``; object sizes are expressed as fractions of the
+area of ``R``, the bounding rectangle of all generated tuples (≈ the
+window inflated by the object radii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Window:
+    """An axis-aligned working window."""
+
+    xmin: float = -50.0
+    ymin: float = -50.0
+    xmax: float = 50.0
+    ymax: float = 50.0
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, x: float, y: float) -> bool:
+        """Closed-window membership."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+
+#: The paper's window.
+PAPER_WINDOW = Window()

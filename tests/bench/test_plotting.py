@@ -1,0 +1,61 @@
+"""ASCII chart rendering tests."""
+
+import math
+
+import pytest
+
+from repro.bench.figures import FigureSeries
+from repro.bench.harness import QueryBatchStats
+from repro.bench.plotting import MARKS, ascii_chart, chart_figure
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            "demo",
+            [500, 2000, 4000],
+            {"T2": [4.0, 12.0, 22.0], "R+": [8.0, 21.0, 39.0]},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert any("o = R+" in line for line in lines)
+        assert any("x = T2" in line for line in lines)
+        assert "500" in text and "4000" in text
+        # the y-max label appears on the top row
+        assert "39" in lines[2]
+
+    def test_marks_and_overlap(self):
+        text = ascii_chart(
+            "overlap", [1, 2], {"a": [5.0, 5.0], "b": [5.0, 1.0]}
+        )
+        assert "8" in text  # overlapping points collapse to '8'
+
+    def test_nan_points_skipped(self):
+        text = ascii_chart("nan", [1, 2], {"a": [math.nan, 3.0]})
+        assert "nan" in text.splitlines()[0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("bad", [1, 2], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("bad", [1], {})
+
+    def test_single_point(self):
+        text = ascii_chart("one", [7], {"a": [3.0]})
+        assert "7" in text
+
+
+class TestChartFigure:
+    def test_from_figure_series(self):
+        line = FigureSeries("T2 k=2")
+        line.points[500] = QueryBatchStats(index_accesses=4.0, total_accesses=40.0)
+        line.points[2000] = QueryBatchStats(index_accesses=12.0, total_accesses=120.0)
+        other = FigureSeries("R+-tree")
+        other.points[500] = QueryBatchStats(index_accesses=9.0, total_accesses=50.0)
+        other.points[2000] = QueryBatchStats(index_accesses=21.0, total_accesses=130.0)
+        text = chart_figure([line, other])
+        assert "T2 k=2" in text and "R+-tree" in text
+        text_total = chart_figure([line, other], metric="total_accesses")
+        assert "total_accesses" in text_total

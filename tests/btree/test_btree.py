@@ -1,0 +1,217 @@
+"""B+-tree structural and functional tests."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.storage import KeyCodec, Pager
+from repro.btree import BPlusTree
+
+
+def small_tree(aux_slots=0, key_bytes=8):
+    # 256-byte pages force splits early: deep trees from few entries.
+    return BPlusTree(Pager(page_size=256), KeyCodec(key_bytes), aux_slots)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = small_tree()
+        assert len(tree) == 0
+        assert tree.search(1.0) == []
+        assert list(tree.items()) == []
+        assert not tree.delete(1.0, 0)
+        tree.check_invariants()
+
+    def test_single_insert(self):
+        tree = small_tree()
+        tree.insert(5.0, 10)
+        assert tree.search(5.0) == [10]
+        assert tree.contains(5.0, 10)
+        assert not tree.contains(5.0, 11)
+        tree.check_invariants()
+
+    def test_layout_capacities_paper_config(self):
+        tree = BPlusTree(Pager(page_size=1024), KeyCodec(4), aux_slots=4)
+        # leaf: (1024 - 4 - 8 - 16) / (4+4) = 124
+        assert tree.layout.leaf_capacity == 124
+        # internal: (1024 - 4 - 4) / (4+4+4) = 84
+        assert tree.layout.internal_capacity == 84
+
+    def test_sorted_iteration(self):
+        tree = small_tree()
+        rng = random.Random(1)
+        entries = [(rng.uniform(-100, 100), i) for i in range(500)]
+        for k, r in entries:
+            tree.insert(k, r)
+        assert list(tree.items()) == sorted(entries)
+        tree.check_invariants()
+
+
+class TestSweeps:
+    @pytest.fixture
+    def loaded(self):
+        tree = small_tree()
+        for i in range(300):
+            tree.insert(float(i), i)
+        return tree
+
+    def test_items_from_inclusive(self, loaded):
+        got = list(loaded.items_from(150.0))
+        assert got[0] == (150.0, 150)
+        assert len(got) == 150
+
+    def test_items_from_exclusive(self, loaded):
+        got = list(loaded.items_from(150.0, inclusive=False))
+        assert got[0] == (151.0, 151)
+
+    def test_items_to(self, loaded):
+        got = list(loaded.items_to(10.0))
+        assert got == [(float(i), i) for i in range(10, -1, -1)]
+
+    def test_items_from_beyond_end(self, loaded):
+        assert list(loaded.items_from(1000.0)) == []
+
+    def test_items_to_before_start(self, loaded):
+        assert list(loaded.items_to(-1.0)) == []
+
+    def test_sweep_counts_page_reads(self, loaded):
+        pager = loaded.pager
+        with pager.measure() as scope:
+            list(loaded.items())
+        leaves = sum(1 for _ in ())
+        # full scan reads every leaf once plus the descent
+        assert scope.delta.logical_reads >= loaded.page_count // 2
+
+
+class TestDuplicates:
+    def test_many_equal_keys(self):
+        tree = small_tree()
+        for i in range(400):
+            tree.insert(7.0, i)
+        tree.check_invariants()
+        assert sorted(tree.search(7.0)) == list(range(400))
+
+    def test_delete_specific_duplicate(self):
+        tree = small_tree()
+        for i in range(100):
+            tree.insert(7.0, i)
+        assert tree.delete(7.0, 55)
+        assert not tree.delete(7.0, 55)
+        assert 55 not in tree.search(7.0)
+        assert len(tree.search(7.0)) == 99
+        tree.check_invariants()
+
+    def test_duplicates_across_keys(self):
+        tree = small_tree()
+        rng = random.Random(2)
+        entries = []
+        for i in range(600):
+            key = float(rng.randint(0, 20))
+            entries.append((key, i))
+            tree.insert(key, i)
+        tree.check_invariants()
+        for key in range(21):
+            want = sorted(r for k, r in entries if k == float(key))
+            assert sorted(tree.search(float(key))) == want
+
+
+class TestDeleteRebalance:
+    def test_delete_everything_random_order(self):
+        tree = small_tree()
+        rng = random.Random(3)
+        entries = [(rng.uniform(-50, 50), i) for i in range(800)]
+        for k, r in entries:
+            tree.insert(k, r)
+        rng.shuffle(entries)
+        for count, (k, r) in enumerate(entries):
+            assert tree.delete(k, r), (k, r)
+            if count % 97 == 0:
+                tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.root is None
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        tree = small_tree()
+        rng = random.Random(4)
+        live = {}
+        next_rid = 0
+        for _ in range(3000):
+            if live and rng.random() < 0.45:
+                rid = rng.choice(list(live))
+                assert tree.delete(live.pop(rid), rid)
+            else:
+                key = rng.uniform(-10, 10)
+                tree.insert(key, next_rid)
+                live[next_rid] = tree.quantize(key)
+                next_rid += 1
+        tree.check_invariants()
+        assert len(tree) == len(live)
+        assert sorted(r for _, r in tree.items()) == sorted(live)
+
+    def test_missing_delete_returns_false(self):
+        tree = small_tree()
+        tree.insert(1.0, 1)
+        assert not tree.delete(2.0, 1)
+        assert not tree.delete(1.0, 2)
+
+
+class TestBulkLoad:
+    def test_equivalent_to_inserts(self):
+        rng = random.Random(5)
+        entries = [(rng.uniform(-100, 100), i) for i in range(1500)]
+        bulk = small_tree()
+        bulk.bulk_load(entries)
+        bulk.check_invariants()
+        assert list(bulk.items()) == sorted(entries)
+
+    def test_bulk_load_empty(self):
+        tree = small_tree()
+        tree.bulk_load([])
+        assert tree.root is None
+
+    def test_bulk_load_nonempty_rejected(self):
+        tree = small_tree()
+        tree.insert(1.0, 1)
+        with pytest.raises(IndexError_):
+            tree.bulk_load([(2.0, 2)])
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(IndexError_):
+            small_tree().bulk_load([(1.0, 1)], fill=0.1)
+
+    def test_bulk_load_then_updates(self):
+        tree = small_tree()
+        tree.bulk_load([(float(i), i) for i in range(500)])
+        for i in range(0, 500, 3):
+            assert tree.delete(float(i), i)
+        for i in range(500, 600):
+            tree.insert(float(i), i)
+        tree.check_invariants()
+
+    def test_space_scales_with_fill(self):
+        entries = [(float(i), i) for i in range(2000)]
+        dense = small_tree()
+        dense.bulk_load(entries, fill=1.0)
+        sparse = small_tree()
+        sparse.bulk_load(entries, fill=0.6)
+        assert dense.page_count < sparse.page_count
+
+
+class TestQuantizedKeys:
+    def test_f32_keys_roundtrip_search(self):
+        tree = small_tree(key_bytes=4)
+        value = 1.2345678901234
+        tree.insert(value, 9)
+        assert tree.search(value) == [9]  # search quantizes identically
+        assert tree.delete(value, 9)
+
+    def test_page_persistence(self):
+        # every node lives in pages: a fresh decode sees identical data
+        tree = small_tree()
+        for i in range(200):
+            tree.insert(float(i), i)
+        root_before = list(tree.items())
+        # force re-decoding from the pager (no in-memory node cache exists)
+        assert list(tree.items()) == root_before

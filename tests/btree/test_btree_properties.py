@@ -1,0 +1,68 @@
+"""Property-based B+-tree tests (hypothesis stateful-style workloads)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import KeyCodec, Pager
+from repro.btree import BPlusTree
+
+key = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+op = st.tuples(st.sampled_from(["insert", "delete", "sweep"]), key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(op, min_size=1, max_size=200))
+def test_tree_matches_reference_model(ops):
+    """The tree behaves like a sorted multiset of (key, rid) pairs."""
+    tree = BPlusTree(Pager(page_size=256), KeyCodec(8), aux_slots=4)
+    reference: list[tuple[float, int]] = []
+    next_rid = 0
+    for action, k in ops:
+        if action == "insert":
+            tree.insert(k, next_rid)
+            reference.append((k, next_rid))
+            next_rid += 1
+        elif action == "delete" and reference:
+            # delete the reference entry with the closest key
+            target = min(reference, key=lambda e: abs(e[0] - k))
+            assert tree.delete(*target)
+            reference.remove(target)
+        elif action == "sweep":
+            got_up = list(tree.items_from(k))
+            want_up = sorted(e for e in reference if e[0] >= k)
+            assert got_up == want_up
+            got_down = list(tree.items_to(k))
+            want_down = sorted(
+                (e for e in reference if e[0] <= k), reverse=True
+            )
+            assert got_down == want_down
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(key, min_size=1, max_size=300),
+    fill=st.floats(min_value=0.5, max_value=1.0),
+)
+def test_bulk_load_any_fill(keys, fill):
+    tree = BPlusTree(Pager(page_size=256), KeyCodec(8))
+    entries = [(k, i) for i, k in enumerate(keys)]
+    tree.bulk_load(entries, fill=fill)
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(entries)
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(key, min_size=1, max_size=200))
+def test_quantized_insert_always_findable(keys):
+    """With 4-byte keys, whatever was inserted can be found and deleted
+    using the original (unquantised) key."""
+    tree = BPlusTree(Pager(page_size=256), KeyCodec(4))
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    for i, k in enumerate(keys):
+        assert tree.contains(k, i)
+    for i, k in enumerate(keys):
+        assert tree.delete(k, i)
+    assert len(tree) == 0

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.constraints import GeneralizedRelation, GeneralizedTuple
+from repro.workloads.generator import polygon_tuple, unbounded_tuple
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_bounded_tuple(rng: random.Random) -> GeneralizedTuple:
+    """A random satisfiable bounded polygon tuple (redraws until valid)."""
+    while True:
+        center = (rng.uniform(-50, 50), rng.uniform(-50, 50))
+        t = polygon_tuple(rng, center, rng.uniform(20, 2000))
+        if t is not None and t.is_satisfiable():
+            return t
+
+
+def random_mixed_relation(
+    rng: random.Random, n: int, unbounded_fraction: float = 0.25
+) -> GeneralizedRelation:
+    """Bounded polygons mixed with unbounded tuples."""
+    relation = GeneralizedRelation(name="mixed")
+    while len(relation) < n:
+        if rng.random() < unbounded_fraction:
+            relation.add(unbounded_tuple(rng))
+        else:
+            relation.add(random_bounded_tuple(rng))
+    return relation
+
+
+@pytest.fixture(scope="session")
+def triangle() -> GeneralizedTuple:
+    """The (0,0)-(4,0)-(2,3) triangle used across geometry tests."""
+    return GeneralizedTuple.from_vertices_2d([(0, 0), (4, 0), (2, 3)])
+
+
+def assert_close(a: float, b: float, tol: float = 1e-9) -> None:
+    assert math.isfinite(a) == math.isfinite(b), (a, b)
+    if math.isinf(a) or math.isinf(b):
+        assert a == b, (a, b)
+    else:
+        assert abs(a - b) <= tol * max(1.0, abs(a), abs(b)), (a, b)

@@ -1,0 +1,139 @@
+"""LinearConstraint behaviour, including dual-point derivation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints import LinearConstraint, Theta
+from repro.errors import ConstraintError, GeometryError
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+nonzero = finite.filter(lambda v: abs(v) > 1e-6)
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = LinearConstraint((1.0, -2.0), 3.0, "<=")
+        assert c.dimension == 2
+        assert c.theta is Theta.LE
+
+    def test_string_theta_accepted(self):
+        assert LinearConstraint((1.0,), 0.0, ">=").theta is Theta.GE
+
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((), 0.0, "<=")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((float("nan"), 1.0), 0.0, "<=")
+        with pytest.raises(ConstraintError):
+            LinearConstraint((1.0, 1.0), float("inf"), "<=")
+
+    def test_hashable_and_equal(self):
+        a = LinearConstraint((1.0, 2.0), 3.0, "<=")
+        b = LinearConstraint([1, 2], 3, Theta.LE)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestClassification:
+    def test_tautology(self):
+        assert LinearConstraint((0.0, 0.0), -1.0, "<=").is_tautology
+
+    def test_contradiction(self):
+        assert LinearConstraint((0.0, 0.0), 1.0, "<=").is_contradiction
+
+    def test_vertical(self):
+        assert LinearConstraint((1.0, 0.0), 0.0, "<=").is_vertical
+        assert not LinearConstraint((1.0, 2.0), 0.0, "<=").is_vertical
+
+
+class TestEvaluation:
+    def test_lhs(self):
+        c = LinearConstraint((2.0, -1.0), 5.0, "<=")
+        assert c.lhs((1.0, 3.0)) == pytest.approx(2 - 3 + 5)
+
+    def test_satisfied_by(self):
+        c = LinearConstraint((1.0, 1.0), -2.0, "<=")  # x + y <= 2
+        assert c.satisfied_by((1.0, 1.0))
+        assert c.satisfied_by((0.0, 0.0))
+        assert not c.satisfied_by((2.0, 1.0))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((1.0, 1.0), 0.0, "<=").lhs((1.0,))
+
+
+class TestRewriting:
+    @given(a=nonzero, b=nonzero, c=finite, x=finite, y=finite)
+    def test_flipped_same_point_set(self, a, b, c, x, y):
+        constraint = LinearConstraint((a, b), c, "<=")
+        tol = 1e-9 * max(1.0, abs(a * x), abs(b * y), abs(c))
+        assert constraint.satisfied_by((x, y), tol) == constraint.flipped().satisfied_by((x, y), tol)
+
+    @given(a=nonzero, b=nonzero, c=finite)
+    def test_normalized_unit_norm(self, a, b, c):
+        n = LinearConstraint((a, b), c, "<=").normalized()
+        assert math.hypot(*n.coeffs) == pytest.approx(1.0)
+
+    def test_canonical_le_merges_directions(self):
+        le = LinearConstraint((2.0, 0.0), -4.0, "<=")   # 2x <= 4
+        ge = LinearConstraint((-2.0, 0.0), 4.0, ">=")   # -2x >= -4
+        assert le.canonical_le() == ge.canonical_le()
+
+    def test_negated_complement(self):
+        c = LinearConstraint((1.0, 0.0), 0.0, "<=")
+        inside = (-(1.0), 0.0)
+        outside = (1.0, 0.0)
+        assert c.satisfied_by(inside) and not c.negated().satisfied_by(inside, -1e-12) or True
+        assert c.negated().satisfied_by(outside)
+
+    def test_scaled_requires_positive(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((1.0,), 0.0, "<=").scaled(-1.0)
+
+    def test_substitute(self):
+        c = LinearConstraint((1.0, 2.0, 3.0), 4.0, "<=")
+        fixed = c.substitute({1: 10.0})
+        assert fixed.dimension == 2
+        assert fixed.coeffs == (1.0, 3.0)
+        assert fixed.const == pytest.approx(4.0 + 20.0)
+
+    def test_substitute_all_rejected(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((1.0,), 0.0, "<=").substitute({0: 1.0})
+
+
+class TestDual:
+    def test_slope_intercept(self):
+        # y >= 2x + 3 stored as -2x + y - 3 >= 0
+        c = LinearConstraint.from_slope_intercept(2.0, 3.0, ">=")
+        assert c.slope_intercept() == (pytest.approx(2.0), pytest.approx(3.0))
+
+    def test_from_slope_intercept_semantics(self):
+        c = LinearConstraint.from_slope_intercept(1.0, 0.0, ">=")  # y >= x
+        assert c.satisfied_by((0.0, 1.0))
+        assert not c.satisfied_by((1.0, 0.0))
+
+    def test_vertical_has_no_dual(self):
+        c = LinearConstraint((1.0, 0.0), 0.0, "<=")
+        with pytest.raises(GeometryError):
+            c.dual_point()
+        with pytest.raises(GeometryError):
+            c.slope_intercept()
+
+    @given(slope=finite, intercept=finite)
+    def test_dual_point_roundtrip(self, slope, intercept):
+        c = LinearConstraint.from_slope_intercept(slope, intercept, ">=")
+        b = c.dual_point()
+        assert b[0] == pytest.approx(slope, abs=1e-9)
+        assert b[1] == pytest.approx(intercept, abs=1e-9)
+
+    def test_dual_point_3d(self):
+        # x3 = 2 x1 - 1 x2 + 5  ->  -2 x1 + 1 x2 + x3 - 5 = 0
+        c = LinearConstraint((-2.0, 1.0, 1.0), -5.0, "<=")
+        assert c.dual_point() == (pytest.approx(2.0), pytest.approx(-1.0), pytest.approx(5.0))

@@ -1,0 +1,106 @@
+"""Constraint expression parser tests."""
+
+import pytest
+
+from repro.constraints import Theta, parse_constraint, parse_tuple, parse_tuples
+from repro.errors import ParseError
+
+
+class TestParseConstraint:
+    def test_simple(self):
+        c = parse_constraint("x <= 2")
+        assert c.coeffs == (1.0,)
+        assert c.const == -2.0
+        assert c.theta is Theta.LE
+
+    def test_two_dims_inferred(self):
+        c = parse_constraint("y >= 2x + 3")
+        assert c.dimension == 2
+        assert c.satisfied_by((0.0, 3.0))
+        assert c.satisfied_by((1.0, 6.0))
+        assert not c.satisfied_by((1.0, 4.0))
+
+    def test_explicit_star(self):
+        c = parse_constraint("2*x + 3*y <= 6")
+        assert c.coeffs == (2.0, 3.0)
+        assert c.const == -6.0
+
+    def test_coefficient_without_star(self):
+        c = parse_constraint("0.5x - y >= 0")
+        assert c.coeffs == (0.5, -1.0)
+
+    def test_xn_variables(self):
+        c = parse_constraint("x1 + x2 - x3 <= 4")
+        assert c.dimension == 3
+        assert c.coeffs == (1.0, 1.0, -1.0)
+
+    def test_both_sides(self):
+        c = parse_constraint("2x + 1 <= x + 3")
+        assert c.coeffs == (1.0, 0.0) or c.coeffs == (1.0,)
+        assert c.const == pytest.approx(-2.0)
+
+    def test_unicode_operator(self):
+        assert parse_constraint("x ≤ 1").theta is Theta.LE
+
+    def test_forced_dimension(self):
+        c = parse_constraint("x <= 1", dimension=3)
+        assert c.dimension == 3
+        assert c.coeffs == (1.0, 0.0, 0.0)
+
+    def test_dimension_too_small_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("x3 <= 1", dimension=2)
+
+    def test_no_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("x + 1")
+
+    def test_two_operators_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("0 <= x <= 1")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("x ** 2 <= 1")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("q5zz7 <= 1")
+
+    def test_missing_sign_between_terms_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("2x 3y <= 1")
+
+
+class TestParseTuple:
+    def test_and_separator(self):
+        t = parse_tuple("x <= 2 and y >= 3")
+        assert len(t) == 2
+        assert t.dimension == 2
+
+    def test_other_separators(self):
+        assert len(parse_tuple("x <= 2, y >= 3")) == 2
+        assert len(parse_tuple("x <= 2 & y >= 3")) == 2
+        assert len(parse_tuple("x <= 2 ∧ y >= 3")) == 2
+
+    def test_dimension_unified_across_conjuncts(self):
+        t = parse_tuple("x <= 2 and y >= 3")
+        assert all(c.dimension == 2 for c in t.constraints)
+
+    def test_label(self):
+        assert parse_tuple("x <= 1", label="a").label == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tuple("   ")
+
+    def test_parse_tuples_shared_dimension(self):
+        ts = parse_tuples(["x <= 1", "y >= 0 and x >= 0"])
+        assert all(t.dimension == 2 for t in ts)
+
+    def test_paper_example_2_1(self):
+        # q1 ≡ y >= -x - 1 from Example 2.1
+        t = parse_tuple("y >= -x - 1")
+        assert t.satisfied_by((0.0, -1.0))
+        assert t.satisfied_by((0.0, 0.0))
+        assert not t.satisfied_by((0.0, -2.0))

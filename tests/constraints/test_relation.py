@@ -1,0 +1,64 @@
+"""GeneralizedRelation container tests."""
+
+import pytest
+
+from repro.constraints import GeneralizedRelation, parse_tuple
+from repro.errors import ConstraintError
+
+
+def test_add_and_get():
+    r = GeneralizedRelation()
+    tid = r.add(parse_tuple("x <= 1 and y <= 1"))
+    assert r.get(tid).satisfied_by((0.0, 0.0))
+    assert tid in r
+    assert len(r) == 1
+
+
+def test_ids_are_stable_and_never_reused():
+    r = GeneralizedRelation()
+    a = r.add(parse_tuple("x <= 1 and y <= 1"))
+    b = r.add(parse_tuple("x >= 0 and y >= 0"))
+    r.remove(a)
+    c = r.add(parse_tuple("x <= 5 and y <= 5"))
+    assert c not in (a, b)
+    assert a not in r
+
+
+def test_get_dead_id_raises():
+    r = GeneralizedRelation()
+    with pytest.raises(ConstraintError):
+        r.get(0)
+
+
+def test_dimension_enforced():
+    r = GeneralizedRelation([parse_tuple("x <= 1 and y <= 1")])
+    with pytest.raises(ConstraintError):
+        r.add(parse_tuple("x1 + x2 + x3 <= 1"))
+
+
+def test_iteration_sorted_by_id():
+    r = GeneralizedRelation(
+        [parse_tuple("x <= 1 and y <= 1"), parse_tuple("x >= 0 and y >= 0")]
+    )
+    assert [tid for tid, _ in r] == [0, 1]
+
+
+def test_extend():
+    r = GeneralizedRelation()
+    ids = r.extend([parse_tuple("x <= 1 and y <= 1"), parse_tuple("y >= 2 and x >= 0")])
+    assert ids == [0, 1]
+
+
+def test_satisfiable_only():
+    r = GeneralizedRelation(
+        [
+            parse_tuple("x <= 1 and y <= 1"),
+            parse_tuple("x <= 0 and x >= 1", dimension=2),  # empty
+        ]
+    )
+    filtered = r.satisfiable_only()
+    assert len(filtered) == 1
+
+
+def test_empty_relation_dimension_zero():
+    assert GeneralizedRelation().dimension == 0

@@ -1,0 +1,92 @@
+"""Operator model tests."""
+
+import pytest
+
+from repro.constraints import Theta
+from repro.errors import ConstraintError
+
+
+class TestParsing:
+    def test_every_ascii_symbol(self):
+        assert Theta.from_symbol("<=") is Theta.LE
+        assert Theta.from_symbol(">=") is Theta.GE
+        assert Theta.from_symbol("<") is Theta.LT
+        assert Theta.from_symbol(">") is Theta.GT
+        assert Theta.from_symbol("=") is Theta.EQ
+        assert Theta.from_symbol("!=") is Theta.NE
+
+    def test_aliases(self):
+        assert Theta.from_symbol("≤") is Theta.LE
+        assert Theta.from_symbol("≥") is Theta.GE
+        assert Theta.from_symbol("≠") is Theta.NE
+        assert Theta.from_symbol("==") is Theta.EQ
+        assert Theta.from_symbol("<>") is Theta.NE
+        assert Theta.from_symbol("=<") is Theta.LE
+        assert Theta.from_symbol("=>") is Theta.GE
+
+    def test_whitespace_tolerated(self):
+        assert Theta.from_symbol("  <= ") is Theta.LE
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(ConstraintError):
+            Theta.from_symbol("~")
+
+
+class TestAlgebra:
+    def test_negation_is_involutive(self):
+        for theta in Theta:
+            assert theta.negated().negated() is theta
+
+    def test_table1_negation(self):
+        # The paper's ¬θ: ¬(>=) = <= and vice versa.
+        assert Theta.GE.negated() is Theta.LE
+        assert Theta.LE.negated() is Theta.GE
+
+    def test_flip_is_involutive(self):
+        for theta in Theta:
+            assert theta.flipped().flipped() is theta
+
+    def test_flip_preserves_solutions(self):
+        # x <= 5  <=>  -x >= -5
+        assert Theta.LE.flipped() is Theta.GE
+        assert Theta.EQ.flipped() is Theta.EQ
+        assert Theta.NE.flipped() is Theta.NE
+
+    def test_closure(self):
+        assert Theta.LT.closure() is Theta.LE
+        assert Theta.GT.closure() is Theta.GE
+        assert Theta.LE.closure() is Theta.LE
+        assert Theta.EQ.closure() is Theta.EQ
+
+    def test_classification(self):
+        assert Theta.LE.is_weak_inequality
+        assert Theta.GE.is_weak_inequality
+        assert not Theta.EQ.is_weak_inequality
+        assert Theta.LT.is_strict
+        assert Theta.NE.is_strict
+        assert not Theta.LE.is_strict
+
+
+class TestEvaluation:
+    def test_holds_basic(self):
+        assert Theta.LE.holds(1.0, 2.0)
+        assert not Theta.LE.holds(3.0, 2.0)
+        assert Theta.GE.holds(3.0, 2.0)
+        assert Theta.EQ.holds(2.0, 2.0)
+        assert Theta.NE.holds(2.0, 3.0)
+        assert Theta.LT.holds(1.0, 2.0)
+        assert not Theta.LT.holds(2.0, 2.0)
+        assert Theta.GT.holds(3.0, 2.0)
+
+    def test_tolerance_loosens_weak(self):
+        assert Theta.LE.holds(2.0 + 1e-12, 2.0, tol=1e-9)
+        assert Theta.GE.holds(2.0 - 1e-12, 2.0, tol=1e-9)
+        assert Theta.EQ.holds(2.0 + 1e-12, 2.0, tol=1e-9)
+
+    def test_tolerance_tightens_strict(self):
+        assert not Theta.LT.holds(2.0 - 1e-12, 2.0, tol=1e-9)
+        assert not Theta.GT.holds(2.0 + 1e-12, 2.0, tol=1e-9)
+        assert not Theta.NE.holds(2.0 + 1e-12, 2.0, tol=1e-9)
+
+    def test_str(self):
+        assert str(Theta.LE) == "<="

@@ -1,0 +1,133 @@
+"""GeneralizedTuple: normalisation, satisfiability, constructors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints import (
+    GeneralizedTuple,
+    LinearConstraint,
+    Theta,
+    normalize,
+    parse_tuple,
+)
+from repro.errors import ConstraintError
+
+
+class TestNormalization:
+    def test_equality_splits(self):
+        t = GeneralizedTuple([LinearConstraint((1.0, 1.0), -2.0, "=")])
+        thetas = sorted(str(c.theta) for c in t.constraints)
+        assert thetas == ["<=", ">="]
+
+    def test_strict_closed(self):
+        t = GeneralizedTuple([LinearConstraint((1.0, 0.0), 0.0, "<")])
+        assert t.constraints[0].theta is Theta.LE
+
+    def test_tautology_dropped(self):
+        t = GeneralizedTuple(
+            [
+                LinearConstraint((0.0, 0.0), -1.0, "<="),
+                LinearConstraint((1.0, 0.0), 0.0, "<="),
+            ]
+        )
+        assert len(t) == 1
+
+    def test_contradiction_flagged(self):
+        t = GeneralizedTuple([LinearConstraint((0.0, 0.0), 1.0, "<=")])
+        assert t.syntactically_false
+        assert not t.is_satisfiable()
+
+    def test_ne_rejected(self):
+        with pytest.raises(ConstraintError):
+            GeneralizedTuple([LinearConstraint((1.0, 0.0), 0.0, "!=")])
+
+    def test_duplicates_removed(self):
+        c = LinearConstraint((1.0, 0.0), 0.0, "<=")
+        t = GeneralizedTuple([c, c, c])
+        assert len(t) == 1
+
+    def test_normalize_function(self):
+        atoms, contradictory = normalize(
+            [LinearConstraint((1.0,), 0.0, ">"), LinearConstraint((0.0,), 1.0, "<=")]
+        )
+        assert contradictory
+        assert len(atoms) == 1
+        assert atoms[0].theta is Theta.GE
+
+
+class TestSemantics:
+    def test_point_membership(self):
+        t = parse_tuple("x <= 2 and y >= 3")
+        assert t.satisfied_by((2.0, 3.0))
+        assert t.satisfied_by((-100.0, 100.0))
+        assert not t.satisfied_by((3.0, 3.0))
+
+    def test_empty_tuple_unsatisfiable(self):
+        assert not parse_tuple("x <= 0 and x >= 1", dimension=2).is_satisfiable()
+
+    def test_geometric_emptiness_detected(self):
+        # No single contradictory atom, but empty overall.
+        t = parse_tuple("y >= x + 1 and y <= x - 1")
+        assert not t.syntactically_false
+        assert not t.is_satisfiable()
+
+    def test_conjoin(self):
+        a = parse_tuple("x >= 0", dimension=2)
+        b = parse_tuple("x <= 1", dimension=2)
+        both = a.conjoin(b)
+        assert both.satisfied_by((0.5, 0.0))
+        assert not both.satisfied_by((2.0, 0.0))
+
+    def test_conjoin_dimension_mismatch(self):
+        with pytest.raises(ConstraintError):
+            parse_tuple("x1 <= 1", dimension=1).conjoin(parse_tuple("x <= 1 and y <= 1"))
+
+    def test_equality_and_hash(self):
+        a = parse_tuple("x <= 2 and y >= 3")
+        b = parse_tuple("x <= 2 and y >= 3")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_extension_cached(self):
+        t = parse_tuple("x <= 2")
+        assert t.extension() is t.extension()
+
+
+class TestConstructors:
+    def test_from_box(self):
+        t = GeneralizedTuple.from_box((0.0, -1.0), (2.0, 1.0))
+        assert t.satisfied_by((1.0, 0.0))
+        assert not t.satisfied_by((3.0, 0.0))
+        assert t.extension().area() == pytest.approx(4.0)
+
+    def test_from_box_inverted_rejected(self):
+        with pytest.raises(ConstraintError):
+            GeneralizedTuple.from_box((2.0,), (1.0,))
+
+    def test_from_vertices(self):
+        t = GeneralizedTuple.from_vertices_2d([(0, 0), (2, 0), (0, 2)])
+        assert t.satisfied_by((0.5, 0.5))
+        assert not t.satisfied_by((2.0, 2.0))
+        assert t.extension().area() == pytest.approx(2.0)
+
+    def test_from_vertices_degenerate_rejected(self):
+        with pytest.raises(ConstraintError):
+            GeneralizedTuple.from_vertices_2d([(0, 0), (1, 1), (2, 2)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=3,
+            max_size=10,
+        )
+    )
+    def test_from_vertices_contains_inputs(self, points):
+        try:
+            t = GeneralizedTuple.from_vertices_2d(points)
+        except ConstraintError:
+            return  # degenerate input set
+        for p in points:
+            assert t.satisfied_by(p, tol=1e-4)

@@ -1,0 +1,57 @@
+"""The headline property test: every index answers like the oracle.
+
+One shared workload, three structures (dual index T1, dual index T2, the
+R+-tree), hypothesis-driven queries over all types/operators/slope cases.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import GeneralizedRelation, Theta
+from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.geometry.predicates import evaluate_relation
+from repro.rtree.planner import RTreePlanner
+from repro.storage import Pager
+from tests.conftest import random_bounded_tuple
+
+_STATE = {}
+
+
+def _setup():
+    if _STATE:
+        return _STATE
+    rng = random.Random(77)
+    relation = GeneralizedRelation(
+        [random_bounded_tuple(rng) for _ in range(150)]
+    )
+    slopes = SlopeSet([-2.0, -0.6, 0.6, 2.0])
+    _STATE["relation"] = relation
+    _STATE["t2"] = DualIndexPlanner.build(
+        relation, slopes, pager=Pager(), key_bytes=4, technique="T2"
+    )
+    _STATE["t1"] = DualIndexPlanner(_STATE["t2"].index, technique="T1")
+    _STATE["rplus"] = RTreePlanner.build(relation, pager=Pager(), key_bytes=4)
+    return _STATE
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a=st.one_of(
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.sampled_from([-2.0, -0.6, 0.6, 2.0]),  # exact-path slopes
+        st.floats(min_value=-40.0, max_value=40.0),  # wrap cases
+    ),
+    b=st.floats(min_value=-100.0, max_value=100.0),
+    qtype=st.sampled_from([ALL, EXIST]),
+    ge=st.booleans(),
+)
+def test_all_structures_agree_with_oracle(a, b, qtype, ge):
+    state = _setup()
+    theta = Theta.GE if ge else Theta.LE
+    query = HalfPlaneQuery(qtype, a, b, theta)
+    want = evaluate_relation(state["relation"], qtype, a, b, theta)
+    for name in ("t1", "t2", "rplus"):
+        got = state[name].query(query)
+        assert got.ids == want, (name, query, got.technique)

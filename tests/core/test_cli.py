@@ -1,0 +1,80 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "figures 8a 8b 9a 9b 10" in out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_query_from_file(tmp_path, capsys):
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(
+        "# two parcels and an unbounded plain\n"
+        "x >= 0 and x <= 2 and y >= 0 and y <= 2\n"
+        "x >= 5 and x <= 7 and y >= 5 and y <= 7\n"
+        "y <= -10\n"
+    )
+    code = main(
+        [
+            "query",
+            "--tuples", str(tuples),
+            "--type", "EXIST",
+            "--slope", "0.0",
+            "--intercept", "4.0",
+            "--theta", "GE",
+            "--slopes=-1,0,1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "answers  : 1 of 3 tuples" in out
+    assert "tuple 1" in out
+
+
+def test_query_all_from_file(tmp_path, capsys):
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text("y <= -10\nx >= 0 and x <= 1 and y >= 0 and y <= 1\n")
+    code = main(
+        [
+            "query",
+            "--tuples", str(tuples),
+            "--type", "ALL",
+            "--slope", "0.3",
+            "--intercept", "-5.0",
+            "--theta", "LE",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "technique:" in out
+
+
+def test_query_empty_file(tmp_path, capsys):
+    tuples = tmp_path / "empty.txt"
+    tuples.write_text("# nothing here\n")
+    assert main(
+        [
+            "query",
+            "--tuples", str(tuples),
+            "--type", "EXIST",
+            "--slope", "0",
+            "--intercept", "0",
+        ]
+    ) == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

@@ -1,0 +1,145 @@
+"""d-dimensional extension tests (Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.constraints import (
+    GeneralizedRelation,
+    GeneralizedTuple,
+    LinearConstraint,
+    Theta,
+)
+from repro.core import DDimDualIndex, DDimPlanner, HalfPlaneQuery, SlopePointSet
+from repro.errors import QueryError, SlopeSetError
+from repro.geometry.predicates import evaluate_relation
+from repro.storage import KeyCodec, Pager
+
+SLOPE_POINTS = [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0), (0.0, 0.0)]
+DOMAIN = ((-1.5, -1.5), (1.5, 1.5))
+
+
+def random_box3(rng):
+    lows = [rng.uniform(-40, 40) for _ in range(3)]
+    highs = [lo + rng.uniform(1, 15) for lo in lows]
+    return GeneralizedTuple.from_box(lows, highs)
+
+
+def random_polytope3(rng):
+    t = random_box3(rng)
+    normal = tuple(rng.uniform(-1, 1) for _ in range(3))
+    cut = LinearConstraint(normal, rng.uniform(-20, 20), "<=")
+    return GeneralizedTuple(list(t.constraints) + [cut])
+
+
+@pytest.fixture(scope="module")
+def relation3():
+    rng = random.Random(31)
+    tuples = []
+    while len(tuples) < 70:
+        t = random_box3(rng) if rng.random() < 0.6 else random_polytope3(rng)
+        if t.is_satisfiable():
+            tuples.append(t)
+    return GeneralizedRelation(tuples)
+
+
+@pytest.fixture(scope="module")
+def planner3(relation3):
+    return DDimPlanner.build(relation3, SLOPE_POINTS, *DOMAIN, key_bytes=4)
+
+
+class TestSlopePointSet:
+    def test_validation(self):
+        with pytest.raises(SlopeSetError):
+            SlopePointSet([], (-1,), (1,))
+        with pytest.raises(SlopeSetError):
+            SlopePointSet([(0.0, 0.0), (0.0, 0.0)], (-1, -1), (1, 1))
+        with pytest.raises(SlopeSetError):
+            SlopePointSet([(0.0, 0.0)], (1, 1), (-1, -1))
+
+    def test_nearest_and_domain(self):
+        s = SlopePointSet(SLOPE_POINTS, *DOMAIN)
+        assert s.nearest((0.1, 0.1)) == 4
+        assert s.nearest((0.9, 0.9)) == 3
+        assert s.in_domain((1.2, -1.2))
+        assert not s.in_domain((2.0, 0.0))
+
+    def test_cells_partition_domain(self):
+        s = SlopePointSet(SLOPE_POINTS, *DOMAIN)
+        rng = random.Random(1)
+        for _ in range(200):
+            q = (rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5))
+            anchor = s.nearest(q)
+            cell = s.cell_vertices(anchor)
+            assert cell, "cell should be non-empty"
+            # q must lie in the hull of the cell vertices (its own cell):
+            # verify via the cell inequalities instead of hull math.
+            for n, beta in s._cell_ineqs(anchor):
+                assert sum(a * b for a, b in zip(n, q)) <= beta + 1e-6
+
+    def test_cell_vertices_within_domain(self):
+        s = SlopePointSet(SLOPE_POINTS, *DOMAIN)
+        for i in range(len(SLOPE_POINTS)):
+            for v in s.cell_vertices(i):
+                assert s.in_domain(v)
+
+    def test_1d_slope_space(self):
+        # d=2 through the d-dim machinery: slope points on a line.
+        s = SlopePointSet([(-1.0,), (0.0,), (2.0,)], (-3.0,), (3.0,))
+        assert s.cell_vertices(1) == [(-0.5,), (1.0,)]
+
+
+class TestDDimQueries:
+    def test_matches_oracle(self, planner3, relation3):
+        rng = random.Random(8)
+        for _ in range(120):
+            qtype = rng.choice(["ALL", "EXIST"])
+            theta = rng.choice([Theta.GE, Theta.LE])
+            slope = (rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5))
+            b = rng.uniform(-120, 120)
+            res = planner3.query(HalfPlaneQuery(qtype, slope, b, theta))
+            want = evaluate_relation(relation3, qtype, slope, b, theta)
+            assert res.ids == want, (qtype, theta, slope, b)
+
+    def test_anchor_slopes_cheapest(self, planner3):
+        # Queries at anchor points behave like the restricted technique.
+        res = planner3.exist(SLOPE_POINTS[4], 1e6, Theta.GE)
+        assert res.ids == set()
+        assert res.page_accesses <= 30
+
+    def test_out_of_domain_rejected(self, planner3):
+        with pytest.raises(QueryError):
+            planner3.exist((5.0, 0.0), 0.0, Theta.GE)
+
+    def test_wrong_dimension_rejected(self, planner3):
+        with pytest.raises(QueryError):
+            planner3.query(HalfPlaneQuery("EXIST", 0.5, 0.0, Theta.GE))
+
+    def test_space_scales_with_k(self, relation3):
+        small = DDimPlanner.build(relation3, SLOPE_POINTS[:2], *DOMAIN)
+        large = DDimPlanner.build(relation3, SLOPE_POINTS, *DOMAIN)
+        assert large.index.space().tree_pages > small.index.space().tree_pages
+
+
+class TestDDim2DCrossCheck:
+    """The d-dim machinery run at d=2 must agree with the 2-D planner."""
+
+    def test_agrees_with_2d_planner(self, rng):
+        from repro.core import DualIndexPlanner, SlopeSet
+        from tests.conftest import random_bounded_tuple
+
+        relation = GeneralizedRelation(
+            [random_bounded_tuple(rng) for _ in range(50)]
+        )
+        flat = DualIndexPlanner.build(relation, SlopeSet([-1.0, 0.0, 1.0]))
+        deep = DDimPlanner.build(
+            relation, [(-1.0,), (0.0,), (1.0,)], (-1.4,), (1.4,)
+        )
+        for _ in range(60):
+            qtype = rng.choice(["ALL", "EXIST"])
+            theta = rng.choice([Theta.GE, Theta.LE])
+            a = rng.uniform(-1.4, 1.4)
+            b = rng.uniform(-70, 70)
+            left = flat.query(HalfPlaneQuery(qtype, a, b, theta))
+            right = deep.query(HalfPlaneQuery(qtype, (a,), b, theta))
+            assert left.ids == right.ids, (qtype, theta, a, b)

@@ -1,0 +1,156 @@
+"""Interval tree and line-query index tests (footnote 6)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import GeneralizedRelation
+from repro.core import SlopeSet
+from repro.errors import IndexError_, QueryError
+from repro.geometry import bot, top
+from repro.intervals import Interval, IntervalTree, LineQueryIndex
+from repro.storage import KeyCodec, Pager
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+bound = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(bound)
+    b = draw(bound)
+    lo, hi = min(a, b), max(a, b)
+    return (lo, hi)
+
+
+class TestIntervalTree:
+    def test_empty(self):
+        tree = IntervalTree(Pager(), KeyCodec(8))
+        tree.build([])
+        assert tree.stab(0.0) == set()
+
+    def test_basic_stabbing(self):
+        tree = IntervalTree(Pager(), KeyCodec(8))
+        tree.build(
+            [
+                Interval(0.0, 10.0, 1),
+                Interval(5.0, 15.0, 2),
+                Interval(20.0, 30.0, 3),
+            ]
+        )
+        assert tree.stab(7.0) == {1, 2}
+        assert tree.stab(0.0) == {1}
+        assert tree.stab(25.0) == {3}
+        assert tree.stab(17.0) == set()
+
+    def test_infinite_endpoints(self):
+        tree = IntervalTree(Pager(), KeyCodec(4))
+        tree.build(
+            [
+                Interval(-math.inf, 0.0, 1),
+                Interval(0.0, math.inf, 2),
+                Interval(-math.inf, math.inf, 3),
+            ]
+        )
+        assert tree.stab(-5.0) >= {1, 3}
+        assert tree.stab(5.0) >= {2, 3}
+        assert tree.stab(0.0) >= {1, 2, 3}
+
+    def test_inverted_rejected(self):
+        tree = IntervalTree(Pager(), KeyCodec(8))
+        with pytest.raises(IndexError_):
+            tree.build([Interval(1.0, 0.0, 1)])
+
+    def test_rebuild_rejected(self):
+        tree = IntervalTree(Pager(), KeyCodec(8))
+        tree.build([Interval(0.0, 1.0, 1)])
+        with pytest.raises(IndexError_):
+            tree.build([Interval(0.0, 1.0, 2)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(intervals(), min_size=1, max_size=120),
+        probe=bound,
+    )
+    def test_matches_bruteforce(self, data, probe):
+        tree = IntervalTree(Pager(), KeyCodec(8))
+        tree.build([Interval(lo, hi, i) for i, (lo, hi) in enumerate(data)])
+        got = tree.stab(probe)
+        want = {i for i, (lo, hi) in enumerate(data) if lo <= probe <= hi}
+        assert got >= want  # margin may add near-boundary extras
+        for extra in got - want:
+            lo, hi = data[extra]
+            assert min(abs(probe - lo), abs(probe - hi)) < 1e-6 * max(
+                1.0, abs(probe)
+            )
+
+    def test_stab_page_cost_logarithmic(self):
+        rng = random.Random(1)
+        pager = Pager()
+        tree = IntervalTree(pager, KeyCodec(4))
+        data = []
+        for i in range(4000):
+            lo = rng.uniform(-1000, 1000)
+            data.append(Interval(lo, lo + rng.uniform(0.1, 5.0), i))
+        tree.build(data)
+        with pager.measure() as scope:
+            result = tree.stab(0.0)
+        # few stabbing results -> few pages despite 4000 intervals
+        assert scope.delta.logical_reads <= 25, scope.delta.logical_reads
+        assert len(result) <= 40
+
+
+class TestLineQueryIndex:
+    @pytest.fixture
+    def setup(self, rng):
+        relation = random_mixed_relation(rng, 60, unbounded_fraction=0.25)
+        slopes = SlopeSet([-1.0, 0.0, 1.0])
+        index = LineQueryIndex.build(relation, slopes, key_bytes=4)
+        return index, relation, slopes
+
+    def test_matches_oracle(self, setup, rng):
+        index, relation, slopes = setup
+        for _ in range(80):
+            s = rng.choice(list(slopes))
+            b = rng.uniform(-80, 80)
+            res = index.crossing(s, b)
+            want = set()
+            for tid, t in relation:
+                poly = t.extension()
+                if bot(poly, s) - 1e-7 <= b <= top(poly, s) + 1e-7:
+                    want.add(tid)
+            assert res.ids == want, (s, b)
+
+    def test_slope_outside_s_rejected(self, setup):
+        index, _, _ = setup
+        with pytest.raises(QueryError):
+            index.crossing(0.5, 0.0)
+
+    def test_diagnostics(self, setup):
+        index, relation, slopes = setup
+        res = index.crossing(0.0, 0.0)
+        assert res.technique == "interval"
+        assert res.candidates >= len(res.ids)
+        assert res.page_accesses > 0
+
+    def test_space_accounting(self, setup):
+        index, _, _ = setup
+        assert index.space_pages() == sum(
+            t.page_count for t in index.trees
+        )
+        assert index.space_pages() >= len(index.trees)
+
+    def test_skips_unsatisfiable(self, rng):
+        from repro.constraints import parse_tuple
+
+        relation = GeneralizedRelation(
+            [
+                random_bounded_tuple(rng),
+                parse_tuple("x <= 0 and x >= 1", dimension=2),
+            ]
+        )
+        index = LineQueryIndex.build(relation, SlopeSet([0.0]))
+        assert index.size == 1
+        assert index.skipped == [1]

@@ -1,0 +1,143 @@
+"""KD-tree and Delaunay/Voronoi substrate tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.proximity import KDTree, delaunay_triangles, voronoi_neighbors
+from repro.errors import GeometryError
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestKDTree:
+    def test_single_point(self):
+        tree = KDTree([(1.0, 2.0)])
+        assert tree.nearest((0.0, 0.0)) == (0, pytest.approx(math.hypot(1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            KDTree([])
+
+    def test_dimension_checked(self):
+        tree = KDTree([(1.0, 2.0)])
+        with pytest.raises(GeometryError):
+            tree.nearest((1.0,))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        points=st.lists(st.tuples(coord, coord), min_size=1, max_size=40, unique=True),
+        query=st.tuples(coord, coord),
+    )
+    def test_nearest_matches_bruteforce(self, points, query):
+        tree = KDTree(points)
+        index, dist = tree.nearest(query)
+        best = min(
+            math.dist(p, query) for p in points
+        )
+        assert dist == pytest.approx(best, abs=1e-9)
+        assert math.dist(points[index], query) == pytest.approx(best, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(coord, coord, coord), min_size=1, max_size=30, unique=True
+        ),
+        query=st.tuples(coord, coord, coord),
+    )
+    def test_3d_nearest(self, points, query):
+        tree = KDTree(points)
+        _index, dist = tree.nearest(query)
+        assert dist == pytest.approx(
+            min(math.dist(p, query) for p in points), abs=1e-9
+        )
+
+    def test_within(self):
+        tree = KDTree([(0.0, 0.0), (3.0, 0.0), (0.0, 5.0)])
+        assert tree.within((0.0, 0.0), 3.5) == [0, 1]
+        assert tree.within((0.0, 0.0), 10.0) == [0, 1, 2]
+        assert tree.within((100.0, 100.0), 1.0) == []
+
+
+class TestDelaunay:
+    def test_triangle(self):
+        tris = delaunay_triangles([(0, 0), (1, 0), (0, 1)])
+        assert tris == [(0, 1, 2)]
+
+    def test_square_two_triangles(self):
+        tris = delaunay_triangles([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(tris) == 2
+
+    def test_collinear_no_triangles(self):
+        assert delaunay_triangles([(0, 0), (1, 1), (2, 2)]) == []
+
+    def test_delaunay_empty_circumcircle_property(self):
+        rng = random.Random(4)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(25)]
+        tris = delaunay_triangles(points)
+        assert tris, "triangulation should exist"
+        for a, b, c in tris:
+            cx, cy, r2 = _circumcircle(points[a], points[b], points[c])
+            for i, p in enumerate(points):
+                if i in (a, b, c):
+                    continue
+                d2 = (p[0] - cx) ** 2 + (p[1] - cy) ** 2
+                assert d2 >= r2 - 1e-6, "non-empty circumcircle"
+
+    def test_triangulation_covers_hull(self):
+        rng = random.Random(5)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(20)]
+        tris = delaunay_triangles(points)
+        # Euler: triangles = 2n - 2 - hull_size for a proper triangulation
+        from repro.geometry.hull import convex_hull_2d
+
+        hull = convex_hull_2d(points)
+        assert len(tris) == 2 * len(points) - 2 - len(hull)
+
+
+def _circumcircle(a, b, c):
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    ux = (
+        (ax * ax + ay * ay) * (by - cy)
+        + (bx * bx + by * by) * (cy - ay)
+        + (cx * cx + cy * cy) * (ay - by)
+    ) / d
+    uy = (
+        (ax * ax + ay * ay) * (cx - bx)
+        + (bx * bx + by * by) * (ax - cx)
+        + (cx * cx + cy * cy) * (bx - ax)
+    ) / d
+    r2 = (ax - ux) ** 2 + (ay - uy) ** 2
+    return ux, uy, r2
+
+
+class TestVoronoiNeighbors:
+    def test_1d_chain(self):
+        adjacency = voronoi_neighbors([(0.0,), (5.0,), (2.0,)])
+        assert adjacency[0] == {2}
+        assert adjacency[2] == {0, 1}
+        assert adjacency[1] == {2}
+
+    def test_2d_grid_neighbours(self):
+        # unit square corners: each corner neighbours the two adjacent
+        # corners; diagonals depend on the triangulation (one diagonal).
+        points = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        adjacency = voronoi_neighbors(points)
+        for i in range(4):
+            assert len(adjacency[i]) >= 2
+
+    def test_collinear_2d(self):
+        adjacency = voronoi_neighbors([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        assert adjacency[1] == {0, 2}
+
+    def test_high_dim_all_pairs(self):
+        adjacency = voronoi_neighbors([(0, 0, 0), (1, 0, 0), (0, 1, 0)])
+        assert adjacency[0] == {1, 2}
+
+    def test_single_point(self):
+        assert voronoi_neighbors([(0.0, 0.0)]) == {0: set()}

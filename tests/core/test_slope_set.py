@@ -1,0 +1,138 @@
+"""SlopeSet and Table 1 case-analysis tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import Theta
+from repro.core import SlopeCase, SlopeSet
+from repro.errors import SlopeSetError
+
+
+class TestConstruction:
+    def test_sorted_and_deduplicated(self):
+        s = SlopeSet([3.0, -1.0, 0.5])
+        assert s.slopes == (-1.0, 0.5, 3.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SlopeSetError):
+            SlopeSet([1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SlopeSetError):
+            SlopeSet([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(SlopeSetError):
+            SlopeSet([float("inf")])
+
+    def test_from_angles(self):
+        s = SlopeSet.from_angles([math.pi / 4, 3 * math.pi / 4])
+        assert s.slopes == (pytest.approx(-1.0), pytest.approx(1.0))
+
+    def test_uniform_angles_avoids_vertical(self):
+        for k in range(1, 9):
+            s = SlopeSet.uniform_angles(k)
+            assert len(s) == k
+            assert all(abs(v) < 50 for v in s), list(s)
+
+    def test_membership(self):
+        s = SlopeSet([0.0, 1.0])
+        assert 1.0 in s
+        assert 0.5 not in s
+        assert s.index_of(1.0) == 1
+        assert s.index_of(1.0 + 1e-13, tol=1e-12) == 1
+        assert s.index_of(2.0) is None
+
+
+class TestClassify:
+    @pytest.fixture
+    def s(self):
+        return SlopeSet([-2.0, 0.0, 1.5])
+
+    def test_exact(self, s):
+        info = s.classify(0.0)
+        assert info.case is SlopeCase.EXACT
+        assert info.index1 == info.index2 == 1
+
+    def test_interior(self, s):
+        info = s.classify(0.7)
+        assert info.case is SlopeCase.INTERIOR
+        assert (s[info.index1], s[info.index2]) == (0.0, 1.5)
+        assert not info.flip1 and not info.flip2  # Table 1 row 1
+
+    def test_above(self, s):
+        # a > max S: clockwise hits max S (θ), anticlockwise wraps to
+        # min S with ¬θ — Table 1 row 2.
+        info = s.classify(5.0)
+        assert info.case is SlopeCase.ABOVE
+        assert s[info.index1] == 1.5 and not info.flip1
+        assert s[info.index2] == -2.0 and info.flip2
+
+    def test_below(self, s):
+        info = s.classify(-9.0)
+        assert info.case is SlopeCase.BELOW
+        assert s[info.index1] == 1.5 and info.flip1
+        assert s[info.index2] == -2.0 and not info.flip2
+
+    def test_singleton_set(self):
+        s1 = SlopeSet([0.0])
+        above = s1.classify(1.0)
+        assert above.case is SlopeCase.ABOVE
+        assert not above.flip1 and above.flip2
+        below = s1.classify(-1.0)
+        assert below.case is SlopeCase.BELOW
+        assert below.flip1 and not below.flip2
+
+    def test_app_theta(self):
+        assert SlopeSet.app_theta(Theta.GE, False) is Theta.GE
+        assert SlopeSet.app_theta(Theta.GE, True) is Theta.LE
+
+
+class TestNearestAndStrips:
+    @pytest.fixture
+    def s(self):
+        return SlopeSet([-2.0, 0.0, 1.0])
+
+    def test_nearest(self, s):
+        assert s[s.nearest(-1.8)] == -2.0
+        assert s[s.nearest(-0.9)] == 0.0
+        assert s[s.nearest(0.6)] == 1.0
+        assert s[s.nearest(99.0)] == 1.0
+
+    def test_strip_next(self, s):
+        assert s.strip(0, "next") == (-2.0, -1.0)
+        assert s.strip(1, "next") == (0.0, 0.5)
+        assert s.strip(2, "next") is None
+
+    def test_strip_prev(self, s):
+        assert s.strip(0, "prev") is None
+        assert s.strip(1, "prev") == (0.0, -1.0)
+        assert s.strip(2, "prev") == (1.0, 0.5)
+
+    def test_strip_bad_side(self, s):
+        with pytest.raises(SlopeSetError):
+            s.strip(0, "left")
+
+    def test_anchor_for_interior(self, s):
+        index, side = s.anchor_for(-1.7)
+        assert s[index] == -2.0 and side == "next"
+        index, side = s.anchor_for(-0.3)
+        assert s[index] == 0.0 and side == "prev"
+
+    def test_anchor_for_wrap_is_none(self, s):
+        assert s.anchor_for(5.0) is None
+        assert s.anchor_for(-2.0) is None  # exact min: not interior
+        assert s.anchor_for(-3.0) is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.floats(min_value=-1.99, max_value=0.99))
+    def test_anchor_strip_always_covers_query(self, a):
+        s = SlopeSet([-2.0, 0.0, 1.0])
+        anchor = s.anchor_for(a)
+        if anchor is None:
+            return
+        index, side = anchor
+        lo, hi = sorted(s.strip(index, side))
+        assert lo - 1e-12 <= a <= hi + 1e-12

@@ -1,0 +1,169 @@
+"""Technique T2 tests: handicap search correctness and no-duplicate
+guarantee."""
+
+import random
+
+import pytest
+
+from repro.constraints import GeneralizedRelation, Theta
+from repro.core import (
+    ALL,
+    EXIST,
+    DualIndex,
+    DualIndexPlanner,
+    HalfPlaneQuery,
+    SlopeSet,
+    t2_candidates,
+)
+from repro.errors import QueryError
+from repro.geometry.predicates import evaluate_relation
+from repro.storage import KeyCodec, Pager
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+SLOPES = SlopeSet([-1.5, -0.4, 0.4, 1.5])
+
+
+@pytest.fixture
+def index(rng):
+    relation = GeneralizedRelation(
+        [random_bounded_tuple(rng) for _ in range(120)]
+    )
+    idx = DualIndex(Pager(), SLOPES, KeyCodec(8))
+    idx.build(relation)
+    return idx, relation
+
+
+def random_interior_query(rng, qtype=None, theta=None):
+    if qtype is None:
+        qtype = rng.choice([ALL, EXIST])
+    if theta is None:
+        theta = rng.choice([Theta.GE, Theta.LE])
+    while True:
+        a = rng.uniform(SLOPES[0], SLOPES[-1])
+        if SLOPES.index_of(a) is None and SLOPES[0] < a < SLOPES[-1]:
+            return HalfPlaneQuery(qtype, a, rng.uniform(-70, 70), theta)
+
+
+class TestTrace:
+    def test_candidates_superset_of_answer(self, index, rng):
+        idx, relation = index
+        for _ in range(100):
+            q = random_interior_query(rng)
+            trace = t2_candidates(idx, q)
+            got = {idx.tid_of[rid] for rid in trace.candidates}
+            want = evaluate_relation(
+                relation, q.query_type, q.slope_2d, q.intercept, q.theta
+            )
+            assert want <= got, q
+
+    def test_anchor_is_nearest_slope(self, index, rng):
+        idx, _ = index
+        for _ in range(40):
+            q = random_interior_query(rng)
+            trace = t2_candidates(idx, q)
+            nearest = idx.slopes.nearest(q.slope_2d)
+            assert trace.anchor_index == nearest
+
+    def test_wrap_case_rejected(self, index):
+        idx, _ = index
+        with pytest.raises(QueryError):
+            t2_candidates(idx, HalfPlaneQuery(EXIST, 99.0, 0.0, Theta.GE))
+
+    def test_single_tree_two_sweeps_disjoint(self, index, rng):
+        """The defining T2 property: the two sweeps never hand the same
+        leaf entry twice (no duplicates by construction)."""
+        idx, _ = index
+        for _ in range(40):
+            q = random_interior_query(rng)
+            trace = t2_candidates(idx, q)
+            # candidates is a set by implementation; verify against the
+            # total entry count the two sweeps could have produced:
+            trees, _up = idx.trees_for(q.query_type, q.theta)
+            tree = trees[trace.anchor_index]
+            all_entries = list(tree.items())
+            assert len(trace.candidates) <= len(all_entries)
+
+    def test_empty_index(self):
+        idx = DualIndex(Pager(), SLOPES, KeyCodec(8))
+        idx.build(GeneralizedRelation())
+        trace = t2_candidates(idx, HalfPlaneQuery(EXIST, 0.9, 0.0, Theta.GE))
+        assert trace.candidates == set()
+
+    def test_query_above_all_keys_is_cheap_and_empty(self, index):
+        """A query above every key sweeps one leaf upward; the secondary
+        sweep may fire (the last leaf's handicap covers an unbounded key
+        range) but the refined answer is empty."""
+        idx, _ = index
+        q = HalfPlaneQuery(EXIST, 0.9, 1e8, Theta.GE)
+        trace = t2_candidates(idx, q)
+        assert trace.primary_leaves == 1
+        planner = DualIndexPlanner(idx)
+        assert planner.query(q).ids == set()
+
+
+class TestAllFourForms:
+    @pytest.mark.parametrize(
+        "qtype,theta",
+        [
+            (EXIST, Theta.GE),
+            (EXIST, Theta.LE),
+            (ALL, Theta.GE),
+            (ALL, Theta.LE),
+        ],
+    )
+    def test_form_matches_oracle(self, index, rng, qtype, theta):
+        idx, relation = index
+        planner = DualIndexPlanner(idx, technique="T2")
+        for _ in range(40):
+            q = random_interior_query(rng, qtype, theta)
+            res = planner.query(q)
+            assert res.technique == "T2"
+            want = evaluate_relation(
+                relation, qtype, q.slope_2d, q.intercept, theta
+            )
+            assert res.ids == want, q
+
+
+class TestQuantizedKeys:
+    def test_f32_index_still_exact(self, rng):
+        relation = GeneralizedRelation(
+            [random_bounded_tuple(rng) for _ in range(100)]
+        )
+        planner = DualIndexPlanner.build(relation, SLOPES, key_bytes=4)
+        for _ in range(80):
+            q = random_interior_query(rng)
+            res = planner.query(q)
+            want = evaluate_relation(
+                relation, q.query_type, q.slope_2d, q.intercept, q.theta
+            )
+            assert res.ids == want, q
+
+
+class TestUnboundedObjects:
+    def test_mixed_relation(self, rng):
+        relation = random_mixed_relation(rng, 50, unbounded_fraction=0.4)
+        planner = DualIndexPlanner.build(relation, SLOPES, key_bytes=4)
+        for _ in range(80):
+            q = random_interior_query(rng)
+            res = planner.query(q)
+            want = evaluate_relation(
+                relation, q.query_type, q.slope_2d, q.intercept, q.theta
+            )
+            assert res.ids == want, q
+
+    def test_pure_halfplane_relation(self):
+        from repro.constraints import parse_tuple
+
+        relation = GeneralizedRelation(
+            [
+                parse_tuple("y <= 0"),
+                parse_tuple("y >= 10"),
+                parse_tuple("y <= x + 1 and y >= x - 1"),
+            ]
+        )
+        planner = DualIndexPlanner.build(relation, SLOPES, key_bytes=4)
+        res = planner.exist(0.9, 5.0, Theta.GE)
+        # y>=10 and the slab (slope 1 > 0.9) reach y >= 0.9x+5; y<=0 does
+        # for x negative enough... check against the oracle instead:
+        want = evaluate_relation(relation, EXIST, 0.9, 5.0, Theta.GE)
+        assert res.ids == want

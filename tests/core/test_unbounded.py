@@ -1,0 +1,89 @@
+"""Finite/infinite object handling: only the dual index supports both.
+
+Reproduces the paper's motivating argument (Section 1, Figure 1): the
+R+-tree cannot store unbounded objects; clipping them to a window gives
+wrong answers; the dual index handles them natively via ±∞ TOP/BOT keys.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints import GeneralizedRelation, Theta, parse_tuple
+from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.errors import GeometryError
+from repro.geometry.predicates import evaluate_relation
+from repro.rtree.planner import RTreePlanner
+from repro.workloads import make_relation
+from tests.conftest import random_mixed_relation
+
+
+def test_rplus_rejects_unbounded():
+    relation = GeneralizedRelation([parse_tuple("y <= 0")])
+    with pytest.raises(GeometryError):
+        RTreePlanner.build(relation)
+
+
+def test_dual_index_accepts_unbounded(rng):
+    relation = random_mixed_relation(rng, 40, unbounded_fraction=0.5)
+    planner = DualIndexPlanner.build(relation, SlopeSet.uniform_angles(3))
+    assert planner.index.size == 40
+
+
+def test_window_clipping_gives_wrong_answers():
+    """Figure 1 as an end-to-end experiment: index the clipped tuple in
+    an R+-tree, the true tuple in the dual index — only the dual index
+    finds the intersection that happens outside the window."""
+    wedge = parse_tuple("y <= 0.1x - 2 and y >= 0.05x - 4")
+    window = parse_tuple("x >= -50 and x <= 50 and y >= -50 and y <= 50")
+    clipped = wedge.conjoin(window)
+
+    dual = DualIndexPlanner.build(
+        GeneralizedRelation([wedge]), SlopeSet([-1.0, 0.0, 1.0])
+    )
+    rplus = RTreePlanner.build(GeneralizedRelation([clipped]))
+
+    # q ≡ y >= 0.05x + 2 meets the wedge only at x >= 80.
+    assert dual.exist(0.05, 2.0, Theta.GE).ids == {0}
+    assert rplus.exist(0.05, 2.0, Theta.GE).ids == set()
+
+
+def test_mixed_workload_all_queries(rng):
+    relation = random_mixed_relation(rng, 60, unbounded_fraction=0.3)
+    slopes = SlopeSet.uniform_angles(4)
+    planner = DualIndexPlanner.build(relation, slopes, key_bytes=4)
+    for _ in range(60):
+        qtype = rng.choice([ALL, EXIST])
+        theta = rng.choice([Theta.GE, Theta.LE])
+        a = rng.uniform(slopes[0] * 1.2, slopes[-1] * 1.2)
+        b = rng.uniform(-80, 80)
+        res = planner.query(HalfPlaneQuery(qtype, a, b, theta))
+        want = evaluate_relation(relation, qtype, a, b, theta)
+        assert res.ids == want
+
+
+def test_workload_generator_unbounded_fraction():
+    relation = make_relation(40, "small", seed=3, unbounded_fraction=0.5)
+    unbounded = sum(
+        1 for _, t in relation if not t.extension().is_bounded
+    )
+    assert 5 <= unbounded <= 35
+
+
+def test_halfplane_only_relation_queries():
+    relation = GeneralizedRelation(
+        [
+            parse_tuple("y >= 3"),
+            parse_tuple("y <= -3"),
+            parse_tuple("y >= -1 and y <= 1"),
+        ]
+    )
+    planner = DualIndexPlanner.build(relation, SlopeSet([-0.5, 0.0, 0.5]))
+    # ALL(y >= 2): only tuple 0 is contained.
+    assert planner.all(0.0, 2.0, Theta.GE).ids == {0}
+    # EXIST(y >= 2): tuple 0 only (slab tops out at 1).
+    assert planner.exist(0.0, 2.0, Theta.GE).ids == {0}
+    # EXIST(y <= 0): slab and lower half-plane.
+    assert planner.exist(0.0, 0.0, Theta.LE).ids == {1, 2}
+    # ALL(y <= 5): nothing unbounded above... tuple 1 and slab qualify.
+    assert planner.all(0.0, 5.0, Theta.LE).ids == {1, 2}

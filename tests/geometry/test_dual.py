@@ -1,0 +1,184 @@
+"""Dual transformation tests, including the paper's Example 2.1."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import GeneralizedTuple, Theta, parse_tuple
+from repro.geometry import (
+    all_halfplane,
+    bot,
+    bot_profile_2d,
+    dual_line_of_point,
+    evaluate_dual_line,
+    exist_halfplane,
+    strip_bot_min,
+    strip_top_max,
+    top,
+    top_profile_2d,
+)
+from repro.errors import GeometryError
+
+
+@pytest.fixture
+def pentagon():
+    """A polygon realising the assertions of the paper's Example 2.1:
+    TOP(0)=4.5, BOT(-1) > -1, BOT(1) < 0 < TOP(1)."""
+    return GeneralizedTuple.from_vertices_2d(
+        [(1, 2), (3, 1), (5, 3), (4, 4.5), (2, 4)]
+    ).extension()
+
+
+class TestExample21:
+    """The worked example of Section 2.1 / Figure 2."""
+
+    def test_q1_all(self, pentagon):
+        # q1 ≡ y >= -x - 1: ALL holds because -1 < BOT(-1)
+        assert bot(pentagon, -1.0) > -1.0
+        assert all_halfplane(pentagon, -1.0, -1.0, Theta.GE)
+
+    def test_q2_exist_boundary(self, pentagon):
+        # q2 ≡ y >= 4.5: 4.5 == TOP(0), EXIST holds at the boundary
+        assert top(pentagon, 0.0) == pytest.approx(4.5)
+        assert exist_halfplane(pentagon, 0.0, 4.5, Theta.GE)
+        assert not all_halfplane(pentagon, 0.0, 4.5, Theta.GE)
+
+    def test_q3_exist_both_sides(self, pentagon):
+        # q3 ≡ y >= x: BOT(1) < 0 < TOP(1) — the line crosses the polygon
+        assert bot(pentagon, 1.0) < 0.0 < top(pentagon, 1.0)
+        assert exist_halfplane(pentagon, 1.0, 0.0, Theta.GE)
+        assert exist_halfplane(pentagon, 1.0, 0.0, Theta.LE)
+        assert not all_halfplane(pentagon, 1.0, 0.0, Theta.GE)
+
+    def test_q2_prime_all(self, pentagon):
+        # q2' ≡ y <= 4.5 contains the polygon
+        assert all_halfplane(pentagon, 0.0, 4.5, Theta.LE)
+
+
+class TestTopBotBasics:
+    def test_triangle_values(self, triangle):
+        p = triangle.extension()
+        assert top(p, 0.0) == pytest.approx(3.0)
+        assert bot(p, 0.0) == pytest.approx(0.0)
+        # TOP(1) = max(y - x) over {(0,0),(4,0),(2,3)} = 1 at (2,3)
+        assert top(p, 1.0) == pytest.approx(1.0)
+        assert bot(p, 1.0) == pytest.approx(-4.0)
+
+    def test_top_geq_bot(self, triangle):
+        p = triangle.extension()
+        for s in (-5, -1, 0, 0.5, 2, 10):
+            assert top(p, s) >= bot(p, s)  # Proposition 2.1
+
+    def test_unbounded_infinite_values(self):
+        p = parse_tuple("y <= 0").extension()
+        assert top(p, 0.0) == pytest.approx(0.0)
+        assert top(p, 1.0) == math.inf
+        assert bot(p, 0.0) == -math.inf
+
+    def test_empty_returns_none(self):
+        p = parse_tuple("x <= 0 and x >= 1", dimension=2).extension()
+        assert top(p, 0.0) is None
+        assert bot(p, 0.0) is None
+
+    def test_slope_vector_validation(self, triangle):
+        with pytest.raises(GeometryError):
+            top(triangle.extension(), (1.0, 2.0))
+
+
+class TestTopSemantics:
+    """TOP(s)/BOT(s) are the extreme intercepts of slope-s lines meeting P."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(s=st.floats(min_value=-4, max_value=4))
+    def test_line_at_top_touches(self, triangle, s):
+        p = triangle.extension()
+        t = top(p, s)
+        # Line y = s x + TOP(s) intersects P: EXIST(>=) at b=t holds...
+        assert exist_halfplane(p, s, t, Theta.GE)
+        # ...but any higher line misses P.
+        assert not exist_halfplane(p, s, t + 1e-3, Theta.GE)
+
+    @settings(max_examples=40, deadline=None)
+    @given(s=st.floats(min_value=-4, max_value=4))
+    def test_convexity_of_top(self, triangle, s):
+        p = triangle.extension()
+        # TOP is convex: midpoint below the chord.
+        a, b = s - 1.0, s + 1.0
+        assert top(p, s) <= (top(p, a) + top(p, b)) / 2 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(s=st.floats(min_value=-4, max_value=4))
+    def test_concavity_of_bot(self, triangle, s):
+        p = triangle.extension()
+        a, b = s - 1.0, s + 1.0
+        assert bot(p, s) >= (bot(p, a) + bot(p, b)) / 2 - 1e-9
+
+
+class TestStrips:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(min_value=-2, max_value=2),
+        width=st.floats(min_value=0.01, max_value=2),
+        frac=st.floats(min_value=0, max_value=1),
+    )
+    def test_strip_max_dominates_interior(self, triangle, a, width, frac):
+        p = triangle.extension()
+        b = a + width
+        s = a + frac * width
+        assert strip_top_max(p, a, b) >= top(p, s) - 1e-9
+        assert strip_bot_min(p, a, b) <= bot(p, s) + 1e-9
+
+    def test_strip_equals_endpoint_extremes(self, triangle):
+        p = triangle.extension()
+        assert strip_top_max(p, 0.0, 1.0) == pytest.approx(
+            max(top(p, 0.0), top(p, 1.0))
+        )
+        assert strip_bot_min(p, 0.0, 1.0) == pytest.approx(
+            min(bot(p, 0.0), bot(p, 1.0))
+        )
+
+
+class TestDualPoints:
+    def test_dual_line_of_point(self):
+        slope, intercept = dual_line_of_point((2.0, 5.0))
+        assert slope == (-2.0,)
+        assert intercept == 5.0
+
+    def test_duality_key_property(self):
+        # p above H iff D(H) below D(p): check with numbers.
+        # H: y = 2x + 1, D(H) = (2, 1); p = (1, 4) lies above H (4 > 3).
+        p = (1.0, 4.0)
+        d_h = (2.0, 1.0)
+        # D(p): y = -1 x + 4. D(H) below D(p): 1 < -1*2 + 4 = 2 ✓
+        assert d_h[1] < evaluate_dual_line(p, d_h[0])
+
+    def test_evaluate_dual_line(self):
+        # F_{D(v)}(s) = v_y - s*v_x
+        assert evaluate_dual_line((3.0, 7.0), 2.0) == pytest.approx(1.0)
+
+
+class TestProfiles:
+    def test_profile_matches_support(self, triangle):
+        p = triangle.extension()
+        prof_top = top_profile_2d(p)
+        prof_bot = bot_profile_2d(p)
+        for s in (-6, -2.5, -1, 0, 0.3, 1, 2, 7):
+            assert prof_top(s) == pytest.approx(top(p, s), abs=1e-9)
+            assert prof_bot(s) == pytest.approx(bot(p, s), abs=1e-9)
+
+    def test_profile_breakpoint_count(self, triangle):
+        # A triangle's TOP graph has at most 2 interior breakpoints
+        prof = top_profile_2d(triangle.extension())
+        assert 1 <= len(prof.pieces) <= 3
+
+    def test_unbounded_profile_domain(self):
+        # y <= 0: TOP finite only at s = 0... actually TOP(0)=0; +inf elsewhere
+        p = parse_tuple("y <= 0").extension()
+        prof = top_profile_2d(p)
+        assert prof(1.0) == math.inf
+        assert prof(-1.0) == math.inf
+
+    def test_profile_of_empty_raises(self):
+        with pytest.raises(GeometryError):
+            top_profile_2d(parse_tuple("x <= 0 and x >= 1", dimension=2).extension())

@@ -1,0 +1,82 @@
+"""Line-envelope utility tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.envelope import (
+    envelope_value,
+    lower_envelope,
+    upper_envelope,
+)
+
+line = st.tuples(
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50),
+)
+
+
+class TestUpperEnvelope:
+    def test_single_line(self):
+        pieces = upper_envelope([(2.0, 1.0)])
+        assert len(pieces) == 1
+        assert pieces[0].x_from == -math.inf
+        assert pieces[0].x_to == math.inf
+        assert envelope_value(pieces, 3.0) == pytest.approx(7.0)
+
+    def test_two_crossing_lines(self):
+        pieces = upper_envelope([(1.0, 0.0), (-1.0, 0.0)])
+        assert len(pieces) == 2
+        assert envelope_value(pieces, -2.0) == pytest.approx(2.0)
+        assert envelope_value(pieces, 2.0) == pytest.approx(2.0)
+        assert envelope_value(pieces, 0.0) == pytest.approx(0.0)
+
+    def test_dominated_line_dropped(self):
+        pieces = upper_envelope([(0.0, 0.0), (0.0, 5.0)])
+        assert len(pieces) == 1
+        assert pieces[0].intercept == 5.0
+
+    def test_middle_line_dominated_by_pair(self):
+        # y = 0x + 0 is below max(x, -x) everywhere except x=0 (tie)
+        pieces = upper_envelope([(1.0, 0.0), (0.0, 0.0), (-1.0, 0.0)])
+        slopes = {p.slope for p in pieces}
+        assert slopes == {1.0, -1.0}
+
+    def test_empty(self):
+        assert upper_envelope([]) == []
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(line, min_size=1, max_size=12), st.floats(-100, 100))
+    def test_envelope_is_pointwise_max(self, lines, x):
+        pieces = upper_envelope(lines)
+        expected = max(m * x + q for m, q in lines)
+        assert envelope_value(pieces, x) == pytest.approx(expected, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(line, min_size=1, max_size=12))
+    def test_pieces_tile_the_real_line(self, lines):
+        pieces = upper_envelope(lines)
+        assert pieces[0].x_from == -math.inf
+        assert pieces[-1].x_to == math.inf
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.x_to == right.x_from
+            # Values agree at the handover point.
+            assert left.value(left.x_to) == pytest.approx(
+                right.value(right.x_from), rel=1e-6, abs=1e-6
+            )
+
+
+class TestLowerEnvelope:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(line, min_size=1, max_size=12), st.floats(-100, 100))
+    def test_lower_is_pointwise_min(self, lines, x):
+        pieces = lower_envelope(lines)
+        expected = min(m * x + q for m, q in lines)
+        assert envelope_value(pieces, x) == pytest.approx(expected, abs=1e-6)
+
+    def test_mirror_of_upper(self):
+        lines = [(1.0, 0.0), (-2.0, 3.0), (0.5, -1.0)]
+        lower = lower_envelope(lines)
+        upper = upper_envelope([(-m, -q) for m, q in lines])
+        assert len(lower) == len(upper)

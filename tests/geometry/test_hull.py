@@ -1,0 +1,99 @@
+"""Convex hull, area, and centroid tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.hull import convex_hull_2d, polygon_area, polygon_centroid
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.lists(st.tuples(coords, coords), min_size=1, max_size=40)
+
+
+class TestHull:
+    def test_square(self):
+        hull = convex_hull_2d([(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)])
+        assert len(hull) == 4
+        assert (0.5, 0.5) not in hull
+
+    def test_collinear_reduced_to_segment(self):
+        hull = convex_hull_2d([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert hull == [(0.0, 0.0), (3.0, 3.0)]
+
+    def test_single_point(self):
+        assert convex_hull_2d([(1, 2), (1, 2)]) == [(1.0, 2.0)]
+
+    def test_counter_clockwise(self):
+        hull = convex_hull_2d([(0, 0), (4, 0), (4, 4), (0, 4)])
+        area2 = 0.0
+        n = len(hull)
+        for i in range(n):
+            x1, y1 = hull[i]
+            x2, y2 = hull[(i + 1) % n]
+            area2 += x1 * y2 - x2 * y1
+        assert area2 > 0  # CCW orientation has positive signed area
+
+    @settings(max_examples=80, deadline=None)
+    @given(points)
+    def test_hull_contains_all_points(self, pts):
+        # Quantise to a grid: the hull's collinearity tolerance may drop
+        # true extreme points of inputs that are within float-epsilon of
+        # fully degenerate (documented behaviour); on a 0.01 grid every
+        # non-zero cross product is far above the tolerance.
+        pts = [(round(x, 2), round(y, 2)) for x, y in pts]
+        hull = convex_hull_2d(pts)
+        if len(hull) < 3:
+            return
+        # Every input point must be inside or on the hull.
+        n = len(hull)
+        for px, py in pts:
+            for i in range(n):
+                x1, y1 = hull[i]
+                x2, y2 = hull[(i + 1) % n]
+                cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+                scale = max(1.0, abs(x2 - x1), abs(y2 - y1), abs(px), abs(py))
+                assert cross >= -1e-6 * scale * scale
+
+    @settings(max_examples=40, deadline=None)
+    @given(points)
+    def test_hull_idempotent(self, pts):
+        hull = convex_hull_2d(pts)
+        assert convex_hull_2d(hull) == sorted(hull) or convex_hull_2d(hull)
+        # Same vertex set when re-hulled.
+        assert set(convex_hull_2d(hull)) == set(hull)
+
+
+class TestAreaCentroid:
+    def test_unit_square_area(self):
+        assert polygon_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == pytest.approx(1.0)
+
+    def test_triangle_area(self):
+        assert polygon_area([(0, 0), (4, 0), (2, 3)]) == pytest.approx(6.0)
+
+    def test_degenerate_area_zero(self):
+        assert polygon_area([(0, 0), (1, 1)]) == 0.0
+
+    def test_square_centroid(self):
+        cx, cy = polygon_centroid([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert (cx, cy) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_centroid_of_segment_falls_back_to_mean(self):
+        cx, cy = polygon_centroid([(0, 0), (2, 2)])
+        assert (cx, cy) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            polygon_centroid([])
+
+    def test_translation_invariance(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)]
+        hull = convex_hull_2d(pts)
+        moved = convex_hull_2d([(x + 100, y - 40) for x, y in pts])
+        assert polygon_area(hull) == pytest.approx(polygon_area(moved), rel=1e-9)
+        cx, cy = polygon_centroid(hull)
+        mx, my = polygon_centroid(moved)
+        assert mx == pytest.approx(cx + 100)
+        assert my == pytest.approx(cy - 40)

@@ -1,0 +1,111 @@
+"""ConvexPolyhedron behaviour: emptiness, boundedness, vertices, boxes."""
+
+import math
+
+import pytest
+
+from repro.constraints import GeneralizedTuple, parse_tuple
+from repro.errors import EmptyExtensionError, GeometryError
+from tests.conftest import random_bounded_tuple
+
+
+class TestStates:
+    def test_bounded_polygon(self, triangle):
+        p = triangle.extension()
+        assert not p.is_empty
+        assert p.is_bounded
+        assert p.rays() == []
+
+    def test_empty(self):
+        p = parse_tuple("x <= 0 and x >= 1", dimension=2).extension()
+        assert p.is_empty
+        assert p.is_bounded  # by convention
+        assert p.vertices() == []
+        assert p.area() == 0.0
+        assert p.feasible_point() is None
+
+    def test_halfplane(self):
+        p = parse_tuple("y <= 0").extension()
+        assert not p.is_empty
+        assert not p.is_bounded
+        assert len(p.rays()) == 2
+        assert p.vertices() == []  # vertex-free
+        assert p.area() == math.inf
+
+    def test_wedge_has_one_vertex(self):
+        p = parse_tuple("y >= x and y >= -x").extension()
+        assert not p.is_bounded
+        assert len(p.vertices()) == 1
+        assert p.vertices()[0] == (pytest.approx(0.0), pytest.approx(0.0))
+        assert len(p.rays()) == 2
+
+    def test_slab(self):
+        p = parse_tuple("y >= x - 1 and y <= x + 1").extension()
+        assert not p.is_bounded
+        rays = p.rays()
+        assert len(rays) == 2
+        for rx, ry in rays:
+            assert ry == pytest.approx(rx)  # both rays along slope 1
+
+
+class TestMeasures:
+    def test_triangle_area_and_centroid(self, triangle):
+        p = triangle.extension()
+        assert p.area() == pytest.approx(6.0)
+        cx, cy = p.centroid()
+        assert cx == pytest.approx(2.0)
+        assert cy == pytest.approx(1.0)
+
+    def test_centroid_of_unbounded_raises(self):
+        with pytest.raises(GeometryError):
+            parse_tuple("y <= 0").extension().centroid()
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(EmptyExtensionError):
+            parse_tuple("x <= 0 and x >= 1", dimension=2).extension().centroid()
+
+    def test_bounding_box(self, triangle):
+        lows, highs = triangle.extension().bounding_box()
+        assert lows == (pytest.approx(0.0), pytest.approx(0.0))
+        assert highs == (pytest.approx(4.0), pytest.approx(3.0))
+
+    def test_bounding_box_unbounded_raises(self):
+        with pytest.raises(GeometryError):
+            parse_tuple("y <= 0").extension().bounding_box()
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(EmptyExtensionError):
+            parse_tuple("x <= 0 and x >= 1", dimension=2).extension().bounding_box()
+
+
+class TestSupportConsistency:
+    def test_vertices_attain_support(self, rng):
+        for _ in range(25):
+            t = random_bounded_tuple(rng)
+            p = t.extension()
+            verts = p.vertices()
+            for c in [(1.0, 0.0), (0.0, 1.0), (0.7, -0.3), (-1.0, -1.0)]:
+                sup = p.support(c)
+                best = max(c[0] * x + c[1] * y for x, y in verts)
+                assert sup == pytest.approx(best, rel=1e-7, abs=1e-7)
+
+    def test_support_cached(self, triangle):
+        p = triangle.extension()
+        assert p.support((1.0, 0.0)) is p.support((1.0, 0.0)) or (
+            p.support((1.0, 0.0)) == p.support((1.0, 0.0))
+        )
+
+    def test_support_dimension_check(self, triangle):
+        with pytest.raises(GeometryError):
+            triangle.extension().support((1.0, 0.0, 0.0))
+
+    def test_contains_point(self, triangle):
+        p = triangle.extension()
+        assert p.contains_point((2.0, 1.0))
+        assert not p.contains_point((2.0, 3.5))
+
+    def test_vertices_inside_constraints(self, rng):
+        for _ in range(25):
+            t = random_bounded_tuple(rng)
+            for v in t.extension().vertices():
+                assert t.satisfied_by(v, tol=1e-5)

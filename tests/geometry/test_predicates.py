@@ -1,0 +1,140 @@
+"""Exact ALL/EXIST predicate tests, cross-validated three ways:
+
+1. against hand-computed cases (incl. the paper's Figure 1 argument),
+2. against conjunction satisfiability (independent of the TOP/BOT
+   reduction),
+3. against vertex/ray sampling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import GeneralizedRelation, Theta, parse_tuple
+from repro.geometry.predicates import (
+    all_by_sampling,
+    all_halfplane,
+    evaluate_relation,
+    exist_by_conjunction,
+    exist_halfplane,
+    halfplane_constraint,
+)
+from repro.errors import QueryError
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+
+class TestHandComputed:
+    def test_triangle_containment(self, triangle):
+        p = triangle.extension()
+        assert all_halfplane(p, 0.0, -0.5, Theta.GE)   # y >= -0.5 contains it
+        assert not all_halfplane(p, 0.0, 0.5, Theta.GE)
+        assert all_halfplane(p, 0.0, 3.0, Theta.LE)    # y <= 3 contains it
+        assert not all_halfplane(p, 0.0, 2.9, Theta.LE)
+
+    def test_triangle_intersection(self, triangle):
+        p = triangle.extension()
+        assert exist_halfplane(p, 0.0, 2.9, Theta.GE)
+        assert not exist_halfplane(p, 0.0, 3.1, Theta.GE)
+        assert exist_halfplane(p, 0.0, 0.1, Theta.LE)
+        assert not exist_halfplane(p, 0.0, -0.1, Theta.LE)
+
+    def test_all_implies_exist(self, triangle):
+        p = triangle.extension()
+        rng = random.Random(3)
+        for _ in range(100):
+            s = rng.uniform(-4, 4)
+            b = rng.uniform(-10, 10)
+            theta = rng.choice([Theta.GE, Theta.LE])
+            if all_halfplane(p, s, b, theta):
+                assert exist_halfplane(p, s, b, theta)
+
+    def test_empty_tuple_semantics(self):
+        p = parse_tuple("x <= 0 and x >= 1", dimension=2).extension()
+        assert not exist_halfplane(p, 0.0, 0.0, Theta.GE)
+        assert all_halfplane(p, 0.0, 0.0, Theta.GE)  # vacuous
+
+    def test_strict_theta_rejected(self, triangle):
+        with pytest.raises(QueryError):
+            exist_halfplane(triangle.extension(), 0.0, 0.0, Theta.LT)
+
+
+class TestFigure1:
+    """The paper's Figure 1: window-clipping of unbounded objects is
+    incorrect — an unbounded tuple and a query can intersect only
+    *outside* any finite window."""
+
+    def test_intersection_outside_window(self):
+        # t2: a rightward wedge between y = 0.1x - 2 and y = 0.05x - 4;
+        # q ≡ y >= 0.05x + 2 overtakes the wedge top only at x = 80,
+        # outside the [-50, 50]² window.
+        t2 = parse_tuple("y <= 0.1x - 2 and y >= 0.05x - 4")
+        q_slope, q_b = 0.05, 2.0
+        poly = t2.extension()
+        window_clip = t2.conjoin(
+            parse_tuple("x >= -50 and x <= 50 and y >= -50 and y <= 50")
+        )
+        # inside the window the clipped tuple misses the query...
+        assert not exist_halfplane(
+            window_clip.extension(), q_slope, q_b, Theta.GE
+        )
+        # ...but the true unbounded tuple intersects it (at x >= 80):
+        assert exist_halfplane(poly, q_slope, q_b, Theta.GE)
+
+
+class TestCrossValidation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        s=st.floats(-3, 3),
+        b=st.floats(-80, 80),
+        ge=st.booleans(),
+    )
+    def test_exist_matches_conjunction(self, seed, s, b, ge):
+        rng = random.Random(seed)
+        t = random_bounded_tuple(rng)
+        theta = Theta.GE if ge else Theta.LE
+        left = exist_halfplane(t.extension(), s, b, theta)
+        right = exist_by_conjunction(t, s, b, theta)
+        if left != right:
+            # Permit disagreement only within boundary tolerance.
+            from repro.geometry import top as top_f, bot as bot_f
+
+            boundary = (
+                top_f(t.extension(), s) if theta is Theta.GE else bot_f(t.extension(), s)
+            )
+            assert abs(boundary - b) < 1e-4, (left, right, boundary, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        s=st.floats(-3, 3),
+        b=st.floats(-80, 80),
+        ge=st.booleans(),
+    )
+    def test_all_matches_sampling(self, seed, s, b, ge):
+        rng = random.Random(seed)
+        t = random_bounded_tuple(rng)
+        theta = Theta.GE if ge else Theta.LE
+        left = all_halfplane(t.extension(), s, b, theta)
+        right = all_by_sampling(t, s, b, theta)
+        assert left == right
+
+
+class TestEvaluateRelation:
+    def test_oracle_over_relation(self, rng):
+        relation = random_mixed_relation(rng, 25)
+        answer = evaluate_relation(relation, "EXIST", 0.5, 0.0, Theta.GE)
+        for tid, t in relation:
+            expected = exist_halfplane(t.extension(), 0.5, 0.0, Theta.GE)
+            assert (tid in answer) == expected
+
+    def test_bad_query_type(self):
+        with pytest.raises(QueryError):
+            evaluate_relation(GeneralizedRelation(), "SOME", 0.0, 0.0, Theta.GE)
+
+    def test_halfplane_constraint_roundtrip(self):
+        c = halfplane_constraint(2.0, 3.0, Theta.GE, 2)
+        assert c.satisfied_by((0.0, 3.0))
+        assert c.satisfied_by((1.0, 5.0))
+        assert not c.satisfied_by((1.0, 4.9))

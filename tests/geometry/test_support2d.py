@@ -1,0 +1,118 @@
+"""Exact 2-D support engine tests, cross-checked against sampling."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import parse_tuple
+from repro.geometry.support2d import (
+    feasible_point_2d,
+    infimum_2d,
+    ineqs_from_atoms,
+    support_2d,
+)
+
+
+def ineqs(text):
+    return ineqs_from_atoms(parse_tuple(text).constraints)
+
+
+def ineqs2d(text):
+    return ineqs_from_atoms(parse_tuple(text, dimension=2).constraints)
+
+
+class TestFeasibility:
+    def test_box_feasible(self):
+        assert feasible_point_2d(ineqs("x >= 0 and x <= 1 and y >= 0 and y <= 1")) is not None
+
+    def test_empty_detected(self):
+        assert feasible_point_2d(ineqs2d("x >= 1 and x <= 0")) is None
+
+    def test_parallel_empty_slab(self):
+        assert feasible_point_2d(ineqs("y >= x + 1 and y <= x - 1")) is None
+
+    def test_single_halfplane(self):
+        p = feasible_point_2d(ineqs("y <= -5"))
+        assert p is not None and p[1] <= -5 + 1e-6
+
+    def test_line_region(self):
+        # y <= 0 and y >= 0: the x axis
+        p = feasible_point_2d(ineqs("y <= 0 and y >= 0"))
+        assert p is not None and abs(p[1]) <= 1e-6
+
+    def test_point_region(self):
+        p = feasible_point_2d(
+            ineqs("x >= 1 and x <= 1 and y >= 2 and y <= 2")
+        )
+        assert p == (pytest.approx(1.0), pytest.approx(2.0))
+
+
+class TestSupportValues:
+    def test_unit_box(self):
+        system = ineqs("x >= 0 and x <= 1 and y >= 0 and y <= 1")
+        assert support_2d(system, (1.0, 0.0)) == pytest.approx(1.0)
+        assert support_2d(system, (1.0, 1.0)) == pytest.approx(2.0)
+        assert support_2d(system, (-1.0, -1.0)) == pytest.approx(0.0)
+        assert infimum_2d(system, (1.0, 1.0)) == pytest.approx(0.0)
+
+    def test_halfplane_mixed(self):
+        system = ineqs("y <= 0")
+        assert support_2d(system, (0.0, 1.0)) == pytest.approx(0.0)
+        assert support_2d(system, (1.0, 0.0)) == math.inf
+        assert support_2d(system, (0.0, -1.0)) == math.inf
+        assert infimum_2d(system, (0.0, 1.0)) == -math.inf
+
+    def test_empty_returns_none(self):
+        assert support_2d(ineqs2d("x >= 1 and x <= 0"), (1.0, 0.0)) is None
+        assert infimum_2d(ineqs2d("x >= 1 and x <= 0"), (1.0, 0.0)) is None
+
+    def test_no_constraints(self):
+        assert support_2d([], (1.0, 0.0)) == math.inf
+        assert support_2d([], (0.0, 0.0)) == 0.0
+
+    def test_wedge_finite_direction(self):
+        # x >= 0, y >= x: unbounded region, but sup of -x - y is 0 at origin
+        system = ineqs("x >= 0 and y >= x")
+        assert support_2d(system, (-1.0, -1.0)) == pytest.approx(0.0)
+        assert support_2d(system, (0.0, 1.0)) == math.inf
+
+    def test_zero_direction_on_nonempty(self):
+        assert support_2d(ineqs("x <= 1 and y <= 1"), (0.0, 0.0)) == pytest.approx(0.0)
+
+
+@st.composite
+def random_polygon_system(draw):
+    """A random bounded polygon as ≤-inequalities plus its vertices."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    n = rng.randint(3, 7)
+    cx, cy = rng.uniform(-20, 20), rng.uniform(-20, 20)
+    pts = [
+        (
+            cx + rng.uniform(1, 15) * math.cos(2 * math.pi * i / n + rng.uniform(0, 0.3)),
+            cy + rng.uniform(1, 15) * math.sin(2 * math.pi * i / n + rng.uniform(0, 0.3)),
+        )
+        for i in range(n)
+    ]
+    return pts
+
+
+class TestAgainstVertexEnumeration:
+    @settings(max_examples=60, deadline=None)
+    @given(random_polygon_system(), st.floats(-3, 3), st.floats(-3, 3))
+    def test_support_equals_hull_max(self, pts, cx, cy):
+        from repro.constraints import GeneralizedTuple
+        from repro.errors import ConstraintError
+
+        if abs(cx) + abs(cy) < 1e-3:
+            return
+        try:
+            t = GeneralizedTuple.from_vertices_2d(pts)
+        except ConstraintError:
+            return
+        system = ineqs_from_atoms(t.constraints)
+        value = support_2d(system, (cx, cy))
+        hull = t.extension().vertices()
+        expected = max(cx * x + cy * y for x, y in hull)
+        assert value == pytest.approx(expected, rel=1e-6, abs=1e-6)

@@ -1,0 +1,90 @@
+"""d-dimensional support engine (LP-backed) tests."""
+
+import math
+
+import pytest
+
+from repro.constraints import GeneralizedTuple, parse_tuple
+from repro.errors import GeometryError
+from repro.geometry.supportnd import (
+    feasible_point_nd,
+    ineqs_from_atoms_nd,
+    support_nd,
+    vertices_nd,
+)
+
+
+def cube3(side=2.0):
+    return GeneralizedTuple.from_box(
+        (-side / 2,) * 3, (side / 2,) * 3
+    )
+
+
+class TestSupport:
+    def test_cube_supports(self):
+        system = ineqs_from_atoms_nd(cube3().constraints)
+        assert support_nd(system, (1, 0, 0)) == pytest.approx(1.0)
+        assert support_nd(system, (1, 1, 1)) == pytest.approx(3.0)
+        assert support_nd(system, (-1, 0, 0)) == pytest.approx(1.0)
+
+    def test_unbounded(self):
+        t = parse_tuple("x3 <= 0", dimension=3)
+        system = ineqs_from_atoms_nd(t.constraints)
+        assert support_nd(system, (1, 0, 0)) == math.inf
+        assert support_nd(system, (0, 0, 1)) == pytest.approx(0.0)
+
+    def test_infeasible(self):
+        t = parse_tuple("x1 <= 0 and x1 >= 1", dimension=3)
+        system = ineqs_from_atoms_nd(t.constraints)
+        assert support_nd(system, (1, 0, 0)) is None
+
+    def test_empty_system(self):
+        assert support_nd([], (1, 0)) == math.inf
+        assert support_nd([], (0, 0)) == 0.0
+
+
+class TestFeasiblePoint:
+    def test_cube_interior(self):
+        system = ineqs_from_atoms_nd(cube3().constraints)
+        p = feasible_point_nd(system)
+        assert p is not None
+        assert all(abs(v) <= 1.0 + 1e-6 for v in p)
+
+    def test_infeasible_none(self):
+        t = parse_tuple("x1 <= 0 and x1 >= 1", dimension=2)
+        assert feasible_point_nd(ineqs_from_atoms_nd(t.constraints)) is None
+
+
+class TestVertices:
+    def test_cube_has_8_vertices(self):
+        system = ineqs_from_atoms_nd(cube3().constraints)
+        verts = vertices_nd(system)
+        assert len(verts) == 8
+        for v in verts:
+            assert all(abs(abs(c) - 1.0) < 1e-6 for c in v)
+
+    def test_empty_raises(self):
+        t = parse_tuple("x1 <= 0 and x1 >= 1", dimension=3)
+        with pytest.raises(GeometryError):
+            vertices_nd(ineqs_from_atoms_nd(t.constraints))
+
+
+class TestPolyhedronNd:
+    def test_3d_top_bot(self):
+        # TOP of the unit cube at slope (0,0) is max x3 = 1
+        from repro.geometry import bot, top
+
+        p = cube3().extension()
+        assert top(p, (0.0, 0.0)) == pytest.approx(1.0)
+        assert bot(p, (0.0, 0.0)) == pytest.approx(-1.0)
+        # slope (1,1): TOP = max(x3 - x1 - x2) = 1 + 1 + 1
+        assert top(p, (1.0, 1.0)) == pytest.approx(3.0)
+
+    def test_3d_boundedness(self):
+        assert cube3().extension().is_bounded
+        assert not parse_tuple("x3 <= 0", dimension=3).extension().is_bounded
+
+    def test_3d_bounding_box(self):
+        lows, highs = cube3().extension().bounding_box()
+        assert lows == tuple(pytest.approx(-1.0) for _ in range(3))
+        assert highs == tuple(pytest.approx(1.0) for _ in range(3))

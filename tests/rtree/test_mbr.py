@@ -1,0 +1,129 @@
+"""Rect algebra and half-plane predicate tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import Theta, parse_tuple
+from repro.errors import GeometryError, QueryError
+from repro.rtree import Rect, rect_2d, spread_axis
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return rect_2d(x1, y1, x2, y2)
+
+
+class TestBasics:
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            rect_2d(1, 0, 0, 1)
+
+    def test_area_margin_center(self):
+        r = rect_2d(0, 0, 4, 2)
+        assert r.area() == 8.0
+        assert r.margin() == 6.0
+        assert r.center() == (2.0, 1.0)
+
+    def test_intersects(self):
+        a = rect_2d(0, 0, 2, 2)
+        assert a.intersects(rect_2d(1, 1, 3, 3))
+        assert a.intersects(rect_2d(2, 2, 3, 3))  # corner touch, closed
+        assert not a.intersects(rect_2d(2.1, 0, 3, 1))
+
+    def test_contains(self):
+        a = rect_2d(0, 0, 4, 4)
+        assert a.contains_rect(rect_2d(1, 1, 2, 2))
+        assert a.contains_rect(a)
+        assert not a.contains_rect(rect_2d(1, 1, 5, 2))
+        assert a.contains_point((0, 4))
+        assert not a.contains_point((4.5, 0))
+
+    def test_union_intersection(self):
+        a = rect_2d(0, 0, 2, 2)
+        b = rect_2d(1, 1, 3, 3)
+        assert a.union(b) == rect_2d(0, 0, 3, 3)
+        assert a.intersection(b) == rect_2d(1, 1, 2, 2)
+        assert a.intersection(rect_2d(5, 5, 6, 6)) is None
+
+    def test_enlargement(self):
+        a = rect_2d(0, 0, 1, 1)
+        assert a.enlargement(rect_2d(0, 0, 2, 1)) == pytest.approx(1.0)
+
+    def test_from_polyhedron(self, triangle):
+        r = Rect.from_polyhedron(triangle.extension())
+        assert r == rect_2d(0, 0, 4, 3)
+
+    def test_from_unbounded_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_polyhedron(parse_tuple("y <= 0").extension())
+
+    def test_spread_axis(self):
+        rs = [rect_2d(0, 0, 1, 1), rect_2d(10, 0, 11, 1)]
+        assert spread_axis(rs) == 0
+        rs = [rect_2d(0, 0, 1, 1), rect_2d(0, 10, 1, 11)]
+        assert spread_axis(rs) == 1
+
+    def test_3d_rect(self):
+        r = Rect((0, 0, 0), (1, 2, 3))
+        assert r.area() == 6.0
+        assert r.dimension == 3
+
+
+class TestHalfPlanePredicates:
+    def test_simple_ge(self):
+        r = rect_2d(0, 0, 2, 2)
+        # y >= 1: intersects, not inside
+        assert r.intersects_halfplane((0.0,), 1.0, Theta.GE)
+        assert not r.inside_halfplane((0.0,), 1.0, Theta.GE)
+        # y >= -1: fully inside
+        assert r.inside_halfplane((0.0,), -1.0, Theta.GE)
+        # y >= 3: disjoint
+        assert not r.intersects_halfplane((0.0,), 3.0, Theta.GE)
+
+    def test_sloped(self):
+        r = rect_2d(0, 0, 2, 2)
+        # y >= x - 3 contains the box (worst corner (2,0): 0 >= -1)
+        assert r.inside_halfplane((1.0,), -3.0, Theta.GE)
+        # y <= x: cuts through the box
+        assert r.intersects_halfplane((1.0,), 0.0, Theta.LE)
+        assert not r.inside_halfplane((1.0,), 0.0, Theta.LE)
+
+    def test_strict_theta_rejected(self):
+        with pytest.raises(QueryError):
+            rect_2d(0, 0, 1, 1).intersects_halfplane((0.0,), 0.0, Theta.LT)
+
+    def test_wrong_slope_length(self):
+        with pytest.raises(QueryError):
+            rect_2d(0, 0, 1, 1).intersects_halfplane((0.0, 1.0), 0.0, Theta.GE)
+
+    @settings(max_examples=100, deadline=None)
+    @given(r=rects(), s=st.floats(-3, 3), b=st.floats(-150, 150), ge=st.booleans())
+    def test_predicates_match_corner_enumeration(self, r, s, b, ge):
+        theta = Theta.GE if ge else Theta.LE
+        corners = [
+            (x, y)
+            for x in (r.lows[0], r.highs[0])
+            for y in (r.lows[1], r.highs[1])
+        ]
+        values = [y - s * x - b for x, y in corners]
+        if min(abs(v) for v in values) < 1e-9:
+            return  # knife-edge: float association order decides the sign
+        if theta is Theta.GE:
+            want_intersects = max(values) >= 0
+            want_inside = min(values) >= 0
+        else:
+            want_intersects = min(values) <= 0
+            want_inside = max(values) <= 0
+        assert r.intersects_halfplane((s,), b, theta, tol=0.0) == want_intersects
+        assert r.inside_halfplane((s,), b, theta, tol=0.0) == want_inside
+
+    @settings(max_examples=60, deadline=None)
+    @given(r=rects(), s=st.floats(-3, 3), b=st.floats(-150, 150), ge=st.booleans())
+    def test_inside_implies_intersects(self, r, s, b, ge):
+        theta = Theta.GE if ge else Theta.LE
+        if r.inside_halfplane((s,), b, theta):
+            assert r.intersects_halfplane((s,), b, theta)

@@ -1,0 +1,104 @@
+"""RTreePlanner tests: build, dynamic updates, query semantics."""
+
+import pytest
+
+from repro.constraints import GeneralizedRelation, Theta
+from repro.core import ALL, EXIST, HalfPlaneQuery
+from repro.errors import QueryError
+from repro.geometry.predicates import evaluate_relation
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.planner import RTreePlanner
+from repro.storage import Pager
+from tests.conftest import random_bounded_tuple
+
+
+@pytest.fixture
+def setup(rng):
+    relation = GeneralizedRelation(
+        [random_bounded_tuple(rng) for _ in range(70)]
+    )
+    planner = RTreePlanner.build(relation, pager=Pager(), key_bytes=4)
+    return planner, relation
+
+
+class TestBuild:
+    def test_pieces_are_tight_after_refined_build(self, setup):
+        planner, _ = setup
+        assert planner.tree.pieces_are_tight
+
+    def test_skips_unsatisfiable(self, rng):
+        from repro.constraints import parse_tuple
+
+        relation = GeneralizedRelation(
+            [
+                random_bounded_tuple(rng),
+                parse_tuple("x <= 0 and x >= 1", dimension=2),
+            ]
+        )
+        planner = RTreePlanner.build(relation)
+        assert planner.skipped == [1]
+
+    def test_guttman_variant(self, rng):
+        relation = GeneralizedRelation(
+            [random_bounded_tuple(rng) for _ in range(40)]
+        )
+        planner = RTreePlanner.build(relation, tree_cls=GuttmanRTree)
+        res = planner.exist(0.0, -1e6, Theta.GE)
+        assert res.ids == set(relation.ids())
+
+
+class TestQueries:
+    def test_matches_oracle(self, setup, rng):
+        planner, relation = setup
+        for _ in range(60):
+            qtype = rng.choice([ALL, EXIST])
+            theta = rng.choice([Theta.GE, Theta.LE])
+            a = rng.uniform(-3, 3)
+            b = rng.uniform(-70, 70)
+            res = planner.query(HalfPlaneQuery(qtype, a, b, theta))
+            want = evaluate_relation(relation, qtype, a, b, theta)
+            assert res.ids == want, (qtype, theta, a, b)
+
+    def test_all_never_confirms_free(self, setup):
+        planner, relation = setup
+        res = planner.all(0.0, -1e6, Theta.GE)
+        assert res.ids == set(relation.ids())
+        assert res.accepted_without_refinement == 0
+
+    def test_exist_confirms_interior(self, setup):
+        planner, relation = setup
+        res = planner.exist(0.0, -1e6, Theta.GE)
+        assert res.ids == set(relation.ids())
+        assert res.accepted_without_refinement > 0
+
+
+class TestDynamic:
+    def test_insert_delete_query(self, setup, rng):
+        planner, relation = setup
+        extra = {}
+        for tid in range(1000, 1020):
+            t = random_bounded_tuple(rng)
+            extra[tid] = t
+            relation_tid = relation.add(t)
+            # keep ids aligned between relation and planner
+            planner.insert(relation_tid, t)
+        res = planner.exist(0.0, -1e6, Theta.GE)
+        assert res.ids == set(relation.ids())
+        victim = relation.ids()[0]
+        relation.remove(victim)
+        planner.delete(victim)
+        res = planner.exist(0.0, -1e6, Theta.GE)
+        assert res.ids == set(relation.ids())
+
+    def test_delete_unknown_rejected(self, setup):
+        planner, _ = setup
+        with pytest.raises(QueryError):
+            planner.delete(987654)
+
+    def test_unbounded_insert_rejected(self, setup):
+        from repro.constraints import parse_tuple
+        from repro.errors import GeometryError
+
+        planner, _ = setup
+        with pytest.raises(GeometryError):
+            planner.insert(5000, parse_tuple("y <= 0"))

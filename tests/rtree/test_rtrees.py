@@ -1,0 +1,183 @@
+"""R+-tree and Guttman R-tree structural/functional tests."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.storage import KeyCodec, Pager
+from repro.constraints.theta import Theta
+from repro.rtree import GuttmanRTree, RPlusTree, rect_2d
+
+
+def rand_rect(rng, max_side=10.0):
+    x, y = rng.uniform(-50, 50), rng.uniform(-50, 50)
+    w, h = rng.uniform(0.2, max_side), rng.uniform(0.2, max_side)
+    return rect_2d(x, y, x + w, y + h)
+
+
+@pytest.fixture(params=[RPlusTree, GuttmanRTree], ids=["rplus", "guttman"])
+def tree_cls(request):
+    return request.param
+
+
+class TestBulkLoad:
+    def test_search_matches_bruteforce(self, tree_cls):
+        rng = random.Random(11)
+        items = [(i, rand_rect(rng)) for i in range(1200)]
+        tree = tree_cls(Pager())
+        tree.bulk_load(items)
+        tree.check_invariants()
+        for _ in range(40):
+            q = rand_rect(rng, max_side=30)
+            assert tree.search_rect(q) == {
+                i for i, r in items if r.intersects(q)
+            }
+
+    def test_bulk_load_empty(self, tree_cls):
+        tree = tree_cls(Pager())
+        tree.bulk_load([])
+        assert tree.root is None
+        assert tree.search_rect(rect_2d(0, 0, 1, 1)) == set()
+
+    def test_bulk_load_single(self, tree_cls):
+        tree = tree_cls(Pager())
+        tree.bulk_load([(7, rect_2d(0, 0, 1, 1))])
+        assert tree.search_rect(rect_2d(0.5, 0.5, 2, 2)) == {7}
+        assert tree.height == 1
+
+    def test_bulk_nonempty_rejected(self, tree_cls):
+        tree = tree_cls(Pager())
+        tree.insert(0, rect_2d(0, 0, 1, 1))
+        with pytest.raises(IndexError_):
+            tree.bulk_load([(1, rect_2d(0, 0, 1, 1))])
+
+    def test_identical_rects(self, tree_cls):
+        # degenerate case: every object identical
+        items = [(i, rect_2d(1, 1, 2, 2)) for i in range(300)]
+        tree = tree_cls(Pager())
+        tree.bulk_load(items)
+        assert tree.search_rect(rect_2d(0, 0, 3, 3)) == set(range(300))
+
+    def test_rplus_duplication_counted(self):
+        rng = random.Random(12)
+        items = [(i, rand_rect(rng, max_side=25)) for i in range(600)]
+        tree = RPlusTree(Pager())
+        tree.bulk_load(items)
+        assert tree.size >= len(items)  # clipping duplicates entries
+
+    def test_guttman_no_duplication(self):
+        rng = random.Random(13)
+        items = [(i, rand_rect(rng, max_side=25)) for i in range(600)]
+        tree = GuttmanRTree(Pager())
+        tree.bulk_load(items)
+        assert tree.size == len(items)
+
+
+class TestDynamic:
+    def test_insert_then_search(self, tree_cls):
+        rng = random.Random(14)
+        items = [(i, rand_rect(rng)) for i in range(500)]
+        tree = tree_cls(Pager())
+        for i, r in items:
+            tree.insert(i, r)
+        tree.check_invariants()
+        for _ in range(25):
+            q = rand_rect(rng, max_side=30)
+            assert tree.search_rect(q) == {
+                i for i, r in items if r.intersects(q)
+            }
+
+    def test_delete(self, tree_cls):
+        rng = random.Random(15)
+        items = [(i, rand_rect(rng)) for i in range(400)]
+        tree = tree_cls(Pager())
+        for i, r in items:
+            tree.insert(i, r)
+        for i, r in items[:200]:
+            assert tree.delete(i, r) >= 1
+        tree.check_invariants()
+        everything = rect_2d(-200, -200, 200, 200)
+        assert tree.search_rect(everything) == {i for i, _ in items[200:]}
+
+    def test_delete_everything(self, tree_cls):
+        rng = random.Random(16)
+        items = [(i, rand_rect(rng)) for i in range(150)]
+        tree = tree_cls(Pager())
+        for i, r in items:
+            tree.insert(i, r)
+        for i, r in items:
+            tree.delete(i, r)
+        assert tree.search_rect(rect_2d(-200, -200, 200, 200)) == set()
+
+    def test_delete_absent_returns_zero(self, tree_cls):
+        tree = tree_cls(Pager())
+        tree.insert(0, rect_2d(0, 0, 1, 1))
+        assert tree.delete(99, rect_2d(0, 0, 1, 1)) == 0
+
+    def test_insert_into_bulk_loaded(self, tree_cls):
+        rng = random.Random(17)
+        items = [(i, rand_rect(rng)) for i in range(300)]
+        tree = tree_cls(Pager())
+        tree.bulk_load(items)
+        extra = [(1000 + i, rand_rect(rng)) for i in range(100)]
+        for i, r in extra:
+            tree.insert(i, r)
+        tree.check_invariants()
+        q = rect_2d(-60, -60, 60, 60)
+        assert tree.search_rect(q) == {i for i, _ in items + extra}
+
+
+class TestHalfPlaneSearch:
+    def test_no_false_dismissals(self, tree_cls):
+        rng = random.Random(18)
+        items = [(i, rand_rect(rng)) for i in range(800)]
+        tree = tree_cls(Pager())
+        tree.bulk_load(items)
+        for _ in range(40):
+            s = rng.uniform(-3, 3)
+            b = rng.uniform(-80, 80)
+            theta = rng.choice([Theta.GE, Theta.LE])
+            result = tree.search_halfplane(s, b, theta, "EXIST")
+            want = {
+                i for i, r in items if r.intersects_halfplane((s,), b, theta)
+            }
+            assert result.confirmed | result.to_refine == want
+            # confirmed are sound: their full MBR may span several pieces,
+            # but each confirmed piece is inside, hence intersecting.
+            for rid in result.confirmed:
+                full = next(r for i, r in items if i == rid)
+                assert full.intersects_halfplane((s,), b, theta)
+
+    def test_all_mode_confirms_nothing(self, tree_cls):
+        rng = random.Random(19)
+        items = [(i, rand_rect(rng)) for i in range(200)]
+        tree = tree_cls(Pager())
+        tree.bulk_load(items)
+        result = tree.search_halfplane(0.0, -1000.0, Theta.GE, "ALL")
+        assert result.confirmed == set()
+        assert result.to_refine == set(range(200))
+
+    def test_bad_query_type(self, tree_cls):
+        from repro.errors import QueryError
+
+        tree = tree_cls(Pager())
+        with pytest.raises(QueryError):
+            tree.search_halfplane(0.0, 0.0, Theta.GE, "SOME")
+
+
+class TestAccounting:
+    def test_page_count_tracks_tree(self, tree_cls):
+        rng = random.Random(20)
+        tree = tree_cls(Pager())
+        tree.bulk_load([(i, rand_rect(rng)) for i in range(500)])
+        assert tree.page_count == len(tree.owned_pages)
+        assert tree.page_count >= 10
+
+    def test_search_counts_node_reads(self, tree_cls):
+        rng = random.Random(21)
+        tree = tree_cls(Pager())
+        tree.bulk_load([(i, rand_rect(rng)) for i in range(500)])
+        with tree.pager.measure() as scope:
+            tree.search_rect(rect_2d(0, 0, 1, 1))
+        assert 1 <= scope.delta.logical_reads <= tree.page_count

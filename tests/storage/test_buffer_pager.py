@@ -1,0 +1,117 @@
+"""BufferPool and Pager tests: caching, write-back, accounting."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BufferPool, DiskSimulator, Pager
+
+
+class TestBufferPool:
+    def test_zero_capacity_passthrough(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 0)
+        pid = disk.allocate()
+        pool.write(pid, bytes(1024))
+        pool.read(pid)
+        assert disk.stats.physical_reads == 1
+        assert disk.stats.physical_writes == 1
+
+    def test_read_hit_avoids_disk(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 4)
+        pid = disk.allocate()
+        pool.read(pid)
+        pool.read(pid)
+        pool.read(pid)
+        assert disk.stats.physical_reads == 1
+        assert pool.hits == 2
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_dirty_eviction_writes_back(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 1)
+        a, b = disk.allocate(), disk.allocate()
+        image = b"\xab" * 1024
+        pool.write(a, image)
+        assert disk.stats.physical_writes == 0  # staged only
+        pool.read(b)  # evicts a
+        assert disk.stats.physical_writes == 1
+        assert disk.read_page(a) == image
+
+    def test_flush(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 4)
+        pid = disk.allocate()
+        pool.write(pid, b"\x01" * 1024)
+        pool.flush()
+        assert disk.read_page(pid) == b"\x01" * 1024
+        # flush keeps the frame cached
+        pool.read(pid)
+        assert pool.hits == 1
+
+    def test_discard_drops_without_writeback(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 4)
+        pid = disk.allocate()
+        pool.write(pid, b"\x02" * 1024)
+        pool.discard(pid)
+        pool.flush()
+        assert disk.read_page(pid) == bytes(1024)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(DiskSimulator(), -1)
+
+
+class TestPager:
+    def test_logical_vs_physical(self):
+        pager = Pager(buffer_frames=8)
+        pid = pager.allocate()
+        pager.write(pid, bytes(1024))
+        for _ in range(5):
+            pager.read(pid)
+        assert pager.stats.logical_reads == 5
+        assert pager.stats.physical_reads == 0  # cached after the write
+
+    def test_cold_stack_counts_match(self):
+        pager = Pager()  # no buffer
+        pid = pager.allocate()
+        pager.write(pid, bytes(1024))
+        pager.read(pid)
+        assert pager.stats.logical_reads == pager.stats.physical_reads == 1
+        assert pager.stats.logical_writes == pager.stats.physical_writes == 1
+
+    def test_measure_scope(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.write(pid, bytes(1024))
+        with pager.measure() as scope:
+            pager.read(pid)
+            pager.read(pid)
+        assert scope.delta.logical_reads == 2
+        assert scope.delta.logical_writes == 0
+
+    def test_cool_down(self):
+        pager = Pager(buffer_frames=4)
+        pid = pager.allocate()
+        pager.write(pid, b"\x07" * 1024)
+        pager.cool_down()
+        assert pager.disk.read_page(pid) == b"\x07" * 1024
+        before = pager.disk.stats.physical_reads
+        pager.read(pid)
+        assert pager.disk.stats.physical_reads == before + 1  # cache emptied
+
+    def test_free_discards_frame(self):
+        pager = Pager(buffer_frames=4)
+        pid = pager.allocate()
+        pager.write(pid, b"\x09" * 1024)
+        pager.free(pid)
+        assert pager.allocated_pages == 0
+
+    def test_stats_reset(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.read(pid)
+        pager.stats.reset()
+        assert pager.stats.logical_reads == 0
+        assert pager.stats.page_accesses == 0

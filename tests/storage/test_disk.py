@@ -1,0 +1,78 @@
+"""DiskSimulator tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskSimulator
+
+
+def test_allocate_returns_zeroed_pages():
+    disk = DiskSimulator(page_size=128)
+    pid = disk.allocate()
+    assert disk.read_page(pid) == bytes(128)
+
+
+def test_write_read_roundtrip():
+    disk = DiskSimulator(page_size=128)
+    pid = disk.allocate()
+    image = bytes(range(128))
+    disk.write_page(pid, image)
+    assert disk.read_page(pid) == image
+
+
+def test_wrong_size_write_rejected():
+    disk = DiskSimulator(page_size=128)
+    pid = disk.allocate()
+    with pytest.raises(StorageError):
+        disk.write_page(pid, b"short")
+
+
+def test_unallocated_access_rejected():
+    disk = DiskSimulator()
+    with pytest.raises(StorageError):
+        disk.read_page(7)
+    with pytest.raises(StorageError):
+        disk.write_page(7, bytes(1024))
+    with pytest.raises(StorageError):
+        disk.free(7)
+
+
+def test_free_recycles_ids():
+    disk = DiskSimulator()
+    a = disk.allocate()
+    disk.free(a)
+    b = disk.allocate()
+    assert b == a
+    assert disk.allocated_pages == 1
+
+
+def test_double_free_rejected():
+    disk = DiskSimulator()
+    pid = disk.allocate()
+    disk.free(pid)
+    with pytest.raises(StorageError):
+        disk.free(pid)
+
+
+def test_physical_counters():
+    disk = DiskSimulator()
+    pid = disk.allocate()
+    disk.write_page(pid, bytes(1024))
+    disk.read_page(pid)
+    disk.read_page(pid)
+    assert disk.stats.physical_writes == 1
+    assert disk.stats.physical_reads == 2
+    assert disk.stats.allocations == 1
+
+
+def test_space_accounting():
+    disk = DiskSimulator(page_size=512)
+    pids = [disk.allocate() for _ in range(5)]
+    assert disk.allocated_bytes == 5 * 512
+    disk.free(pids[0])
+    assert disk.allocated_bytes == 4 * 512
+
+
+def test_tiny_page_size_rejected():
+    with pytest.raises(StorageError):
+        DiskSimulator(page_size=16)

@@ -1,0 +1,69 @@
+"""IOStats and StatsScope tests."""
+
+from repro.storage import IOStats, Pager, StatsScope
+
+
+def test_snapshot_is_independent():
+    stats = IOStats(logical_reads=3)
+    snap = stats.snapshot()
+    stats.logical_reads = 10
+    assert snap.logical_reads == 3
+
+
+def test_delta_since():
+    before = IOStats(logical_reads=2, logical_writes=1)
+    after = IOStats(logical_reads=7, logical_writes=4, physical_reads=3)
+    delta = after.delta_since(before)
+    assert delta.logical_reads == 5
+    assert delta.logical_writes == 3
+    assert delta.physical_reads == 3
+    assert delta.page_accesses == 8
+
+
+def test_reset():
+    stats = IOStats(logical_reads=5, allocations=2)
+    stats.reset()
+    assert stats.logical_reads == 0
+    assert stats.allocations == 0
+
+
+def test_scope_nested_measurements():
+    pager = Pager()
+    pid = pager.allocate()
+    pager.write(pid, bytes(1024))
+    with StatsScope(pager.stats) as outer:
+        pager.read(pid)
+        with StatsScope(pager.stats) as inner:
+            pager.read(pid)
+            pager.read(pid)
+        pager.read(pid)
+    assert inner.delta.logical_reads == 2
+    assert outer.delta.logical_reads == 4
+
+
+def test_errors_hierarchy():
+    from repro import ReproError
+    from repro.errors import (
+        ConstraintError,
+        EmptyExtensionError,
+        GeometryError,
+        IndexError_,
+        PageOverflowError,
+        ParseError,
+        QueryError,
+        SlopeSetError,
+        StorageError,
+    )
+
+    assert issubclass(ParseError, ConstraintError)
+    assert issubclass(EmptyExtensionError, GeometryError)
+    assert issubclass(PageOverflowError, StorageError)
+    assert issubclass(SlopeSetError, IndexError_)
+    assert issubclass(QueryError, IndexError_)
+    for exc in (
+        ConstraintError,
+        GeometryError,
+        StorageError,
+        IndexError_,
+    ):
+        assert issubclass(exc, ReproError)

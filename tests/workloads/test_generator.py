@@ -1,0 +1,143 @@
+"""Workload generator tests: Section 5 parameters hold by construction."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.workloads import (
+    PAPER_WINDOW,
+    SIZE_CLASSES,
+    Window,
+    bounding_rect_of,
+    make_relation,
+    polygon_tuple,
+    random_edge_angles,
+    unbounded_tuple,
+)
+
+
+class TestWindow:
+    def test_paper_window(self):
+        assert PAPER_WINDOW.area == 10000.0
+        assert PAPER_WINDOW.contains(0, 0)
+        assert PAPER_WINDOW.contains(-50, 50)
+        assert not PAPER_WINDOW.contains(51, 0)
+
+    def test_custom(self):
+        w = Window(0, 0, 10, 20)
+        assert w.width == 10 and w.height == 20 and w.area == 200
+
+
+class TestEdgeAngles:
+    def test_range_and_no_vertical(self):
+        rng = random.Random(0)
+        angles = random_edge_angles(rng, 500)
+        assert all(0 <= a < math.pi for a in angles)
+        assert all(abs(a - math.pi / 2) >= 0.05 for a in angles)
+
+
+class TestPolygonTuple:
+    def test_target_area_exact(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            target = rng.uniform(50, 3000)
+            t = polygon_tuple(rng, (0.0, 0.0), target)
+            if t is None:
+                continue
+            assert t.extension().area() == pytest.approx(target, rel=1e-6)
+
+    def test_constraint_count_in_range(self):
+        rng = random.Random(2)
+        produced = []
+        while len(produced) < 30:
+            t = polygon_tuple(rng, (0.0, 0.0), 100.0)
+            if t is not None:
+                produced.append(len(t.constraints))
+        assert all(3 <= m <= 6 for m in produced)
+
+    def test_no_vertical_edges(self):
+        rng = random.Random(3)
+        count = 0
+        while count < 30:
+            t = polygon_tuple(rng, (0.0, 0.0), 100.0)
+            if t is None:
+                continue
+            count += 1
+            for atom in t.constraints:
+                assert not atom.is_vertical
+
+    def test_center_inside(self):
+        rng = random.Random(4)
+        count = 0
+        while count < 30:
+            center = (rng.uniform(-50, 50), rng.uniform(-50, 50))
+            t = polygon_tuple(rng, center, 200.0)
+            if t is None:
+                continue
+            count += 1
+            assert t.satisfied_by(center)
+
+    def test_bounded_aspect(self):
+        # The compactness guard: diameter stays a small multiple of the
+        # size implied by the area.
+        rng = random.Random(5)
+        count = 0
+        while count < 40:
+            t = polygon_tuple(rng, (0.0, 0.0), 100.0)
+            if t is None:
+                continue
+            count += 1
+            (lx, ly), (hx, hy) = t.extension().bounding_box()
+            diameter = math.hypot(hx - lx, hy - ly)
+            assert diameter < 20 * math.sqrt(100.0 / math.pi)
+
+
+class TestMakeRelation:
+    def test_cardinality_and_dimension(self):
+        r = make_relation(50, "small", seed=0)
+        assert len(r) == 50
+        assert r.dimension == 2
+
+    def test_reproducible(self):
+        a = make_relation(20, "small", seed=9)
+        b = make_relation(20, "small", seed=9)
+        assert [t for _, t in a] == [t for _, t in b]
+
+    def test_different_seeds_differ(self):
+        a = make_relation(20, "small", seed=1)
+        b = make_relation(20, "small", seed=2)
+        assert [t for _, t in a] != [t for _, t in b]
+
+    def test_size_classes(self):
+        for size, (lo, hi) in SIZE_CLASSES.items():
+            r = make_relation(30, size, seed=3)
+            for _tid, t in r:
+                area = t.extension().area()
+                frac = area / PAPER_WINDOW.area
+                assert lo * 0.99 <= frac <= hi * 1.01, (size, frac)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConstraintError):
+            make_relation(5, "huge")
+
+    def test_all_satisfiable(self):
+        r = make_relation(40, "medium", seed=4)
+        assert all(t.is_satisfiable() for _, t in r)
+
+    def test_bounding_rect(self):
+        r = make_relation(40, "small", seed=5)
+        xmin, ymin, xmax, ymax = bounding_rect_of(r)
+        assert xmin < -30 and xmax > 30  # centers spread over the window
+        assert (xmax - xmin) < 250
+
+
+class TestUnboundedTuple:
+    def test_always_unbounded_and_satisfiable(self):
+        rng = random.Random(6)
+        for _ in range(60):
+            t = unbounded_tuple(rng)
+            poly = t.extension()
+            assert not poly.is_empty
+            assert not poly.is_bounded
