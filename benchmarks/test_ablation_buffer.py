@@ -8,7 +8,6 @@ reads per query.
 
 import statistics
 
-import pytest
 
 from repro.bench import interior_slope_range, n_values, relation, emit, format_table
 from repro.core import EXIST, DualIndexPlanner, SlopeSet

@@ -10,7 +10,6 @@ half-plane query page accesses.
 import random
 import statistics
 
-import pytest
 
 from repro.bench import emit, format_table, full_run
 from repro.constraints import GeneralizedRelation, GeneralizedTuple, Theta

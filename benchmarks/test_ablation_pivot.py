@@ -10,7 +10,6 @@ optimal.
 
 import statistics
 
-import pytest
 
 from repro.bench import dual_planner, emit, format_table, n_values, queries_for
 from repro.core import ALL, EXIST, DualIndexPlanner

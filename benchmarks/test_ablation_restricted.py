@@ -10,7 +10,6 @@ Theorem 3.1 (``O(k log_B n)`` per tuple update).
 
 import statistics
 
-import pytest
 
 from repro.bench import emit, format_table, n_values, relation
 from repro.core import EXIST, DualIndex, DualIndexPlanner, SlopeSet

@@ -7,7 +7,6 @@ the full range and records page accesses for T2 and the R+-tree.
 
 import statistics
 
-import pytest
 
 from repro.bench import (
     dual_planner,

@@ -13,7 +13,6 @@ EXPERIMENTS.md (our R+-tree carries more clipping duplication than the
 authors', which lowers the ratio — see the discussion there).
 """
 
-import statistics
 
 import pytest
 

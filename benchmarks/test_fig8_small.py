@@ -16,7 +16,9 @@ import pytest
 from repro.bench import (
     dual_planner,
     emit,
+    emit_json,
     figure_8_9,
+    figure_payload,
     k_values,
     n_values,
     queries_for,
@@ -64,6 +66,10 @@ def test_fig8a_exist(benchmark, exist_series):
         ),
         save_as="fig8a_exist_small_total.txt",
     )
+    emit_json(
+        figure_payload("8a", SIZE, EXIST, exist_series),
+        save_as="fig8a_exist_small.json",
+    )
     for n in n_values():
         if n >= 2000:
             assert _advantage(exist_series, n) > 1.0, (
@@ -91,6 +97,10 @@ def test_fig8b_all(benchmark, all_series, exist_series):
             metric="total_accesses",
         ),
         save_as="fig8b_all_small_total.txt",
+    )
+    emit_json(
+        figure_payload("8b", SIZE, ALL, all_series),
+        save_as="fig8b_all_small.json",
     )
     n_top = max(n_values())
     assert _advantage(all_series, n_top) > 1.0, "T2 should beat R+ on ALL"

@@ -13,7 +13,9 @@ import pytest
 from repro.bench import (
     dual_planner,
     emit,
+    emit_json,
     figure_8_9,
+    figure_payload,
     k_values,
     n_values,
     queries_for,
@@ -47,6 +49,10 @@ def test_fig9a_exist(benchmark, exist_series):
         ),
         save_as="fig9a_exist_medium_index.txt",
     )
+    emit_json(
+        figure_payload("9a", SIZE, EXIST, exist_series),
+        save_as="fig9a_exist_medium.json",
+    )
     rplus = _line(exist_series, "R+-tree")
     for n in n_values():
         if n < 2000:
@@ -78,6 +84,10 @@ def test_fig9b_all(benchmark, all_series):
             metric="total_accesses",
         ),
         save_as="fig9b_all_medium_total.txt",
+    )
+    emit_json(
+        figure_payload("9b", SIZE, ALL, all_series),
+        save_as="fig9b_all_medium.json",
     )
     rplus = _line(all_series, "R+-tree")
     n_top = max(n_values())

@@ -8,7 +8,6 @@ thousands of (slope set, query, pivot) combinations, and reports how
 often each Table 1 case fired.
 """
 
-import pytest
 
 from repro.bench import emit, format_table, table_1_check
 

@@ -12,7 +12,6 @@ Run:  python examples/line_queries.py
 
 import random
 
-from repro import GeneralizedRelation
 from repro.core import SlopeSet
 from repro.intervals import LineQueryIndex
 from repro.workloads import make_relation, unbounded_tuple

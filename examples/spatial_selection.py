@@ -14,7 +14,6 @@ page accesses, for several water levels.
 Run:  python examples/spatial_selection.py
 """
 
-import random
 
 from repro import GeneralizedRelation
 from repro.core import DualIndexPlanner, SlopeSet

@@ -62,6 +62,33 @@ def figure_8_9(
     return series + [rplus]
 
 
+def figure_payload(
+    figure: str, size: str, query_type: str, series: list[FigureSeries]
+) -> dict:
+    """JSON-ready form of a figure's series.
+
+    Every point carries the full :class:`~repro.bench.harness.QueryBatchStats`
+    mapping — including the per-phase page columns (descend / sweep /
+    fetch) and mean wall time — so downstream tooling (plotting,
+    regression diffing) never has to re-parse the ASCII tables.
+    """
+    return {
+        "figure": figure,
+        "size": size,
+        "query_type": query_type,
+        "series": [
+            {
+                "label": line.label,
+                "points": {
+                    str(n): stats.to_dict()
+                    for n, stats in sorted(line.points.items())
+                },
+            }
+            for line in series
+        ],
+    }
+
+
 def render_figure(
     title: str,
     series: list[FigureSeries],

@@ -18,14 +18,17 @@ is a reduced sweep sized for CI.
 
 from __future__ import annotations
 
+import json
 import os
 import statistics
 import sys
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Callable, Sequence
 
 from repro.constraints.relation import GeneralizedRelation
-from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.obs import QueryTrace, tracing
+from repro.obs import trace as obs
 from repro.rtree.guttman import GuttmanRTree
 from repro.rtree.planner import RTreePlanner
 from repro.storage import Pager
@@ -131,7 +134,15 @@ def queries_for(
 # ----------------------------------------------------------------------
 @dataclass
 class QueryBatchStats:
-    """Aggregated metrics over one query batch."""
+    """Aggregated (mean per query) metrics over one query batch.
+
+    The per-phase page columns come from :mod:`repro.obs` traces:
+    ``measure`` runs every query under a :class:`~repro.obs.QueryTrace`
+    and buckets logical page accesses by the innermost span's phase
+    (descend / sweep / fetch — ``plan`` and ``verify`` touch no pages).
+    When a trace is already active (a caller is recording), the batch
+    reuses it and the phase columns stay zero rather than double-charge.
+    """
 
     index_accesses: float = 0.0
     total_accesses: float = 0.0
@@ -139,12 +150,21 @@ class QueryBatchStats:
     false_hits: float = 0.0
     duplicates: float = 0.0
     results: float = 0.0
+    descend_pages: float = 0.0
+    sweep_pages: float = 0.0
+    fetch_pages: float = 0.0
+    elapsed_ms: float = 0.0
 
     @classmethod
     def measure(cls, run: Callable[[HalfPlaneQuery], object], queries) -> "QueryBatchStats":
         rows = []
+        phase_rows = []
         for q in queries:
-            res = run(q)
+            if obs.current() is None:
+                with tracing(QueryTrace(name="bench")):
+                    res = run(q)
+            else:
+                res = run(q)
             rows.append(
                 (
                     res.index_accesses,
@@ -155,8 +175,26 @@ class QueryBatchStats:
                     len(res.ids),
                 )
             )
+            span = getattr(res, "trace", None)
+            if span is not None:
+                phases = span.phase_pages()
+                phase_rows.append(
+                    (
+                        phases.get("descend", 0),
+                        phases.get("sweep", 0),
+                        phases.get("fetch", 0),
+                        span.elapsed * 1000.0,
+                    )
+                )
+            else:
+                phase_rows.append((0, 0, 0, 0.0))
         means = [statistics.mean(col) for col in zip(*rows)]
-        return cls(*means)
+        phase_means = [statistics.mean(col) for col in zip(*phase_rows)]
+        return cls(*means, *phase_means)
+
+    def to_dict(self) -> dict[str, float]:
+        """Flat JSON-ready mapping (field name → mean per query)."""
+        return asdict(self)
 
 
 def cross_check(dual: DualIndexPlanner, rplus: RTreePlanner, queries) -> None:
@@ -200,9 +238,28 @@ def emit(text: str, save_as: str | None = None) -> None:
     stream.write("\n" + text + "\n")
     stream.flush()
     if save_as:
-        directory = os.path.join(os.path.dirname(__file__), "..", "..", "..",
-                                 "benchmarks", "results")
-        directory = os.path.abspath(directory)
-        os.makedirs(directory, exist_ok=True)
-        with open(os.path.join(directory, save_as), "w") as handle:
+        with open(os.path.join(results_dir(), save_as), "w") as handle:
             handle.write(text + "\n")
+
+
+def results_dir() -> str:
+    """``benchmarks/results/`` at the repo root (created on demand)."""
+    directory = os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                             "benchmarks", "results")
+    directory = os.path.abspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def emit_json(payload: dict, save_as: str) -> str:
+    """Persist a machine-readable report under ``benchmarks/results/``.
+
+    Returns the path written. The companion of :func:`emit`: every
+    figure emits both the ASCII table (for humans reading CI logs) and
+    this JSON (for tooling — plotting, regression diffing, perf gates).
+    """
+    path = os.path.join(results_dir(), save_as)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,205 @@
+"""CI perf-smoke: a fixed workload whose page-access counters gate CI.
+
+Runs a small deterministic workload (one relation, a handful of EXIST
+and ALL queries) through both competitors — the dual index (T2) and the
+R+-tree — and accumulates the paper's cost metric, *logical page
+accesses*, into a :class:`~repro.obs.MetricsRegistry`:
+
+* ``smoke_index_pages{structure,type}`` — index-structure accesses;
+* ``smoke_total_pages{structure,type}`` — including refinement fetches;
+* ``smoke_phase_pages{structure,type,phase}`` — per-phase split from
+  the query traces (descend / sweep / fetch);
+* ``smoke_results{structure,type}`` — answer sizes (a correctness
+  canary: a perf "win" that changes answers is a bug);
+* ``smoke_query_seconds{structure}`` — wall-time histogram. Timings are
+  *not* gated (they flake on shared runners); only counters are.
+
+The gate compares the registry's ``counters`` section against a
+checked-in baseline (``benchmarks/baselines/smoke.json``): any counter
+above its baseline value, or any baseline counter missing from the
+current run, fails. Logical page counts are deterministic — same seed,
+same build, same sweep — so the gate is flake-free by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench import harness
+from repro.core import ALL, EXIST
+from repro.obs import MetricsRegistry, QueryTrace, tracing
+
+#: Fixed workload parameters. Changing any of these invalidates the
+#: checked-in baseline (regenerate with ``repro smoke --update-baseline``).
+SMOKE_N = 500
+SMOKE_SIZE = "small"
+SMOKE_K = 3
+SMOKE_QUERIES = 4
+
+DEFAULT_BASELINE = os.path.join("benchmarks", "baselines", "smoke.json")
+DEFAULT_OUT = "BENCH_smoke.json"
+
+#: Phases whose page counts the registry splits out.
+PHASES = ("descend", "sweep", "fetch")
+
+
+def run_smoke(
+    registry: MetricsRegistry | None = None,
+    n: int = SMOKE_N,
+    size: str = SMOKE_SIZE,
+    k: int = SMOKE_K,
+    count: int = SMOKE_QUERIES,
+) -> MetricsRegistry:
+    """Run the workload and return the populated registry.
+
+    The defaults are the CI gate's fixed parameters; ``repro stats``
+    reuses this with user-chosen ones.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    index_pages = registry.counter(
+        "smoke_index_pages",
+        "Index-structure page accesses over the smoke batch",
+        labelnames=("structure", "type"),
+    )
+    total_pages = registry.counter(
+        "smoke_total_pages",
+        "Total page accesses (index + refinement) over the smoke batch",
+        labelnames=("structure", "type"),
+    )
+    phase_pages = registry.counter(
+        "smoke_phase_pages",
+        "Per-phase logical page accesses over the smoke batch",
+        labelnames=("structure", "type", "phase"),
+    )
+    results = registry.counter(
+        "smoke_results",
+        "Total answer tuples over the smoke batch (correctness canary)",
+        labelnames=("structure", "type"),
+    )
+    seconds = registry.histogram(
+        "smoke_query_seconds",
+        "Per-query wall time (informational; never gated)",
+        labelnames=("structure",),
+        buckets=(0.001, 0.01, 0.1, 1.0, 10.0),
+    )
+    structures = (
+        ("dual", harness.dual_planner(n, size, k)),
+        ("rplus", harness.rplus_planner(n, size)),
+    )
+    for qtype in (EXIST, ALL):
+        queries = harness.queries_for(n, size, qtype, k, count=count)
+        for name, planner in structures:
+            for query in queries:
+                start = time.perf_counter()
+                with tracing(QueryTrace(name="smoke")):
+                    res = planner.query(query)
+                seconds.labels(structure=name).observe(
+                    time.perf_counter() - start
+                )
+                index_pages.labels(structure=name, type=qtype).inc(
+                    res.index_accesses
+                )
+                total_pages.labels(structure=name, type=qtype).inc(
+                    res.page_accesses
+                )
+                results.labels(structure=name, type=qtype).inc(len(res.ids))
+                phases = res.trace.phase_pages()
+                for phase in PHASES:
+                    count = phases.get(phase, 0)
+                    if count:
+                        phase_pages.labels(
+                            structure=name, type=qtype, phase=phase
+                        ).inc(count)
+    return registry
+
+
+def check_baseline(current: dict, baseline: dict) -> list[str]:
+    """Compare collected counters against a baseline; return violations.
+
+    ``current`` and ``baseline`` are ``MetricsRegistry.collect()``-shaped
+    dicts. Only the ``counters`` section is gated: a counter above its
+    baseline value is a regression, and a baseline counter absent from
+    the current run means the workload silently shrank — both fail.
+    New counters (present now, absent from the baseline) only warn via
+    the caller's report, so adding instrumentation never breaks CI.
+    """
+    violations: list[str] = []
+    base_counters = baseline.get("counters", {})
+    cur_counters = current.get("counters", {})
+    for key, limit in sorted(base_counters.items()):
+        if key not in cur_counters:
+            violations.append(
+                f"baseline counter {key} missing from current run"
+            )
+        elif cur_counters[key] > limit:
+            violations.append(
+                f"{key}: {cur_counters[key]:g} exceeds baseline {limit:g}"
+            )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro smoke`` entry point. Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro smoke",
+        description="run the CI perf-smoke workload and gate on a baseline",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"where to write the metrics JSON (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline to gate against (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    registry = run_smoke()
+    current = registry.collect()
+    with open(args.out, "w") as handle:
+        handle.write(registry.export_json())
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(current['counters'])} counters)")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump({"counters": current["counters"]}, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update-baseline",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    violations = check_baseline(current, baseline)
+    new_keys = sorted(
+        set(current["counters"]) - set(baseline.get("counters", {}))
+    )
+    if new_keys:
+        print(f"note: {len(new_keys)} counters not in baseline "
+              f"(e.g. {new_keys[0]})")
+    if violations:
+        print("perf-smoke FAILED:", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"perf-smoke OK: {len(baseline.get('counters', {}))} counters "
+          f"within baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

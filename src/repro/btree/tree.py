@@ -16,18 +16,14 @@ an invariant checker used by the test-suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.errors import IndexError_, StorageError
+from repro.errors import IndexError_
+from repro.obs import trace as obs
 from repro.storage.disk import NULL_PAGE
 from repro.storage.pager import Pager
 from repro.storage.serialize import KeyCodec
-from repro.btree.node import (
-    FLAG_HANDICAPS_VALID,
-    InternalNode,
-    LeafNode,
-    NodeLayout,
-)
+from repro.btree.node import InternalNode, LeafNode, NodeLayout
 
 Composite = tuple[float, int]
 _MAX_RID = 0xFFFFFFFF
@@ -133,6 +129,7 @@ class BPlusTree:
         pid = self.root
         for _ in range(self.height - 1):
             node = self._read_internal(pid)
+            obs.incr("btree.node_visits")
             pid = node.children[_bisect_left(node.seps, target)]
         return pid
 
@@ -142,6 +139,7 @@ class BPlusTree:
         pid = self.root
         for _ in range(self.height - 1):
             node = self._read_internal(pid)
+            obs.incr("btree.node_visits")
             pid = node.children[_bisect_right(node.seps, target)]
         return pid
 
@@ -179,9 +177,11 @@ class BPlusTree:
         if from_key is None:
             pid = self.first_leaf
         else:
-            pid = self._descend_left((self.quantize(from_key), -1))
+            with obs.span("descend", tree=self.name):
+                pid = self._descend_left((self.quantize(from_key), -1))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)
+            obs.incr("btree.leaf_visits")
             yield LeafVisit(pid, leaf)
             pid = leaf.next
 
@@ -193,9 +193,11 @@ class BPlusTree:
         if from_key is None:
             pid = self.last_leaf
         else:
-            pid = self._descend_right((self.quantize(from_key), _MAX_RID))
+            with obs.span("descend", tree=self.name):
+                pid = self._descend_right((self.quantize(from_key), _MAX_RID))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)
+            obs.incr("btree.leaf_visits")
             yield LeafVisit(pid, leaf)
             pid = leaf.prev
 

@@ -11,6 +11,14 @@ Commands
 ``query --tuples FILE --type ALL|EXIST --slope A --intercept B [--theta GE|LE]``
     Index a relation read from a text file (one generalized tuple per
     line, ``#`` comments allowed) and run a single half-plane query.
+``trace ...``
+    Same arguments as ``query``, but runs it under a
+    :class:`repro.obs.QueryTrace` and prints the span tree — per-phase
+    logical/physical I/O and wall times (``--json`` for the raw trace).
+``stats [--n N --size small|medium --k K --queries Q]``
+    Run a query batch and print the metrics-registry JSON snapshot.
+``smoke [--out FILE --baseline FILE --update-baseline]``
+    The CI perf-smoke gate (see :mod:`repro.bench.smoke`).
 """
 
 from __future__ import annotations
@@ -50,17 +58,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also render an ASCII chart"
     )
 
-    query = sub.add_parser("query", help="query a relation from a file")
-    query.add_argument("--tuples", required=True, help="tuple file path")
-    query.add_argument("--type", required=True, choices=["ALL", "EXIST"])
-    query.add_argument("--slope", type=float, required=True)
-    query.add_argument("--intercept", type=float, required=True)
-    query.add_argument("--theta", default="GE", choices=["GE", "LE"])
-    query.add_argument(
-        "--slopes",
-        default=None,
-        help="comma-separated predefined slope set (default: 3 uniform)",
+    for name, help_text in (
+        ("query", "query a relation from a file"),
+        ("trace", "query a relation from a file, printing the span tree"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--tuples", required=True, help="tuple file path")
+        cmd.add_argument("--type", required=True, choices=["ALL", "EXIST"])
+        cmd.add_argument("--slope", type=float, required=True)
+        cmd.add_argument("--intercept", type=float, required=True)
+        cmd.add_argument("--theta", default="GE", choices=["GE", "LE"])
+        cmd.add_argument(
+            "--slopes",
+            default=None,
+            help="comma-separated predefined slope set (default: 3 uniform)",
+        )
+    sub.choices["trace"].add_argument(
+        "--json", action="store_true",
+        help="emit the trace as JSON instead of the rendered tree",
     )
+
+    stats = sub.add_parser(
+        "stats", help="run a query batch and print the metrics registry"
+    )
+    stats.add_argument("--n", type=int, default=500, help="relation size")
+    stats.add_argument("--size", default="small", choices=["small", "medium"])
+    stats.add_argument("--k", type=int, default=3, help="slope-set size")
+    stats.add_argument(
+        "--queries", type=int, default=4, help="queries per selection type"
+    )
+
+    smoke = sub.add_parser(
+        "smoke", help="CI perf-smoke: fixed workload gated on a baseline"
+    )
+    smoke.add_argument("--out", default=None)
+    smoke.add_argument("--baseline", default=None)
+    smoke.add_argument("--update-baseline", action="store_true")
     return parser
 
 
@@ -74,6 +107,12 @@ def main(argv: list[str] | None = None) -> int:
         return _figure(args)
     if args.command == "query":
         return _query(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "stats":
+        return _stats(args)
+    if args.command == "smoke":
+        return _smoke(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -153,7 +192,8 @@ def _figure(args) -> int:
     return 0
 
 
-def _query(args) -> int:
+def _load_workload(args):
+    """Shared by ``query`` and ``trace``: (relation, planner, query)."""
     from repro.constraints import GeneralizedRelation, parse_tuple
     from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
 
@@ -165,17 +205,24 @@ def _query(args) -> int:
                 continue
             relation.add(parse_tuple(text, dimension=2, label=f"line {line_no}"))
     if len(relation) == 0:
-        print("no tuples found", file=sys.stderr)
-        return 1
+        return None, None, None
     if args.slopes:
         slopes = SlopeSet(float(v) for v in args.slopes.split(","))
     else:
         slopes = SlopeSet.uniform_angles(3)
     planner = DualIndexPlanner.build(relation, slopes)
     theta = ">=" if args.theta == "GE" else "<="
-    result = planner.query(
-        HalfPlaneQuery(args.type, args.slope, args.intercept, theta)
-    )
+    query = HalfPlaneQuery(args.type, args.slope, args.intercept, theta)
+    return relation, planner, query
+
+
+def _query(args) -> int:
+    relation, planner, query = _load_workload(args)
+    if relation is None:
+        print("no tuples found", file=sys.stderr)
+        return 1
+    result = planner.query(query)
+    theta = query.theta.value
     print(f"query    : {args.type}(y {theta} {args.slope}·x + {args.intercept})")
     print(f"technique: {result.technique}")
     print(f"answers  : {len(result.ids)} of {len(relation)} tuples")
@@ -186,6 +233,55 @@ def _query(args) -> int:
         f"({result.candidates} candidates, {result.false_hits} false hits)"
     )
     return 0
+
+
+def _trace(args) -> int:
+    from repro.obs import QueryTrace, tracing
+
+    relation, planner, query = _load_workload(args)
+    if relation is None:
+        print("no tuples found", file=sys.stderr)
+        return 1
+    trace = QueryTrace(
+        pager=planner.index.pager,
+        name=f"{args.type.lower()}({args.slope:g},{args.intercept:g})",
+    )
+    with tracing(trace):
+        result = planner.query(query)
+    if args.json:
+        print(trace.export_json())
+    else:
+        print(trace.render())
+        print()
+        print(f"technique: {result.technique}; "
+              f"{len(result.ids)} of {len(relation)} tuples; "
+              f"{result.page_accesses} page accesses")
+    return 0
+
+
+def _stats(args) -> int:
+    from repro.bench.smoke import run_smoke
+    from repro.obs import MetricsRegistry
+
+    registry = run_smoke(
+        MetricsRegistry(), n=args.n, size=args.size, k=args.k,
+        count=args.queries,
+    )
+    print(registry.export_json())
+    return 0
+
+
+def _smoke(args) -> int:
+    from repro.bench import smoke
+
+    argv: list[str] = []
+    if args.out:
+        argv += ["--out", args.out]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return smoke.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from repro.core.dual_index import DualIndex
 from repro.core.query import ALL, EXIST, AppQuery, HalfPlaneQuery
 from repro.core.slope_set import SlopeCase
 from repro.errors import QueryError
+from repro.obs import trace as obs
 
 
 def build_app_queries(
@@ -66,20 +67,23 @@ def run_app_query(index: DualIndex, app: AppQuery) -> set[int]:
     tree = trees[app.slope_index]
     margin = index.margin(app.intercept)
     rids: set[int] = set()
-    if upward:
-        start = app.intercept - margin
-        threshold = tree.quantize(start)
-        for visit in tree.sweep_up(start):
-            for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-                if key >= threshold:
-                    rids.add(rid)
-    else:
-        start = app.intercept + margin
-        threshold = tree.quantize(start)
-        for visit in tree.sweep_down(start):
-            for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-                if key <= threshold:
-                    rids.add(rid)
+    with obs.span("sweep.app", tree=tree.name, type=app.query_type):
+        if upward:
+            start = app.intercept - margin
+            threshold = tree.quantize(start)
+            for visit in tree.sweep_up(start):
+                obs.incr("comparisons", len(visit.leaf.keys))
+                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                    if key >= threshold:
+                        rids.add(rid)
+        else:
+            start = app.intercept + margin
+            threshold = tree.quantize(start)
+            for visit in tree.sweep_down(start):
+                obs.incr("comparisons", len(visit.leaf.keys))
+                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                    if key <= threshold:
+                        rids.add(rid)
     return rids
 
 
@@ -91,4 +95,5 @@ def t1_candidates(
     rids1 = run_app_query(index, q1)
     rids2 = run_app_query(index, q2)
     duplicates = len(rids1 & rids2)
+    obs.incr("t1.duplicates", duplicates)
     return rids1 | rids2, duplicates

@@ -31,6 +31,7 @@ from repro.core.dual_index import (
 )
 from repro.core.query import HalfPlaneQuery
 from repro.errors import QueryError
+from repro.obs import trace as obs
 from repro.storage.disk import NULL_PAGE
 
 
@@ -89,16 +90,18 @@ def _sweep_up_then_down(
     secondary_possible = extrema is None or start <= extrema[1]
     low_q = math.inf
     first_visit = None
-    for visit in tree.sweep_up(start):
-        if first_visit is None:
-            first_visit = visit
-        trace.primary_leaves += 1
-        aux = visit.leaf.aux[slot]
-        if aux < low_q:
-            low_q = aux
-        for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-            if key >= start:
-                trace.candidates.add(rid)
+    with obs.span("sweep.primary", tree=tree.name):
+        for visit in tree.sweep_up(start):
+            if first_visit is None:
+                first_visit = visit
+            trace.primary_leaves += 1
+            aux = visit.leaf.aux[slot]
+            if aux < low_q:
+                low_q = aux
+            obs.incr("comparisons", len(visit.leaf.keys))
+            for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                if key >= start:
+                    trace.candidates.add(rid)
     trace.handicap = low_q
     if first_visit is None or low_q >= start or not secondary_possible:
         return
@@ -108,16 +111,18 @@ def _sweep_up_then_down(
     # only once").
     threshold = tree.quantize(low_q - index.margin(low_q))
     leaf = first_visit.leaf
-    while True:
-        for key, rid in zip(leaf.keys, leaf.rids):
-            if threshold <= key < start:
-                trace.candidates.add(rid)
-        if leaf.keys and leaf.keys[0] < threshold:
-            return
-        if leaf.prev == NULL_PAGE:
-            return
-        leaf = tree.read_leaf(leaf.prev)
-        trace.secondary_leaves += 1
+    with obs.span("sweep.secondary", tree=tree.name):
+        while True:
+            obs.incr("comparisons", len(leaf.keys))
+            for key, rid in zip(leaf.keys, leaf.rids):
+                if threshold <= key < start:
+                    trace.candidates.add(rid)
+            if leaf.keys and leaf.keys[0] < threshold:
+                return
+            if leaf.prev == NULL_PAGE:
+                return
+            leaf = tree.read_leaf(leaf.prev)
+            trace.secondary_leaves += 1
 
 
 def _sweep_down_then_up(
@@ -135,28 +140,32 @@ def _sweep_down_then_up(
     secondary_possible = extrema is None or start >= extrema[0]
     high_q = -math.inf
     first_visit = None
-    for visit in tree.sweep_down(start):
-        if first_visit is None:
-            first_visit = visit
-        trace.primary_leaves += 1
-        aux = visit.leaf.aux[slot]
-        if aux > high_q:
-            high_q = aux
-        for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-            if key <= start:
-                trace.candidates.add(rid)
+    with obs.span("sweep.primary", tree=tree.name):
+        for visit in tree.sweep_down(start):
+            if first_visit is None:
+                first_visit = visit
+            trace.primary_leaves += 1
+            aux = visit.leaf.aux[slot]
+            if aux > high_q:
+                high_q = aux
+            obs.incr("comparisons", len(visit.leaf.keys))
+            for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                if key <= start:
+                    trace.candidates.add(rid)
     trace.handicap = high_q
     if first_visit is None or high_q <= start or not secondary_possible:
         return
     threshold = tree.quantize(high_q + index.margin(high_q))
     leaf = first_visit.leaf
-    while True:
-        for key, rid in zip(leaf.keys, leaf.rids):
-            if start < key <= threshold:
-                trace.candidates.add(rid)
-        if leaf.keys and leaf.keys[-1] > threshold:
-            return
-        if leaf.next == NULL_PAGE:
-            return
-        leaf = tree.read_leaf(leaf.next)
-        trace.secondary_leaves += 1
+    with obs.span("sweep.secondary", tree=tree.name):
+        while True:
+            obs.incr("comparisons", len(leaf.keys))
+            for key, rid in zip(leaf.keys, leaf.rids):
+                if start < key <= threshold:
+                    trace.candidates.add(rid)
+            if leaf.keys and leaf.keys[-1] > threshold:
+                return
+            if leaf.next == NULL_PAGE:
+                return
+            leaf = tree.read_leaf(leaf.next)
+            trace.secondary_leaves += 1

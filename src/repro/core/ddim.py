@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.btree.tree import BPlusTree
 from repro.constraints.relation import GeneralizedRelation
@@ -29,6 +29,7 @@ from repro.core.proximity import KDTree, voronoi_neighbors
 from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
 from repro.errors import IndexError_, QueryError, SlopeSetError
 from repro.geometry import dual
+from repro.obs import trace as obs
 from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.storage.disk import NULL_PAGE
 from repro.storage.heap import HeapFile, unpack_rid
@@ -336,9 +337,17 @@ class DDimPlanner:
                 f"domain {self.index.slopes.domain_lows}.."
                 f"{self.index.slopes.domain_highs}"
             )
-        with self.index.pager.measure() as scope:
-            result = self._execute(query)
-        result.io = scope.delta
+        with obs.span(
+            "query",
+            pager=self.index.pager,
+            type=query.query_type,
+            dimension=query.dimension,
+        ) as qspan:
+            with self.index.pager.measure() as scope:
+                result = self._execute(query)
+            result.io = scope.delta
+            if qspan is not None:
+                result.trace = qspan
         return result
 
     def exist(self, slope, intercept: float, theta=">=") -> QueryResult:
@@ -350,21 +359,25 @@ class DDimPlanner:
         return self.query(HalfPlaneQuery(ALL, slope, intercept, theta))
 
     def _execute(self, query: HalfPlaneQuery) -> QueryResult:
-        trace = self._t2(query)
+        with obs.span("sweep.ddim"):
+            trace = self._t2(query)
         result = QueryResult(technique=f"T2-d{self.index.dimension}")
         result.candidates = len(trace.candidates)
         rids = list(trace.candidates)
         result.refinement_pages = len({unpack_rid(r)[0] for r in rids})
         predicate = all_halfplane if query.query_type == ALL else exist_halfplane
-        records = self.index.heap.fetch_batch(rids)
-        for data in records.values():
-            tid, t = decode_tuple(data)
-            if predicate(
-                t.extension(), query.slope, query.intercept, query.theta
-            ):
-                result.ids.add(tid)
-            else:
-                result.false_hits += 1
+        with obs.span("fetch"):
+            records = self.index.heap.fetch_batch(rids)
+        with obs.span("verify"):
+            for data in records.values():
+                tid, t = decode_tuple(data)
+                if predicate(
+                    t.extension(), query.slope, query.intercept, query.theta
+                ):
+                    result.ids.add(tid)
+                else:
+                    result.false_hits += 1
+            obs.incr("refine.false_hits", result.false_hits)
         return result
 
     def _t2(self, query: HalfPlaneQuery) -> DDimTrace:

@@ -22,7 +22,7 @@ need no directories.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.btree.tree import BPlusTree
@@ -30,6 +30,7 @@ from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.tuples import GeneralizedTuple
 from repro.errors import IndexError_, QueryError
 from repro.geometry import dual
+from repro.obs import trace as obs
 from repro.storage.heap import HeapFile
 from repro.storage.pager import Pager
 from repro.storage.serialize import KeyCodec, decode_tuple, encode_tuple
@@ -199,6 +200,11 @@ class DualIndex:
             raise IndexError_(
                 "DualIndex is the 2-D structure; use DDimDualIndex for d > 2"
             )
+        with obs.span("build", pager=self.pager, index=self.name,
+                      tuples=len(relation)):
+            self._build(relation, fill)
+
+    def _build(self, relation: GeneralizedRelation, fill: float) -> None:
         k = len(self.slopes)
         up_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
         down_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
@@ -296,9 +302,13 @@ class DualIndex:
         if not self.dynamic:
             raise IndexError_("refresh_handicaps requires dynamic mode")
         refreshed = 0
-        for i in range(len(self.slopes)):
-            for tree, key_field in ((self.up[i], "top"), (self.down[i], "bot")):
-                refreshed += self._refresh_tree(i, tree, key_field)
+        with obs.span("maintain.handicaps", pager=self.pager):
+            for i in range(len(self.slopes)):
+                for tree, key_field in (
+                    (self.up[i], "top"), (self.down[i], "bot")
+                ):
+                    refreshed += self._refresh_tree(i, tree, key_field)
+            obs.incr("handicap.leaves_refreshed", refreshed)
         return refreshed
 
     def _refresh_tree(self, i: int, tree: BPlusTree, key_field: str) -> int:

@@ -25,6 +25,7 @@ from repro.core.dual_index import DualIndex
 from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
 from repro.core.slope_set import SlopeSet
 from repro.errors import QueryError
+from repro.obs import trace as obs
 from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.storage.pager import Pager
 from repro.storage.serialize import KeyCodec
@@ -87,10 +88,24 @@ class DualIndexPlanner:
         if query.dimension != 2:
             raise QueryError("DualIndexPlanner is 2-D; use DDimPlanner")
         if refresh and self.index.dynamic and self._has_dirty_leaves():
-            self.index.refresh_handicaps()
-        with self.index.pager.measure() as scope:
-            result = self._execute(query)
-        result.io = scope.delta
+            with obs.span("maintain", pager=self.index.pager):
+                self.index.refresh_handicaps()
+        with obs.span(
+            "query",
+            pager=self.index.pager,
+            type=query.query_type,
+            slope=f"{query.slope_2d:g}",
+            intercept=f"{query.intercept:g}",
+            theta=query.theta.value,
+        ) as qspan:
+            with self.index.pager.measure() as scope:
+                result = self._execute(query)
+            result.io = scope.delta
+            if qspan is not None:
+                qspan.meta["technique"] = result.technique
+                qspan.incr("candidates", result.candidates)
+                qspan.incr("results", len(result.ids))
+                result.trace = qspan
         return result
 
     def exist(
@@ -120,15 +135,20 @@ class DualIndexPlanner:
     # execution paths
     # ------------------------------------------------------------------
     def _execute(self, query: HalfPlaneQuery) -> QueryResult:
-        slope_index = self.index.slopes.index_of(query.slope_2d, SLOPE_TOL)
+        with obs.span("plan"):
+            slope_index = self.index.slopes.index_of(query.slope_2d, SLOPE_TOL)
+            interior = (
+                slope_index is None
+                and self.technique == "T2"
+                and self.index.slopes.anchor_for(query.slope_2d) is not None
+            )
         if slope_index is not None:
             return self._exact_path(query, slope_index)
-        if self.technique == "T2":
-            if self.index.slopes.anchor_for(query.slope_2d) is not None:
-                return self._t2_path(query)
-            # Wrap-around case: Section 4.2 develops T2 for the interior
-            # case only; the planner executes the wrap cases through T1
-            # with in-memory de-duplication (see DESIGN.md).
+        if interior:
+            return self._t2_path(query)
+        # Wrap-around case: Section 4.2 develops T2 for the interior
+        # case only; the planner executes the wrap cases through T1
+        # with in-memory de-duplication (see DESIGN.md).
         return self._t1_path(query)
 
     def _exact_path(self, query: HalfPlaneQuery, slope_index: int) -> QueryResult:
@@ -137,24 +157,27 @@ class DualIndexPlanner:
         margin = self.index.margin(query.intercept)
         accepted: set[int] = set()
         boundary: set[int] = set()
-        if upward:
-            start = tree.quantize(query.intercept - margin)
-            accept_from = tree.quantize(query.intercept + margin)
-            for visit in tree.sweep_up(start):
-                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-                    if key >= accept_from:
-                        accepted.add(rid)
-                    elif key >= start:
-                        boundary.add(rid)
-        else:
-            start = tree.quantize(query.intercept + margin)
-            accept_to = tree.quantize(query.intercept - margin)
-            for visit in tree.sweep_down(start):
-                for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-                    if key <= accept_to:
-                        accepted.add(rid)
-                    elif key <= start:
-                        boundary.add(rid)
+        with obs.span("sweep.exact", tree=tree.name):
+            if upward:
+                start = tree.quantize(query.intercept - margin)
+                accept_from = tree.quantize(query.intercept + margin)
+                for visit in tree.sweep_up(start):
+                    obs.incr("comparisons", len(visit.leaf.keys))
+                    for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                        if key >= accept_from:
+                            accepted.add(rid)
+                        elif key >= start:
+                            boundary.add(rid)
+            else:
+                start = tree.quantize(query.intercept + margin)
+                accept_to = tree.quantize(query.intercept - margin)
+                for visit in tree.sweep_down(start):
+                    obs.incr("comparisons", len(visit.leaf.keys))
+                    for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                        if key <= accept_to:
+                            accepted.add(rid)
+                        elif key <= start:
+                            boundary.add(rid)
         result = QueryResult(technique="exact")
         result.accepted_without_refinement = len(accepted)
         result.candidates = len(accepted) + len(boundary)
@@ -201,15 +224,19 @@ class DualIndexPlanner:
         false_hits = 0
         rids = list(rids)
         pages = len({unpack_rid(rid)[0] for rid in rids})
-        records = self.index.heap.fetch_batch(rids)
-        for data in records.values():
-            tid, t = decode_tuple(data)
-            if predicate(
-                t.extension(), query.slope_2d, query.intercept, query.theta
-            ):
-                confirmed.add(tid)
-            else:
-                false_hits += 1
+        with obs.span("fetch"):
+            records = self.index.heap.fetch_batch(rids)
+        with obs.span("verify"):
+            for data in records.values():
+                tid, t = decode_tuple(data)
+                if predicate(
+                    t.extension(), query.slope_2d, query.intercept, query.theta
+                ):
+                    confirmed.add(tid)
+                else:
+                    false_hits += 1
+            obs.incr("refine.confirmed", len(confirmed))
+            obs.incr("refine.false_hits", false_hits)
         return confirmed, false_hits, pages
 
     def _has_dirty_leaves(self) -> bool:

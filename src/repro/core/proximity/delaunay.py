@@ -13,7 +13,6 @@ bisectors are harmless, merely non-tight).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 Point2 = tuple[float, float]

@@ -118,6 +118,9 @@ class QueryResult:
     accepted_without_refinement: int = 0
     refinement_pages: int = 0
     io: IOStats = field(default_factory=IOStats)
+    #: Root span of the query's trace when tracing was active, else None
+    #: (see :mod:`repro.obs`).
+    trace: object | None = None
 
     @property
     def page_accesses(self) -> int:

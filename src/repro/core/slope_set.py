@@ -26,7 +26,7 @@ import bisect
 import enum
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.constraints.theta import Theta
 from repro.errors import SlopeSetError

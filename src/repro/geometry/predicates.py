@@ -24,7 +24,6 @@ vacuous case only matters for the standalone oracle.
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 from repro.constraints.linear import LinearConstraint
 from repro.constraints.theta import Theta

@@ -1,0 +1,57 @@
+"""Query-level observability: metrics registry, traces, profiling hooks.
+
+The paper's whole evaluation is a page-access argument, so the library
+carries a first-class measurement layer:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms with labeled series, exportable as JSON (the CI
+  perf-smoke gate consumes this);
+* :mod:`repro.obs.trace` — per-query span trees (``plan`` → ``descend``
+  → ``sweep`` → ``fetch`` → ``verify``) attributing logical/physical
+  I/O, buffer hits, comparison counts and wall time to each phase.
+
+Hot paths are instrumented through the module-level hooks below
+(:func:`span`, :func:`incr`): when no trace is active they reduce to one
+global load and a ``None`` check, record nothing, and cannot change
+query results.
+
+Example::
+
+    from repro import obs
+
+    trace = obs.QueryTrace(pager=planner.index.pager)
+    with obs.tracing(trace):
+        planner.exist(0.5, 2.0)
+    print(trace.render())
+    print(trace.export_json())
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    QueryTrace,
+    Span,
+    current,
+    incr,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "QueryTrace",
+    "Span",
+    "current",
+    "incr",
+    "span",
+    "tracing",
+]

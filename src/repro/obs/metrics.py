@@ -1,0 +1,241 @@
+"""A small process-wide metrics registry (counters, gauges, histograms).
+
+Metrics are named, optionally labeled series — ``pages`` with labels
+``structure=dual, phase=sweep`` is one series of the ``pages`` counter.
+The registry renders to a flat JSON document whose counter section is
+fully deterministic for a fixed workload; the CI perf-smoke job diffs it
+against a checked-in baseline (``repro.bench.smoke``).
+
+The design follows the Prometheus client model (metric → labeled
+children) but stays dependency-free and synchronous: this is a
+single-process research system, the registry is a measurement tool, not
+a telemetry pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Iterator, Mapping
+
+_DEFAULT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    2500.0, 5000.0, 10000.0,
+)
+
+
+def _series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,…}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared behaviour: a named family of labeled child series."""
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
+        if not name:
+            raise ValueError("metric name must not be empty")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child series for one label-value assignment."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[k]) for k in self.labelnames)
+        if key not in self._children:
+            child = type(self)(self.name, self.help)
+            child._labelvalues = dict(  # type: ignore[attr-defined]
+                zip(self.labelnames, key)
+            )
+            self._children[key] = child
+        return self._children[key]
+
+    def _labelmap(self) -> dict[str, str]:
+        return getattr(self, "_labelvalues", {})
+
+    def series(self) -> Iterator[tuple[str, "_Metric"]]:
+        """All concrete series of this family as ``(flat key, series)``."""
+        if self.labelnames:
+            for child in self._children.values():
+                yield _series_key(self.name, child._labelmap()), child
+        else:
+            yield self.name, self
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name}: labeled counter needs .labels(...)")
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (space pages, hit ratio, …)."""
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name}: labeled gauge needs .labels(...)")
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class Histogram(_Metric):
+    """Bucketed observations (wall times, per-query page counts)."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = _DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def labels(self, **labelvalues: str):
+        child = super().labels(**labelvalues)
+        child.buckets = self.buckets
+        if len(child.bucket_counts) != len(self.buckets) + 1:
+            child.bucket_counts = [0] * (len(self.buckets) + 1)
+        return child
+
+    def observe(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name}: labeled histogram needs .labels(...)")
+        value = float(value)
+        self.bucket_counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                (f"le={b:g}" if i < len(self.buckets) else "le=+inf"): c
+                for i, (b, c) in enumerate(
+                    zip(self.buckets + (float("inf"),), self.bucket_counts)
+                )
+            },
+        }
+
+
+class MetricsRegistry:
+    """A namespace of metrics; one global default via :func:`get_registry`."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = _DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, labelnames, buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise ValueError(f"metric {name!r} already registered as "
+                             f"{type(metric).__name__}")
+        return metric
+
+    def _register(self, cls, name: str, help: str, labelnames) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, tuple(labelnames))
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(f"metric {name!r} already registered as "
+                             f"{type(metric).__name__}")
+        return metric
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def collect(self) -> dict:
+        """Flat snapshot: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with canonical sorted series keys."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for metric in self._metrics.values():
+            for key, series in metric.series():
+                if isinstance(series, Counter):
+                    counters[key] = series.value
+                elif isinstance(series, Histogram):
+                    histograms[key] = series.summary()
+                elif isinstance(series, Gauge):
+                    gauges[key] = series.value
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def export_json(self, indent: int = 2) -> str:
+        """The :meth:`collect` snapshot as a JSON document."""
+        return json.dumps(self.collect(), indent=indent, sort_keys=False)
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry

@@ -1,0 +1,265 @@
+"""Per-query trace contexts: span trees with I/O and time attribution.
+
+A :class:`QueryTrace` is bound to (at most) one :class:`~repro.storage.pager.Pager`
+and records a tree of :class:`Span` objects. Entering a span snapshots
+the pager's :class:`~repro.storage.stats.IOStats` and buffer counters;
+leaving it stores the inclusive delta, so nested spans attribute every
+page access to the innermost phase that caused it without any per-access
+hook in the storage engine.
+
+Hot paths report through the module-level :func:`span` / :func:`incr`
+functions. With no active trace these are a global load plus a ``None``
+check — the no-op mode costs nothing measurable and records nothing, so
+disabling tracing can never change query results or counters.
+
+Span names are dotted: the first segment is the *phase* (``plan``,
+``descend``, ``sweep``, ``fetch``, ``verify``, ``build``, ``maintain``),
+the rest is free-form detail (``sweep.primary``, ``sweep.app1``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.storage.stats import IOStats
+
+
+@dataclass
+class Span:
+    """One timed, I/O-attributed phase of a query (inclusive of children)."""
+
+    name: str
+    meta: dict = field(default_factory=dict)
+    elapsed: float = 0.0  # seconds, inclusive
+    io: IOStats = field(default_factory=IOStats)
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def phase(self) -> str:
+        """The span's phase bucket (first dotted segment of the name)."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def pages(self) -> int:
+        """Logical page accesses charged to this span (inclusive)."""
+        return self.io.logical_reads + self.io.logical_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def phase_pages(self) -> dict[str, int]:
+        """Logical page accesses per phase, attributed to the *innermost*
+        span that caused them (exclusive accounting over the subtree)."""
+        totals: dict[str, int] = {}
+        for node in self.walk():
+            exclusive = node.pages - sum(c.pages for c in node.children)
+            totals[node.phase] = totals.get(node.phase, 0) + exclusive
+        return totals
+
+    def total_counters(self) -> dict[str, float]:
+        """Counters summed over the whole subtree."""
+        totals: dict[str, float] = {}
+        for node in self.walk():
+            for key, value in node.counters.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (schema documented in the README)."""
+        return {
+            "name": self.name,
+            "meta": dict(self.meta),
+            "elapsed_ms": self.elapsed * 1000.0,
+            "io": self.io.as_dict(),
+            "buffer": {"hits": self.buffer_hits, "misses": self.buffer_misses},
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class QueryTrace:
+    """A span-tree recorder bound to one pager stack.
+
+    Parameters
+    ----------
+    pager:
+        The storage stack whose counters the spans snapshot. May be left
+        ``None`` and bound later by the first instrumented layer that
+        knows its pager (planners do this) — until then spans carry only
+        wall time and counters.
+    name:
+        Root span name.
+    """
+
+    def __init__(self, pager=None, name: str = "trace", meta: dict | None = None) -> None:
+        self.pager = pager
+        self.root = Span(name, dict(meta or {}))
+        self._stack: list[Span] = [self.root]
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, pager=None, **meta):
+        """Open a child span of the innermost open span."""
+        if pager is not None and self.pager is None:
+            self.pager = pager
+        node = Span(name, {k: str(v) for k, v in meta.items()})
+        parent = self._stack[-1]
+        parent.children.append(node)
+        self._stack.append(node)
+        before_io = self.pager.stats.snapshot() if self.pager is not None else None
+        before_hits = self.pager.buffer.hits if self.pager is not None else 0
+        before_misses = self.pager.buffer.misses if self.pager is not None else 0
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.elapsed = time.perf_counter() - start
+            if before_io is not None:
+                node.io = self.pager.stats.delta_since(before_io)
+                node.buffer_hits = self.pager.buffer.hits - before_hits
+                node.buffer_misses = self.pager.buffer.misses - before_misses
+            self._stack.pop()
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter on the innermost open span."""
+        self._stack[-1].incr(name, amount)
+
+    def close(self) -> Span:
+        """Finalise the root span (sums children; idempotent)."""
+        root = self.root
+        root.elapsed = time.perf_counter() - self._started
+        if root.children:
+            root.io = IOStats()
+            root.buffer_hits = root.buffer_misses = 0
+            for child in root.children:
+                root.io.logical_reads += child.io.logical_reads
+                root.io.logical_writes += child.io.logical_writes
+                root.io.physical_reads += child.io.physical_reads
+                root.io.physical_writes += child.io.physical_writes
+                root.io.allocations += child.io.allocations
+                root.io.frees += child.io.frees
+                root.buffer_hits += child.buffer_hits
+                root.buffer_misses += child.buffer_misses
+        return root
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return self.close().to_dict()
+
+    def export_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable span tree (the ``repro trace`` CLI output)."""
+        self.close()
+        lines: list[str] = []
+        _render_span(self.root, "", True, True, lines)
+        return "\n".join(lines)
+
+
+def _render_span(node: Span, prefix: str, is_last: bool, is_root: bool,
+                 lines: list[str]) -> None:
+    connector = "" if is_root else ("└─ " if is_last else "├─ ")
+    label = node.name
+    if node.meta:
+        label += " [" + " ".join(f"{k}={v}" for k, v in node.meta.items()) + "]"
+    stats = (
+        f"{node.elapsed * 1000:8.3f} ms  "
+        f"{node.pages:5d} pages "
+        f"({node.io.logical_reads}r+{node.io.logical_writes}w, "
+        f"{node.io.physical_reads + node.io.physical_writes} physical"
+    )
+    if node.buffer_hits + node.buffer_misses:
+        stats += f", hit {node.hit_ratio:.0%}"
+    stats += ")"
+    if node.counters:
+        stats += "  " + " ".join(
+            f"{k}={v:g}" for k, v in sorted(node.counters.items())
+        )
+    lines.append(f"{prefix}{connector}{label:<28s} {stats}")
+    child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(node.children):
+        _render_span(child, child_prefix, i == len(node.children) - 1, False,
+                     lines)
+
+
+# ----------------------------------------------------------------------
+# module-level hooks (the hot-path API)
+# ----------------------------------------------------------------------
+_ACTIVE: QueryTrace | None = None
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current() -> QueryTrace | None:
+    """The active trace, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(trace: QueryTrace):
+    """Activate a trace for the dynamic extent of the block.
+
+    Traces do not nest: activating a second trace raises, because two
+    recorders snapshotting one pager would double-charge every access.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a trace is already active")
+    _ACTIVE = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE = None
+        trace.close()
+
+
+def span(name: str, pager=None, **meta):
+    """Open a span on the active trace; no-op when tracing is disabled."""
+    trace = _ACTIVE
+    if trace is None:
+        return _NULL_SPAN
+    return trace.span(name, pager=pager, **meta)
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Bump a counter on the active span; no-op when tracing is disabled."""
+    trace = _ACTIVE
+    if trace is not None:
+        trace.incr(name, amount)

@@ -12,10 +12,11 @@ variant used in ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.constraints.theta import Theta
 from repro.errors import IndexError_, QueryError
+from repro.obs import trace as obs
 from repro.rtree.mbr import Rect
 from repro.rtree.node import INTERNAL_KIND, LEAF_KIND, RTreeLayout, RTreeNode
 from repro.storage.pager import Pager
@@ -287,6 +288,8 @@ class RTreeBase:
         while stack:
             pid, level = stack.pop()
             node = self._read(pid)
+            obs.incr("rtree.node_visits")
+            obs.incr("comparisons", node.count)
             for r, p in zip(node.rects, node.pointers):
                 if not r.intersects_halfplane(slope, intercept, theta):
                     continue

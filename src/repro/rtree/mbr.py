@@ -30,7 +30,7 @@ class Rect:
     def __post_init__(self) -> None:
         if len(self.lows) != len(self.highs):
             raise GeometryError("Rect lows/highs length mismatch")
-        if any(l > h for l, h in zip(self.lows, self.highs)):
+        if any(lo > hi for lo, hi in zip(self.lows, self.highs)):
             raise GeometryError(f"inverted Rect {self.lows} .. {self.highs}")
 
     # ------------------------------------------------------------------
@@ -68,10 +68,10 @@ class Rect:
 
     def margin(self) -> float:
         """Sum of side lengths."""
-        return sum(h - l for l, h in zip(self.lows, self.highs))
+        return sum(hi - lo for lo, hi in zip(self.lows, self.highs))
 
     def center(self) -> tuple[float, ...]:
-        return tuple((l + h) / 2.0 for l, h in zip(self.lows, self.highs))
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lows, self.highs))
 
     def intersects(self, other: "Rect", tol: float = 0.0) -> bool:
         """Closed-box intersection test."""
@@ -103,7 +103,7 @@ class Rect:
         """Overlap box, or None when disjoint."""
         lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
         highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
-        if any(l > h for l, h in zip(lows, highs)):
+        if any(lo > hi for lo, hi in zip(lows, highs)):
             return None
         return Rect(lows, highs)
 

@@ -17,6 +17,7 @@ from repro.constraints.relation import GeneralizedRelation
 from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
 from repro.errors import GeometryError, QueryError
 from repro.geometry.predicates import all_halfplane, exist_halfplane
+from repro.obs import trace as obs
 from repro.rtree.base import RTreeBase
 from repro.rtree.mbr import Rect
 from repro.rtree.rplus import RPlusTree
@@ -163,9 +164,20 @@ class RTreePlanner:
     def query(self, query: HalfPlaneQuery) -> QueryResult:
         """Answer a half-plane query; result equals the exact oracle."""
         pager = self.tree.pager
-        with pager.measure() as scope:
-            result = self._execute(query)
-        result.io = scope.delta
+        with obs.span(
+            "query",
+            pager=pager,
+            type=query.query_type,
+            intercept=f"{query.intercept:g}",
+            structure=type(self.tree).__name__,
+        ) as qspan:
+            with pager.measure() as scope:
+                result = self._execute(query)
+            result.io = scope.delta
+            if qspan is not None:
+                qspan.incr("candidates", result.candidates)
+                qspan.incr("results", len(result.ids))
+                result.trace = qspan
         return result
 
     def exist(self, slope, intercept, theta=">=") -> QueryResult:
@@ -177,9 +189,10 @@ class RTreePlanner:
         return self.query(HalfPlaneQuery(ALL, slope, intercept, theta))
 
     def _execute(self, query: HalfPlaneQuery) -> QueryResult:
-        candidates = self.tree.search_halfplane(
-            query.slope, query.intercept, query.theta, query.query_type
-        )
+        with obs.span("sweep.rtree"):
+            candidates = self.tree.search_halfplane(
+                query.slope, query.intercept, query.theta, query.query_type
+            )
         result = QueryResult(technique=f"{type(self.tree).__name__}")
         result.candidates = candidates.total
         result.accepted_without_refinement = len(candidates.confirmed)
@@ -193,14 +206,17 @@ class RTreePlanner:
         result.refinement_pages = len(
             {unpack_rid(rid)[0] for rid in candidates.to_refine}
         )
-        records = self.heap.fetch_batch(candidates.to_refine)
-        for data in records.values():
-            tid, t = decode_tuple(data)
-            if predicate(
-                t.extension(), query.slope, query.intercept, query.theta
-            ):
-                result.ids.add(tid)
-            else:
-                false_hits += 1
+        with obs.span("fetch"):
+            records = self.heap.fetch_batch(candidates.to_refine)
+        with obs.span("verify"):
+            for data in records.values():
+                tid, t = decode_tuple(data)
+                if predicate(
+                    t.extension(), query.slope, query.intercept, query.theta
+                ):
+                    result.ids.add(tid)
+                else:
+                    false_hits += 1
+            obs.incr("refine.false_hits", false_hits)
         result.false_hits = false_hits
         return result

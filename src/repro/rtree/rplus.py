@@ -19,7 +19,7 @@ statically built trees.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.errors import IndexError_
 from repro.rtree.base import RTreeBase

@@ -18,7 +18,10 @@ class BufferPool:
     """A write-back LRU cache of page frames.
 
     ``capacity`` is the number of frames; 0 disables caching entirely
-    (every access goes to disk).
+    (every access goes to disk). ``hits``/``misses`` count *reads* only
+    — identically in both modes, so ``hits + misses`` always equals the
+    pager's logical read count and a zero-capacity pool reports every
+    read as a miss.
     """
 
     def __init__(self, disk: DiskSimulator, capacity: int) -> None:
@@ -49,10 +52,23 @@ class BufferPool:
         return data
 
     def write(self, page_id: int, data: bytes) -> None:
-        """Stage a page image; written back on eviction or flush."""
+        """Stage a page image; written back on eviction or flush.
+
+        Both the cached and the zero-capacity path validate the target
+        up front, so a bad write fails identically (and is accounted
+        identically by the pager above) whatever the capacity — staging
+        an invalid frame would otherwise only explode at eviction time.
+        """
         if self.capacity == 0:
             self.disk.write_page(page_id, data)
             return
+        if not self.disk.is_allocated(page_id):
+            raise StorageError(f"page {page_id} is not allocated")
+        if len(data) != self.disk.page_size:
+            raise StorageError(
+                f"page image of {len(data)} bytes on a "
+                f"{self.disk.page_size}-byte disk"
+            )
         self._install(page_id, bytes(data), dirty=True)
 
     def discard(self, page_id: int) -> None:

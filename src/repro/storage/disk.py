@@ -74,6 +74,10 @@ class DiskSimulator:
         self.stats.physical_writes += 1
         self._pages[page_id] = bytes(data)
 
+    def is_allocated(self, page_id: int) -> bool:
+        """Whether a page id refers to a live page."""
+        return page_id in self._pages
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ import struct
 from typing import Iterable, Iterator
 
 from repro.errors import PageOverflowError, StorageError
+from repro.obs import trace as obs
 from repro.storage.pager import Pager
 
 _HEADER = struct.Struct("<HH")
@@ -94,6 +95,7 @@ class HeapFile:
     # ------------------------------------------------------------------
     def fetch(self, rid: int) -> bytes:
         """Record bytes by RID (one logical page read)."""
+        obs.incr("heap.record_fetches")
         page_id, slot = unpack_rid(rid)
         image = self.pager.read(page_id)
         count, _free = _HEADER.unpack_from(image, 0)
@@ -115,6 +117,8 @@ class HeapFile:
         for rid in rids:
             page_id, _slot = unpack_rid(rid)
             by_page.setdefault(page_id, []).append(rid)
+        obs.incr("heap.pages_fetched", len(by_page))
+        obs.incr("heap.record_fetches", sum(len(v) for v in by_page.values()))
         result: dict[int, bytes] = {}
         for page_id in sorted(by_page):
             image = self.pager.read(page_id)

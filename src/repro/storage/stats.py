@@ -51,6 +51,17 @@ class IOStats:
             self.frees - earlier.frees,
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (the trace/metrics JSON schema)."""
+        return {
+            "logical_reads": self.logical_reads,
+            "logical_writes": self.logical_writes,
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "allocations": self.allocations,
+            "frees": self.frees,
+        }
+
     def reset(self) -> None:
         """Zero every counter in place."""
         self.logical_reads = 0

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable
 
 from repro.constraints.linear import LinearConstraint
 from repro.constraints.relation import GeneralizedRelation

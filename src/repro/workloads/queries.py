@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable
 
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.theta import Theta

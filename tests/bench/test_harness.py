@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.bench import harness
 from repro.bench.figures import figure_8_9, figure_10, render_figure, render_figure_10

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench.figures import FigureSeries
 from repro.bench.harness import QueryBatchStats
-from repro.bench.plotting import MARKS, ascii_chart, chart_figure
+from repro.bench.plotting import ascii_chart, chart_figure
 
 
 class TestAsciiChart:

@@ -1,0 +1,32 @@
+"""Perf-smoke gate logic tests (pure; the workload itself runs in CI)."""
+
+from repro.bench.smoke import check_baseline
+
+
+def _doc(counters):
+    return {"counters": counters}
+
+
+class TestCheckBaseline:
+    def test_within_baseline_passes(self):
+        assert check_baseline(_doc({"a": 5.0}), _doc({"a": 5.0})) == []
+        assert check_baseline(_doc({"a": 4.0}), _doc({"a": 5.0})) == []
+
+    def test_exceeding_counter_fails(self):
+        violations = check_baseline(_doc({"a": 6.0}), _doc({"a": 5.0}))
+        assert len(violations) == 1
+        assert "exceeds baseline" in violations[0]
+
+    def test_missing_counter_fails(self):
+        violations = check_baseline(_doc({}), _doc({"a": 5.0}))
+        assert violations == ["baseline counter a missing from current run"]
+
+    def test_new_counter_is_not_a_violation(self):
+        assert check_baseline(_doc({"a": 1.0, "b": 9.0}), _doc({"a": 5.0})) == []
+
+    def test_violations_sorted_by_key(self):
+        violations = check_baseline(
+            _doc({"b": 9.0, "a": 9.0}), _doc({"a": 1.0, "b": 1.0})
+        )
+        assert violations[0].startswith("a:")
+        assert violations[1].startswith("b:")

@@ -79,7 +79,6 @@ class TestSweeps:
         pager = loaded.pager
         with pager.measure() as scope:
             list(loaded.items())
-        leaves = sum(1 for _ in ())
         # full scan reads every leaf once plus the descent
         assert scope.delta.logical_reads >= loaded.page_count // 2
 

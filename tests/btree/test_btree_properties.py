@@ -1,6 +1,5 @@
 """Property-based B+-tree tests (hypothesis stateful-style workloads)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.storage import KeyCodec, Pager

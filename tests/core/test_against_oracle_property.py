@@ -6,7 +6,6 @@ R+-tree), hypothesis-driven queries over all types/operators/slope cases.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints import GeneralizedRelation, Theta

@@ -78,3 +78,106 @@ def test_query_empty_file(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-command"])
+
+
+TRACE_TUPLES = (
+    "x >= 0 and x <= 2 and y >= 0 and y <= 2\n"
+    "x >= 5 and x <= 7 and y >= 5 and y <= 7\n"
+)
+
+
+def test_trace_prints_span_tree(tmp_path, capsys):
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(TRACE_TUPLES)
+    code = main(
+        [
+            "trace",
+            "--tuples", str(tuples),
+            "--type", "EXIST",
+            "--slope", "1",
+            "--intercept", "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # span tree with per-phase I/O and timings
+    assert "query" in out
+    assert "plan" in out
+    assert "fetch" in out or "sweep" in out
+    assert "ms" in out and "pages" in out and "physical" in out
+    assert "technique:" in out
+
+
+def test_trace_json(tmp_path, capsys):
+    import json
+
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(TRACE_TUPLES)
+    code = main(
+        [
+            "trace",
+            "--tuples", str(tuples),
+            "--type", "ALL",
+            "--slope", "0.5",
+            "--intercept", "-1",
+            "--theta", "LE",
+            "--json",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["children"][0]["name"] == "query"
+    assert "logical_reads" in doc["io"]
+
+
+def test_trace_leaves_tracing_disabled(tmp_path, capsys):
+    from repro.obs import trace as obs
+
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(TRACE_TUPLES)
+    main(["trace", "--tuples", str(tuples), "--type", "EXIST",
+          "--slope", "1", "--intercept", "0"])
+    capsys.readouterr()
+    assert obs.current() is None
+
+
+def test_stats_emits_registry_json(capsys):
+    import json
+
+    code = main(["stats", "--n", "60", "--k", "2", "--queries", "1"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {"counters", "gauges", "histograms"}
+    assert any(k.startswith("smoke_index_pages") for k in doc["counters"])
+
+
+def test_smoke_gate_round_trip(tmp_path, capsys):
+    out = tmp_path / "BENCH_smoke.json"
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        ["smoke", "--out", str(out), "--baseline", str(baseline),
+         "--update-baseline"]
+    ) == 0
+    assert main(
+        ["smoke", "--out", str(out), "--baseline", str(baseline)]
+    ) == 0
+    capsys.readouterr()
+
+    import json
+
+    doc = json.loads(baseline.read_text())
+    key = next(iter(doc["counters"]))
+    doc["counters"][key] -= 1
+    baseline.write_text(json.dumps(doc))
+    assert main(
+        ["smoke", "--out", str(out), "--baseline", str(baseline)]
+    ) == 1
+    assert "exceeds baseline" in capsys.readouterr().err
+
+
+def test_smoke_missing_baseline(tmp_path, capsys):
+    assert main(
+        ["smoke", "--out", str(tmp_path / "o.json"),
+         "--baseline", str(tmp_path / "nope.json")]
+    ) == 2
+    assert "--update-baseline" in capsys.readouterr().err

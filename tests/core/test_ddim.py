@@ -10,10 +10,9 @@ from repro.constraints import (
     LinearConstraint,
     Theta,
 )
-from repro.core import DDimDualIndex, DDimPlanner, HalfPlaneQuery, SlopePointSet
+from repro.core import DDimPlanner, HalfPlaneQuery, SlopePointSet
 from repro.errors import QueryError, SlopeSetError
 from repro.geometry.predicates import evaluate_relation
-from repro.storage import KeyCodec, Pager
 
 SLOPE_POINTS = [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0), (0.0, 0.0)]
 DOMAIN = ((-1.5, -1.5), (1.5, 1.5))

@@ -5,9 +5,7 @@ planner → refinement — the way a downstream application would, including
 shared-pager deployments and long mixed workloads.
 """
 
-import random
 
-import pytest
 
 from repro.constraints import GeneralizedRelation, Theta, parse_tuple
 from repro.core import (

@@ -1,6 +1,5 @@
 """Planner dispatch, exact path, refinement accounting, dynamic updates."""
 
-import random
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Technique T2 tests: handicap search correctness and no-duplicate
 guarantee."""
 
-import random
 
 import pytest
 

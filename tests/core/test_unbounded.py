@@ -5,7 +5,6 @@ R+-tree cannot store unbounded objects; clipping them to a window gives
 wrong answers; the dual index handles them natively via ±∞ TOP/BOT keys.
 """
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Convex hull, area, and centroid tests."""
 
-import math
 import random
 
 import pytest

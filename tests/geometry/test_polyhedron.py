@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.constraints import GeneralizedTuple, parse_tuple
+from repro.constraints import parse_tuple
 from repro.errors import EmptyExtensionError, GeometryError
 from tests.conftest import random_bounded_tuple
 

@@ -1,0 +1,113 @@
+"""Metrics registry tests: counters, gauges, histograms, export."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_family_needs_labels(self):
+        c = Counter("pages", labelnames=("phase",))
+        with pytest.raises(ValueError):
+            c.inc()
+        c.labels(phase="sweep").inc(3)
+        c.labels(phase="fetch").inc(1)
+        c.labels(phase="sweep").inc(2)
+        series = dict(c.series())
+        assert series["pages{phase=sweep}"].value == 5
+        assert series["pages{phase=fetch}"].value == 1
+
+    def test_wrong_labelnames_rejected(self):
+        c = Counter("pages", labelnames=("phase",))
+        with pytest.raises(ValueError):
+            c.labels(stage="sweep")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("frames")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        h = Histogram("latency", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 3.0, 50.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(55.5 / 4)
+        assert s["min"] == 0.5 and s["max"] == 50.0
+        assert s["buckets"] == {"le=1": 1, "le=10": 2, "le=+inf": 1}
+
+    def test_labeled_children_share_buckets(self):
+        h = Histogram("latency", labelnames=("structure",), buckets=(5.0,))
+        h.labels(structure="dual").observe(1.0)
+        h.labels(structure="dual").observe(9.0)
+        series = dict(h.series())
+        assert series["latency{structure=dual}"].summary()["buckets"] == {
+            "le=5": 1, "le=+inf": 1,
+        }
+
+    def test_empty_summary(self):
+        s = Histogram("latency").summary()
+        assert s["count"] == 0
+        assert s["min"] is None and s["max"] is None
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops", "help")
+        b = reg.counter("ops")
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("ops")
+        with pytest.raises(ValueError):
+            reg.gauge("ops")
+        with pytest.raises(ValueError):
+            reg.histogram("ops")
+
+    def test_collect_sections_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z_ops").inc()
+        reg.counter("a_ops").inc(2)
+        reg.gauge("frames").set(7)
+        reg.histogram("ms").observe(1.0)
+        snap = reg.collect()
+        assert list(snap["counters"]) == ["a_ops", "z_ops"]
+        assert snap["gauges"] == {"frames": 7.0}
+        assert snap["histograms"]["ms"]["count"] == 1
+
+    def test_export_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("pages", labelnames=("phase",)).labels(phase="sweep").inc(4)
+        doc = json.loads(reg.export_json())
+        assert doc["counters"] == {"pages{phase=sweep}": 4.0}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc()
+        reg.reset()
+        assert reg.collect()["counters"] == {}
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()

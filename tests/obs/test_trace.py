@@ -1,0 +1,211 @@
+"""QueryTrace tests: span nesting, I/O attribution, no-op mode."""
+
+import pytest
+
+from repro.obs import QueryTrace, tracing
+from repro.obs import trace as obs
+from repro.storage import Pager
+from repro.storage.stats import IOStats
+
+
+def make_pager(pages: int = 4, frames: int = 0) -> tuple[Pager, list[int]]:
+    pager = Pager(buffer_frames=frames)
+    pids = [pager.allocate() for _ in range(pages)]
+    for pid in pids:
+        pager.write(pid, bytes([pid % 251]) * pager.page_size)
+    pager.cool_down()
+    pager.stats.reset()
+    pager.buffer.hits = pager.buffer.misses = 0
+    return pager, pids
+
+
+class TestIOStatsRoundTrips:
+    def test_snapshot_is_independent(self):
+        stats = IOStats(logical_reads=3)
+        snap = stats.snapshot()
+        stats.logical_reads += 2
+        assert snap.logical_reads == 3
+        assert stats.logical_reads == 5
+
+    def test_delta_since_inverts_snapshot(self):
+        stats = IOStats()
+        before = stats.snapshot()
+        stats.logical_reads += 4
+        stats.physical_writes += 1
+        stats.allocations += 2
+        delta = stats.delta_since(before)
+        assert delta.logical_reads == 4
+        assert delta.physical_writes == 1
+        assert delta.allocations == 2
+        assert delta.logical_writes == delta.physical_reads == delta.frees == 0
+        # snapshot + delta round-trips back to the current counters
+        for name, value in stats.as_dict().items():
+            assert getattr(before, name) + getattr(delta, name) == value
+
+    def test_reset_zeroes_in_place(self):
+        stats = IOStats(1, 2, 3, 4, 5, 6)
+        stats.reset()
+        assert stats.as_dict() == {
+            "logical_reads": 0, "logical_writes": 0, "physical_reads": 0,
+            "physical_writes": 0, "allocations": 0, "frees": 0,
+        }
+
+    def test_as_dict_matches_page_accesses(self):
+        stats = IOStats(logical_reads=2, logical_writes=3)
+        assert stats.page_accesses == 5
+        d = stats.as_dict()
+        assert d["logical_reads"] + d["logical_writes"] == 5
+
+
+class TestSpanTree:
+    def test_nested_spans_attribute_io(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager, name="q")
+        with trace.span("sweep.primary"):
+            pager.read(pids[0])
+            with trace.span("descend"):
+                pager.read(pids[1])
+                pager.read(pids[2])
+        with trace.span("fetch"):
+            pager.read(pids[3])
+        root = trace.close()
+        sweep = root.children[0]
+        descend = sweep.children[0]
+        fetch = root.children[1]
+        assert sweep.pages == 3          # inclusive of the nested descend
+        assert descend.pages == 2
+        assert fetch.pages == 1
+        assert root.pages == 4
+        # exclusive per-phase accounting
+        assert root.phase_pages() == {"q": 0, "sweep": 1, "descend": 2,
+                                      "fetch": 1}
+
+    def test_late_pager_binding(self):
+        pager, pids = make_pager()
+        trace = QueryTrace()  # no pager yet
+        with trace.span("plan"):
+            pass
+        with trace.span("query", pager=pager):
+            pager.read(pids[0])
+        assert trace.pager is pager
+        assert trace.root.children[1].pages == 1
+
+    def test_counters_and_totals(self):
+        trace = QueryTrace(name="q")
+        with trace.span("sweep"):
+            trace.incr("comparisons", 5)
+            with trace.span("descend"):
+                trace.incr("comparisons", 2)
+                trace.incr("node_visits")
+        root = trace.close()
+        assert root.children[0].counters == {"comparisons": 5.0}
+        assert root.total_counters() == {"comparisons": 7.0,
+                                         "node_visits": 1.0}
+
+    def test_phase_is_first_dotted_segment(self):
+        trace = QueryTrace()
+        with trace.span("sweep.app") as node:
+            assert node.phase == "sweep"
+
+    def test_to_dict_schema(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager, name="q", meta={"type": "EXIST"})
+        with trace.span("fetch", k="v"):
+            pager.read(pids[0])
+        doc = trace.to_dict()
+        assert doc["name"] == "q"
+        assert doc["meta"] == {"type": "EXIST"}
+        child = doc["children"][0]
+        assert child["name"] == "fetch"
+        assert child["meta"] == {"k": "v"}
+        assert child["io"]["logical_reads"] == 1
+        assert set(child["io"]) == {
+            "logical_reads", "logical_writes", "physical_reads",
+            "physical_writes", "allocations", "frees",
+        }
+        assert child["buffer"] == {"hits": 0, "misses": 1}
+        assert child["elapsed_ms"] >= 0.0
+        assert child["children"] == []
+
+    def test_render_draws_every_span(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager, name="q")
+        with trace.span("sweep"):
+            pager.read(pids[0])
+            with trace.span("descend"):
+                pass
+        text = trace.render()
+        assert "sweep" in text and "descend" in text
+        assert "1 pages" in text
+
+    def test_buffer_hit_attribution(self):
+        pager, pids = make_pager(frames=4)
+        trace = QueryTrace(pager=pager, name="q")
+        with trace.span("fetch"):
+            pager.read(pids[0])
+            pager.read(pids[0])
+        node = trace.root.children[0]
+        assert node.buffer_misses == 1
+        assert node.buffer_hits == 1
+        assert node.hit_ratio == pytest.approx(0.5)
+
+
+class TestModuleHooks:
+    def test_disabled_span_records_nothing(self):
+        assert obs.current() is None
+        with obs.span("sweep") as node:
+            assert node is None
+        obs.incr("comparisons")  # must not raise
+
+    def test_active_trace_records(self):
+        trace = QueryTrace(name="q")
+        with tracing(trace):
+            assert obs.current() is trace
+            with obs.span("sweep"):
+                obs.incr("comparisons", 3)
+        assert obs.current() is None
+        assert trace.root.children[0].counters == {"comparisons": 3.0}
+
+    def test_tracing_does_not_nest(self):
+        with tracing(QueryTrace()):
+            with pytest.raises(RuntimeError):
+                with tracing(QueryTrace()):
+                    pass  # pragma: no cover
+
+    def test_tracing_deactivates_on_error(self):
+        with pytest.raises(KeyError):
+            with tracing(QueryTrace()):
+                raise KeyError("boom")
+        assert obs.current() is None
+
+
+class TestEndToEnd:
+    """Disabling tracing changes no query results and adds no counters."""
+
+    @pytest.fixture(scope="class")
+    def planner(self):
+        from repro.core import DualIndexPlanner, SlopeSet
+        from repro.workloads import make_relation
+
+        return DualIndexPlanner.build(
+            make_relation(60, "small", seed=11), SlopeSet.uniform_angles(3)
+        )
+
+    def test_traced_equals_untraced(self, planner):
+        baseline = planner.exist(0.5, 2.0)
+        with tracing(QueryTrace(pager=planner.index.pager)) as trace:
+            traced = planner.exist(0.5, 2.0)
+        assert traced.ids == baseline.ids
+        assert traced.page_accesses == baseline.page_accesses
+        assert baseline.trace is None
+        assert traced.trace is not None
+        # the query span carries the whole query's I/O
+        assert traced.trace.pages == traced.page_accesses
+        phases = trace.root.children[0].phase_pages()
+        assert sum(phases.values()) == traced.page_accesses
+
+    def test_trace_spans_cover_expected_phases(self, planner):
+        with tracing(QueryTrace(pager=planner.index.pager)):
+            result = planner.all(0.5, -1.0)
+        names = {node.phase for node in result.trace.walk()}
+        assert {"query", "plan", "sweep", "fetch", "verify"} <= names

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import IndexError_
-from repro.storage import KeyCodec, Pager
+from repro.storage import Pager
 from repro.constraints.theta import Theta
 from repro.rtree import GuttmanRTree, RPlusTree, rect_2d
 

@@ -63,6 +63,78 @@ class TestBufferPool:
             BufferPool(DiskSimulator(), -1)
 
 
+class TestZeroCapacityConsistency:
+    """A zero-capacity pool must account and fail exactly like a cached
+    one — capacity only changes *physical* traffic, never semantics."""
+
+    def _run(self, capacity: int, ops):
+        pager = Pager(buffer_frames=capacity)
+        pids = [pager.allocate() for _ in range(3)]
+        for pid in pids:
+            pager.write(pid, bytes(1024))
+        pager.cool_down()
+        pager.stats.reset()
+        pager.buffer.hits = pager.buffer.misses = 0
+        ops(pager, pids)
+        return pager
+
+    def test_logical_counters_match_cached_mode(self):
+        def ops(pager, pids):
+            for pid in pids:
+                pager.write(pid, b"\x05" * 1024)
+            for pid in pids + pids:
+                pager.read(pid)
+
+        cold = self._run(0, ops)
+        warm = self._run(8, ops)
+        assert cold.stats.logical_reads == warm.stats.logical_reads
+        assert cold.stats.logical_writes == warm.stats.logical_writes
+
+    def test_zero_capacity_reads_all_miss(self):
+        def ops(pager, pids):
+            for pid in pids + pids:
+                pager.read(pid)
+
+        pager = self._run(0, ops)
+        assert pager.buffer.hits == 0
+        assert pager.buffer.misses == pager.stats.logical_reads == 6
+
+    def test_hits_plus_misses_equals_logical_reads(self):
+        for capacity in (0, 2, 8):
+            def ops(pager, pids):
+                for pid in pids + pids + pids:
+                    pager.read(pid)
+
+            pager = self._run(capacity, ops)
+            assert (
+                pager.buffer.hits + pager.buffer.misses
+                == pager.stats.logical_reads
+            ), f"capacity={capacity}"
+
+    def test_write_to_unallocated_fails_in_both_modes(self):
+        for capacity in (0, 4):
+            disk = DiskSimulator()
+            pool = BufferPool(disk, capacity)
+            with pytest.raises(StorageError):
+                pool.write(999, bytes(1024))
+
+    def test_wrong_size_write_fails_in_both_modes(self):
+        for capacity in (0, 4):
+            disk = DiskSimulator()
+            pool = BufferPool(disk, capacity)
+            pid = disk.allocate()
+            with pytest.raises(StorageError):
+                pool.write(pid, b"short")
+
+    def test_staged_write_survives_flush(self):
+        disk = DiskSimulator()
+        pool = BufferPool(disk, 4)
+        pid = disk.allocate()
+        pool.write(pid, b"\x0c" * 1024)
+        pool.flush()
+        assert disk.read_page(pid) == b"\x0c" * 1024
+
+
 class TestPager:
     def test_logical_vs_physical(self):
         pager = Pager(buffer_frames=8)
