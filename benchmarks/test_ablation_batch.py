@@ -1,0 +1,133 @@
+"""Ablation A8 — batched vs. sequential query execution.
+
+The batch engine's claim: a batch of half-plane selections costs fewer
+total page accesses than issuing the same queries one at a time, because
+same-slope groups share one B+-tree descent plus one merged sweep, the
+refinement step fetches every distinct heap page once per batch, and
+repeated queries hit the result cache. This ablation measures all three
+effects and checks the answers stay identical to the sequential
+planner's.
+
+Emits ``ablation_batch.txt`` (table) and ``ablation_batch.json`` (the
+machine-readable artifact CI uploads; checked into
+``benchmarks/results/``).
+"""
+
+import random
+
+from repro.bench import emit, emit_json, format_table, n_values, relation
+from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.exec import BatchExecutor
+
+SIZE = "small"
+K = 3
+SAME_SLOPE_QUERIES = 64
+SEED = 2024
+
+
+def _same_slope_batch(slope: float, rng: random.Random) -> list[HalfPlaneQuery]:
+    return [
+        HalfPlaneQuery("EXIST", slope, rng.uniform(-40.0, 40.0), ">=")
+        for _ in range(SAME_SLOPE_QUERIES)
+    ]
+
+
+def _mixed_batch(slopes: SlopeSet, rng: random.Random) -> list[HalfPlaneQuery]:
+    queries: list[HalfPlaneQuery] = []
+    slope_list = list(slopes)
+    for _ in range(48):
+        if rng.random() < 0.5:
+            s = rng.choice(slope_list)
+        else:
+            s = rng.uniform(slope_list[0] * 0.9, slope_list[-1] * 0.9)
+        queries.append(
+            HalfPlaneQuery(
+                rng.choice(["ALL", "EXIST"]),
+                s,
+                rng.uniform(-40.0, 40.0),
+                rng.choice([">=", "<="]),
+            )
+        )
+    return queries
+
+
+def _sequential_pages(planner, queries) -> tuple[int, list[set[int]]]:
+    pages = 0
+    answers = []
+    for query in queries:
+        res = planner.query(query)
+        pages += res.page_accesses
+        answers.append(res.ids)
+    return pages, answers
+
+
+def test_batch_vs_sequential(benchmark):
+    n = n_values()[0]
+    rel = relation(n, SIZE)
+    slopes = SlopeSet.uniform_angles(K)
+    planner = DualIndexPlanner.build(rel, slopes)
+    rng = random.Random(SEED)
+
+    rows = []
+    payload = {"n": n, "size": SIZE, "k": K, "scenarios": {}}
+
+    # Scenario 1 — the headline: 64 EXIST queries on one restricted
+    # slope. Sequential pays 64 descents + 64 sweeps; the batch pays one.
+    same = _same_slope_batch(list(slopes)[K // 2], rng)
+    seq_pages, seq_answers = _sequential_pages(planner, same)
+    batch = BatchExecutor(planner).execute(same)
+    assert [r.ids for r in batch.results] == seq_answers
+    assert batch.page_accesses < seq_pages, (
+        f"batch must be strictly cheaper: {batch.page_accesses} vs {seq_pages}"
+    )
+    rows.append(["same-slope EXIST ×64", seq_pages, batch.page_accesses])
+    payload["scenarios"]["same_slope_exist_64"] = {
+        "queries": len(same),
+        "sequential_pages": seq_pages,
+        "batch_pages": batch.page_accesses,
+        "sweep_leaves": batch.sweep_leaves,
+        "refinement_pages": batch.refinement_pages,
+        "answers_equal": True,
+    }
+
+    # Scenario 2 — a mixed batch: every (type, θ) combination, exact and
+    # interior slopes together.
+    mixed = _mixed_batch(slopes, rng)
+    seq_pages_m, seq_answers_m = _sequential_pages(planner, mixed)
+    executor = BatchExecutor(planner)
+    batch_m = executor.execute(mixed)
+    assert [r.ids for r in batch_m.results] == seq_answers_m
+    rows.append(["mixed ×48", seq_pages_m, batch_m.page_accesses])
+    payload["scenarios"]["mixed_48"] = {
+        "queries": len(mixed),
+        "sequential_pages": seq_pages_m,
+        "batch_pages": batch_m.page_accesses,
+        "exact_groups": batch_m.exact_groups,
+        "vector_groups": batch_m.vector_groups,
+        "answers_equal": True,
+    }
+
+    # Scenario 3 — the cache: replaying an identical batch costs nothing.
+    replay = executor.execute(mixed)
+    assert [r.ids for r in replay.results] == seq_answers_m
+    assert replay.page_accesses == 0
+    assert replay.cache_hits == len(mixed)
+    rows.append(["mixed ×48 replay", seq_pages_m, replay.page_accesses])
+    payload["scenarios"]["mixed_48_replay"] = {
+        "queries": len(mixed),
+        "sequential_pages": seq_pages_m,
+        "batch_pages": replay.page_accesses,
+        "cache_hits": replay.cache_hits,
+        "answers_equal": True,
+    }
+
+    emit(
+        format_table(
+            f"Ablation A8 — batched vs sequential execution "
+            f"(N={n}, k={K}, {SIZE} objects)",
+            ["scenario", "sequential pages", "batch pages"],
+            rows,
+        ),
+        save_as="ablation_batch.txt",
+    )
+    emit_json(payload, save_as="ablation_batch.json")

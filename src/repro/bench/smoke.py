@@ -43,6 +43,27 @@ SMOKE_QUERIES = 4
 DEFAULT_BASELINE = os.path.join("benchmarks", "baselines", "smoke.json")
 DEFAULT_OUT = "BENCH_smoke.json"
 
+
+def default_baseline() -> str:
+    """Resolve the baseline path convention.
+
+    The baseline lives at ``benchmarks/baselines/smoke.json`` *relative
+    to the repository root*. The path is tried relative to the current
+    working directory first (the CI case: jobs run from the checkout
+    root), then anchored at the repository root located from this
+    module's location, so ``repro smoke`` also works from any
+    subdirectory of a checkout. ``--baseline PATH`` overrides both.
+    """
+    if os.path.exists(DEFAULT_BASELINE):
+        return DEFAULT_BASELINE
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    )
+    candidate = os.path.join(root, DEFAULT_BASELINE)
+    if os.path.exists(candidate):
+        return candidate
+    return DEFAULT_BASELINE
+
 #: Phases whose page counts the registry splits out.
 PHASES = ("descend", "sweep", "fetch")
 
@@ -114,7 +135,41 @@ def run_smoke(
                         phase_pages.labels(
                             structure=name, type=qtype, phase=phase
                         ).inc(count)
+    _run_batch_leg(registry, structures[0][1], n, size, k, count)
     return registry
+
+
+def _run_batch_leg(
+    registry: MetricsRegistry, dual, n: int, size: str, k: int, count: int
+) -> None:
+    """Drive the batch executor over the same workload (dual index only).
+
+    Adds ``smoke_batch_pages``/``smoke_batch_results`` plus the
+    executor's own ``exec_*`` cache/batch counters to the registry. The
+    batch mixes the harness's interior-slope queries (vectorized path),
+    one exact-slope query per predefined slope (merged-sweep path), and
+    one repeated query (a deterministic intra-batch cache hit) — all
+    derived from fixed parameters, so every counter is deterministic.
+    """
+    from repro.core import HalfPlaneQuery
+    from repro.exec import BatchExecutor
+
+    queries: list[HalfPlaneQuery] = []
+    for qtype in (EXIST, ALL):
+        queries.extend(harness.queries_for(n, size, qtype, k, count=count))
+    for i, slope in enumerate(dual.index.slopes):
+        queries.append(HalfPlaneQuery(EXIST, slope, 2.0 + i, ">="))
+        queries.append(HalfPlaneQuery(ALL, slope, -2.0 - i, "<="))
+    queries.append(queries[0])  # repeated query → one guaranteed cache hit
+    batch = BatchExecutor(dual, registry=registry).execute(queries)
+    registry.counter(
+        "smoke_batch_pages",
+        "Total page accesses of the smoke batch-execution leg",
+    ).inc(batch.page_accesses)
+    registry.counter(
+        "smoke_batch_results",
+        "Total answer tuples of the smoke batch-execution leg",
+    ).inc(sum(len(res.ids) for res in batch.results))
 
 
 def check_baseline(current: dict, baseline: dict) -> list[str]:
@@ -153,14 +208,21 @@ def main(argv: list[str] | None = None) -> int:
         help=f"where to write the metrics JSON (default {DEFAULT_OUT})",
     )
     parser.add_argument(
-        "--baseline", default=DEFAULT_BASELINE,
-        help=f"baseline to gate against (default {DEFAULT_BASELINE})",
+        "--baseline", default=None,
+        help=(
+            "baseline to gate against; by convention the checked-in "
+            f"{DEFAULT_BASELINE} relative to the repository root, found "
+            "from the working directory or the installed checkout "
+            "(default: that convention)"
+        ),
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this run instead of gating",
     )
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = default_baseline()
 
     registry = run_smoke()
     current = registry.collect()

@@ -15,7 +15,8 @@ an invariant checker used by the test-suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import IndexError_
@@ -35,6 +36,30 @@ class LeafVisit:
 
     page_id: int
     leaf: LeafNode
+
+
+@dataclass
+class MultiSweep:
+    """The result of a merged multi-key sweep (batch execution).
+
+    ``keys``/``rids`` are parallel entry lists in sweep order (ascending
+    for :meth:`BPlusTree.sweep_up_multi`, descending for
+    :meth:`BPlusTree.sweep_down_multi`). ``offsets`` aligns with the
+    ``starts`` argument: the entries serving ``starts[i]`` are the suffix
+    ``keys[offsets[i]:]`` — for an up-sweep those are the keys
+    ``>= starts[i]``, for a down-sweep the keys ``<= starts[i]``.
+    ``leaves`` is the number of leaf pages the shared sweep touched.
+    """
+
+    keys: list[float] = field(default_factory=list)
+    rids: list[int] = field(default_factory=list)
+    offsets: list[int] = field(default_factory=list)
+    leaves: int = 0
+
+    def entries_for(self, i: int) -> tuple[list[float], list[int]]:
+        """The (keys, rids) slice serving the i-th start key."""
+        at = self.offsets[i]
+        return self.keys[at:], self.rids[at:]
 
 
 class BPlusTree:
@@ -200,6 +225,62 @@ class BPlusTree:
             obs.incr("btree.leaf_visits")
             yield LeafVisit(pid, leaf)
             pid = leaf.prev
+
+    def sweep_up_multi(self, starts: Sequence[float]) -> MultiSweep:
+        """Serve many ascending range sweeps with ONE descent + ONE sweep.
+
+        ``starts`` are the per-query start keys (any order, duplicates
+        allowed). The tree is descended once to the smallest start and
+        swept once to the last leaf; every entry with key ``>=
+        min(starts)`` is collected. The i-th query's entries are the
+        suffix ``keys[offsets[i]:]`` (its keys ``>= quantize(starts[i])``)
+        — exactly what ``sweep_up(starts[i])`` would have delivered, at
+        the page cost of the single widest sweep instead of one descent
+        and one overlapping sweep per query.
+        """
+        qstarts = [self.quantize(s) for s in starts]
+        out = MultiSweep()
+        if self.root is None or not qstarts:
+            out.offsets = [0] * len(qstarts)
+            return out
+        lo = min(qstarts)
+        for visit in self.sweep_up(lo):
+            out.leaves += 1
+            obs.incr("comparisons", len(visit.leaf.keys))
+            for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
+                if key >= lo:
+                    out.keys.append(key)
+                    out.rids.append(rid)
+        out.offsets = [bisect.bisect_left(out.keys, q) for q in qstarts]
+        return out
+
+    def sweep_down_multi(self, starts: Sequence[float]) -> MultiSweep:
+        """Descending counterpart of :meth:`sweep_up_multi`.
+
+        One descent to the largest start, one right-to-left sweep; the
+        i-th query's entries are the suffix ``keys[offsets[i]:]`` of the
+        *descending* entry list (its keys ``<= quantize(starts[i])``).
+        """
+        qstarts = [self.quantize(s) for s in starts]
+        out = MultiSweep()
+        if self.root is None or not qstarts:
+            out.offsets = [0] * len(qstarts)
+            return out
+        hi = max(qstarts)
+        for visit in self.sweep_down(hi):
+            out.leaves += 1
+            obs.incr("comparisons", len(visit.leaf.keys))
+            for key, rid in zip(
+                reversed(visit.leaf.keys), reversed(visit.leaf.rids)
+            ):
+                if key <= hi:
+                    out.keys.append(key)
+                    out.rids.append(rid)
+        # Keys are descending: the suffix for start q begins at the first
+        # index whose key is <= q, found by bisecting the negated keys.
+        negated = [-k for k in out.keys]
+        out.offsets = [bisect.bisect_left(negated, -q) for q in qstarts]
+        return out
 
     def items_from(
         self, from_key: float, inclusive: bool = True

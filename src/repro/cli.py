@@ -15,10 +15,18 @@ Commands
     Same arguments as ``query``, but runs it under a
     :class:`repro.obs.QueryTrace` and prints the span tree — per-phase
     logical/physical I/O and wall times (``--json`` for the raw trace).
+``batch --tuples FILE --queries FILE``
+    Index a relation and answer a whole query file through the batch
+    execution engine (:mod:`repro.exec`): merged sweeps for
+    restricted-slope groups, vectorized dual evaluation elsewhere, LRU
+    result caching — with a shared-work page-access summary.
 ``stats [--n N --size small|medium --k K --queries Q]``
-    Run a query batch and print the metrics-registry JSON snapshot.
+    Run a query batch and print the metrics-registry JSON snapshot
+    (includes the batch executor's ``exec_*`` cache counters).
 ``smoke [--out FILE --baseline FILE --update-baseline]``
-    The CI perf-smoke gate (see :mod:`repro.bench.smoke`).
+    The CI perf-smoke gate (see :mod:`repro.bench.smoke`). The baseline
+    lives at ``benchmarks/baselines/smoke.json`` relative to the
+    repository root; ``--baseline PATH`` overrides the convention.
 """
 
 from __future__ import annotations
@@ -62,12 +70,38 @@ def build_parser() -> argparse.ArgumentParser:
         ("query", "query a relation from a file"),
         ("trace", "query a relation from a file, printing the span tree"),
     ):
-        cmd = sub.add_parser(name, help=help_text)
-        cmd.add_argument("--tuples", required=True, help="tuple file path")
-        cmd.add_argument("--type", required=True, choices=["ALL", "EXIST"])
-        cmd.add_argument("--slope", type=float, required=True)
-        cmd.add_argument("--intercept", type=float, required=True)
-        cmd.add_argument("--theta", default="GE", choices=["GE", "LE"])
+        cmd = sub.add_parser(
+            name,
+            help=help_text,
+            description=(
+                f"{help_text}. File paths are resolved relative to the "
+                "current working directory (the conventional layout keeps "
+                "tuple files under the repository root, next to "
+                "benchmarks/baselines/ where the smoke gate keeps its "
+                "baseline)."
+            ),
+        )
+        cmd.add_argument(
+            "--tuples", required=True,
+            help="tuple file path (one generalized tuple per line, "
+                 "# comments allowed)",
+        )
+        cmd.add_argument(
+            "--type", required=True, choices=["ALL", "EXIST"],
+            help="selection type",
+        )
+        cmd.add_argument(
+            "--slope", type=float, required=True,
+            help="query slope (the s of y θ s·x + b)",
+        )
+        cmd.add_argument(
+            "--intercept", type=float, required=True,
+            help="query intercept (the b of y θ s·x + b)",
+        )
+        cmd.add_argument(
+            "--theta", default="GE", choices=["GE", "LE"],
+            help="comparison operator (default GE)",
+        )
         cmd.add_argument(
             "--slopes",
             default=None,
@@ -76,6 +110,40 @@ def build_parser() -> argparse.ArgumentParser:
     sub.choices["trace"].add_argument(
         "--json", action="store_true",
         help="emit the trace as JSON instead of the rendered tree",
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help="answer a whole query file through the batch engine",
+        description=(
+            "Index a relation and answer every query in a query file "
+            "with the batch execution engine (merged B+-tree sweeps, "
+            "vectorized dual evaluation, LRU result cache). Query file "
+            "format: one query per line, `ALL|EXIST <slope> <intercept> "
+            "<GE|LE>`, # comments allowed."
+        ),
+    )
+    batch.add_argument(
+        "--tuples", required=True,
+        help="tuple file path (one generalized tuple per line)",
+    )
+    batch.add_argument(
+        "--queries", required=True,
+        help="query file path (`ALL|EXIST <slope> <intercept> <GE|LE>` "
+             "per line)",
+    )
+    batch.add_argument(
+        "--slopes", default=None,
+        help="comma-separated predefined slope set (default: 3 uniform)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=0,
+        help="thread-pool width for independent slope groups (default 0 "
+             "= sequential)",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="emit per-query answers and the batch summary as JSON",
     )
 
     stats = sub.add_parser(
@@ -89,11 +157,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     smoke = sub.add_parser(
-        "smoke", help="CI perf-smoke: fixed workload gated on a baseline"
+        "smoke",
+        help="CI perf-smoke: fixed workload gated on a baseline",
+        description=(
+            "Run the fixed perf-smoke workload and gate its page-access "
+            "counters on a checked-in baseline. By convention the "
+            "baseline lives at benchmarks/baselines/smoke.json relative "
+            "to the repository root (resolved from the working directory "
+            "or the checkout); --baseline PATH overrides the convention."
+        ),
     )
-    smoke.add_argument("--out", default=None)
-    smoke.add_argument("--baseline", default=None)
-    smoke.add_argument("--update-baseline", action="store_true")
+    smoke.add_argument(
+        "--out", default=None,
+        help="where to write the metrics JSON (default BENCH_smoke.json)",
+    )
+    smoke.add_argument(
+        "--baseline", default=None,
+        help="baseline file to gate against (default: the "
+             "benchmarks/baselines/smoke.json convention)",
+    )
+    smoke.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
     return parser
 
 
@@ -109,6 +195,8 @@ def main(argv: list[str] | None = None) -> int:
         return _query(args)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "batch":
+        return _batch(args)
     if args.command == "stats":
         return _stats(args)
     if args.command == "smoke":
@@ -256,6 +344,112 @@ def _trace(args) -> int:
         print(f"technique: {result.technique}; "
               f"{len(result.ids)} of {len(relation)} tuples; "
               f"{result.page_accesses} page accesses")
+    return 0
+
+
+def _load_relation(path: str, slopes_arg: str | None):
+    """Parse a tuple file and build a planner (shared loader)."""
+    from repro.constraints import GeneralizedRelation, parse_tuple
+    from repro.core import DualIndexPlanner, SlopeSet
+
+    relation = GeneralizedRelation(name=os.path.basename(path))
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            relation.add(parse_tuple(text, dimension=2, label=f"line {line_no}"))
+    if len(relation) == 0:
+        return None, None
+    if slopes_arg:
+        slopes = SlopeSet(float(v) for v in slopes_arg.split(","))
+    else:
+        slopes = SlopeSet.uniform_angles(3)
+    return relation, DualIndexPlanner.build(relation, slopes)
+
+
+def _parse_query_file(path: str):
+    """One query per line: ``ALL|EXIST <slope> <intercept> <GE|LE>``."""
+    from repro.core import HalfPlaneQuery
+
+    queries = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            parts = text.split()
+            if len(parts) != 4 or parts[0] not in ("ALL", "EXIST"):
+                raise SystemExit(
+                    f"{path}:{line_no}: expected "
+                    f"'ALL|EXIST <slope> <intercept> <GE|LE>', got {text!r}"
+                )
+            theta = {"GE": ">=", "LE": "<=", ">=": ">=", "<=": "<="}.get(
+                parts[3]
+            )
+            if theta is None:
+                raise SystemExit(
+                    f"{path}:{line_no}: theta must be GE or LE, got "
+                    f"{parts[3]!r}"
+                )
+            queries.append(
+                HalfPlaneQuery(parts[0], float(parts[1]), float(parts[2]), theta)
+            )
+    return queries
+
+
+def _batch(args) -> int:
+    import json as json_mod
+
+    from repro.exec import BatchExecutor
+
+    relation, planner = _load_relation(args.tuples, args.slopes)
+    if relation is None:
+        print("no tuples found", file=sys.stderr)
+        return 1
+    queries = _parse_query_file(args.queries)
+    if not queries:
+        print("no queries found", file=sys.stderr)
+        return 1
+    executor = BatchExecutor(planner, max_workers=args.workers)
+    batch = executor.execute(queries)
+    if args.json:
+        print(json_mod.dumps(
+            {
+                "queries": [
+                    {
+                        "query": repr(query),
+                        "ids": sorted(result.ids),
+                        "technique": result.technique,
+                        "cached": result.cached,
+                    }
+                    for query, result in zip(queries, batch.results)
+                ],
+                "page_accesses": batch.page_accesses,
+                "cache_hits": batch.cache_hits,
+                "cache_misses": batch.cache_misses,
+                "exact_groups": batch.exact_groups,
+                "vector_groups": batch.vector_groups,
+                "sweep_leaves": batch.sweep_leaves,
+                "refinement_pages": batch.refinement_pages,
+            },
+            indent=2,
+        ))
+        return 0
+    for query, result in zip(queries, batch.results):
+        suffix = " (cached)" if result.cached else ""
+        print(f"{query!r} -> {sorted(result.ids)} "
+              f"[{result.technique}{suffix}]")
+    print(
+        f"batch    : {len(queries)} queries, {batch.exact_groups} merged-"
+        f"sweep groups + {batch.vector_groups} vectorized slope groups"
+    )
+    print(
+        f"cost     : {batch.page_accesses} page accesses total "
+        f"({batch.sweep_leaves} sweep leaves, "
+        f"{batch.refinement_pages} refinement pages)"
+    )
+    print(f"cache    : {batch.cache_hits} hits, {batch.cache_misses} misses")
     return 0
 
 

@@ -86,6 +86,28 @@ class IndexSpace:
 class DualIndex:
     """The per-slope B+-tree forest with handicap maintenance.
 
+    For every slope ``s_i`` of the predefined set ``S``, one tree keyed
+    by ``TOP^P(s_i)`` (``up[i]``) and one by ``BOT^P(s_i)``
+    (``down[i]``); records live in a heap file behind the same pager.
+    Most callers go through :class:`~repro.core.planner.DualIndexPlanner`
+    rather than using the index directly.
+
+    Example::
+
+        >>> from repro import GeneralizedRelation, parse_tuple
+        >>> from repro.core.dual_index import DualIndex
+        >>> r = GeneralizedRelation([
+        ...     parse_tuple("y >= x and y <= 4 and x >= 0"),
+        ... ])
+        >>> index = DualIndex(slopes=[-1.0, 0.0, 1.0])
+        >>> index.build(r)
+        >>> index.size, len(index.up), len(index.down)
+        (1, 3, 3)
+        >>> index.up[1].search(4.0)          # TOP at slope 0 is max y = 4
+        [0]
+        >>> index.version                    # bumped by build/insert/delete
+        1
+
     Parameters
     ----------
     pager:
@@ -152,6 +174,10 @@ class DualIndex:
         self.assign_extrema: dict[tuple[str, str], tuple[float, float]] = {}
         self.size = 0
         self.skipped: list[int] = []  # unsatisfiable tuples seen at build
+        #: Monotonic structure version: bumped by build/insert/delete.
+        #: Batch-execution caches key their entries on it, so any change
+        #: to the indexed relation invalidates every cached answer.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # key derivation
@@ -241,6 +267,7 @@ class DualIndex:
         self._rebuild_handicaps(keys_by_rid)
         if self.dynamic:
             self._bulk_load_directories(keys_by_rid, fill)
+        self.version += 1
 
     def _bulk_load_directories(
         self, keys_by_rid: dict[int, EntryKeys], fill: float
@@ -407,6 +434,7 @@ class DualIndex:
                         max(hi, tree.quantize(a_top)),
                     )
         self.size += 1
+        self.version += 1
 
     def delete(self, tid: int) -> None:
         """Remove a tuple from trees, directories and the heap."""
@@ -438,6 +466,7 @@ class DualIndex:
                     self._invalidate_owner(self.down[i], a_bot)
         self.heap.delete(rid)
         self.size -= 1
+        self.version += 1
 
     def _invalidate_owner(self, tree: BPlusTree, assign_key: float) -> None:
         """Clear the handicap flag of the leaf owning an assignment key."""

@@ -49,6 +49,7 @@ class DualIndexPlanner:
         self.index = index
         self.technique = technique
         self.pivot_x = pivot_x
+        self._batch_executor = None
 
     # ------------------------------------------------------------------
     # construction
@@ -84,6 +85,16 @@ class DualIndexPlanner:
         When the index is dynamic and updates invalidated handicaps,
         maintenance runs first (outside the per-query I/O measurement)
         unless ``refresh=False``.
+
+        Example::
+
+            >>> from repro import GeneralizedRelation, parse_tuple
+            >>> from repro.core import DualIndexPlanner, HalfPlaneQuery
+            >>> r = GeneralizedRelation([parse_tuple("y >= x and y <= 4 and x >= 0")])
+            >>> planner = DualIndexPlanner.build(r, slopes=[-1.0, 0.0, 1.0])
+            >>> res = planner.query(HalfPlaneQuery("EXIST", 0.0, 2.0, ">="))
+            >>> sorted(res.ids), res.technique
+            ([0], 'exact')
         """
         if query.dimension != 2:
             raise QueryError("DualIndexPlanner is 2-D; use DDimPlanner")
@@ -107,6 +118,34 @@ class DualIndexPlanner:
                 qspan.incr("results", len(result.ids))
                 result.trace = qspan
         return result
+
+    def query_batch(self, queries):
+        """Answer many queries at once with shared work.
+
+        Delegates to a lazily created :class:`repro.exec.BatchExecutor`
+        (kept across calls so its result cache persists): restricted
+        slopes share merged sweeps, other slopes are answered vectorized,
+        and repeated queries hit the LRU cache. Answer sets are identical
+        to calling :meth:`query` per query; page accounting is at batch
+        scope. Returns a :class:`repro.exec.BatchResult`.
+
+        Example::
+
+            >>> from repro import DualIndexPlanner, GeneralizedRelation, parse_tuple
+            >>> from repro.core.query import HalfPlaneQuery
+            >>> r = GeneralizedRelation([parse_tuple("y <= 1 and y >= 0 and x >= 0 and x <= 1")])
+            >>> planner = DualIndexPlanner.build(r, slopes=[0.0])
+            >>> batch = planner.query_batch(
+            ...     [HalfPlaneQuery("EXIST", 0.0, 0.5, ">=")]
+            ... )
+            >>> sorted(batch.results[0].ids)
+            [0]
+        """
+        if getattr(self, "_batch_executor", None) is None:
+            from repro.exec import BatchExecutor
+
+            self._batch_executor = BatchExecutor(self)
+        return self._batch_executor.execute(queries)
 
     def exist(
         self, slope: float, intercept: float, theta: Theta | str = ">="

@@ -27,7 +27,24 @@ EXIST = "EXIST"
 
 @dataclass(frozen=True)
 class HalfPlaneQuery:
-    """An ALL or EXIST selection against a half-plane."""
+    """An ALL or EXIST selection against a half-plane.
+
+    ``EXIST`` selects tuples whose extension *meets* the half-plane
+    ``y θ s·x + b``; ``ALL`` selects tuples *contained* in it. The slope
+    may be a scalar (2-D) or a vector (d-D); ``theta`` accepts the
+    symbols ``">="``/``"<="`` or :class:`~repro.constraints.theta.Theta`
+    members.
+
+    Example::
+
+        >>> q = HalfPlaneQuery("EXIST", 0.5, 2.0, ">=")
+        >>> q
+        EXIST(x2 >= 0.5·x' + 2)
+        >>> q.slope_2d, q.intercept, q.dimension
+        (0.5, 2.0, 2)
+        >>> q.with_type("ALL").query_type
+        'ALL'
+    """
 
     query_type: str
     slope: tuple[float, ...]
@@ -108,7 +125,24 @@ class AppQuery:
 
 @dataclass
 class QueryResult:
-    """Answer set plus execution diagnostics."""
+    """Answer set plus execution diagnostics.
+
+    ``ids`` is the oracle-exact answer (tuple ids); the remaining fields
+    are the per-query measurements the paper's experiments report.
+
+    Example::
+
+        >>> from repro.storage.stats import IOStats
+        >>> res = QueryResult(ids={3, 7}, technique="exact", candidates=4,
+        ...                   false_hits=2, refinement_pages=1,
+        ...                   io=IOStats(logical_reads=5))
+        >>> res.page_accesses      # all pages touched
+        5
+        >>> res.index_accesses     # minus refinement fetches (Thm 3.1 metric)
+        4
+        >>> res.cached             # True when a batch cache served it
+        False
+    """
 
     ids: set[int] = field(default_factory=set)
     technique: str = ""
@@ -117,6 +151,10 @@ class QueryResult:
     duplicates: int = 0
     accepted_without_refinement: int = 0
     refinement_pages: int = 0
+    #: True when a batch executor served this answer from its result
+    #: cache (the counts above describe the original execution; ``io``
+    #: is zero — a cache hit touches no pages).
+    cached: bool = False
     io: IOStats = field(default_factory=IOStats)
     #: Root span of the query's trace when tracing was active, else None
     #: (see :mod:`repro.obs`).

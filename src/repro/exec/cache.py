@@ -1,0 +1,108 @@
+"""An LRU cache of query results, keyed on the query and index version.
+
+Identical half-plane selections recur constantly in the paper's
+workloads (Section 5 issues query batteries over a fixed grid of slopes
+and intercepts), so the batch executor memoises answers. Keys are the
+full query identity ``(query_type, slope, intercept, θ)``; entries are
+implicitly scoped to one :attr:`DualIndex.version` — any build, insert
+or delete bumps the version and drops every cached answer at the next
+access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.query import HalfPlaneQuery, QueryResult
+
+#: (query_type, slope tuple, intercept, theta) — the query's identity.
+CacheKey = tuple[str, tuple[float, ...], float, str]
+
+
+def cache_key(query: HalfPlaneQuery) -> CacheKey:
+    """The cache key of a query (its full mathematical identity)."""
+    return (query.query_type, query.slope, query.intercept, query.theta.value)
+
+
+class QueryResultCache:
+    """LRU map from query identity to :class:`QueryResult`.
+
+    ``capacity`` bounds the number of cached answers; 0 disables caching
+    (every lookup misses). :meth:`get`/:meth:`put` take the current
+    index version — a version change clears the cache, which is exactly
+    "invalidated on index rebuild" with no per-entry bookkeeping.
+
+    Example::
+
+        >>> from repro.core.query import HalfPlaneQuery, QueryResult
+        >>> from repro.exec.cache import QueryResultCache
+        >>> cache = QueryResultCache(capacity=2)
+        >>> q = HalfPlaneQuery("EXIST", 0.5, 1.0, ">=")
+        >>> cache.get(q, version=1) is None
+        True
+        >>> cache.put(q, QueryResult(ids={3}), version=1)
+        >>> sorted(cache.get(q, version=1).ids)
+        [3]
+        >>> cache.get(q, version=2) is None   # index changed: invalidated
+        True
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, QueryResult] = OrderedDict()
+        self._version: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _sync_version(self, version: int) -> None:
+        if self._version != version:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._version = version
+
+    def get(self, query: HalfPlaneQuery, version: int) -> QueryResult | None:
+        """The cached answer, or ``None`` (counts a hit or a miss)."""
+        self._sync_version(version)
+        entry = self._entries.get(cache_key(query))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(cache_key(query))
+        return entry
+
+    def put(
+        self, query: HalfPlaneQuery, result: QueryResult, version: int
+    ) -> None:
+        """Store an answer (evicting LRU entries past capacity)."""
+        if self.capacity == 0:
+            return
+        self._sync_version(version)
+        key = cache_key(query)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResultCache entries={len(self)}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.2f}>"
+        )

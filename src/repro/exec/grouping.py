@@ -1,0 +1,94 @@
+"""Batch planning: partition a query list into shared-work groups.
+
+The batch executor's page-access savings come entirely from grouping:
+
+* queries whose slope is in the restricted set ``S`` AND share the same
+  ``(slope index, query type, θ)`` route to the *same* B+-tree and sweep
+  direction (Section 3's four routing cases), so one merged multi-key
+  sweep serves the whole group;
+* queries at any other slope are answered from the vectorized dual
+  surface — grouped per distinct slope so each slope costs one
+  evaluation pass.
+
+Intercepts within an exact group are processed in sorted order, which
+makes the merged sweep's per-query offsets a monotone sequence over one
+shared entry list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import HalfPlaneQuery
+from repro.core.slope_set import SlopeSet
+
+
+@dataclass
+class ExactGroup:
+    """Queries answered by one merged sweep of one restricted-slope tree.
+
+    ``indices[j]`` is the position of ``queries[j]`` in the original
+    batch; queries are kept sorted by intercept.
+    """
+
+    slope_index: int
+    query_type: str
+    theta_symbol: str
+    indices: list[int] = field(default_factory=list)
+    queries: list[HalfPlaneQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass
+class VectorGroup:
+    """Queries at one non-restricted slope, answered vectorized."""
+
+    slope: float
+    indices: list[int] = field(default_factory=list)
+    queries: list[HalfPlaneQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def group_queries(
+    queries: list[tuple[int, HalfPlaneQuery]],
+    slopes: SlopeSet,
+    slope_tol: float,
+) -> tuple[list[ExactGroup], list[VectorGroup]]:
+    """Partition ``(original index, query)`` pairs into execution groups.
+
+    Returns ``(exact_groups, vector_groups)``; exact groups are sorted
+    by intercept internally and both lists are ordered deterministically
+    (by group key), so batch execution order is reproducible.
+    """
+    exact: dict[tuple[int, str, str], ExactGroup] = {}
+    vector: dict[float, VectorGroup] = {}
+    for position, query in queries:
+        slope_index = slopes.index_of(query.slope_2d, slope_tol)
+        if slope_index is not None:
+            key = (slope_index, query.query_type, query.theta.value)
+            group = exact.get(key)
+            if group is None:
+                group = exact[key] = ExactGroup(*key)
+            group.indices.append(position)
+            group.queries.append(query)
+        else:
+            vgroup = vector.get(query.slope_2d)
+            if vgroup is None:
+                vgroup = vector[query.slope_2d] = VectorGroup(query.slope_2d)
+            vgroup.indices.append(position)
+            vgroup.queries.append(query)
+    for group in exact.values():
+        order = sorted(
+            range(len(group.queries)),
+            key=lambda j: (group.queries[j].intercept, group.indices[j]),
+        )
+        group.queries = [group.queries[j] for j in order]
+        group.indices = [group.indices[j] for j in order]
+    return (
+        [exact[key] for key in sorted(exact)],
+        [vector[s] for s in sorted(vector)],
+    )

@@ -31,6 +31,7 @@ class BufferPool:
         self.capacity = capacity
         self._frames: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
+        self._pins: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
 
@@ -75,6 +76,42 @@ class BufferPool:
         """Drop a frame without write-back (page was freed)."""
         self._frames.pop(page_id, None)
         self._dirty.discard(page_id)
+        self._pins.pop(page_id, None)
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def pin(self, page_id: int) -> None:
+        """Protect a page's frame from eviction until :meth:`unpin`.
+
+        Pins nest (a refcount per page). A batch executor pins the heap
+        pages its refinement step will revisit so that, even with a tiny
+        pool, every distinct page is read physically at most once per
+        batch. With ``capacity == 0`` there are no frames to protect and
+        pinning is a no-op; pinned frames may transiently push the pool
+        over ``capacity`` (eviction skips them and resumes once unpinned).
+        """
+        if self.capacity == 0:
+            return
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the frame becomes evictable at zero pins."""
+        if self.capacity == 0:
+            return
+        count = self._pins.get(page_id)
+        if count is None:
+            raise StorageError(f"page {page_id} is not pinned")
+        if count <= 1:
+            del self._pins[page_id]
+            self._shrink()
+        else:
+            self._pins[page_id] = count - 1
+
+    @property
+    def pinned_pages(self) -> int:
+        """Number of distinct pages currently pinned."""
+        return len(self._pins)
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay cached)."""
@@ -83,9 +120,14 @@ class BufferPool:
         self._dirty.clear()
 
     def clear(self) -> None:
-        """Flush then empty the cache — returns the stack to cold state."""
+        """Flush then empty the cache — returns the stack to cold state.
+
+        Outstanding pins are dropped too: cold state means no frame is
+        resident, pinned or not.
+        """
         self.flush()
         self._frames.clear()
+        self._pins.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -96,8 +138,21 @@ class BufferPool:
         self._frames[page_id] = data
         if dirty:
             self._dirty.add(page_id)
+        self._shrink()
+
+    def _shrink(self) -> None:
+        """Evict LRU-first down to ``capacity``, skipping pinned frames.
+
+        When everything over capacity is pinned the pool stays
+        transiently oversized; :meth:`unpin` re-runs the shrink.
+        """
         while len(self._frames) > self.capacity:
-            victim, victim_data = self._frames.popitem(last=False)
+            victim = next(
+                (pid for pid in self._frames if pid not in self._pins), None
+            )
+            if victim is None:
+                return
+            victim_data = self._frames.pop(victim)
             if victim in self._dirty:
                 self.disk.write_page(victim, victim_data)
                 self._dirty.discard(victim)

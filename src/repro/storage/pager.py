@@ -9,9 +9,28 @@ gets its own pager when per-structure accounting is wanted.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskSimulator
 from repro.storage.stats import IOStats, StatsScope
+
+
+class _PinScope:
+    """Pins a set of pages on enter, unpins on exit (see Pager.pinned)."""
+
+    def __init__(self, buffer: BufferPool, page_ids: list[int]) -> None:
+        self._buffer = buffer
+        self._page_ids = page_ids
+
+    def __enter__(self) -> "_PinScope":
+        for pid in self._page_ids:
+            self._buffer.pin(pid)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for pid in self._page_ids:
+            self._buffer.unpin(pid)
 
 
 class Pager:
@@ -68,6 +87,15 @@ class Pager:
         """Flush and empty the buffer — the cold-cache starting state."""
         self.buffer.clear()
         self._sync_physical()
+
+    def pinned(self, page_ids: Iterable[int]) -> "_PinScope":
+        """Context manager pinning pages in the buffer pool for a block.
+
+        Used by the batch executor to keep the heap pages shared by a
+        batch's refinement steps resident across query groups. A no-op
+        when the pool has no frames (``buffer_frames=0``).
+        """
+        return _PinScope(self.buffer, list(page_ids))
 
     # ------------------------------------------------------------------
     # accounting

@@ -1,0 +1,25 @@
+"""Run the doctests embedded in docs/*.md (mirrors the CI docs job,
+which executes ``python -m doctest docs/*.md`` with PYTHONPATH=src)."""
+
+import doctest
+import glob
+import os
+
+import pytest
+
+DOCS = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "docs")
+)
+PAGES = sorted(glob.glob(os.path.join(DOCS, "*.md")))
+
+
+def test_documented_pages_exist():
+    names = {os.path.basename(p) for p in PAGES}
+    assert {"ARCHITECTURE.md", "api.md"} <= names
+
+
+@pytest.mark.parametrize("path", PAGES, ids=[os.path.basename(p) for p in PAGES])
+def test_markdown_doctests(path):
+    result = doctest.testfile(path, module_relative=False)
+    assert result.failed == 0, f"{path}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{path} has no runnable examples"
