@@ -27,6 +27,13 @@ Commands
     The CI perf-smoke gate (see :mod:`repro.bench.smoke`). The baseline
     lives at ``benchmarks/baselines/smoke.json`` relative to the
     repository root; ``--baseline PATH`` overrides the convention.
+``fuzz [--seed N --budget 30s --out DIR --replay FILE --fault-demo]``
+    Differential fuzzing (:mod:`repro.verify`): cross-check every query
+    path against the geometric and LP oracles on randomized +
+    adversarial workloads within a time budget; failing cases are
+    minimised to replayable JSON repros in ``--out``. ``--replay FILE``
+    re-runs one repro; ``--fault-demo`` runs the fault-injection
+    scenario. Exit code 1 on any disagreement.
 """
 
 from __future__ import annotations
@@ -180,6 +187,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this run instead of gating",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of all query paths vs two oracles",
+        description=(
+            "Run the repro.verify differential runner: randomized + "
+            "adversarial workloads through the exact sweeps, T1/T2, the "
+            "R+-tree baseline, the vectorized surface and the batch "
+            "executor (cache cold and hot), cross-checked against the "
+            "geometric and LP oracles, with invariant, mutation and "
+            "fault-injection rounds. Failing cases are minimised to "
+            "replayable JSON repro files."
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="master seed")
+    fuzz.add_argument(
+        "--budget", default="10s",
+        help="time budget, e.g. 30s, 2m, 0.5h (default 10s)",
+    )
+    fuzz.add_argument(
+        "--out", default="fuzz-repros",
+        help="directory for minimised repro JSON files",
+    )
+    fuzz.add_argument(
+        "--tuples", type=int, default=14, help="tuples per round"
+    )
+    fuzz.add_argument(
+        "--queries", type=int, default=12, help="queries per round"
+    )
+    fuzz.add_argument(
+        "--replay", default=None,
+        help="re-run one repro JSON file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--fault-demo", action="store_true",
+        help="run the fault-injection scenario and write its repro",
+    )
     return parser
 
 
@@ -201,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stats(args)
     if args.command == "smoke":
         return _smoke(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -463,6 +509,58 @@ def _stats(args) -> int:
     )
     print(registry.export_json())
     return 0
+
+
+def parse_budget(text: str) -> float:
+    """Parse a time budget: plain seconds or ``30s`` / ``2m`` / ``0.5h``."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text and text[-1] in "smh":
+        factor = {"s": 1.0, "m": 60.0, "h": 3600.0}[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise SystemExit(f"invalid --budget {text!r} (e.g. 30s, 2m, 0.5h)")
+    if value <= 0:
+        raise SystemExit("--budget must be positive")
+    return value * factor
+
+
+def _fuzz(args) -> int:
+    from repro.verify import (
+        FuzzConfig,
+        replay_repro,
+        run_fault_scenario,
+        run_fuzz,
+    )
+
+    if args.replay:
+        findings = replay_repro(args.replay)
+        if findings:
+            print(f"repro still fails: {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"  - {finding}")
+            return 1
+        print("repro no longer reproduces (fixed, or fault fired cleanly)")
+        return 0
+    if args.fault_demo:
+        error, path = run_fault_scenario(seed=args.seed, out_dir=args.out)
+        print(f"injected fault surfaced as {type(error).__name__}: {error}")
+        print(f"repro written: {path}")
+        return 0
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=parse_budget(args.budget),
+        n_tuples=args.tuples,
+        queries_per_round=args.queries,
+        out_dir=args.out,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    for path in report.repro_paths:
+        print(f"  repro: {path}")
+    return 0 if report.ok else 1
 
 
 def _smoke(args) -> int:

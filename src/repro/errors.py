@@ -37,6 +37,28 @@ class PageOverflowError(StorageError):
     """A record or node image did not fit in a page."""
 
 
+class FaultInjectedError(StorageError):
+    """A deliberately injected storage fault (``repro.verify.faults``).
+
+    Raised by the fault-injection pager on a scheduled read/write so the
+    test-suite can verify that every index surfaces storage failures as
+    clean typed errors instead of corrupting state.
+    """
+
+    def __init__(
+        self, message: str, op: str = "", page_id: int = -1, op_index: int = -1
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.page_id = page_id
+        self.op_index = op_index
+
+
+class VerificationError(ReproError):
+    """A structural invariant or differential check failed
+    (``repro.verify``)."""
+
+
 class IndexError_(ReproError):
     """Errors from index structures (B+-tree, R+-tree, dual index).
 

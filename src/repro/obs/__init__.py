@@ -15,6 +15,13 @@ Hot paths are instrumented through the module-level hooks below
 global load and a ``None`` check, record nothing, and cannot change
 query results.
 
+Besides the ``exec_*`` batch counters, the differential fuzzer
+(:mod:`repro.verify`) reports through the registry as ``fuzz_*``:
+``fuzz_rounds``, ``fuzz_queries``, ``fuzz_disagreements``,
+``fuzz_waivers`` (LP-vs-geometric boundary flips that were waived),
+``fuzz_faults_injected`` and ``fuzz_repros`` (minimised repro files
+written).
+
 Example::
 
     from repro import obs

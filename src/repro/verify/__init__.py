@@ -1,0 +1,46 @@
+"""Differential correctness & fault-injection subsystem.
+
+Cross-checks every production query path — restricted-slope sweeps,
+T1/T2 approximations, the R+-tree baseline, the vectorized dual surface,
+and the cached batch executor — against two independent oracles (the
+exact geometric predicates and an LP-backed brute-force oracle), with
+structural invariant checkers and a fault-injection pager. Failing cases
+are minimised to replayable JSON repro files. CLI entry point:
+``repro fuzz``; docs: ``docs/TESTING.md``.
+"""
+
+from repro.verify.differential import (
+    FuzzConfig,
+    FuzzReport,
+    minimize_case,
+    replay_repro,
+    run_checks,
+    run_fault_scenario,
+    run_fuzz,
+)
+from repro.verify.faults import FaultInjectingPager
+from repro.verify.invariants import (
+    check_btree,
+    check_buffer_pool,
+    check_dual_index,
+    check_envelopes,
+)
+from repro.verify.oracle import BruteForceOracle, lp_feasible, lp_support
+
+__all__ = [
+    "BruteForceOracle",
+    "FaultInjectingPager",
+    "FuzzConfig",
+    "FuzzReport",
+    "check_btree",
+    "check_buffer_pool",
+    "check_dual_index",
+    "check_envelopes",
+    "lp_feasible",
+    "lp_support",
+    "minimize_case",
+    "replay_repro",
+    "run_checks",
+    "run_fault_scenario",
+    "run_fuzz",
+]

@@ -1,0 +1,117 @@
+"""Fault injection at the pager boundary.
+
+:class:`FaultInjectingPager` is a drop-in :class:`~repro.storage.pager.Pager`
+whose reads/writes fail on a schedule drawn from a seeded RNG (or on an
+explicit operation index). The fault is raised *before* any state —
+stats counters, buffer frames, disk bytes — is touched, so a caller that
+survives the exception observes storage exactly as it was: the property
+the differential runner's fault rounds assert.
+
+The schedule is deterministic in the seed, so a failing run is replayed
+by re-creating the pager with the same ``(seed, read_rate, write_rate)``
+triple; explicit ``fail_read_at`` / ``fail_write_at`` indices are how a
+minimised repro pins the single fatal operation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.errors import FaultInjectedError
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskSimulator
+from repro.storage.pager import Pager
+
+
+class _DisarmScope:
+    def __init__(self, pager: "FaultInjectingPager") -> None:
+        self._pager = pager
+
+    def __enter__(self) -> "_DisarmScope":
+        self._pager.armed = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._pager.armed = True
+
+
+class FaultInjectingPager(Pager):
+    """A pager that injects :class:`~repro.errors.FaultInjectedError`.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the per-operation coin flips for ``read_rate``/``write_rate``.
+    read_rate, write_rate:
+        Probability of failing each armed read/write.
+    fail_read_at, fail_write_at:
+        Explicit 0-based operation indices that always fail (counted over
+        *armed* operations of that kind) — the deterministic form a
+        minimised repro uses.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_frames: int = 0,
+        disk: DiskSimulator | None = None,
+        *,
+        seed: int = 0,
+        read_rate: float = 0.0,
+        write_rate: float = 0.0,
+        fail_read_at: Iterable[int] = (),
+        fail_write_at: Iterable[int] = (),
+    ) -> None:
+        super().__init__(page_size, buffer_frames, disk)
+        self.seed = seed
+        self.read_rate = read_rate
+        self.write_rate = write_rate
+        self.fail_read_at = frozenset(fail_read_at)
+        self.fail_write_at = frozenset(fail_write_at)
+        self.armed = True
+        self.reads_seen = 0
+        self.writes_seen = 0
+        self.faults_raised = 0
+        self._rng = random.Random(seed)
+
+    def disarmed(self) -> _DisarmScope:
+        """Context manager suspending injection (e.g. during index build)."""
+        return _DisarmScope(self)
+
+    def read(self, page_id: int) -> bytes:
+        if self.armed:
+            index = self.reads_seen
+            self.reads_seen += 1
+            if index in self.fail_read_at or (
+                self.read_rate > 0.0 and self._rng.random() < self.read_rate
+            ):
+                self.faults_raised += 1
+                raise FaultInjectedError(
+                    f"injected read fault on page {page_id} (read #{index})",
+                    op="read",
+                    page_id=page_id,
+                    op_index=index,
+                )
+        return super().read(page_id)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if self.armed:
+            index = self.writes_seen
+            self.writes_seen += 1
+            if index in self.fail_write_at or (
+                self.write_rate > 0.0 and self._rng.random() < self.write_rate
+            ):
+                self.faults_raised += 1
+                raise FaultInjectedError(
+                    f"injected write fault on page {page_id} (write #{index})",
+                    op="write",
+                    page_id=page_id,
+                    op_index=index,
+                )
+        super().write(page_id, data)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjectingPager seed={self.seed} armed={self.armed} "
+            f"faults={self.faults_raised}>"
+        )

@@ -1,0 +1,242 @@
+"""A brute-force geometric oracle, independent of every index structure.
+
+Answers ALL/EXIST half-plane selections straight from the *constraint
+representation* of each generalized tuple by linear programming: the
+supremum/infimum of ``x_d - s·x'`` over the raw atom system is computed
+with HiGHS (``scipy.optimize.linprog``), and Proposition 2.2 is applied
+to the LP value with the same tolerance the production oracle uses.
+
+Nothing here touches ``repro.geometry``'s vertex/ray engine, the dual
+profiles, the B+-trees or the heap — the code path shares only the atom
+dataclasses — so an agreement between this oracle and an index path is
+evidence about the *geometry*, not about two copies of one bug
+(quantifier-elimination-style evaluation as the reference, cf.
+arXiv:1110.2196).
+
+Floating-point caveat: HiGHS solves to ~1e-9; the differential runner
+therefore treats per-tuple differences *within a small band of the
+decision boundary* as tolerance artifacts, not disagreements (see
+``repro.verify.differential``). Differences away from the boundary are
+real bugs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.query import ALL, EXIST, HalfPlaneQuery
+from repro.errors import QueryError, VerificationError
+from repro.geometry.predicates import ORACLE_TOL
+
+
+def _ineq_rows(
+    atoms: Iterable,
+) -> tuple[list[tuple[float, ...]], list[float]]:
+    """The atom system as ``A x <= b`` rows (weak inequalities only)."""
+    a_rows: list[tuple[float, ...]] = []
+    b_rows: list[float] = []
+    for atom in atoms:
+        if atom.theta is Theta.LE:
+            a_rows.append(atom.coeffs)
+            b_rows.append(-atom.const)
+        elif atom.theta is Theta.GE:
+            a_rows.append(tuple(-a for a in atom.coeffs))
+            b_rows.append(atom.const)
+        else:  # pragma: no cover - normalize() closes strict operators
+            raise VerificationError(
+                f"non-weak operator {atom.theta} in oracle input"
+            )
+    return a_rows, b_rows
+
+
+def lp_feasible(atoms: Sequence) -> bool:
+    """LP feasibility of a conjunction of weak linear constraints."""
+    from scipy.optimize import linprog
+
+    a_rows, b_rows = _ineq_rows(atoms)
+    if not a_rows:
+        return True
+    dim = len(a_rows[0])
+    result = linprog(
+        c=np.zeros(dim),
+        A_ub=np.array(a_rows, dtype=float),
+        b_ub=np.array(b_rows, dtype=float),
+        bounds=[(None, None)] * dim,
+        method="highs",
+    )
+    if result.status == 2:
+        return False
+    if result.success or result.status == 3:
+        return True
+    raise VerificationError(  # pragma: no cover - numerical trouble
+        f"feasibility LP failed: {result.message}"
+    )
+
+
+def lp_support(atoms: Sequence, objective: Sequence[float]) -> float | None:
+    """``sup { objective·x }`` over the atom system, by LP.
+
+    ``None`` when the system is infeasible, ``math.inf`` when unbounded
+    in the objective direction.
+    """
+    from scipy.optimize import linprog
+
+    a_rows, b_rows = _ineq_rows(atoms)
+    if not a_rows:
+        return math.inf if any(v != 0.0 for v in objective) else 0.0
+    result = linprog(
+        c=-np.asarray(objective, dtype=float),
+        A_ub=np.array(a_rows, dtype=float),
+        b_ub=np.array(b_rows, dtype=float),
+        bounds=[(None, None)] * len(a_rows[0]),
+        method="highs",
+    )
+    if result.status == 2:  # infeasible
+        return None
+    if result.status == 3:  # unbounded
+        return math.inf
+    if not result.success:  # pragma: no cover - numerical trouble
+        raise VerificationError(f"support LP failed: {result.message}")
+    return float(-result.fun)
+
+
+class BruteForceOracle:
+    """LP-backed reference answers for half-plane ALL/EXIST selections.
+
+    Per (tuple, slope) the oracle solves two LPs — max and min of
+    ``x_d - s·x'`` — yielding an index-free ``TOP``/``BOT`` pair, then
+    applies Proposition 2.2 with :data:`~repro.geometry.predicates.ORACLE_TOL`.
+    Values are memoised (tuples are immutable and hashable).
+
+    Example::
+
+        >>> from repro import parse_tuple
+        >>> from repro.verify.oracle import BruteForceOracle
+        >>> oracle = BruteForceOracle()
+        >>> t = parse_tuple("y >= x and y <= 4 and x >= 0")
+        >>> oracle.top(t, 0.0), oracle.bot(t, 0.0)
+        (4.0, 0.0)
+        >>> oracle.exist(t, 0.0, 2.0, ">="), oracle.all_(t, 0.0, 2.0, ">=")
+        (True, False)
+    """
+
+    def __init__(self, tol: float = ORACLE_TOL) -> None:
+        self.tol = tol
+        self._cache: dict[tuple[GeneralizedTuple, float, bool], float | None] = {}
+        self._feasible: dict[GeneralizedTuple, bool] = {}
+
+    # ------------------------------------------------------------------
+    # LP-backed TOP / BOT
+    # ------------------------------------------------------------------
+    def is_satisfiable(self, t: GeneralizedTuple) -> bool:
+        """Feasibility of the tuple's atom system (one LP, memoised)."""
+        if t.syntactically_false:
+            return False
+        if t not in self._feasible:
+            self._feasible[t] = lp_feasible(t.constraints)
+        return self._feasible[t]
+
+    def top(self, t: GeneralizedTuple, slope: float) -> float | None:
+        """``TOP^P(slope)`` by LP: ``sup { x_d - s·x' }``."""
+        return self._extremum(t, float(slope), upper=True)
+
+    def bot(self, t: GeneralizedTuple, slope: float) -> float | None:
+        """``BOT^P(slope)`` by LP: ``inf { x_d - s·x' }``."""
+        return self._extremum(t, float(slope), upper=False)
+
+    def _extremum(
+        self, t: GeneralizedTuple, slope: float, upper: bool
+    ) -> float | None:
+        key = (t, slope, upper)
+        if key not in self._cache:
+            if not self.is_satisfiable(t):
+                self._cache[key] = None
+            else:
+                d = t.dimension
+                # objective x_d - s·x' (2-D: (-s, 1)); BOT minimises, i.e.
+                # maximises the negation and flips the sign afterwards.
+                direction = tuple(-slope if i < d - 1 else 1.0 for i in range(d))
+                if not upper:
+                    direction = tuple(-v for v in direction)
+                value = lp_support(t.constraints, direction)
+                if value is not None and not upper:
+                    value = -value
+                self._cache[key] = value
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Proposition 2.2 predicates
+    # ------------------------------------------------------------------
+    def exist(
+        self, t: GeneralizedTuple, slope: float, intercept: float, theta
+    ) -> bool:
+        """EXIST(q(θ), t): the extension meets ``x_d θ s·x' + b``."""
+        theta = Theta.from_symbol(theta) if isinstance(theta, str) else theta
+        if not self.is_satisfiable(t):
+            return False
+        if theta is Theta.GE:
+            top = self.top(t, slope)
+            assert top is not None
+            return intercept <= top + self.tol
+        bot = self.bot(t, slope)
+        assert bot is not None
+        return intercept >= bot - self.tol
+
+    def all_(
+        self, t: GeneralizedTuple, slope: float, intercept: float, theta
+    ) -> bool:
+        """ALL(q(θ), t): the extension is contained in ``x_d θ s·x' + b``."""
+        theta = Theta.from_symbol(theta) if isinstance(theta, str) else theta
+        if not self.is_satisfiable(t):
+            return True  # vacuous containment
+        if theta is Theta.GE:
+            bot = self.bot(t, slope)
+            assert bot is not None
+            if bot == -math.inf:
+                return False
+            return intercept <= bot + self.tol
+        top = self.top(t, slope)
+        assert top is not None
+        if top == math.inf:
+            return False
+        return intercept >= top - self.tol
+
+    def holds(self, query: HalfPlaneQuery, t: GeneralizedTuple) -> bool:
+        """The query predicate on one tuple."""
+        if query.query_type == EXIST:
+            return self.exist(t, query.slope_2d, query.intercept, query.theta)
+        if query.query_type == ALL:
+            return self.all_(t, query.slope_2d, query.intercept, query.theta)
+        raise QueryError(f"unknown query type {query.query_type!r}")
+
+    def answer(self, relation, query: HalfPlaneQuery) -> set[int]:
+        """Reference answer set over a relation (or any id→tuple pairs)."""
+        return {tid for tid, t in relation if self.holds(query, t)}
+
+    def boundary_distance(
+        self, query: HalfPlaneQuery, t: GeneralizedTuple
+    ) -> float:
+        """|intercept − deciding support value| for the waiver band.
+
+        ``inf`` when the deciding value is infinite or the tuple is empty
+        (those decisions are sign-based, not tolerance-based).
+        """
+        if not self.is_satisfiable(t):
+            return math.inf
+        use_top = (
+            query.query_type == EXIST and query.theta is Theta.GE
+        ) or (query.query_type == ALL and query.theta is Theta.LE)
+        value = (
+            self.top(t, query.slope_2d)
+            if use_top
+            else self.bot(t, query.slope_2d)
+        )
+        assert value is not None
+        if not math.isfinite(value):
+            return math.inf
+        return abs(query.intercept - value)

@@ -1,0 +1,181 @@
+"""Randomized + adversarial workloads for the differential runner.
+
+Tuple mix: the paper's bounded polygons plus everything it glosses over —
+unbounded wedges/slabs/half-planes (±∞ envelopes), single-point tuples
+(degenerate polygons whose TOP and BOT coincide), and *empty* tuples
+(satisfiable-looking atom systems with empty extensions, which the index
+must skip and the oracle must treat as vacuous).
+
+Query mix: random half-planes, plus queries engineered at the exact
+decision boundaries — slopes drawn from the predefined set ``S`` (the
+restricted-technique fast path), slopes at dual-envelope breakpoints,
+and intercepts placed exactly at ``TOP^P(s)`` / ``BOT^P(s)`` of sampled
+tuples (and ±ε around them), where Proposition 2.2's comparisons flip.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.query import ALL, EXIST, HalfPlaneQuery
+from repro.geometry import dual
+from repro.workloads.generator import polygon_tuple, unbounded_tuple
+from repro.workloads.window import PAPER_WINDOW, Window
+
+#: Boundary offsets probed around each exact TOP/BOT intercept.
+_EPSILONS = (0.0, 1e-9, -1e-9, 1e-4, -1e-4)
+
+
+def singleton_tuple(
+    rng: random.Random, window: Window = PAPER_WINDOW
+) -> GeneralizedTuple:
+    """A single-point tuple (box with ``lo == hi``)."""
+    x = rng.uniform(window.xmin, window.xmax)
+    y = rng.uniform(window.ymin, window.ymax)
+    return GeneralizedTuple.from_box((x, y), (x, y), label="singleton")
+
+
+def empty_tuple(
+    rng: random.Random, window: Window = PAPER_WINDOW
+) -> GeneralizedTuple:
+    """An empty tuple: two parallel half-planes facing away from each other."""
+    slope = rng.uniform(-2.0, 2.0)
+    b = rng.uniform(window.ymin, window.ymax)
+    gap = rng.uniform(0.5, 5.0)
+    return GeneralizedTuple(
+        [
+            LinearConstraint.from_slope_intercept(slope, b + gap, ">="),
+            LinearConstraint.from_slope_intercept(slope, b, "<="),
+        ],
+        label="empty",
+    )
+
+
+def bounded_tuple(
+    rng: random.Random, window: Window = PAPER_WINDOW
+) -> GeneralizedTuple:
+    """One bounded polygon tuple (redraws until construction succeeds)."""
+    while True:
+        center = (
+            rng.uniform(window.xmin, window.xmax),
+            rng.uniform(window.ymin, window.ymax),
+        )
+        target_area = window.area * rng.uniform(0.01, 0.10)
+        t = polygon_tuple(rng, center, target_area)
+        if t is not None:
+            return t
+
+
+def make_tuples(
+    rng: random.Random,
+    n: int,
+    *,
+    unbounded_fraction: float = 0.2,
+    singleton_fraction: float = 0.1,
+    empty_fraction: float = 0.05,
+    window: Window = PAPER_WINDOW,
+) -> list[GeneralizedTuple]:
+    """``n`` tuples in the adversarial mix (remainder bounded polygons)."""
+    out: list[GeneralizedTuple] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < empty_fraction:
+            out.append(empty_tuple(rng, window))
+        elif roll < empty_fraction + singleton_fraction:
+            out.append(singleton_tuple(rng, window))
+        elif roll < empty_fraction + singleton_fraction + unbounded_fraction:
+            out.append(unbounded_tuple(rng, window))
+        else:
+            out.append(bounded_tuple(rng, window))
+    return out
+
+
+def as_relation(
+    tuples: Iterable[GeneralizedTuple], name: str = "fuzz"
+) -> GeneralizedRelation:
+    """Wrap a tuple list in a relation (ids assigned in order)."""
+    relation = GeneralizedRelation(name=name)
+    for t in tuples:
+        relation.add(t)
+    return relation
+
+
+def _candidate_slopes(
+    relation: GeneralizedRelation,
+    slopes: Sequence[float],
+    rng: random.Random,
+    extra_random: int = 4,
+) -> list[float]:
+    """Predefined slopes, envelope breakpoints, and a few random ones."""
+    out = list(slopes)
+    for _tid, t in relation:
+        poly = t.extension()
+        if poly.is_empty or poly.dimension != 2:
+            continue
+        if poly.is_bounded and rng.random() < 0.5:
+            profile = dual.top_profile_2d(poly)
+            out.extend(profile.breakpoints[:2])
+    out.extend(rng.uniform(-3.0, 3.0) for _ in range(extra_random))
+    return out
+
+
+def boundary_queries(
+    relation: GeneralizedRelation,
+    slopes: Sequence[float],
+    rng: random.Random,
+    budget: int = 32,
+) -> list[HalfPlaneQuery]:
+    """Queries whose intercepts sit exactly at (and ±ε around) envelope
+    values of sampled tuples."""
+    pool = _candidate_slopes(relation, slopes, rng)
+    tuples = [t for _tid, t in relation]
+    queries: list[HalfPlaneQuery] = []
+    attempts = 0
+    while len(queries) < budget and attempts < budget * 8:
+        attempts += 1
+        t = rng.choice(tuples)
+        s = rng.choice(pool)
+        poly = t.extension()
+        if poly.is_empty:
+            continue
+        value = dual.top(poly, s) if rng.random() < 0.5 else dual.bot(poly, s)
+        if value is None or not math.isfinite(value):
+            continue
+        eps = rng.choice(_EPSILONS)
+        queries.append(
+            HalfPlaneQuery(
+                rng.choice((ALL, EXIST)),
+                s,
+                value + eps,
+                rng.choice((">=", "<=")),
+            )
+        )
+    return queries
+
+
+def random_queries(
+    rng: random.Random,
+    n: int,
+    slopes: Sequence[float],
+    window: Window = PAPER_WINDOW,
+) -> list[HalfPlaneQuery]:
+    """Uniform half-plane queries; half use predefined slopes (exact path)."""
+    queries = []
+    for _ in range(n):
+        s = (
+            rng.choice(list(slopes))
+            if slopes and rng.random() < 0.5
+            else rng.uniform(-3.0, 3.0)
+        )
+        b = rng.uniform(window.ymin * 2.0, window.ymax * 2.0)
+        queries.append(
+            HalfPlaneQuery(
+                rng.choice((ALL, EXIST)), s, b, rng.choice((">=", "<="))
+            )
+        )
+    return queries

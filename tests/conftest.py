@@ -1,14 +1,34 @@
-"""Shared fixtures and helpers for the test-suite."""
+"""Shared fixtures and helpers for the test-suite.
+
+Hypothesis runs under named profiles (select with the
+``HYPOTHESIS_PROFILE`` environment variable, default ``ci``):
+
+* ``ci`` — derandomized with a modest example budget and no deadline:
+  reproducible tier-1 runs that cannot flake on a slow runner;
+* ``dev`` — random seeds and a larger budget for local exploration;
+* ``nightly`` — the heavyweight budget the scheduled CI job uses.
+"""
 
 from __future__ import annotations
 
 import math
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.constraints import GeneralizedRelation, GeneralizedTuple
 from repro.workloads.generator import polygon_tuple, unbounded_tuple
+
+settings.register_profile(
+    "ci", max_examples=60, deadline=None, derandomize=True
+)
+settings.register_profile("dev", max_examples=100, deadline=None)
+settings.register_profile(
+    "nightly", max_examples=500, deadline=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -4,11 +4,14 @@ Random mixed-slope batches (exact-path, interior, and wrap-around
 slopes, both query types and operators) against a shared executor whose
 result cache persists across examples — caching must never change an
 answer set.
+
+Example budget and determinism come from the shared hypothesis profiles
+registered in ``tests/conftest.py`` (``ci``/``dev``/``nightly``).
 """
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
 from repro.exec import BatchExecutor
@@ -46,7 +49,6 @@ _query = st.builds(
 )
 
 
-@settings(max_examples=60, deadline=None)
 @given(queries=st.lists(_query, min_size=1, max_size=8))
 def test_batched_equals_sequential(queries):
     state = _setup()

@@ -1,0 +1,94 @@
+"""Regression: mutation must invalidate the exec result cache.
+
+``DualIndex.version`` is the cache key's freshness token; it must bump
+on *every* mutation — build, insert, delete — or the batch executor
+serves answers for a relation that no longer exists.
+"""
+
+import random
+
+from repro.core import EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.exec import BatchExecutor
+from repro.exec.cache import QueryResultCache
+from repro.core.query import QueryResult
+from repro.storage import Pager
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+SLOPES = [-1.0, 0.5, 2.0]
+
+
+def _dynamic_planner(n=12, seed=99):
+    rng = random.Random(seed)
+    relation = random_mixed_relation(rng, n)
+    planner = DualIndexPlanner.build(
+        relation,
+        SlopeSet(SLOPES),
+        pager=Pager(buffer_frames=8),
+        dynamic=True,
+    )
+    return rng, relation, planner
+
+
+def test_version_bumps_on_build_insert_and_delete():
+    rng, relation, planner = _dynamic_planner()
+    index = planner.index
+    assert index.version == 1  # build itself is a mutation
+    v = index.version
+    planner.insert(len(relation), random_bounded_tuple(rng))
+    assert index.version > v
+    v = index.version
+    planner.delete(len(relation))
+    assert index.version > v
+
+
+def test_cache_rejects_entries_from_older_version():
+    cache = QueryResultCache(8)
+    query = HalfPlaneQuery(EXIST, 0.5, 0.0, ">=")
+    cache.put(query, QueryResult(ids={1, 2}), version=1)
+    assert cache.get(query, version=1) is not None
+    assert cache.get(query, version=2) is None  # any bump invalidates
+
+
+def test_executor_never_serves_stale_results_after_delete():
+    rng, relation, planner = _dynamic_planner()
+    executor = BatchExecutor(planner)
+    query = HalfPlaneQuery(EXIST, SLOPES[1], -1e6, ">=")  # matches every nonempty tuple
+    before = executor.execute([query]).results[0].ids
+    assert before == {tid for tid, _ in relation}
+    # Warm the cache, then delete a tuple that is in the answer.
+    assert executor.execute([query]).results[0].cached
+    victim = sorted(before)[0]
+    planner.delete(victim)
+    after = executor.execute([query]).results[0]
+    assert not after.cached
+    assert victim not in after.ids
+    assert after.ids == before - {victim}
+
+
+def test_executor_never_serves_stale_results_after_insert():
+    rng, relation, planner = _dynamic_planner()
+    executor = BatchExecutor(planner)
+    query = HalfPlaneQuery(EXIST, SLOPES[1], -1e6, ">=")
+    before = executor.execute([query]).results[0].ids
+    new_tid = max(before) + 1
+    planner.insert(new_tid, random_bounded_tuple(rng))
+    after = executor.execute([query]).results[0]
+    assert not after.cached
+    assert after.ids == before | {new_tid}
+
+
+def test_rebuild_on_fresh_index_invalidates_shared_cache():
+    """A cache shared across index generations must not leak answers
+    from a previous build (versions restart, but any *change* rejects)."""
+    rng, relation, planner = _dynamic_planner()
+    executor = BatchExecutor(planner)
+    query = HalfPlaneQuery(EXIST, SLOPES[0], -1e6, ">=")
+    executor.execute([query])
+    # Rebuild over a shrunk relation on a fresh index/planner.
+    shrunk = random_mixed_relation(random.Random(7), 5)
+    planner2 = DualIndexPlanner.build(
+        shrunk, SlopeSet(SLOPES), pager=Pager(buffer_frames=8)
+    )
+    fresh = BatchExecutor(planner2).execute([query]).results[0]
+    assert not fresh.cached
+    assert fresh.ids == {tid for tid, _ in shrunk}

@@ -1,0 +1,91 @@
+"""The fault-injection pager: scheduling, typed errors, clean state."""
+
+import random
+
+import pytest
+
+from repro.core import EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.errors import FaultInjectedError, StorageError
+from repro.geometry.predicates import evaluate_relation
+from repro.verify.faults import FaultInjectingPager
+from tests.conftest import random_mixed_relation
+
+SLOPES = [-1.0, 0.5, 2.0]
+
+
+class TestScheduling:
+    def test_explicit_read_index_fires_once(self):
+        pager = FaultInjectingPager(fail_read_at={1})
+        pid = pager.allocate()
+        pager.write(pid, b"x" * pager.page_size)
+        pager.read(pid)  # read #0 passes
+        with pytest.raises(FaultInjectedError) as err:
+            pager.read(pid)  # read #1 fires
+        assert err.value.op == "read"
+        assert err.value.page_id == pid
+        assert err.value.op_index == 1
+        pager.read(pid)  # read #2 passes again
+        assert pager.faults_raised == 1
+
+    def test_rate_schedule_is_deterministic_in_seed(self):
+        def trace(seed):
+            pager = FaultInjectingPager(seed=seed, read_rate=0.5)
+            pid = pager.allocate()
+            pager.write(pid, b"y" * pager.page_size)
+            outcomes = []
+            for _ in range(20):
+                try:
+                    pager.read(pid)
+                    outcomes.append(True)
+                except FaultInjectedError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_fault_raised_before_state_changes(self):
+        pager = FaultInjectingPager(fail_write_at={0})
+        pid = pager.allocate()
+        reads, writes = pager.stats.logical_reads, pager.stats.logical_writes
+        with pytest.raises(FaultInjectedError):
+            pager.write(pid, b"z" * pager.page_size)
+        # No counter moved and no frame was dirtied by the failed write.
+        assert pager.stats.logical_writes == writes
+        assert pager.stats.logical_reads == reads
+        assert not pager.buffer._dirty
+
+    def test_disarmed_scope(self):
+        pager = FaultInjectingPager(read_rate=1.0)
+        pid = pager.allocate()
+        pager.write(pid, b"w" * pager.page_size)
+        with pager.disarmed():
+            pager.read(pid)  # injection suspended
+        assert pager.armed
+        with pytest.raises(FaultInjectedError):
+            pager.read(pid)
+
+    def test_is_a_storage_error(self):
+        assert issubclass(FaultInjectedError, StorageError)
+
+
+class TestIndexSurvivesFaults:
+    def test_query_surfaces_typed_error_and_state_stays_clean(self):
+        relation = random_mixed_relation(random.Random(21), 12)
+        pager = FaultInjectingPager()
+        pager.armed = False
+        planner = DualIndexPlanner.build(
+            relation, SlopeSet(SLOPES), pager=pager
+        )
+        query = HalfPlaneQuery(EXIST, SLOPES[0], 0.0, ">=")
+        expected = evaluate_relation(
+            relation, "EXIST", SLOPES[0], 0.0, query.theta
+        )
+        pager.fail_read_at = frozenset({0})
+        pager.reads_seen = 0
+        pager.armed = True
+        with pytest.raises(FaultInjectedError):
+            planner.query(query)
+        pager.armed = False
+        # The failed query corrupted nothing: same answer as the oracle.
+        assert planner.query(query).ids == expected

@@ -1,0 +1,106 @@
+"""The LP-backed brute-force oracle vs the exact geometric engine."""
+
+import math
+import random
+
+import pytest
+
+from repro.constraints import GeneralizedTuple, parse_tuple
+from repro.constraints.theta import Theta
+from repro.core import ALL, EXIST, HalfPlaneQuery
+from repro.geometry import dual
+from repro.geometry.predicates import all_halfplane, exist_halfplane
+from repro.verify.oracle import BruteForceOracle, lp_feasible, lp_support
+from repro.verify.workload import empty_tuple, singleton_tuple
+from tests.conftest import random_bounded_tuple
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return BruteForceOracle()
+
+
+class TestLPPrimitives:
+    def test_feasible_and_infeasible(self):
+        t = parse_tuple("y >= x and y <= 4")
+        assert lp_feasible(t.constraints)
+        e = empty_tuple(random.Random(1))
+        assert not lp_feasible(e.constraints)
+
+    def test_support_bounded_unbounded_infeasible(self):
+        t = parse_tuple("y >= 0 and y <= 4 and x >= 0 and x <= 2")
+        assert lp_support(t.constraints, (0.0, 1.0)) == 4.0
+        half = parse_tuple("y >= 0")
+        assert lp_support(half.constraints, (0.0, 1.0)) == math.inf
+        e = empty_tuple(random.Random(2))
+        assert lp_support(e.constraints, (0.0, 1.0)) is None
+
+
+class TestTopBot:
+    def test_matches_geometric_engine_on_random_polygons(self, oracle):
+        rng = random.Random(0xFEED)
+        for _ in range(10):
+            t = random_bounded_tuple(rng)
+            poly = t.extension()
+            for s in (-2.0, -0.5, 0.0, 0.5, 2.0):
+                assert oracle.top(t, s) == pytest.approx(
+                    dual.top(poly, s), rel=1e-6, abs=1e-6
+                )
+                assert oracle.bot(t, s) == pytest.approx(
+                    dual.bot(poly, s), rel=1e-6, abs=1e-6
+                )
+
+    def test_unbounded_envelopes(self, oracle):
+        t = parse_tuple("y >= 2*x + 1")
+        assert oracle.top(t, 0.0) == math.inf
+        assert oracle.bot(t, 0.0) == -math.inf
+        assert oracle.bot(t, 2.0) == pytest.approx(1.0)
+
+    def test_singleton(self, oracle):
+        t = singleton_tuple(random.Random(3))
+        s = 0.7
+        assert oracle.top(t, s) == pytest.approx(oracle.bot(t, s))
+
+    def test_empty_tuple_has_no_extrema(self, oracle):
+        e = empty_tuple(random.Random(4))
+        assert not oracle.is_satisfiable(e)
+        assert oracle.top(e, 0.0) is None
+        assert oracle.exist(e, 0.0, 0.0, ">=") is False
+        assert oracle.all_(e, 0.0, 0.0, ">=") is True  # vacuous
+
+
+class TestPredicates:
+    def test_proposition_2_2_against_geometry(self, oracle):
+        rng = random.Random(0xBEEF)
+        for _ in range(6):
+            t = random_bounded_tuple(rng)
+            poly = t.extension()
+            for s in (-1.0, 0.3):
+                # Intercepts well away from the boundary: both oracles
+                # must agree exactly (the waiver band is for boundaries).
+                for b in (dual.top(poly, s) + 5.0, dual.bot(poly, s) - 5.0):
+                    for theta in (Theta.GE, Theta.LE):
+                        assert oracle.exist(t, s, b, theta) == exist_halfplane(
+                            poly, s, b, theta
+                        )
+                        assert oracle.all_(t, s, b, theta) == all_halfplane(
+                            poly, s, b, theta
+                        )
+
+    def test_holds_and_answer(self, oracle):
+        t = parse_tuple("y >= x and y <= 4 and x >= 0")
+        q = HalfPlaneQuery(EXIST, 0.0, 2.0, ">=")
+        assert oracle.holds(q, t)
+        assert oracle.answer([(0, t)], q) == {0}
+        assert oracle.answer([(0, t)], q.with_type(ALL)) == set()
+
+    def test_boundary_distance(self, oracle):
+        t = GeneralizedTuple.from_box((0.0, 0.0), (2.0, 4.0))
+        q = HalfPlaneQuery(EXIST, 0.0, 4.0, ">=")  # exactly at TOP
+        assert oracle.boundary_distance(q, t) == pytest.approx(0.0, abs=1e-6)
+        far = HalfPlaneQuery(EXIST, 0.0, 10.0, ">=")
+        assert oracle.boundary_distance(far, t) == pytest.approx(6.0, abs=1e-6)
+        half = parse_tuple("y >= 0")
+        assert oracle.boundary_distance(
+            HalfPlaneQuery(EXIST, 0.0, 1.0, ">="), half
+        ) == math.inf
