@@ -50,6 +50,7 @@ _LAZY_EXPORTS = {
     "RPlusTree": ("repro.rtree", "RPlusTree"),
     "BPlusTree": ("repro.btree", "BPlusTree"),
     "Pager": ("repro.storage", "Pager"),
+    "ShardedDualIndex": ("repro.shard", "ShardedDualIndex"),
 }
 
 

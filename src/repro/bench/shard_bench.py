@@ -1,0 +1,215 @@
+"""Build-throughput + sharded-QPS benchmark (``BENCH_shard.json``).
+
+Measures the two axes the sharded engine adds on the paper's
+fig9-medium workload (N=2000 medium objects, k=3):
+
+* **build throughput** — wall time of a full ``DualIndexPlanner.build``
+  at 1 worker (legacy serial scalar path) vs 4 workers (vectorized
+  per-chunk key computation on a process pool, falling back to the
+  vectorized serial path on a single-CPU box). Every timed run gets a
+  *fresh* relation: :class:`GeneralizedTuple` memoises its polygon
+  extension, so reusing one relation would let the second run ride the
+  first run's cache and fake a speedup.
+* **sharded QPS** — batch throughput of :class:`ShardedDualIndex` at
+  1/2/4 shards over a mixed EXIST/ALL interior- and exact-slope batch,
+  with a per-shard-count correctness check against the unsharded
+  planner (``answers_match_unsharded`` must be true for the numbers to
+  mean anything).
+
+Timings are informational (never gated in CI); the emitted JSON is
+uploaded as a workflow artifact and a reference copy is checked in at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench import harness
+from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.shard import ShardedDualIndex
+from repro.workloads import make_relation
+
+#: The fig9-medium workload (Figure 9: medium objects, N=2000, k=3).
+FIG9_N = 2000
+FIG9_SIZE = "medium"
+FIG9_K = 3
+
+DEFAULT_OUT = "BENCH_shard.json"
+BUILD_WORKER_COUNTS = (1, 4)
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _build_queries(n: int, size: str, k: int, count: int) -> list[HalfPlaneQuery]:
+    """A mixed batch: selectivity-calibrated interior-slope queries for
+    both selection types plus one exact-slope query per predefined
+    slope (so the merged-sweep path is exercised too)."""
+    queries: list[HalfPlaneQuery] = []
+    for qtype in (EXIST, ALL):
+        queries.extend(harness.queries_for(n, size, qtype, k, count=count))
+    for i, slope in enumerate(SlopeSet.uniform_angles(k)):
+        queries.append(HalfPlaneQuery(EXIST, slope, 2.0 + i, ">="))
+        queries.append(HalfPlaneQuery(ALL, slope, -2.0 - i, "<="))
+    return queries
+
+
+def time_build(
+    n: int, size: str, k: int, workers: int, seed: int, repeats: int
+) -> float:
+    """Best-of-``repeats`` wall time of a full index build.
+
+    Each attempt regenerates the relation from scratch so tuple
+    extension caches cannot leak work across runs.
+    """
+    slopes = SlopeSet.uniform_angles(k)
+    best = float("inf")
+    for _ in range(repeats):
+        relation = make_relation(n, size, seed=seed)
+        start = time.perf_counter()
+        DualIndexPlanner.build(relation, slopes, workers=workers)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(
+    n: int = FIG9_N,
+    size: str = FIG9_SIZE,
+    k: int = FIG9_K,
+    seed: int = harness.SEED,
+    repeats: int = 2,
+    queries_per_type: int = 6,
+) -> dict:
+    """Run both legs and return the ``BENCH_shard.json`` payload."""
+    payload: dict = {
+        "workload": {
+            "figure": "9 (medium objects)",
+            "n": n,
+            "size": size,
+            "k": k,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "build": [],
+        "query": [],
+    }
+
+    build_seconds: dict[int, float] = {}
+    for workers in BUILD_WORKER_COUNTS:
+        seconds = time_build(n, size, k, workers, seed, repeats)
+        build_seconds[workers] = seconds
+        payload["build"].append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "tuples_per_second": round(n / seconds, 1),
+            }
+        )
+    lo, hi = min(BUILD_WORKER_COUNTS), max(BUILD_WORKER_COUNTS)
+    payload["build_speedup_4v1"] = round(
+        build_seconds[lo] / build_seconds[hi], 3
+    )
+
+    queries = _build_queries(n, size, k, queries_per_type)
+    reference = DualIndexPlanner.build(
+        make_relation(n, size, seed=seed), SlopeSet.uniform_angles(k)
+    )
+    expected = [frozenset(reference.query(q).ids) for q in queries]
+    for shards in SHARD_COUNTS:
+        engine = ShardedDualIndex.build(
+            make_relation(n, size, seed=seed),
+            SlopeSet.uniform_angles(k),
+            shards=shards,
+        )
+        # Warm the fan-out thread pool and per-shard executors with a
+        # query OUTSIDE the timed batch, so the timed run exercises real
+        # query execution rather than the result LRU.
+        engine.query_batch([HalfPlaneQuery(EXIST, 0.1234, 0.0, ">=")])
+        start = time.perf_counter()
+        batch = engine.query_batch(queries)
+        elapsed = time.perf_counter() - start
+        matches = all(
+            frozenset(res.ids) == want
+            for res, want in zip(batch.results, expected)
+        )
+        payload["query"].append(
+            {
+                "shards": shards,
+                "batch_seconds": round(elapsed, 6),
+                "qps": round(len(queries) / elapsed, 1),
+                "page_accesses": batch.page_accesses,
+                "answers_match_unsharded": matches,
+            }
+        )
+        engine.close()
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    lines = [
+        f"shard bench — fig9-medium (n={payload['workload']['n']}, "
+        f"size={payload['workload']['size']}, k={payload['workload']['k']})",
+        "build:",
+    ]
+    for row in payload["build"]:
+        lines.append(
+            f"  workers={row['workers']}: {row['seconds']:.3f}s "
+            f"({row['tuples_per_second']:.0f} tuples/s)"
+        )
+    lines.append(f"  speedup 4v1: {payload['build_speedup_4v1']:.2f}x")
+    lines.append("query:")
+    for row in payload["query"]:
+        ok = "ok" if row["answers_match_unsharded"] else "MISMATCH"
+        lines.append(
+            f"  shards={row['shards']}: {row['batch_seconds']:.3f}s batch "
+            f"({row['qps']:.0f} q/s, {row['page_accesses']} pages, "
+            f"answers {ok})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro shard-bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro shard-bench",
+        description=(
+            "build-throughput (1 vs 4 workers) and sharded-QPS "
+            "(1/2/4 shards) benchmark on the fig9-medium workload"
+        ),
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"where to write the JSON payload (default {DEFAULT_OUT})",
+    )
+    parser.add_argument("--n", type=int, default=FIG9_N, help="relation size")
+    parser.add_argument(
+        "--size", default=FIG9_SIZE, choices=["small", "medium"]
+    )
+    parser.add_argument("--k", type=int, default=FIG9_K, help="slope count")
+    parser.add_argument(
+        "--seed", type=int, default=harness.SEED, help="workload seed"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed build attempts per worker count (best-of; default 2)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        n=args.n, size=args.size, k=args.k, seed=args.seed,
+        repeats=args.repeats,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.out}")
+    if not all(row["answers_match_unsharded"] for row in payload["query"]):
+        print("sharded answers diverged from unsharded", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ accesses*, into a :class:`~repro.obs.MetricsRegistry`:
 * ``smoke_results{structure,type}`` — answer sizes (a correctness
   canary: a perf "win" that changes answers is a bug);
 * ``smoke_query_seconds{structure}`` — wall-time histogram. Timings are
-  *not* gated (they flake on shared runners); only counters are.
+  *not* gated (they flake on shared runners); only counters are;
+* ``smoke_build_pages`` / ``smoke_build_seconds{workers}`` — build-phase
+  page traffic (gated; identical for serial and parallel builds) and
+  wall time (informational).
 
 The gate compares the registry's ``counters`` section against a
 checked-in baseline (``benchmarks/baselines/smoke.json``): any counter
@@ -74,13 +77,20 @@ def run_smoke(
     size: str = SMOKE_SIZE,
     k: int = SMOKE_K,
     count: int = SMOKE_QUERIES,
+    shards: int = 1,
+    build_workers: int = 0,
 ) -> MetricsRegistry:
     """Run the workload and return the populated registry.
 
     The defaults are the CI gate's fixed parameters; ``repro stats``
-    reuses this with user-chosen ones.
+    reuses this with user-chosen ones. ``build_workers`` selects the
+    build path timed by the build leg (the resulting index — and so
+    ``smoke_build_pages`` — is byte-identical either way); ``shards > 1``
+    adds a sharded-engine leg whose counters are new (warn-only) until
+    pinned into the baseline.
     """
     registry = registry if registry is not None else MetricsRegistry()
+    _run_build_leg(registry, n, size, k, build_workers)
     index_pages = registry.counter(
         "smoke_index_pages",
         "Index-structure page accesses over the smoke batch",
@@ -136,7 +146,96 @@ def run_smoke(
                             structure=name, type=qtype, phase=phase
                         ).inc(count)
     _run_batch_leg(registry, structures[0][1], n, size, k, count)
+    if shards > 1:
+        _run_shard_leg(registry, n, size, k, count, shards, build_workers)
     return registry
+
+
+def _run_build_leg(
+    registry: MetricsRegistry, n: int, size: str, k: int, build_workers: int
+) -> None:
+    """Time a full index build and count its page traffic.
+
+    Adds ``smoke_build_pages`` (deterministic — the parallel and serial
+    build paths stage identical keys, so the page layout and the
+    logical write count are byte-identical) and the informational
+    ``smoke_build_seconds`` histogram. The relation is regenerated from
+    scratch so tuple-extension memoisation in the shared harness cache
+    cannot hide build work.
+    """
+    from repro.core import DualIndexPlanner, SlopeSet
+    from repro.storage.pager import Pager
+    from repro.workloads import make_relation
+
+    relation = make_relation(n, size, seed=harness.SEED)
+    pager = Pager()
+    start = time.perf_counter()
+    with pager.measure() as scope:
+        DualIndexPlanner.build(
+            relation, SlopeSet.uniform_angles(k), pager=pager,
+            workers=build_workers,
+        )
+    elapsed = time.perf_counter() - start
+    registry.counter(
+        "smoke_build_pages",
+        "Logical page accesses of a full smoke-workload index build",
+    ).inc(scope.delta.logical_reads + scope.delta.logical_writes)
+    registry.histogram(
+        "smoke_build_seconds",
+        "Index build wall time (informational; never gated)",
+        labelnames=("workers",),
+        buckets=(0.01, 0.1, 1.0, 10.0, 60.0),
+    ).labels(workers=str(build_workers)).observe(elapsed)
+
+
+def _run_shard_leg(
+    registry: MetricsRegistry,
+    n: int,
+    size: str,
+    k: int,
+    count: int,
+    shards: int,
+    build_workers: int,
+) -> None:
+    """Optional sharded-engine leg (``--shards N`` with N > 1).
+
+    Fans the smoke batch across a :class:`ShardedDualIndex` and records
+    ``smoke_shard_pages``/``smoke_shard_results``. The engine runs
+    against a *private* registry so its internal ``exec_*`` /
+    ``shard_fanout_*`` traffic cannot inflate the gated counters of the
+    default workload: the two ``smoke_shard_*`` keys are the leg's only
+    additions, and new keys warn rather than gate.
+    """
+    from repro.core import HalfPlaneQuery, SlopeSet
+    from repro.shard import ShardedDualIndex
+    from repro.workloads import make_relation
+
+    queries: list[HalfPlaneQuery] = []
+    for qtype in (EXIST, ALL):
+        queries.extend(harness.queries_for(n, size, qtype, k, count=count))
+    engine = ShardedDualIndex.build(
+        make_relation(n, size, seed=harness.SEED),
+        SlopeSet.uniform_angles(k),
+        shards=shards,
+        workers=build_workers,
+        registry=MetricsRegistry(),
+    )
+    try:
+        batch = engine.query_batch(queries)
+        registry.counter(
+            "smoke_shard_pages",
+            "Total page accesses of the sharded smoke leg",
+            labelnames=("shards",),
+        ).labels(shards=str(shards)).inc(batch.page_accesses)
+        registry.counter(
+            "smoke_shard_results",
+            "Total answer tuples of the sharded smoke leg",
+            labelnames=("shards",),
+        ).labels(shards=str(shards)).inc(
+            sum(len(res.ids) for res in batch.results)
+        )
+    finally:
+        engine.close()
 
 
 def _run_batch_leg(
@@ -220,11 +319,24 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this run instead of gating",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="also run a sharded-engine leg with this many shards "
+             "(default 1 = unsharded only; the extra counters are new, "
+             "so they warn rather than gate until the baseline is "
+             "re-pinned)",
+    )
+    parser.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the build leg (default 0 = serial "
+             "legacy path; >=2 uses the parallel vectorized path — the "
+             "built index is byte-identical either way)",
+    )
     args = parser.parse_args(argv)
     if args.baseline is None:
         args.baseline = default_baseline()
 
-    registry = run_smoke()
+    registry = run_smoke(shards=args.shards, build_workers=args.build_workers)
     current = registry.collect()
     with open(args.out, "w") as handle:
         handle.write(registry.export_json())

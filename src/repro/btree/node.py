@@ -26,6 +26,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.storage.disk import NULL_PAGE
 from repro.storage.serialize import KeyCodec
@@ -35,6 +37,13 @@ _INTERNAL_KIND = 1
 _HEADER = struct.Struct("<BBH")
 _LINKS = struct.Struct("<II")
 _RID = struct.Struct("<I")
+
+#: Packed (key, rid) entry layouts — itemsize matches the on-page
+#: ``key_bytes + 4`` stride exactly (no alignment padding).
+_ENTRY_DTYPES = {
+    4: np.dtype([("k", "<f4"), ("r", "<u4")]),
+    8: np.dtype([("k", "<f8"), ("r", "<u4")]),
+}
 
 #: flags bit 0: leaf handicap aggregates are valid.
 FLAG_HANDICAPS_VALID = 0x01
@@ -107,6 +116,28 @@ class NodeLayout:
                 f"page size {page_size} too small for B+-tree nodes"
             )
         self._leaf_fixed = leaf_fixed
+        self._entry_dtype = _ENTRY_DTYPES[kb]
+
+    def _encode_entries(
+        self, out: bytearray, pos: int, keys, rids
+    ) -> None:
+        """Pack ``(key, rid)`` pairs into ``out`` at ``pos`` in one
+        vectorized write (byte-identical to the per-entry codec)."""
+        entries = np.empty(len(keys), dtype=self._entry_dtype)
+        with np.errstate(over="ignore"):
+            entries["k"] = self.key_codec.saturate_array(keys)
+        entries["r"] = rids
+        raw = entries.tobytes()
+        out[pos : pos + len(raw)] = raw
+
+    def _decode_entries(
+        self, data: bytes, pos: int, count: int
+    ) -> tuple[list[float], list[int]]:
+        entries = np.frombuffer(data, dtype=self._entry_dtype,
+                                count=count, offset=pos)
+        keys = entries["k"].astype(np.float64).tolist()
+        rids = entries["r"].tolist()
+        return keys, rids
 
     # ------------------------------------------------------------------
     # leaf codec
@@ -125,14 +156,10 @@ class NodeLayout:
         pos = _HEADER.size + _LINKS.size
         kb = self.key_codec.key_bytes
         aux = node.aux if node.aux else [0.0] * self.aux_slots
-        for value in aux:
-            out[pos : pos + kb] = self.key_codec.encode(value)
-            pos += kb
-        for key, rid in zip(node.keys, node.rids):
-            out[pos : pos + kb] = self.key_codec.encode(key)
-            pos += kb
-            _RID.pack_into(out, pos, rid)
-            pos += _RID.size
+        raw_aux = self.key_codec.encode_keys(aux)
+        out[pos : pos + len(raw_aux)] = raw_aux
+        pos += self.aux_slots * kb
+        self._encode_entries(out, pos, node.keys, node.rids)
         return bytes(out)
 
     def decode_leaf(self, data: bytes) -> LeafNode:
@@ -142,17 +169,9 @@ class NodeLayout:
         prev, nxt = _LINKS.unpack_from(data, _HEADER.size)
         pos = _HEADER.size + _LINKS.size
         kb = self.key_codec.key_bytes
-        aux = []
-        for _ in range(self.aux_slots):
-            aux.append(self.key_codec.decode(data[pos : pos + kb]))
-            pos += kb
-        keys: list[float] = []
-        rids: list[int] = []
-        for _ in range(count):
-            keys.append(self.key_codec.decode(data[pos : pos + kb]))
-            pos += kb
-            rids.append(_RID.unpack_from(data, pos)[0])
-            pos += _RID.size
+        aux = self.key_codec.decode_keys(data, self.aux_slots, pos)
+        pos += self.aux_slots * kb
+        keys, rids = self._decode_entries(data, pos, count)
         return LeafNode(keys, rids, prev, nxt, aux, flags)
 
     # ------------------------------------------------------------------
@@ -166,15 +185,12 @@ class NodeLayout:
         out = bytearray(self.page_size)
         _HEADER.pack_into(out, 0, _INTERNAL_KIND, 0, node.count)
         pos = _HEADER.size
-        for child in node.children:
-            _RID.pack_into(out, pos, child)
-            pos += _RID.size
-        kb = self.key_codec.key_bytes
-        for key, rid in node.seps:
-            out[pos : pos + kb] = self.key_codec.encode(key)
-            pos += kb
-            _RID.pack_into(out, pos, rid)
-            pos += _RID.size
+        raw_children = np.asarray(node.children, dtype="<u4").tobytes()
+        out[pos : pos + len(raw_children)] = raw_children
+        pos += len(node.children) * _RID.size
+        if node.seps:
+            keys, rids = zip(*node.seps)
+            self._encode_entries(out, pos, list(keys), list(rids))
         return bytes(out)
 
     def decode_internal(self, data: bytes) -> InternalNode:
@@ -182,19 +198,12 @@ class NodeLayout:
         if kind != _INTERNAL_KIND:
             raise StorageError("page is not an internal node")
         pos = _HEADER.size
-        children = []
-        for _ in range(count + 1):
-            children.append(_RID.unpack_from(data, pos)[0])
-            pos += _RID.size
-        kb = self.key_codec.key_bytes
-        seps: list[tuple[float, int]] = []
-        for _ in range(count):
-            key = self.key_codec.decode(data[pos : pos + kb])
-            pos += kb
-            rid = _RID.unpack_from(data, pos)[0]
-            pos += _RID.size
-            seps.append((key, rid))
-        return InternalNode(seps, children)
+        children = np.frombuffer(
+            data, dtype="<u4", count=count + 1, offset=pos
+        ).tolist()
+        pos += (count + 1) * _RID.size
+        keys, rids = self._decode_entries(data, pos, count)
+        return InternalNode(list(zip(keys, rids)), children)
 
     # ------------------------------------------------------------------
     # dispatch

@@ -15,18 +15,25 @@ Commands
     Same arguments as ``query``, but runs it under a
     :class:`repro.obs.QueryTrace` and prints the span tree — per-phase
     logical/physical I/O and wall times (``--json`` for the raw trace).
-``batch --tuples FILE --queries FILE``
+``batch --tuples FILE --queries FILE [--shards N --build-workers M]``
     Index a relation and answer a whole query file through the batch
     execution engine (:mod:`repro.exec`): merged sweeps for
     restricted-slope groups, vectorized dual evaluation elsewhere, LRU
     result caching — with a shared-work page-access summary.
+    ``--shards N`` partitions the relation across N independent shards
+    (:mod:`repro.shard`) and fans the batch out; ``--build-workers M``
+    computes build keys on an M-process pool.
 ``stats [--n N --size small|medium --k K --queries Q]``
     Run a query batch and print the metrics-registry JSON snapshot
     (includes the batch executor's ``exec_*`` cache counters).
-``smoke [--out FILE --baseline FILE --update-baseline]``
+``smoke [--out FILE --baseline FILE --update-baseline --shards N --build-workers M]``
     The CI perf-smoke gate (see :mod:`repro.bench.smoke`). The baseline
     lives at ``benchmarks/baselines/smoke.json`` relative to the
     repository root; ``--baseline PATH`` overrides the convention.
+``shard-bench [--out FILE --n N --size small|medium --k K --repeats R]``
+    Build-throughput (1 vs 4 workers) and sharded-QPS (1/2/4 shards)
+    benchmark on the fig9-medium workload; writes ``BENCH_shard.json``
+    (see :mod:`repro.bench.shard_bench`).
 ``fuzz [--seed N --budget 30s --out DIR --replay FILE --fault-demo]``
     Differential fuzzing (:mod:`repro.verify`): cross-check every query
     path against the geometric and LP oracles on randomized +
@@ -152,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit per-query answers and the batch summary as JSON",
     )
+    batch.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the relation across N independent shards "
+             "and fan the batch out (default 1 = single engine)",
+    )
+    batch.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the index build (default 0 = serial; "
+             ">=2 computes keys on a process pool — same index bytes)",
+    )
 
     stats = sub.add_parser(
         "stats", help="run a query batch and print the metrics registry"
@@ -186,6 +203,42 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument(
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this run instead of gating",
+    )
+    smoke.add_argument(
+        "--shards", type=int, default=1,
+        help="also run a sharded-engine smoke leg with N shards",
+    )
+    smoke.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the smoke build leg",
+    )
+
+    shard_bench = sub.add_parser(
+        "shard-bench",
+        help="build-throughput + sharded-QPS benchmark (BENCH_shard.json)",
+        description=(
+            "Benchmark the sharded dual-transform engine on the "
+            "fig9-medium workload: full-index build wall time at 1 vs 4 "
+            "workers, and batch query throughput at 1/2/4 shards with a "
+            "correctness check against the unsharded planner. Writes "
+            "BENCH_shard.json."
+        ),
+    )
+    shard_bench.add_argument(
+        "--out", default=None,
+        help="where to write the JSON payload (default BENCH_shard.json)",
+    )
+    shard_bench.add_argument("--n", type=int, default=None,
+                             help="relation size (default 2000)")
+    shard_bench.add_argument("--size", default=None,
+                             choices=["small", "medium"])
+    shard_bench.add_argument("--k", type=int, default=None,
+                             help="slope count (default 3)")
+    shard_bench.add_argument("--seed", type=int, default=None,
+                             help="workload seed")
+    shard_bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed build attempts per worker count (best-of; default 2)",
     )
 
     fuzz = sub.add_parser(
@@ -245,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stats(args)
     if args.command == "smoke":
         return _smoke(args)
+    if args.command == "shard-bench":
+        return _shard_bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
     return 2  # pragma: no cover - argparse enforces choices
@@ -393,8 +448,17 @@ def _trace(args) -> int:
     return 0
 
 
-def _load_relation(path: str, slopes_arg: str | None):
-    """Parse a tuple file and build a planner (shared loader)."""
+def _load_relation(
+    path: str,
+    slopes_arg: str | None,
+    build_workers: int = 0,
+    shards: int = 1,
+):
+    """Parse a tuple file and build an engine (shared loader).
+
+    Returns ``(relation, engine)`` where the engine is a
+    :class:`DualIndexPlanner` or, with ``shards > 1``, a
+    :class:`repro.shard.ShardedDualIndex` (same query surface)."""
     from repro.constraints import GeneralizedRelation, parse_tuple
     from repro.core import DualIndexPlanner, SlopeSet
 
@@ -411,7 +475,15 @@ def _load_relation(path: str, slopes_arg: str | None):
         slopes = SlopeSet(float(v) for v in slopes_arg.split(","))
     else:
         slopes = SlopeSet.uniform_angles(3)
-    return relation, DualIndexPlanner.build(relation, slopes)
+    if shards > 1:
+        from repro.shard import ShardedDualIndex
+
+        return relation, ShardedDualIndex.build(
+            relation, slopes, shards=shards, workers=build_workers
+        )
+    return relation, DualIndexPlanner.build(
+        relation, slopes, workers=build_workers
+    )
 
 
 def _parse_query_file(path: str):
@@ -449,7 +521,10 @@ def _batch(args) -> int:
 
     from repro.exec import BatchExecutor
 
-    relation, planner = _load_relation(args.tuples, args.slopes)
+    relation, planner = _load_relation(
+        args.tuples, args.slopes,
+        build_workers=args.build_workers, shards=args.shards,
+    )
     if relation is None:
         print("no tuples found", file=sys.stderr)
         return 1
@@ -457,8 +532,13 @@ def _batch(args) -> int:
     if not queries:
         print("no queries found", file=sys.stderr)
         return 1
-    executor = BatchExecutor(planner, max_workers=args.workers)
-    batch = executor.execute(queries)
+    if args.shards > 1:
+        # The sharded facade owns per-shard batch executors and merges
+        # their results/accounting.
+        batch = planner.query_batch(queries)
+    else:
+        executor = BatchExecutor(planner, max_workers=args.workers)
+        batch = executor.execute(queries)
     if args.json:
         print(json_mod.dumps(
             {
@@ -573,7 +653,30 @@ def _smoke(args) -> int:
         argv += ["--baseline", args.baseline]
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.shards != 1:
+        argv += ["--shards", str(args.shards)]
+    if args.build_workers:
+        argv += ["--build-workers", str(args.build_workers)]
     return smoke.main(argv)
+
+
+def _shard_bench(args) -> int:
+    from repro.bench import shard_bench
+
+    argv: list[str] = []
+    if args.out:
+        argv += ["--out", args.out]
+    if args.n is not None:
+        argv += ["--n", str(args.n)]
+    if args.size is not None:
+        argv += ["--size", args.size]
+    if args.k is not None:
+        argv += ["--k", str(args.k)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.repeats is not None:
+        argv += ["--repeats", str(args.repeats)]
+    return shard_bench.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

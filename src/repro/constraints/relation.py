@@ -92,6 +92,22 @@ class GeneralizedRelation:
         """Insert many tuples; returns their ids in input order."""
         return [self.add(t) for t in tuples]
 
+    def subset(self, ids: Iterable[int], name: str | None = None) -> "GeneralizedRelation":
+        """A new relation holding the given tuples *under their current
+        ids* (unlike the constructor, which renumbers densely).
+
+        Shard partitioning depends on this: every shard indexes its
+        tuples by the global id, so merged answer sets need no
+        translation. ``_next_id`` is preserved, keeping future ``add``
+        ids disjoint from the parent's.
+        """
+        out = GeneralizedRelation(name=name if name is not None else self.name)
+        out._dimension = self._dimension
+        out._next_id = self._next_id
+        for tuple_id in ids:
+            out._tuples[tuple_id] = self.get(tuple_id)
+        return out
+
     def satisfiable_only(self) -> "GeneralizedRelation":
         """A new relation keeping only tuples with non-empty extensions.
 

@@ -22,8 +22,9 @@ need no directories.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.btree.tree import BPlusTree
 from repro.constraints.relation import GeneralizedRelation
@@ -63,6 +64,44 @@ class EntryKeys:
     bot: list[float]
     assign_top: list[dict[str, float | None]]
     assign_bot: list[dict[str, float | None]]
+
+
+class KeysLRU:
+    """Bounded LRU map ``rid -> EntryKeys`` for the catalog key cache.
+
+    The cache is purely an optimisation: :meth:`DualIndex._tree_key_of`
+    re-derives evicted entries from the heap record, so eviction can
+    never change an answer — only cost extra record fetches. A bound
+    matters because sustained insert/delete traffic would otherwise grow
+    the dict without limit.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise IndexError_("keys cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict[int, EntryKeys] = OrderedDict()
+
+    def get(self, rid: int) -> "EntryKeys | None":
+        keys = self._data.get(rid)
+        if keys is not None:
+            self._data.move_to_end(rid)
+        return keys
+
+    def __setitem__(self, rid: int, keys: "EntryKeys") -> None:
+        self._data[rid] = keys
+        self._data.move_to_end(rid)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def pop(self, rid: int, default: "EntryKeys | None" = None):
+        return self._data.pop(rid, default)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 @dataclass
@@ -121,6 +160,11 @@ class DualIndex:
         deletes keep handicaps repairable in ``O(log_B n)`` amortised
         page accesses (Section 4.2 Step 2). Statically built benchmark
         indexes leave this off.
+    keys_cache_entries:
+        Capacity of the :class:`KeysLRU` catalog key cache. Eviction is
+        answer-preserving (evicted keys are re-derived from the heap
+        record on demand); the bound keeps memory flat under sustained
+        update traffic.
     """
 
     def __init__(
@@ -130,6 +174,7 @@ class DualIndex:
         key_codec: KeyCodec | None = None,
         dynamic: bool = False,
         name: str = "dual",
+        keys_cache_entries: int = 65536,
     ) -> None:
         self.pager = pager if pager is not None else Pager()
         self.slopes = slopes if isinstance(slopes, SlopeSet) else SlopeSet(slopes)
@@ -166,7 +211,7 @@ class DualIndex:
         # records to re-derive tree keys (kept consistent by insert/delete).
         self.rid_of: dict[int, int] = {}
         self.tid_of: dict[int, int] = {}
-        self.keys_cache: dict[int, EntryKeys] = {}
+        self.keys_cache = KeysLRU(keys_cache_entries)
         # Global assignment-key extrema per (tree name, side): a query
         # whose intercept lies beyond every assignment key can skip the
         # secondary sweep entirely (extension A7; conservative under
@@ -214,11 +259,23 @@ class DualIndex:
     # ------------------------------------------------------------------
     # bulk build
     # ------------------------------------------------------------------
-    def build(self, relation: GeneralizedRelation, fill: float = 0.9) -> None:
+    def build(
+        self,
+        relation: GeneralizedRelation,
+        fill: float = 0.9,
+        workers: int = 0,
+    ) -> None:
         """Index a whole relation: heap records, 2k bulk-loaded trees,
         one merge pass of handicap aggregates, and (in dynamic mode) the
         handicap directories. Unsatisfiable tuples are skipped and listed
         in :attr:`skipped`.
+
+        ``workers >= 2`` computes :class:`EntryKeys` in parallel: the
+        relation is chunked across a process pool and each worker
+        evaluates all slopes per tuple in one vectorized pass
+        (:mod:`repro.shard.keys`). ``workers <= 1`` is the legacy serial
+        scalar path. Both paths stage identical keys, so the resulting
+        index layout is byte-identical either way.
         """
         if self.size:
             raise IndexError_("build on a non-empty index")
@@ -227,10 +284,22 @@ class DualIndex:
                 "DualIndex is the 2-D structure; use DDimDualIndex for d > 2"
             )
         with obs.span("build", pager=self.pager, index=self.name,
-                      tuples=len(relation)):
-            self._build(relation, fill)
+                      tuples=len(relation), workers=workers):
+            precomputed = None
+            if workers and workers >= 2:
+                from repro.shard.keys import parallel_compute_keys
 
-    def _build(self, relation: GeneralizedRelation, fill: float) -> None:
+                precomputed = parallel_compute_keys(
+                    relation, self.slopes, workers
+                )
+            self._build(relation, fill, precomputed)
+
+    def _build(
+        self,
+        relation: GeneralizedRelation,
+        fill: float,
+        precomputed: "Mapping[int, EntryKeys | None] | None" = None,
+    ) -> None:
         k = len(self.slopes)
         up_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
         down_entries: list[list[tuple[float, int]]] = [[] for _ in range(k)]
@@ -242,10 +311,16 @@ class DualIndex:
         middle = len(self.slopes) // 2
         staged: list[tuple[float, int, GeneralizedTuple, EntryKeys]] = []
         for tid, t in relation:
-            if not t.is_satisfiable():
-                self.skipped.append(tid)
-                continue
-            keys = self.compute_keys(t)
+            if precomputed is not None:
+                keys = precomputed.get(tid)
+                if keys is None:
+                    self.skipped.append(tid)
+                    continue
+            else:
+                if not t.is_satisfiable():
+                    self.skipped.append(tid)
+                    continue
+                keys = self.compute_keys(t)
             cluster_key = keys.top[middle]
             if not math.isfinite(cluster_key):
                 cluster_key = math.copysign(1e30, cluster_key)
@@ -295,29 +370,40 @@ class DualIndex:
     # handicap aggregates
     # ------------------------------------------------------------------
     def _rebuild_handicaps(self, keys_by_rid: dict[int, EntryKeys]) -> None:
-        """Recompute every leaf's four aggregates in one pass per tree."""
+        """Recompute every leaf's four aggregates in one pass per tree.
+
+        Tree keys and assignment keys are quantised once per slope
+        (vectorized) and shared between the up and the down tree — the
+        assignment keys do not depend on the tree at all, so the old
+        per-(tree, side) rescan of ``keys_by_rid`` did the same work
+        ``2 × sides`` times over.
+        """
+        all_keys = list(keys_by_rid.values())
+        quantize = self.codec.quantize_many
         for i in range(len(self.slopes)):
-            for tree, key_field in ((self.up[i], "top"), (self.down[i], "bot")):
+            tops_q = quantize([keys.top[i] for keys in all_keys]).tolist()
+            bots_q = quantize([keys.bot[i] for keys in all_keys]).tolist()
+            assigns: dict[str, tuple[list[float], list[float]]] = {}
+            for side in _SIDES:
+                if self.slopes.strip(i, side) is None:
+                    continue
+                a_top = [keys.assign_top[i][side] for keys in all_keys]
+                a_bot = [keys.assign_bot[i][side] for keys in all_keys]
+                assert None not in a_top and None not in a_bot
+                assigns[side] = (
+                    quantize(a_top).tolist(),
+                    quantize(a_bot).tolist(),
+                )
+            for tree, values in ((self.up[i], tops_q), (self.down[i], bots_q)):
                 assignments_low: dict[str, list[tuple[float, float]]] = {}
                 assignments_high: dict[str, list[tuple[float, float]]] = {}
-                for side in _SIDES:
-                    if self.slopes.strip(i, side) is None:
-                        continue
-                    low_list = []
-                    high_list = []
-                    for rid, keys in keys_by_rid.items():
-                        value = tree.quantize(getattr(keys, key_field)[i])
-                        a_top = keys.assign_top[i][side]
-                        a_bot = keys.assign_bot[i][side]
-                        assert a_top is not None and a_bot is not None
-                        low_list.append((tree.quantize(a_top), value))
-                        high_list.append((tree.quantize(a_bot), value))
-                    assignments_low[side] = low_list
-                    assignments_high[side] = high_list
-                    if low_list:
+                for side, (a_top_q, a_bot_q) in assigns.items():
+                    assignments_low[side] = list(zip(a_top_q, values))
+                    assignments_high[side] = list(zip(a_bot_q, values))
+                    if a_top_q:
                         self.assign_extrema[(tree.name, side)] = (
-                            min(a for a, _ in high_list),
-                            max(a for a, _ in low_list),
+                            min(a_bot_q),
+                            max(a_top_q),
                         )
                 _write_aggregates(tree, assignments_low, assignments_high)
 

@@ -65,15 +65,23 @@ class DualIndexPlanner:
         dynamic: bool = False,
         fill: float = 0.9,
         pivot_x: float = 0.0,
+        workers: int = 0,
+        name: str = "dual",
     ) -> "DualIndexPlanner":
-        """Index a relation and return a ready planner."""
+        """Index a relation and return a ready planner.
+
+        ``workers >= 2`` builds the key set on a process pool with
+        vectorized per-worker evaluation (see :meth:`DualIndex.build`);
+        the resulting index is byte-identical to a serial build.
+        """
         index = DualIndex(
             pager=pager,
             slopes=slopes,
             key_codec=KeyCodec(key_bytes),
             dynamic=dynamic,
+            name=name,
         )
-        index.build(relation, fill)
+        index.build(relation, fill, workers=workers)
         return cls(index, technique=technique, pivot_x=pivot_x)
 
     # ------------------------------------------------------------------

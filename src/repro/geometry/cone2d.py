@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 Vec2 = tuple[float, float]
 
 #: Tolerance for cone feasibility tests (directions are unit-box scaled).
@@ -92,6 +94,83 @@ def is_pointed_at_origin(normals: Sequence[Vec2], tol: float = CONE_TOL) -> bool
         if _boxed_max(normals, c, tol) > tol:
             return False
     return True
+
+
+#: The four box directions probed by :func:`is_pointed_at_origin`.
+_BOX_DIRECTIONS = ((1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0))
+
+
+def pointed_many(
+    normals_per_cone: Sequence[Sequence[Vec2]], tol: float = CONE_TOL
+) -> np.ndarray:
+    """Batched :func:`is_pointed_at_origin` over many cones at once.
+
+    Returns a boolean array, one entry per cone, classifying each cone
+    exactly as the scalar function would: the candidate enumeration,
+    tolerances and comparisons are the same expressions evaluated over
+    padded arrays, so the classifications agree bit-for-bit. Padding
+    planes are ``(0, 0, 1)`` — their determinant with every other plane
+    is exactly 0, so the scalar ``abs(det) < 1e-15`` skip eliminates
+    them, and a ``(0, 0)`` padding normal satisfies ``0 <= tol`` in the
+    feasibility test, so padding never changes a result.
+
+    This is the build path's hot loop: one boundedness question per
+    indexed tuple, each individually tiny but dominated by Python
+    overhead when asked 10⁴ times in a row.
+    """
+    count = len(normals_per_cone)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    m_max = max(len(normals) for normals in normals_per_cone)
+    if m_max == 0:
+        return np.zeros(count, dtype=bool)
+    p_max = m_max + 4  # cone planes + the four box edges
+    a = np.zeros((count, p_max))
+    b = np.zeros((count, p_max))
+    r = np.ones((count, p_max))  # padding plane (0, 0, 1)
+    nx = np.zeros((count, m_max))
+    ny = np.zeros((count, m_max))
+    trivial = np.zeros(count, dtype=bool)  # no normals → not pointed
+    for row, normals in enumerate(normals_per_cone):
+        m = len(normals)
+        if m == 0:
+            trivial[row] = True
+            continue
+        for col, (x, y) in enumerate(normals):
+            a[row, col] = nx[row, col] = x
+            b[row, col] = ny[row, col] = y
+            r[row, col] = 0.0
+        for col, (x, y, rhs) in enumerate(
+            ((1.0, 0.0, 1.0), (-1.0, 0.0, 1.0), (0.0, 1.0, 1.0),
+             (0.0, -1.0, 1.0)),
+            start=m,
+        ):
+            a[row, col] = x
+            b[row, col] = y
+            r[row, col] = rhs
+    i, j = np.triu_indices(p_max, k=1)
+    det = a[:, i] * b[:, j] - a[:, j] * b[:, i]
+    usable = np.abs(det) >= 1e-15
+    safe_det = np.where(usable, det, 1.0)
+    dx = (r[:, i] * b[:, j] - r[:, j] * b[:, i]) / safe_det
+    dy = (a[:, i] * r[:, j] - a[:, j] * r[:, i]) / safe_det
+    candidate = (
+        usable & (np.abs(dx) <= 1.0 + tol) & (np.abs(dy) <= 1.0 + tol)
+    )
+    feasible = np.all(
+        nx[:, None, :] * dx[:, :, None] + ny[:, None, :] * dy[:, :, None]
+        <= tol,
+        axis=2,
+    )
+    candidate &= feasible
+    pointed = np.ones(count, dtype=bool)
+    for cx, cy in _BOX_DIRECTIONS:
+        value = cx * dx + cy * dy
+        best = np.max(np.where(candidate, value, 0.0), axis=1)
+        best = np.maximum(best, 0.0)  # the origin is always feasible
+        pointed &= best <= tol
+    pointed[trivial] = False
+    return pointed
 
 
 def extreme_rays(normals: Sequence[Vec2], tol: float = CONE_TOL) -> list[Vec2]:

@@ -15,9 +15,16 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from repro.errors import EmptyExtensionError, GeometryError
 from repro.geometry import support2d, supportnd
-from repro.geometry.cone2d import cone_normals, extreme_rays, is_pointed_at_origin
+from repro.geometry.cone2d import (
+    cone_normals,
+    extreme_rays,
+    is_pointed_at_origin,
+    pointed_many,
+)
 from repro.geometry.hull import convex_hull_2d, polygon_area, polygon_centroid
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -261,6 +268,94 @@ class ConvexPolyhedron:
     def __repr__(self) -> str:
         state = "empty" if self.is_empty else ("bounded" if self.is_bounded else "unbounded")
         return f"<ConvexPolyhedron dim={self._dim} {state} atoms={len(self._tuple)}>"
+
+
+def warm_boundedness(polys: Sequence["ConvexPolyhedron"]) -> None:
+    """Batch-fill the boundedness cache of many 2-D polyhedra at once.
+
+    Computes the same cone classification :attr:`ConvexPolyhedron.is_bounded`
+    would (via :func:`repro.geometry.cone2d.pointed_many`, bit-identical
+    to the scalar check) in one set of array passes instead of one
+    Python candidate enumeration per polyhedron. Polyhedra that already
+    know their boundedness, are empty, or are not 2-D are left for the
+    scalar property. This is what makes bulk paths (the vectorized
+    build, :class:`~repro.geometry.vectorized.DualSurface`) cheap: the
+    per-tuple boundedness question is their dominant cost otherwise.
+    """
+    todo = [
+        p for p in polys
+        if p._bounded is None and p._dim == 2 and not p.is_empty
+    ]
+    if not todo:
+        return
+    mask = pointed_many([cone_normals(p._as_ineqs2d()) for p in todo])
+    for poly, flag in zip(todo, mask):
+        poly._bounded = bool(flag)
+
+
+def warm_vertices(polys: Sequence["ConvexPolyhedron"]) -> None:
+    """Batch-fill the vertex cache of many 2-D polyhedra at once.
+
+    Runs the same candidate enumeration as :meth:`ConvexPolyhedron.vertices`
+    — pairwise constraint-line intersections, the same determinant and
+    feasibility tolerances in the same evaluation order — over padded
+    arrays, then hands each polyhedron's surviving candidate list (in
+    scalar enumeration order) to the scalar dedupe + hull, so the cached
+    vertices are exactly what the property would have computed. Padding
+    rows are ``(0, 0, 0)``: their determinant with any line is 0 (never
+    a candidate pair) and their feasibility slack is 0 (never rejects a
+    point).
+    """
+    todo = [
+        p for p in polys
+        if p._vertices is None and p._dim == 2 and not p.is_empty
+    ]
+    if not todo:
+        return
+    ineqs_list = [p._as_ineqs2d() for p in todo]
+    m_max = max(len(ineqs) for ineqs in ineqs_list)
+    if m_max < 2:
+        for poly in todo:
+            poly._vertices = []
+        return
+    count = len(todo)
+    nx = np.zeros((count, m_max))
+    ny = np.zeros((count, m_max))
+    beta = np.zeros((count, m_max))
+    for row, ineqs in enumerate(ineqs_list):
+        for col, ((a, b), rhs) in enumerate(ineqs):
+            nx[row, col] = a
+            ny[row, col] = b
+            beta[row, col] = rhs
+    i, j = np.triu_indices(m_max, k=1)
+    det = nx[:, i] * ny[:, j] - nx[:, j] * ny[:, i]
+    plane_scale = np.maximum(np.maximum(np.abs(nx), np.abs(ny)), 1.0)
+    usable = np.abs(det) > 1e-13 * (plane_scale[:, i] * plane_scale[:, j])
+    safe_det = np.where(usable, det, 1.0)
+    x = (beta[:, i] * ny[:, j] - beta[:, j] * ny[:, i]) / safe_det
+    y = (nx[:, i] * beta[:, j] - nx[:, j] * beta[:, i]) / safe_det
+    tol = support2d.FEAS_TOL
+    point_scale = np.maximum(np.maximum(np.abs(x), np.abs(y)), 1.0)
+    slack = (
+        nx[:, None, :] * x[:, :, None]
+        + ny[:, None, :] * y[:, :, None]
+        - beta[:, None, :]
+    )
+    feasible = np.all(
+        slack <= (tol * plane_scale)[:, None, :] * point_scale[:, :, None],
+        axis=2,
+    )
+    good = usable & feasible
+    for row, poly in enumerate(todo):
+        raw = [
+            (float(x[row, k]), float(y[row, k]))
+            for k in np.nonzero(good[row])[0]
+        ]
+        deduped = _dedupe_points(raw)
+        if len(deduped) >= 3:
+            poly._vertices = [tuple(p) for p in convex_hull_2d(deduped)]
+        else:
+            poly._vertices = [tuple(p) for p in deduped]
 
 
 def _unit(dim: int, index: int, sign: float = 1.0) -> tuple[float, ...]:

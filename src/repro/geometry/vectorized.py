@@ -36,6 +36,7 @@ from repro.constraints.theta import Theta
 from repro.constraints.tuples import GeneralizedTuple
 from repro.errors import GeometryError
 from repro.geometry import dual
+from repro.geometry.polyhedron import warm_boundedness, warm_vertices
 from repro.geometry.predicates import ORACLE_TOL
 
 #: Ray threshold of the scalar fast path (``_support_2d_fast``).
@@ -67,6 +68,12 @@ class DualSurface:
         tuples: list[GeneralizedTuple],
     ) -> None:
         self.tids = np.asarray(tids, dtype=np.int64)
+        # One batched cone pass and one batched vertex enumeration
+        # instead of one per tuple — the dominant cost of building the
+        # surface otherwise.
+        extensions = [t.extension() for t in tuples]
+        warm_boundedness(extensions)
+        warm_vertices(extensions)
         self._fallback: list[tuple[int, GeneralizedTuple]] = []
         vx: list[float] = []
         vy: list[float] = []

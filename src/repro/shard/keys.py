@@ -1,0 +1,159 @@
+"""Vectorized and process-parallel :class:`EntryKeys` computation.
+
+The build-time bottleneck of :class:`~repro.core.dual_index.DualIndex`
+is key derivation: for every tuple, ``TOP``/``BOT`` at each of the k
+slopes plus strip-assignment keys toward each neighbour — all scalar
+support calls in :meth:`DualIndex.compute_keys`. The dual transform is a
+bulk-friendly operation, so this module computes the same keys two
+better ways:
+
+* :func:`compute_keys_batch` evaluates *all* tuples at one slope per
+  numpy pass via :class:`~repro.geometry.vectorized.DualSurface` — the
+  2k-1 distinct probe slopes (k tree slopes + k-1 strip midpoints)
+  replace ``O(k · n)`` scalar support calls.
+* :func:`parallel_compute_keys` chunks the relation across a
+  ``ProcessPoolExecutor``; each worker runs the vectorized batch on its
+  chunk and the parent merges the per-chunk key maps.
+
+Exactness: ``DualSurface`` values are bit-identical to the scalar
+``dual.top``/``dual.bot`` (vertex-free tuples fall back to the scalar
+engine inside the surface), and the assignment keys are the same
+``max``/``min`` of the same endpoint values — so both paths stage keys
+bit-identical to the serial scalar build, and the resulting index
+layout is byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Mapping
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.dual_index import _SIDES, EntryKeys
+from repro.core.slope_set import SlopeSet
+from repro.geometry.vectorized import DualSurface
+from repro.obs import trace as obs
+
+#: Below this many tuples a process pool costs more than it saves
+#: (pool spawn + pickling the chunks); the serial vectorized path runs.
+MIN_PARALLEL_TUPLES = 64
+
+
+def needed_slopes(slopes: SlopeSet) -> list[float]:
+    """Every slope the key derivation probes: the k tree slopes followed
+    by each distinct strip midpoint toward a neighbour (k-1 of them)."""
+    out: list[float] = list(slopes)
+    seen = set(out)
+    for i in range(len(slopes)):
+        for side in _SIDES:
+            strip = slopes.strip(i, side)
+            if strip is not None and strip[1] not in seen:
+                seen.add(strip[1])
+                out.append(strip[1])
+    return out
+
+
+def compute_keys_batch(
+    items: Iterable[tuple[int, GeneralizedTuple]],
+    slopes: SlopeSet,
+) -> dict[int, EntryKeys | None]:
+    """:class:`EntryKeys` for many tuples, one vectorized pass per slope.
+
+    Returns ``tid -> EntryKeys`` with ``None`` marking unsatisfiable
+    tuples (the build skips those). Values are bit-identical to
+    :meth:`DualIndex.compute_keys` per tuple.
+    """
+    result: dict[int, EntryKeys | None] = {}
+    sat: list[tuple[int, GeneralizedTuple]] = []
+    for tid, t in items:
+        if t.is_satisfiable():
+            sat.append((tid, t))
+        else:
+            result[tid] = None
+    if not sat:
+        return result
+    surface = DualSurface.from_items(sat)
+    probe = needed_slopes(slopes)
+    tops = {s: surface.top_at(s) for s in probe}
+    bots = {s: surface.bot_at(s) for s in probe}
+    strips = [
+        {side: slopes.strip(i, side) for side in _SIDES}
+        for i in range(len(slopes))
+    ]
+    for row, (tid, _t) in enumerate(sat):
+        top = [float(tops[s][row]) for s in slopes]
+        bot = [float(bots[s][row]) for s in slopes]
+        assign_top: list[dict[str, float | None]] = []
+        assign_bot: list[dict[str, float | None]] = []
+        for per_side in strips:
+            at: dict[str, float | None] = {}
+            ab: dict[str, float | None] = {}
+            for side, strip in per_side.items():
+                if strip is None:
+                    at[side] = None
+                    ab[side] = None
+                else:
+                    a, b = strip
+                    # strip_top_max/strip_bot_min: the extremum over the
+                    # strip is attained at an endpoint (TOP convex, BOT
+                    # concave), so max/min of the two probed values.
+                    at[side] = max(float(tops[a][row]), float(tops[b][row]))
+                    ab[side] = min(float(bots[a][row]), float(bots[b][row]))
+            assign_top.append(at)
+            assign_bot.append(ab)
+        result[tid] = EntryKeys(top, bot, assign_top, assign_bot)
+    return result
+
+
+def _compute_chunk(
+    payload: tuple[list[tuple[int, GeneralizedTuple]], SlopeSet],
+) -> dict[int, EntryKeys | None]:
+    """Process-pool worker: vectorized keys for one chunk."""
+    items, slopes = payload
+    return compute_keys_batch(items, slopes)
+
+
+def parallel_compute_keys(
+    relation: Iterable[tuple[int, GeneralizedTuple]],
+    slopes: SlopeSet,
+    workers: int,
+    use_pool: bool | None = None,
+) -> Mapping[int, EntryKeys | None]:
+    """Chunk a relation across a process pool; each worker vectorizes.
+
+    ``workers <= 1`` (or a tiny relation) short-circuits to the serial
+    vectorized batch, as does a single-CPU host — there, forking and
+    pickling chunks costs wall time without buying any concurrency, so
+    the serial vectorized pass is strictly faster (``use_pool=True``
+    forces the pool anyway, for tests; ``use_pool=False`` forbids it).
+    Pool failures — fork or semaphores unavailable in a locked-down
+    environment — also fall back serially; every path computes
+    identical keys, so only throughput changes.
+    """
+    items = list(relation)
+    workers = max(1, int(workers))
+    if use_pool is None:
+        use_pool = (os.cpu_count() or 1) > 1
+    if workers == 1 or len(items) < MIN_PARALLEL_TUPLES or not use_pool:
+        return compute_keys_batch(items, slopes)
+    per = -(-len(items) // workers)
+    chunks = [items[j : j + per] for j in range(0, len(items), per)]
+    with obs.span(
+        "build.parallel_keys", workers=workers, chunks=len(chunks)
+    ):
+        obs.incr("build_parallel.tuples", len(items))
+        obs.incr("build_parallel.chunks", len(chunks))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                parts = list(
+                    pool.map(_compute_chunk, [(c, slopes) for c in chunks])
+                )
+        except (OSError, BrokenProcessPool):
+            obs.incr("build_parallel.fallbacks")
+            return compute_keys_batch(items, slopes)
+    merged: dict[int, EntryKeys | None] = {}
+    for part in parts:
+        merged.update(part)
+    return merged

@@ -1,0 +1,310 @@
+"""The sharded dual-transform engine.
+
+:class:`ShardedDualIndex` hash-partitions a relation by tuple id across
+N fully independent shards — each shard owns its own pager, buffer
+pool, heap file, and 2k B+-tree forest (a complete
+:class:`~repro.core.planner.DualIndexPlanner`). Queries fan out across
+a thread pool and merge:
+
+* **answers** — half-plane selections distribute over a disjoint
+  partition of the relation, so the merged answer is the plain union of
+  per-shard answer sets (no translation: shards index tuples under
+  their global ids via :meth:`GeneralizedRelation.subset`);
+* **accounting** — page accesses, candidates, false hits and
+  refinement pages are summed across shards, so the paper's metric
+  stays the total work the engine did (a shard's pages are as real as
+  the single-engine pages).
+
+Determinism: per-shard execution is exactly the unsharded engine on the
+shard's sub-relation, key computation is bit-identical (see
+:mod:`repro.shard.keys`), and the union of disjoint exact answer sets
+is order-independent — so sharded answers are bit-identical to the
+unsharded engine's for every N. Fan-out runs sequentially whenever an
+:mod:`repro.obs` trace is active (the trace recorder is bound to one
+pager and is not thread-safe).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import fields as dataclass_fields
+from typing import Callable, Iterable, Sequence
+
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.theta import Theta
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.dual_index import IndexSpace
+from repro.core.planner import DualIndexPlanner
+from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
+from repro.core.slope_set import SlopeSet
+from repro.errors import IndexError_
+from repro.exec.executor import BatchExecutor, BatchResult
+from repro.obs import trace as obs
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.storage.pager import Pager
+from repro.storage.stats import IOStats
+
+
+def shard_of(tid: int, shards: int) -> int:
+    """The shard owning tuple ``tid`` (hash partition by id)."""
+    return tid % shards
+
+
+def _add_io(total: IOStats, part: IOStats) -> None:
+    for f in dataclass_fields(IOStats):
+        setattr(total, f.name, getattr(total, f.name) + getattr(part, f.name))
+
+
+class ShardedDualIndex:
+    """N independent dual-index shards behind one planner-like facade.
+
+    Construct with :meth:`build`; the query surface mirrors
+    :class:`DualIndexPlanner` (``query`` / ``query_batch`` / ``exist`` /
+    ``all``), so callers — the CLI, benchmarks, the differential
+    verifier — can swap engines freely.
+
+    Example::
+
+        >>> from repro import GeneralizedRelation, parse_tuple
+        >>> from repro.shard import ShardedDualIndex
+        >>> r = GeneralizedRelation([
+        ...     parse_tuple("y >= x and y <= 4 and x >= 0"),
+        ...     parse_tuple("y <= 1 and y >= 0 and x >= 0 and x <= 1"),
+        ... ])
+        >>> engine = ShardedDualIndex.build(r, slopes=[-1.0, 0.0, 1.0],
+        ...                                 shards=2)
+        >>> res = engine.exist(0.0, 2.0, ">=")
+        >>> sorted(res.ids)
+        [0]
+    """
+
+    def __init__(
+        self,
+        planners: Sequence[DualIndexPlanner],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if not planners:
+            raise IndexError_("ShardedDualIndex needs at least one shard")
+        self.planners = list(planners)
+        self.registry = registry if registry is not None else get_registry()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._executors: list[BatchExecutor] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        relation: GeneralizedRelation,
+        slopes: SlopeSet | Iterable[float],
+        shards: int = 2,
+        workers: int = 0,
+        key_bytes: int = 4,
+        technique: str = "T2",
+        fill: float = 0.9,
+        pivot_x: float = 0.0,
+        pager_factory: Callable[[int], Pager] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "ShardedDualIndex":
+        """Partition ``relation`` into ``shards`` sub-relations by tuple
+        id and build one full planner per shard (each with its own
+        pager unless ``pager_factory`` supplies them). ``workers`` is
+        forwarded to every shard's parallel build path.
+        """
+        if shards < 1:
+            raise IndexError_("shards must be >= 1")
+        slope_set = slopes if isinstance(slopes, SlopeSet) else SlopeSet(slopes)
+        parts: list[list[int]] = [[] for _ in range(shards)]
+        for tid, _t in relation:
+            parts[shard_of(tid, shards)].append(tid)
+        planners = []
+        with obs.span("build.sharded", shards=shards, workers=workers):
+            for n, ids in enumerate(parts):
+                sub = relation.subset(ids, name=f"{relation.name}[{n}]")
+                pager = pager_factory(n) if pager_factory is not None else None
+                planners.append(
+                    DualIndexPlanner.build(
+                        sub,
+                        slope_set,
+                        pager=pager,
+                        key_bytes=key_bytes,
+                        technique=technique,
+                        fill=fill,
+                        pivot_x=pivot_x,
+                        workers=workers,
+                        name=f"shard{n}",
+                    )
+                )
+        return cls(planners, registry=registry)
+
+    # ------------------------------------------------------------------
+    # facade properties
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.planners)
+
+    @property
+    def size(self) -> int:
+        """Indexed tuples across all shards."""
+        return sum(p.index.size for p in self.planners)
+
+    @property
+    def skipped(self) -> list[int]:
+        """Unsatisfiable tuple ids skipped at build, across all shards."""
+        out: list[int] = []
+        for p in self.planners:
+            out.extend(p.index.skipped)
+        return sorted(out)
+
+    @property
+    def version(self) -> int:
+        """Aggregate structure version (sum of shard versions): any
+        shard mutation changes it, so caches keyed on it invalidate."""
+        return sum(p.index.version for p in self.planners)
+
+    def space(self) -> IndexSpace:
+        """Summed page breakdown across all shards."""
+        tree = directory = heap = 0
+        for p in self.planners:
+            s = p.index.space()
+            tree += s.tree_pages
+            directory += s.directory_pages
+            heap += s.heap_pages
+        return IndexSpace(tree, directory, heap)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query: HalfPlaneQuery, refresh: bool = True) -> QueryResult:
+        """Fan one query out to every shard and merge (union of ids,
+        summed accounting). The answer is bit-identical to the
+        unsharded planner's on the same relation."""
+        with obs.span("shard.fanout", shards=self.shards,
+                      type=query.query_type):
+            obs.incr("shard_fanout.queries")
+            partials = self._fanout(
+                lambda p: p.query(query, refresh=refresh)
+            )
+        return _merge_query_results(partials)
+
+    def query_batch(self, queries: Sequence[HalfPlaneQuery]) -> BatchResult:
+        """Fan a whole batch out to per-shard batch executors and merge
+        per-position results plus batch-scope accounting."""
+        queries = list(queries)
+        with obs.span("shard.fanout_batch", shards=self.shards,
+                      queries=len(queries)):
+            obs.incr("shard_fanout.batches")
+            obs.incr("shard_fanout.queries", len(queries))
+            parts = self._fanout_executors(queries)
+        merged = BatchResult(results=[])
+        for position in range(len(queries)):
+            merged.results.append(
+                _merge_query_results([p.results[position] for p in parts])
+            )
+        for part in parts:
+            _add_io(merged.io, part.io)
+            merged.cache_hits += part.cache_hits
+            merged.cache_misses += part.cache_misses
+            merged.exact_groups += part.exact_groups
+            merged.vector_groups += part.vector_groups
+            merged.sweep_leaves += part.sweep_leaves
+            merged.refinement_pages += part.refinement_pages
+        self.registry.counter(
+            "shard_fanout_batches", "Batches fanned out across shards"
+        ).inc()
+        self.registry.counter(
+            "shard_fanout_queries", "Queries answered by shard fan-out"
+        ).inc(len(queries) * self.shards)
+        return merged
+
+    def exist(
+        self, slope: float, intercept: float, theta: Theta | str = ">="
+    ) -> QueryResult:
+        """EXIST selection across all shards."""
+        return self.query(HalfPlaneQuery(EXIST, slope, intercept, theta))
+
+    def all(
+        self, slope: float, intercept: float, theta: Theta | str = ">="
+    ) -> QueryResult:
+        """ALL selection across all shards."""
+        return self.query(HalfPlaneQuery(ALL, slope, intercept, theta))
+
+    # ------------------------------------------------------------------
+    # updates (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def insert(self, tid: int, t: GeneralizedTuple) -> None:
+        """Insert into the shard owning ``tid`` (dynamic shards only)."""
+        self.planners[shard_of(tid, self.shards)].insert(tid, t)
+
+    def delete(self, tid: int) -> None:
+        """Delete from the shard owning ``tid`` (dynamic shards only)."""
+        self.planners[shard_of(tid, self.shards)].delete(tid)
+
+    # ------------------------------------------------------------------
+    # fan-out machinery
+    # ------------------------------------------------------------------
+    def _fanout(self, fn):
+        """Apply ``fn`` to every shard planner, threaded when safe.
+
+        Sequential when a trace is active (the recorder binds one pager
+        and is not thread-safe) or with a single shard.
+        """
+        if self.shards == 1 or obs.current() is not None:
+            return [fn(p) for p in self.planners]
+        return list(self._thread_pool().map(fn, self.planners))
+
+    def _fanout_executors(self, queries) -> list[BatchResult]:
+        executors = self._shard_executors()
+        if self.shards == 1 or obs.current() is not None:
+            return [ex.execute(queries) for ex in executors]
+        return list(
+            self._thread_pool().map(lambda ex: ex.execute(queries), executors)
+        )
+
+    def _shard_executors(self) -> list[BatchExecutor]:
+        if self._executors is None:
+            self._executors = [
+                BatchExecutor(p, registry=self.registry)
+                for p in self.planners
+            ]
+        return self._executors
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.shards, thread_name_prefix="shard"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedDualIndex shards={self.shards} size={self.size} "
+            f"slopes={len(self.planners[0].index.slopes)}>"
+        )
+
+
+def _merge_query_results(partials: Sequence[QueryResult]) -> QueryResult:
+    """Union the answer sets of disjoint shards; sum the diagnostics."""
+    merged = QueryResult(technique=partials[0].technique)
+    merged.cached = all(p.cached for p in partials)
+    for part in partials:
+        merged.ids |= part.ids
+        merged.candidates += part.candidates
+        merged.false_hits += part.false_hits
+        merged.duplicates += part.duplicates
+        merged.accepted_without_refinement += part.accepted_without_refinement
+        merged.refinement_pages += part.refinement_pages
+        _add_io(merged.io, part.io)
+    return merged

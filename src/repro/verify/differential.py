@@ -7,7 +7,9 @@ answers every query through each production path —
 * T2 two-sweep interior approximation (a T2 planner),
 * the R+-tree baseline (bounded-only rounds),
 * the vectorized :class:`~repro.geometry.vectorized.DualSurface`,
-* the :class:`~repro.exec.BatchExecutor`, cache cold *and* hot —
+* the :class:`~repro.exec.BatchExecutor`, cache cold *and* hot,
+* the :class:`~repro.shard.ShardedDualIndex` (2 shards), direct and
+  batched — sharded answers must be bit-identical to unsharded —
 
 comparing each answer set **strictly** against the exact geometric
 oracle (:func:`repro.geometry.predicates.evaluate_relation`, minus the
@@ -43,6 +45,7 @@ from repro.geometry.predicates import evaluate_relation
 from repro.geometry.vectorized import DualSurface
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.rtree.planner import RTreePlanner
+from repro.shard.sharded import ShardedDualIndex
 from repro.verify import workload
 from repro.verify.faults import FaultInjectingPager
 from repro.verify.invariants import (
@@ -211,6 +214,8 @@ def run_checks(
     surface = DualSurface.from_items(sorted(satisfiable.items()))
     batch_cold = t2.query_batch(list(queries))
     batch_hot = t2.query_batch(list(queries))
+    sharded = ShardedDualIndex.build(relation, slopes, shards=2)
+    sharded_batch = sharded.query_batch(list(queries))
 
     lp = oracle if oracle is not None else BruteForceOracle()
     comparisons = 0
@@ -227,6 +232,8 @@ def run_checks(
             ),
             "batch-cold": batch_cold.results[position].ids,
             "batch-hot": batch_hot.results[position].ids,
+            "sharded": sharded.query(q).ids,
+            "sharded-batch": sharded_batch.results[position].ids,
         }
         if rtree is not None:
             answers["rtree"] = rtree.query(q).ids
@@ -270,6 +277,7 @@ def run_checks(
                     }
                 )
 
+    sharded.close()
     if check_invariants:
         try:
             check_dual_index(t2.index)

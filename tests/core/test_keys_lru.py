@@ -1,0 +1,86 @@
+"""The bounded key cache: LRU semantics, and eviction preserving answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.core.dual_index import DualIndex, KeysLRU
+from repro.errors import IndexError_
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+SLOPES = SlopeSet([-1.0, 0.0, 1.0])
+
+
+def test_lru_evicts_least_recently_used():
+    cache = KeysLRU(2)
+    cache[1] = "a"
+    cache[2] = "b"
+    assert cache.get(1) == "a"  # touch 1 → 2 becomes the eviction victim
+    cache[3] = "c"
+    assert 2 not in cache
+    assert 1 in cache and 3 in cache
+    assert len(cache) == 2
+
+
+def test_lru_overwrite_refreshes_recency():
+    cache = KeysLRU(2)
+    cache[1] = "a"
+    cache[2] = "b"
+    cache[1] = "a2"
+    cache[3] = "c"
+    assert 2 not in cache
+    assert cache.get(1) == "a2"
+    assert cache.pop(3) == "c"
+    assert cache.pop(3, "missing") == "missing"
+
+
+def test_lru_rejects_nonpositive_capacity():
+    with pytest.raises(IndexError_):
+        KeysLRU(0)
+
+
+def _answers(planner, queries):
+    return [frozenset(planner.query(q).ids) for q in queries]
+
+
+def test_eviction_never_changes_answers():
+    """A keys_cache far smaller than the relation must not change any
+    answer through build, deletes, inserts, and maintenance — evicted
+    keys are re-derived from heap records on demand."""
+    rng = random.Random(0xBEEF)
+    relation = random_mixed_relation(rng, 40)
+    queries = [
+        HalfPlaneQuery(
+            rng.choice(["ALL", "EXIST"]),
+            rng.uniform(-2.0, 2.0),
+            rng.uniform(-40.0, 40.0),
+            rng.choice([">=", "<="]),
+        )
+        for _ in range(12)
+    ]
+
+    def build(capacity):
+        index = DualIndex(
+            slopes=SLOPES, dynamic=True, keys_cache_entries=capacity
+        )
+        index.build(relation)
+        return DualIndexPlanner(index)
+
+    roomy = build(1 << 16)
+    tiny = build(3)
+    assert len(tiny.index.keys_cache) <= 3
+    assert _answers(tiny, queries) == _answers(roomy, queries)
+
+    victims = [tid for tid, _t in relation][::4]
+    extra = {max(tid for tid, _t in relation) + 1 + i: random_bounded_tuple(rng)
+             for i in range(4)}
+    for planner in (roomy, tiny):
+        for tid in victims:
+            planner.delete(tid)
+        for tid, t in extra.items():
+            planner.insert(tid, t)
+        planner.index.refresh_handicaps()
+    assert _answers(tiny, queries) == _answers(roomy, queries)

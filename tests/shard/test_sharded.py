@@ -1,0 +1,171 @@
+"""ShardedDualIndex: partitioning, merging, and sharded ≡ unsharded."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.errors import IndexError_
+from repro.shard import ShardedDualIndex, shard_of
+from repro.workloads import make_relation
+from tests.conftest import random_bounded_tuple, random_mixed_relation
+
+SLOPES = SlopeSet([-2.0, -0.5, 0.5, 2.0])
+
+
+def _random_queries(rng: random.Random, count: int) -> list[HalfPlaneQuery]:
+    return [
+        HalfPlaneQuery(
+            rng.choice(["ALL", "EXIST"]),
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-60.0, 60.0),
+            rng.choice([">=", "<="]),
+        )
+        for _ in range(count)
+    ]
+
+
+def test_shard_of_partitions_every_tuple_once():
+    ids = list(range(97))
+    for shards in (1, 2, 3, 4):
+        buckets = [[] for _ in range(shards)]
+        for tid in ids:
+            buckets[shard_of(tid, shards)].append(tid)
+        assert sorted(tid for b in buckets for tid in b) == ids
+
+
+def test_build_partitions_by_tuple_id():
+    relation = make_relation(50, "small", seed=2)
+    engine = ShardedDualIndex.build(relation, SLOPES, shards=3)
+    try:
+        assert engine.shards == 3
+        assert engine.size + len(engine.skipped) == len(relation)
+        for n, planner in enumerate(engine.planners):
+            for tid in planner.index.rid_of:
+                assert shard_of(tid, 3) == n
+    finally:
+        engine.close()
+
+
+def test_build_rejects_zero_shards():
+    relation = make_relation(10, "small", seed=2)
+    with pytest.raises(IndexError_):
+        ShardedDualIndex.build(relation, SLOPES, shards=0)
+    with pytest.raises(IndexError_):
+        ShardedDualIndex([])
+
+
+def test_merged_accounting_sums_shards():
+    rng = random.Random(12)
+    relation = random_mixed_relation(rng, 40)
+    engine = ShardedDualIndex.build(relation, SLOPES, shards=2)
+    try:
+        query = HalfPlaneQuery("EXIST", 0.3, 1.0, ">=")
+        partials = [p.query(query) for p in engine.planners]
+        merged = engine.query(query)
+        assert merged.ids == set().union(*(p.ids for p in partials))
+        assert merged.candidates == sum(p.candidates for p in partials)
+        assert merged.refinement_pages == sum(
+            p.refinement_pages for p in partials
+        )
+        space = engine.space()
+        assert space.tree_pages == sum(
+            p.index.space().tree_pages for p in engine.planners
+        )
+    finally:
+        engine.close()
+
+
+def test_query_batch_matches_per_query_fanout():
+    rng = random.Random(3)
+    relation = random_mixed_relation(rng, 36)
+    engine = ShardedDualIndex.build(relation, SLOPES, shards=2)
+    try:
+        queries = _random_queries(rng, 10)
+        batch = engine.query_batch(queries)
+        assert len(batch.results) == len(queries)
+        for query, result in zip(queries, batch.results):
+            assert result.ids == engine.query(query).ids
+    finally:
+        engine.close()
+
+
+def test_updates_route_to_owning_shard():
+    rng = random.Random(8)
+    relation = random_mixed_relation(rng, 24)
+    planners = [
+        DualIndexPlanner.build(
+            relation.subset(
+                [tid for tid, _t in relation if shard_of(tid, 2) == n]
+            ),
+            SLOPES,
+            dynamic=True,
+        )
+        for n in range(2)
+    ]
+    engine = ShardedDualIndex(planners)
+    try:
+        new_tid = max(tid for tid, _t in relation) + 1
+        t = random_bounded_tuple(rng)
+        engine.insert(new_tid, t)
+        owner = engine.planners[shard_of(new_tid, 2)]
+        assert new_tid in owner.index.rid_of
+        engine.delete(new_tid)
+        assert new_tid not in owner.index.rid_of
+    finally:
+        engine.close()
+
+
+def test_parallel_sharded_build_matches_serial_layout():
+    slopes = SlopeSet.uniform_angles(3)
+    serial = ShardedDualIndex.build(
+        make_relation(90, "small", seed=21), slopes, shards=2, workers=0
+    )
+    parallel = ShardedDualIndex.build(
+        make_relation(90, "small", seed=21), slopes, shards=2, workers=4
+    )
+    try:
+        for a, b in zip(serial.planners, parallel.planners):
+            for ta, tb in zip(
+                a.index.up + a.index.down, b.index.up + b.index.down
+            ):
+                la = [
+                    (v.leaf.keys, v.leaf.rids, v.leaf.aux)
+                    for v in ta.sweep_up(float("-inf"))
+                ]
+                lb = [
+                    (v.leaf.keys, v.leaf.rids, v.leaf.aux)
+                    for v in tb.sweep_up(float("-inf"))
+                ]
+                assert la == lb, ta.name
+            assert a.index.assign_extrema == b.index.assign_extrema
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_sharded_equals_unsharded_property(seed):
+    """sharded(N) ≡ unsharded for N ∈ {1, 2, 4} on mixed workloads."""
+    rng = random.Random(seed)
+    relation = random_mixed_relation(rng, 12)
+    queries = _random_queries(rng, 6)
+    reference = DualIndexPlanner.build(relation, SLOPES)
+    expected = [frozenset(reference.query(q).ids) for q in queries]
+    for shards in (1, 2, 4):
+        engine = ShardedDualIndex.build(relation, SLOPES, shards=shards)
+        try:
+            for query, want in zip(queries, expected):
+                assert frozenset(engine.query(query).ids) == want, (
+                    shards,
+                    query,
+                )
+            batch = engine.query_batch(queries)
+            for result, want in zip(batch.results, expected):
+                assert frozenset(result.ids) == want, shards
+        finally:
+            engine.close()

@@ -1,0 +1,75 @@
+"""Batched key (de)serialization agrees with the scalar codec."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.storage.serialize import KeyCodec
+
+EDGE_VALUES = [
+    0.0,
+    -0.0,
+    1.5,
+    -7.25,
+    1e-40,
+    3.5e38,       # saturates to +inf at 4 bytes
+    -3.5e38,      # saturates to -inf at 4 bytes
+    3.4e38,
+    1e308,
+    -1e308,
+    math.inf,
+    -math.inf,
+    math.pi,
+]
+
+
+@pytest.mark.parametrize("key_bytes", [4, 8])
+def test_encode_keys_matches_scalar_encode(key_bytes):
+    codec = KeyCodec(key_bytes)
+    batched = codec.encode_keys(EDGE_VALUES)
+    scalar = b"".join(codec.encode(v) for v in EDGE_VALUES)
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("key_bytes", [4, 8])
+def test_decode_keys_matches_scalar_decode(key_bytes):
+    codec = KeyCodec(key_bytes)
+    data = codec.encode_keys(EDGE_VALUES)
+    batched = codec.decode_keys(data, len(EDGE_VALUES))
+    fmt = "<f" if key_bytes == 4 else "<d"
+    scalar = [
+        struct.unpack_from(fmt, data, i * key_bytes)[0]
+        for i in range(len(EDGE_VALUES))
+    ]
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("key_bytes", [4, 8])
+def test_roundtrip_with_offset(key_bytes):
+    codec = KeyCodec(key_bytes)
+    prefix = b"\xaa" * key_bytes
+    data = prefix + codec.encode_keys([1.0, 2.0, 3.0])
+    assert codec.decode_keys(data, 2, offset=key_bytes * 2) == [2.0, 3.0]
+    assert codec.encode_keys([]) == b""
+    assert codec.decode_keys(b"", 0) == []
+
+
+@pytest.mark.parametrize("key_bytes", [4, 8])
+def test_quantize_many_matches_scalar_quantize(key_bytes):
+    codec = KeyCodec(key_bytes)
+    batched = codec.quantize_many(EDGE_VALUES)
+    scalar = [codec.quantize(v) for v in EDGE_VALUES]
+    assert list(batched) == scalar
+
+
+def test_saturate_array_clamps_only_4_byte():
+    values = [3.5e38, -3.5e38, 1.0, math.inf]
+    four = KeyCodec(4).saturate_array(values)
+    assert list(four) == [math.inf, -math.inf, 1.0, math.inf]
+    eight = KeyCodec(8).saturate_array(values)
+    assert list(eight) == values
+    assert eight.dtype == np.float64
