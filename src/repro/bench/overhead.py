@@ -1,0 +1,110 @@
+"""``repro overhead``: budget check for tracing's wall-time cost.
+
+The observability layer's contract is that tracing is cheap: disabled,
+the hooks are one global load and a ``None`` check; enabled, spans only
+snapshot counters at phase boundaries. This tool measures both modes
+over the deterministic smoke query workload and fails when the traced
+run exceeds the untraced run by more than a fractional budget (CI uses
+5%).
+
+Timing methodology: wall time is noisy on shared CI runners, so each
+mode takes the **best of N repeats** (minimum is the standard robust
+estimator for "how fast can this code run"), and the comparison adds a
+small absolute slack so microsecond-scale workloads can't fail on
+scheduler jitter alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import harness
+from repro.core.query import ALL, EXIST
+from repro.obs.trace import QueryTrace, tracing
+
+#: Absolute slack added to the budget (seconds) — guards tiny workloads
+#: against pure timer/scheduler noise.
+ABSOLUTE_SLACK = 0.010
+
+
+def _run_workload(planner, queries, traced: bool) -> float:
+    start = time.perf_counter()
+    if traced:
+        for query in queries:
+            with tracing(QueryTrace(name="overhead")):
+                planner.query(query)
+    else:
+        for query in queries:
+            planner.query(query)
+    return time.perf_counter() - start
+
+
+def measure(
+    n: int = 500,
+    size: str = "small",
+    k: int = 3,
+    count: int = 4,
+    repeats: int = 5,
+) -> tuple[float, float]:
+    """``(untraced_best, traced_best)`` seconds over the smoke queries."""
+    planner = harness.dual_planner(n, size, k)
+    queries = []
+    for qtype in (EXIST, ALL):
+        queries.extend(harness.queries_for(n, size, qtype, k, count=count))
+    # Warm both paths once (buffer pool, key caches) so neither mode
+    # pays cold-start costs the other already amortized.
+    _run_workload(planner, queries, traced=False)
+    _run_workload(planner, queries, traced=True)
+    untraced = min(
+        _run_workload(planner, queries, traced=False)
+        for _ in range(repeats)
+    )
+    traced = min(
+        _run_workload(planner, queries, traced=True) for _ in range(repeats)
+    )
+    return untraced, traced
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro overhead`` entry point. Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro overhead",
+        description="gate tracing overhead against a wall-time budget",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=0.05,
+        help="max fractional traced-over-untraced overhead (default 0.05)",
+    )
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of repeats per mode (default 5)")
+    parser.add_argument("--n", type=int, default=500)
+    parser.add_argument("--size", default="small")
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--count", type=int, default=4)
+    args = parser.parse_args(argv)
+    untraced, traced = measure(
+        n=args.n, size=args.size, k=args.k, count=args.count,
+        repeats=args.repeats,
+    )
+    limit = untraced * (1.0 + args.budget) + ABSOLUTE_SLACK
+    overhead = (traced - untraced) / untraced if untraced else 0.0
+    print(
+        f"untraced best {untraced * 1000:.3f} ms, "
+        f"traced best {traced * 1000:.3f} ms "
+        f"({overhead:+.1%} vs budget {args.budget:.0%} "
+        f"+ {ABSOLUTE_SLACK * 1000:.0f} ms slack)"
+    )
+    if traced > limit:
+        print(
+            f"overhead: traced run exceeded budget "
+            f"({traced * 1000:.3f} ms > {limit * 1000:.3f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

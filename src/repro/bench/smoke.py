@@ -200,11 +200,13 @@ def _run_shard_leg(
     """Optional sharded-engine leg (``--shards N`` with N > 1).
 
     Fans the smoke batch across a :class:`ShardedDualIndex` and records
-    ``smoke_shard_pages``/``smoke_shard_results``. The engine runs
-    against a *private* registry so its internal ``exec_*`` /
-    ``shard_fanout_*`` traffic cannot inflate the gated counters of the
-    default workload: the two ``smoke_shard_*`` keys are the leg's only
-    additions, and new keys warn rather than gate.
+    ``smoke_shard_pages``/``smoke_shard_results`` plus the engine's own
+    fleet series — ``shard_fanout_*`` and the per-shard
+    ``shard_exec_*{shard=i}`` / ``shard_pages{shard=i}`` families the
+    facade drains from its shard-local registries — so ``repro stats``
+    sees sharded traffic. The extra families are distinct names from
+    the gated default-workload counters (they cannot inflate them), and
+    new keys warn rather than gate.
     """
     from repro.core import HalfPlaneQuery, SlopeSet
     from repro.shard import ShardedDualIndex
@@ -218,7 +220,7 @@ def _run_shard_leg(
         SlopeSet.uniform_angles(k),
         shards=shards,
         workers=build_workers,
-        registry=MetricsRegistry(),
+        registry=registry,
     )
     try:
         batch = engine.query_batch(queries)

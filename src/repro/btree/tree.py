@@ -202,7 +202,7 @@ class BPlusTree:
         if from_key is None:
             pid = self.first_leaf
         else:
-            with obs.span("descend", tree=self.name):
+            with obs.span("descend", tree=self.name, height=self.height):
                 pid = self._descend_left((self.quantize(from_key), -1))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)
@@ -218,7 +218,7 @@ class BPlusTree:
         if from_key is None:
             pid = self.last_leaf
         else:
-            with obs.span("descend", tree=self.name):
+            with obs.span("descend", tree=self.name, height=self.height):
                 pid = self._descend_right((self.quantize(from_key), _MAX_RID))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)

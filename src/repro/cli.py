@@ -23,9 +23,25 @@ Commands
     ``--shards N`` partitions the relation across N independent shards
     (:mod:`repro.shard`) and fans the batch out; ``--build-workers M``
     computes build keys on an M-process pool.
-``stats [--n N --size small|medium --k K --queries Q]``
-    Run a query batch and print the metrics-registry JSON snapshot
-    (includes the batch executor's ``exec_*`` cache counters).
+``explain [--workload fig9-medium | --tuples FILE --queries FILE] [--shards N]``
+    Run one query workload under a trace and print the explain report:
+    the span tree, exclusive per-phase page/time attribution (checked
+    to sum to the inclusive total), B+-tree descent heights, buffer hit
+    ratios, cache outcomes, and per-shard work rows. ``--chrome-out``
+    exports a Perfetto-openable Chrome trace, ``--events-out`` a JSONL
+    event dump.
+``stats [--n N --size small|medium --k K --queries Q --shards S --build-workers W]``
+    Run a query batch and print the metrics-registry snapshot
+    (includes the batch executor's ``exec_*`` cache counters and, with
+    ``--shards``/``--build-workers``, the merged ``shard=i``/
+    ``worker=j`` fleet series). ``--format prom`` emits Prometheus text
+    exposition instead of JSON.
+``bench-diff BASELINE CURRENT [--threshold F]``
+    Per-counter delta report between two bench/smoke JSON artifacts;
+    exits non-zero when a counter regresses beyond the threshold.
+``overhead [--budget F --repeats N]``
+    Measure traced vs untraced query wall time (best-of-N) and fail
+    when tracing exceeds the fractional budget.
 ``smoke [--out FILE --baseline FILE --update-baseline --shards N --build-workers M]``
     The CI perf-smoke gate (see :mod:`repro.bench.smoke`). The baseline
     lives at ``benchmarks/baselines/smoke.json`` relative to the
@@ -170,6 +186,67 @@ def build_parser() -> argparse.ArgumentParser:
              ">=2 computes keys on a process pool — same index bytes)",
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help="trace one workload and print checked per-phase attribution",
+        description=(
+            "Run a query workload under a QueryTrace and print the "
+            "explain report: span tree, exclusive per-phase page/time "
+            "attribution (asserted to sum to the inclusive total, "
+            "per-shard pagers included), B+-tree descent heights, "
+            "buffer hit ratios, and cache outcomes. Choose the workload "
+            "with --workload (a named harness preset) or --tuples/"
+            "--queries files."
+        ),
+    )
+    explain.add_argument(
+        "--workload", default=None, choices=["fig9-medium", "smoke"],
+        help="named harness workload (fig9-medium: n=2000 medium; "
+             "smoke: n=500 small)",
+    )
+    explain.add_argument(
+        "--tuples", default=None,
+        help="tuple file path (alternative to --workload)",
+    )
+    explain.add_argument(
+        "--queries", default=None,
+        help="query file path (`ALL|EXIST <slope> <intercept> <GE|LE>` "
+             "per line); with --workload, harness queries are used",
+    )
+    explain.add_argument(
+        "--count", type=int, default=1,
+        help="harness queries per selection type (default 1)",
+    )
+    explain.add_argument(
+        "--slopes", default=None,
+        help="comma-separated predefined slope set (file workloads only)",
+    )
+    explain.add_argument(
+        "--shards", type=int, default=1,
+        help="run against a sharded engine with N shards (per-shard "
+             "rows appear in the report)",
+    )
+    explain.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the index build",
+    )
+    explain.add_argument(
+        "--batch", action="store_true",
+        help="route through the batch executor instead of per-query",
+    )
+    explain.add_argument(
+        "--chrome-out", default=None,
+        help="also export a Chrome trace-event JSON (open in Perfetto)",
+    )
+    explain.add_argument(
+        "--events-out", default=None,
+        help="also dump the span events as JSONL",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the raw trace JSON instead of the rendered report",
+    )
+
     stats = sub.add_parser(
         "stats", help="run a query batch and print the metrics registry"
     )
@@ -178,6 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--k", type=int, default=3, help="slope-set size")
     stats.add_argument(
         "--queries", type=int, default=4, help="queries per selection type"
+    )
+    stats.add_argument(
+        "--format", default="json", choices=["json", "prom"],
+        help="output format: registry JSON (default) or Prometheus "
+             "text exposition",
+    )
+    stats.add_argument(
+        "--shards", type=int, default=1,
+        help="also run the sharded smoke leg; its per-shard series "
+             "merge into the output as shard_*{shard=i}",
+    )
+    stats.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the build leg; pool workers report "
+             "build_worker_*{worker=j} series",
     )
 
     smoke = sub.add_parser(
@@ -241,6 +333,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed build attempts per worker count (best-of; default 2)",
     )
 
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="diff two bench/smoke JSON artifacts, gate on regressions",
+        description=(
+            "Per-counter delta report between two bench artifacts "
+            "(MetricsRegistry.collect() documents or flat key->number "
+            "maps). A counter above baseline x (1 + threshold), or a "
+            "baseline counter missing from the current run, is a "
+            "regression (exit 1). New counters never fail."
+        ),
+    )
+    bench_diff.add_argument("baseline", help="baseline artifact (JSON)")
+    bench_diff.add_argument("current", help="current artifact (JSON)")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="fractional regression allowance (default 0)",
+    )
+
+    overhead = sub.add_parser(
+        "overhead",
+        help="gate tracing wall-time overhead against a budget",
+        description=(
+            "Run the smoke query workload traced and untraced (best-of-N "
+            "each) and fail when the traced run exceeds the untraced one "
+            "by more than the fractional budget plus a small absolute "
+            "slack."
+        ),
+    )
+    overhead.add_argument("--budget", type=float, default=0.05,
+                          help="max fractional overhead (default 0.05)")
+    overhead.add_argument("--repeats", type=int, default=5,
+                          help="best-of repeats per mode (default 5)")
+
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing of all query paths vs two oracles",
@@ -294,8 +419,23 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(args)
     if args.command == "batch":
         return _batch(args)
+    if args.command == "explain":
+        return _explain(args)
     if args.command == "stats":
         return _stats(args)
+    if args.command == "bench-diff":
+        from repro.bench import diff
+
+        return diff.main(
+            [args.baseline, args.current, "--threshold",
+             str(args.threshold)]
+        )
+    if args.command == "overhead":
+        from repro.bench import overhead
+
+        return overhead.main(
+            ["--budget", str(args.budget), "--repeats", str(args.repeats)]
+        )
     if args.command == "smoke":
         return _smoke(args)
     if args.command == "shard-bench":
@@ -579,15 +719,98 @@ def _batch(args) -> int:
     return 0
 
 
+#: Named harness workloads for ``repro explain``.
+_EXPLAIN_WORKLOADS = {
+    "fig9-medium": (2000, "medium", 3),
+    "smoke": (500, "small", 3),
+}
+
+
+def _explain(args) -> int:
+    import json as json_mod
+
+    from repro.obs import explain as run_explain
+    from repro.obs import render_explain
+    from repro.obs.events import EventLog, log_trace
+    from repro.obs.export import write_chrome_trace
+
+    if (args.workload is None) == (args.tuples is None):
+        print("explain: give exactly one of --workload or --tuples",
+              file=sys.stderr)
+        return 2
+    if args.workload is not None:
+        from repro.bench import harness
+        from repro.core import DualIndexPlanner, SlopeSet
+        from repro.workloads import make_relation
+
+        n, size, k = _EXPLAIN_WORKLOADS[args.workload]
+        queries = []
+        for qtype in ("EXIST", "ALL"):
+            queries.extend(
+                harness.queries_for(n, size, qtype, k, count=args.count)
+            )
+        if args.queries is not None:
+            queries = _parse_query_file(args.queries)
+        relation = make_relation(n, size, seed=harness.SEED)
+        if args.shards > 1:
+            from repro.shard import ShardedDualIndex
+
+            engine = ShardedDualIndex.build(
+                relation, SlopeSet.uniform_angles(k),
+                shards=args.shards, workers=args.build_workers,
+            )
+        else:
+            engine = DualIndexPlanner.build(
+                relation, SlopeSet.uniform_angles(k),
+                workers=args.build_workers,
+            )
+    else:
+        if args.queries is None:
+            print("explain: --tuples needs --queries", file=sys.stderr)
+            return 2
+        relation, engine = _load_relation(
+            args.tuples, args.slopes,
+            build_workers=args.build_workers, shards=args.shards,
+        )
+        if relation is None:
+            print("no tuples found", file=sys.stderr)
+            return 1
+        queries = _parse_query_file(args.queries)
+    if not queries:
+        print("no queries found", file=sys.stderr)
+        return 1
+
+    report = run_explain(engine, queries, batch=args.batch)
+    if args.json:
+        print(json_mod.dumps(report.root.to_dict(), indent=2))
+    else:
+        print(render_explain(report))
+    if args.chrome_out:
+        write_chrome_trace(report.root, args.chrome_out)
+        print(f"\nwrote chrome trace: {args.chrome_out} (open in Perfetto)")
+    if args.events_out:
+        log = EventLog()
+        count = log_trace(log, report.root)
+        log.write_jsonl(args.events_out)
+        print(f"wrote {count} events: {args.events_out}")
+    return 0
+
+
 def _stats(args) -> int:
     from repro.bench.smoke import run_smoke
-    from repro.obs import MetricsRegistry
+    from repro.obs import get_registry
 
+    # The process-global registry, so fleet series merged from shard
+    # and build-worker registries land in the same snapshot we print.
     registry = run_smoke(
-        MetricsRegistry(), n=args.n, size=args.size, k=args.k,
-        count=args.queries,
+        get_registry(), n=args.n, size=args.size, k=args.k,
+        count=args.queries, shards=args.shards,
+        build_workers=args.build_workers,
     )
-    print(registry.export_json())
+    if args.format == "prom":
+        sys.stdout.write(registry.export_prom())
+    else:
+        print(registry.export_json())
     return 0
 
 

@@ -112,6 +112,7 @@ class DualIndexPlanner:
         with obs.span(
             "query",
             pager=self.index.pager,
+            index=self.index.name,
             type=query.query_type,
             slope=f"{query.slope_2d:g}",
             intercept=f"{query.intercept:g}",

@@ -153,7 +153,8 @@ class BatchExecutor:
         version = self.index.version
         batch = BatchResult(results=[None] * len(queries))  # type: ignore[list-item]
         hits0, misses0 = self.cache.hits, self.cache.misses
-        with obs.span("batch", pager=self.index.pager, queries=len(queries)):
+        with obs.span("batch", pager=self.index.pager,
+                      index=self.index.name, queries=len(queries)):
             with self.index.pager.measure() as scope:
                 self._execute(list(queries), version, batch)
             batch.io = scope.delta

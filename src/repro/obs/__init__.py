@@ -8,7 +8,17 @@ carries a first-class measurement layer:
   perf-smoke gate consumes this);
 * :mod:`repro.obs.trace` — per-query span trees (``plan`` → ``descend``
   → ``sweep`` → ``fetch`` → ``verify``) attributing logical/physical
-  I/O, buffer hits, comparison counts and wall time to each phase.
+  I/O, buffer hits, comparison counts and wall time to each phase;
+* :mod:`repro.obs.export` — Chrome trace-event JSON export of span
+  trees (openable in Perfetto);
+* :mod:`repro.obs.events` — a bounded JSONL structured-event ring;
+* :mod:`repro.obs.explain` — the ``repro explain`` report: exclusive
+  per-phase attribution with a sums-to-inclusive-total invariant.
+
+Fleet aggregation: shards and build workers record into private
+registries and ship :class:`RegistrySnapshot` objects back; the global
+registry absorbs them as ``shard=i`` / ``worker=j`` labeled series (see
+:meth:`MetricsRegistry.absorb`).
 
 Hot paths are instrumented through the module-level hooks below
 (:func:`span`, :func:`incr`): when no trace is active they reduce to one
@@ -33,11 +43,25 @@ Example::
     print(trace.export_json())
 """
 
+from repro.obs.events import EventLog, get_event_log, log_trace, parse_jsonl
+from repro.obs.explain import (
+    ExplainInvariantError,
+    ExplainReport,
+    explain,
+    render_explain,
+    traced_answer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    RegistrySnapshot,
     get_registry,
 )
 from repro.obs.trace import (
@@ -51,10 +75,23 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "EventLog",
+    "ExplainInvariantError",
+    "ExplainReport",
+    "explain",
+    "render_explain",
+    "traced_answer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RegistrySnapshot",
     "get_registry",
+    "get_event_log",
+    "log_trace",
+    "parse_jsonl",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "QueryTrace",
     "Span",
     "current",

@@ -1,0 +1,149 @@
+"""Bounded JSONL structured-event ring buffer.
+
+:class:`EventLog` keeps the last *capacity* structured events in memory
+(a ``deque(maxlen=...)``), so long-running processes can always dump the
+recent history without unbounded growth. Events are plain dicts with a
+fixed envelope — ``seq`` (monotonic), ``kind``, ``name``, ``data`` — and
+serialize one-per-line as JSONL via :meth:`EventLog.to_jsonl`;
+:func:`parse_jsonl` round-trips and re-validates them.
+
+:func:`log_trace` flattens a finished :class:`~repro.obs.trace.Span`
+tree into one ``span`` event per node, which is how query traces outlive
+the in-process tree (the ``repro explain --events-out`` path).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Iterable, Iterator
+
+from repro.obs.trace import QueryTrace, Span
+
+#: Default ring capacity — big enough for a smoke run's every span,
+#: small enough to be harmless resident state.
+DEFAULT_CAPACITY = 4096
+
+#: Envelope fields every event must carry, with their types.
+EVENT_SCHEMA: dict[str, type] = {
+    "seq": int,
+    "kind": str,
+    "name": str,
+    "data": dict,
+}
+
+
+def validate_event(event: Any) -> list[str]:
+    """Schema problems for one event dict (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    problems = []
+    for key, typ in EVENT_SCHEMA.items():
+        if key not in event:
+            problems.append(f"missing {key!r}")
+        elif not isinstance(event[key], typ) or isinstance(event[key], bool):
+            problems.append(f"{key!r} has type {type(event[key]).__name__}")
+    return problems
+
+
+class EventLog:
+    """A bounded, append-only ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        #: Total events ever emitted (≥ ``len(self)``; the difference is
+        #: how many the ring has dropped).
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.emitted - len(self._ring)
+
+    def emit(self, kind: str, name: str, **data: Any) -> dict[str, Any]:
+        """Append one event; returns the stored dict."""
+        event = {"seq": self._seq, "kind": kind, "name": name, "data": data}
+        problems = validate_event(event)
+        if problems:
+            raise ValueError("invalid event: " + "; ".join(problems))
+        self._seq += 1
+        self.emitted += 1
+        self._ring.append(event)
+        return event
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def to_jsonl(self) -> str:
+        """The ring's events, one JSON object per line (oldest first)."""
+        return "\n".join(
+            json.dumps(ev, sort_keys=True, allow_nan=False)
+            for ev in self._ring
+        )
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the ring to ``path``; returns the number of events."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self._ring)
+
+
+def parse_jsonl(text: str | Iterable[str]) -> list[dict[str, Any]]:
+    """Parse and schema-validate JSONL event lines (raises ``ValueError``
+    naming the offending line on any malformed event)."""
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    events: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        problems = validate_event(event)
+        if problems:
+            raise ValueError(f"line {i + 1}: " + "; ".join(problems))
+        events.append(event)
+    return events
+
+
+def log_trace(log: EventLog, root: Span | QueryTrace) -> int:
+    """Emit one ``span`` event per node of a finished trace; returns the
+    number of events emitted."""
+    if isinstance(root, QueryTrace):
+        root = root.close()
+    count = 0
+    for node in root.walk():
+        hits, misses = node.inclusive_buffer()
+        log.emit(
+            "span",
+            node.name,
+            phase=node.phase,
+            start_ms=node.start * 1000.0,
+            elapsed_ms=node.elapsed * 1000.0,
+            pages_inclusive=node.inclusive_pages(),
+            buffer_hits=hits,
+            buffer_misses=misses,
+            meta={k: str(v) for k, v in node.meta.items()},
+            counters=dict(node.counters),
+        )
+        count += 1
+    return count
+
+
+_default_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide default event ring."""
+    return _default_log

@@ -1,0 +1,147 @@
+"""Trace export: Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+
+:func:`chrome_trace` flattens a :class:`~repro.obs.trace.Span` tree into
+the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+using *complete* events (``ph: "X"``): one event per span, with ``ts``
+and ``dur`` in microseconds relative to the trace start. Spans measured
+on different pagers (per-shard sub-queries) are placed on separate
+``tid`` lanes, so a sharded query renders as parallel tracks.
+
+:func:`validate_chrome_trace` checks the structural contract the viewers
+rely on; the round-trip test in ``tests/obs/test_export.py`` runs every
+exported trace through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.trace import QueryTrace, Span
+
+#: Event phases this exporter emits (complete events + process metadata).
+_EMITTED_PHASES = {"X", "M"}
+
+#: Required keys and their types for a complete ("X") event.
+_COMPLETE_EVENT_KEYS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "cat": str,
+    "ph": str,
+    "ts": (int, float),
+    "dur": (int, float),
+    "pid": int,
+    "tid": int,
+    "args": dict,
+}
+
+
+def _lane_for(token: int | None, lanes: dict[int | None, int]) -> int:
+    """Stable small-int ``tid`` per pager token (main pager first)."""
+    if token not in lanes:
+        lanes[token] = len(lanes)
+    return lanes[token]
+
+
+def chrome_trace(root: Span | QueryTrace, pid: int = 1) -> dict[str, Any]:
+    """A ``{"traceEvents": [...]}`` Chrome trace for one span tree.
+
+    Every span becomes one complete event; ``args`` carries the span's
+    meta, exclusive/inclusive page counts, buffer hit ratio, and
+    counters so Perfetto's slice panel shows the same numbers as
+    ``repro explain``.
+    """
+    if isinstance(root, QueryTrace):
+        root = root.close()
+    lanes: dict[int | None, int] = {}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro query engine"},
+        }
+    ]
+    for node in root.walk():
+        inclusive = node.inclusive_pages()
+        exclusive = inclusive - sum(
+            c.inclusive_pages() for c in node.children
+        )
+        hits, misses = node.inclusive_buffer()
+        args: dict[str, Any] = {
+            "phase": node.phase,
+            "pages_inclusive": inclusive,
+            "pages_exclusive": exclusive,
+            "buffer_hits": hits,
+            "buffer_misses": misses,
+        }
+        if node.meta:
+            args["meta"] = {k: str(v) for k, v in node.meta.items()}
+        if node.counters:
+            args["counters"] = dict(node.counters)
+        events.append(
+            {
+                "name": node.name,
+                "cat": node.phase,
+                "ph": "X",
+                "ts": node.start * 1e6,
+                "dur": node.elapsed * 1e6,
+                "pid": pid,
+                "tid": _lane_for(node.pager_token, lanes),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid).
+
+    Checks what Perfetto and ``chrome://tracing`` actually require:
+    a ``traceEvents`` array whose complete events carry string ``name``/
+    ``cat``, numeric non-negative ``ts``/``dur``, integer ``pid``/
+    ``tid``, and a dict ``args``.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _EMITTED_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for key, types in _COMPLETE_EVENT_KEYS.items():
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+            elif not isinstance(ev[key], types):
+                problems.append(
+                    f"{where}: {key!r} has type {type(ev[key]).__name__}"
+                )
+        for key in ("ts", "dur"):
+            value = ev.get(key)
+            if isinstance(value, (int, float)) and value < 0:
+                problems.append(f"{where}: {key!r} is negative")
+    return problems
+
+
+def write_chrome_trace(root: Span | QueryTrace, path: str,
+                       pid: int = 1) -> dict[str, Any]:
+    """Export a span tree to ``path`` as Chrome trace JSON; returns the
+    document (already validated — raises ``ValueError`` on a bug)."""
+    doc = chrome_trace(root, pid=pid)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError("invalid chrome trace: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc

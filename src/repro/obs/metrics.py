@@ -15,7 +15,9 @@ a telemetry pipeline.
 from __future__ import annotations
 
 import json
+import re
 from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 _DEFAULT_BUCKETS = (
@@ -120,8 +122,10 @@ class Histogram(_Metric):
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
         self.count = 0
         self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
+        # None (not ±inf) before any observation: every serialization —
+        # summary(), snapshots, prom export — must stay strict-JSON safe.
+        self.min: float | None = None
+        self.max: float | None = None
 
     def labels(self, **labelvalues: str):
         child = super().labels(**labelvalues)
@@ -137,8 +141,8 @@ class Histogram(_Metric):
         self.bucket_counts[bisect_right(self.buckets, value)] += 1
         self.count += 1
         self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -149,8 +153,8 @@ class Histogram(_Metric):
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
+            "min": self.min,
+            "max": self.max,
             "buckets": {
                 (f"le={b:g}" if i < len(self.buckets) else "le=+inf"): c
                 for i, (b, c) in enumerate(
@@ -158,6 +162,36 @@ class Histogram(_Metric):
                 )
             },
         }
+
+    def state(self) -> dict:
+        """Mergeable raw state (used by :class:`RegistrySnapshot`)."""
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: Mapping) -> None:
+        """Accumulate another histogram's :meth:`state` into this one."""
+        if tuple(state["buckets"]) != self.buckets:
+            raise ValueError(
+                f"{self.name}: cannot merge histogram with buckets "
+                f"{tuple(state['buckets'])} into {self.buckets}"
+            )
+        for i, c in enumerate(state["bucket_counts"]):
+            self.bucket_counts[i] += c
+        self.count += state["count"]
+        self.total += state["total"]
+        for attr, pick in (("min", min), ("max", max)):
+            theirs = state[attr]
+            if theirs is not None:
+                ours = getattr(self, attr)
+                setattr(
+                    self, attr, theirs if ours is None else pick(ours, theirs)
+                )
 
 
 class MetricsRegistry:
@@ -184,11 +218,21 @@ class MetricsRegistry:
     ) -> Histogram:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = Histogram(name, help, labelnames, buckets)
+            metric = Histogram(name, help, tuple(labelnames), buckets)
             self._metrics[name] = metric
         elif not isinstance(metric, Histogram):
             raise ValueError(f"metric {name!r} already registered as "
                              f"{type(metric).__name__}")
+        elif metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labelnames "
+                f"{metric.labelnames}, got {tuple(labelnames)}"
+            )
+        elif metric.buckets != tuple(sorted(buckets)):
+            raise ValueError(
+                f"metric {name!r} already registered with buckets "
+                f"{metric.buckets}, got {tuple(sorted(buckets))}"
+            )
         return metric
 
     def _register(self, cls, name: str, help: str, labelnames) -> _Metric:
@@ -199,6 +243,11 @@ class MetricsRegistry:
         elif not isinstance(metric, cls):
             raise ValueError(f"metric {name!r} already registered as "
                              f"{type(metric).__name__}")
+        elif metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labelnames "
+                f"{metric.labelnames}, got {tuple(labelnames)}"
+            )
         return metric
 
     # ------------------------------------------------------------------
@@ -225,12 +274,291 @@ class MetricsRegistry:
         }
 
     def export_json(self, indent: int = 2) -> str:
-        """The :meth:`collect` snapshot as a JSON document."""
-        return json.dumps(self.collect(), indent=indent, sort_keys=False)
+        """The :meth:`collect` snapshot as a strict JSON document
+        (``allow_nan=False``: any NaN/inf leak is a bug, not output)."""
+        return json.dumps(
+            self.collect(), indent=indent, sort_keys=False, allow_nan=False
+        )
+
+    def export_prom(self) -> str:
+        """Prometheus text exposition format (``repro stats --format prom``).
+
+        Metric names are sanitized to the Prometheus charset, histogram
+        buckets are emitted cumulatively with the standard ``_bucket``/
+        ``_sum``/``_count`` suffixes, and label values are escaped per
+        the exposition-format spec.
+        """
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            pname = _prom_name(name)
+            kind = {
+                Counter: "counter", Gauge: "gauge", Histogram: "histogram"
+            }[type(metric)]
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} {kind}")
+            for _key, series in metric.series():
+                labels = series._labelmap()
+                if isinstance(series, Histogram):
+                    cumulative = 0
+                    for b, c in zip(
+                        series.buckets + (float("inf"),),
+                        series.bucket_counts,
+                    ):
+                        cumulative += c
+                        le = "+Inf" if b == float("inf") else f"{b:g}"
+                        lines.append(
+                            f"{pname}_bucket"
+                            f"{_prom_labels({**labels, 'le': le})} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{pname}_sum{_prom_labels(labels)} {series.total:g}"
+                    )
+                    lines.append(
+                        f"{pname}_count{_prom_labels(labels)} {series.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{pname}{_prom_labels(labels)} {series.value:g}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "RegistrySnapshot":
+        """A picklable, mergeable snapshot of every family's raw state."""
+        return RegistrySnapshot.from_registry(self)
+
+    def absorb(self, snap: "RegistrySnapshot") -> None:
+        """Accumulate a snapshot into this registry.
+
+        Families are registered (strictly — a type/labelnames/buckets
+        mismatch with an existing family raises), counter and gauge
+        series *add* their values, histograms merge bucket-by-bucket.
+        Gauges summing is deliberate: shard/worker gauges describe
+        disjoint resources, so the fleet value is the sum.
+        """
+        for name, fam in snap.families.items():
+            labelnames = tuple(fam["labelnames"])
+            kind = fam["kind"]
+            if kind == "histogram":
+                metric = self.histogram(
+                    name, fam["help"], labelnames, tuple(fam["buckets"])
+                )
+            elif kind == "counter":
+                metric = self.counter(name, fam["help"], labelnames)
+            else:
+                metric = self.gauge(name, fam["help"], labelnames)
+            for values, state in fam["series"]:
+                series = (
+                    metric.labels(**dict(zip(labelnames, values)))
+                    if labelnames
+                    else metric
+                )
+                if kind == "histogram":
+                    series.merge_state(state)
+                else:
+                    series.value += state
 
     def reset(self) -> None:
         """Drop every metric (test isolation)."""
         self._metrics.clear()
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus charset."""
+    name = _PROM_BAD.sub("_", name)
+    return "_" + name if name[:1].isdigit() else name
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_PROM_BAD.sub("_", k)}="{_prom_escape(str(v))}"'
+        for k, v in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+@dataclass
+class RegistrySnapshot:
+    """Raw, mergeable state of a registry — the fleet-aggregation unit.
+
+    Shards and process-pool build workers record into private
+    registries; a snapshot of each travels back (snapshots are plain
+    data, so they pickle across process boundaries), gets relabeled via
+    :meth:`with_labels` (``shard=i`` / ``worker=j``), and merges into
+    the global registry through :meth:`MetricsRegistry.absorb` — which
+    is how ``repro stats`` sees sharded and parallel-build traffic.
+
+    ``families`` maps metric name to ``{"kind", "help", "labelnames",
+    "buckets" (histograms), "series": [(labelvalues, state), ...]}``
+    where ``state`` is a float for counters/gauges and a
+    :meth:`Histogram.state` dict for histograms.
+    """
+
+    families: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "RegistrySnapshot":
+        families: dict[str, dict] = {}
+        for name, metric in registry._metrics.items():
+            kind = {
+                Counter: "counter", Gauge: "gauge", Histogram: "histogram"
+            }[type(metric)]
+            series = []
+            for _key, child in metric.series():
+                values = tuple(child._labelmap().values())
+                state = (
+                    child.state()
+                    if isinstance(child, Histogram)
+                    else child.value
+                )
+                series.append((values, state))
+            fam: dict = {
+                "kind": kind,
+                "help": metric.help,
+                "labelnames": tuple(metric.labelnames),
+                "series": series,
+            }
+            if isinstance(metric, Histogram):
+                fam["buckets"] = tuple(metric.buckets)
+            families[name] = fam
+        return cls(families)
+
+    def merge(self, other: "RegistrySnapshot") -> "RegistrySnapshot":
+        """Accumulate ``other`` into this snapshot (returns ``self``).
+
+        Same strictness as :meth:`MetricsRegistry.absorb`: merging two
+        families with mismatched kind, labelnames, or buckets raises.
+        """
+        for name, theirs in other.families.items():
+            ours = self.families.get(name)
+            if ours is None:
+                self.families[name] = {
+                    **theirs, "series": list(theirs["series"])
+                }
+                continue
+            for attr in ("kind", "labelnames"):
+                if ours[attr] != theirs[attr]:
+                    raise ValueError(
+                        f"metric {name!r}: cannot merge {attr} "
+                        f"{theirs[attr]} into {ours[attr]}"
+                    )
+            if ours.get("buckets") != theirs.get("buckets"):
+                raise ValueError(
+                    f"metric {name!r}: cannot merge buckets "
+                    f"{theirs.get('buckets')} into {ours.get('buckets')}"
+                )
+            index = {values: i for i, (values, _) in enumerate(ours["series"])}
+            for values, state in theirs["series"]:
+                i = index.get(values)
+                if i is None:
+                    ours["series"].append((values, state))
+                elif ours["kind"] == "histogram":
+                    merged = _merge_hist_states(ours["series"][i][1], state)
+                    ours["series"][i] = (values, merged)
+                else:
+                    ours["series"][i] = (values, ours["series"][i][1] + state)
+        return self
+
+    def with_labels(self, prefix: str = "", **labels: str) -> "RegistrySnapshot":
+        """A relabeled copy: every family name gains ``prefix`` and every
+        series gains the given constant labels (``shard="0"``, …).
+
+        Prefixing keeps relabeled families (``shard_exec_batches``) from
+        colliding with the same-named unlabeled globals under the strict
+        registration rules.
+        """
+        extra_names = tuple(sorted(labels))
+        extra_values = tuple(str(labels[k]) for k in extra_names)
+        families: dict[str, dict] = {}
+        for name, fam in self.families.items():
+            clash = set(extra_names) & set(fam["labelnames"])
+            if clash:
+                raise ValueError(
+                    f"metric {name!r} already has labels {sorted(clash)}"
+                )
+            families[prefix + name] = {
+                **fam,
+                "labelnames": tuple(fam["labelnames"]) + extra_names,
+                "series": [
+                    (tuple(values) + extra_values, state)
+                    for values, state in fam["series"]
+                ],
+            }
+        return RegistrySnapshot(families)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (tuples become lists)."""
+        return {
+            "families": {
+                name: {
+                    **fam,
+                    "labelnames": list(fam["labelnames"]),
+                    **(
+                        {"buckets": list(fam["buckets"])}
+                        if "buckets" in fam
+                        else {}
+                    ),
+                    "series": [
+                        [list(values), state]
+                        for values, state in fam["series"]
+                    ],
+                }
+                for name, fam in self.families.items()
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "RegistrySnapshot":
+        families: dict[str, dict] = {}
+        for name, fam in doc["families"].items():
+            out = {
+                **fam,
+                "labelnames": tuple(fam["labelnames"]),
+                "series": [
+                    (tuple(values), state) for values, state in fam["series"]
+                ],
+            }
+            if "buckets" in fam:
+                out["buckets"] = tuple(fam["buckets"])
+            families[name] = out
+        return cls(families)
+
+
+def _merge_hist_states(a: Mapping, b: Mapping) -> dict:
+    """Merge two :meth:`Histogram.state` dicts (same buckets required)."""
+    if tuple(a["buckets"]) != tuple(b["buckets"]):
+        raise ValueError(
+            f"cannot merge histogram states with buckets "
+            f"{tuple(b['buckets'])} into {tuple(a['buckets'])}"
+        )
+    mins = [m for m in (a["min"], b["min"]) if m is not None]
+    maxs = [m for m in (a["max"], b["max"]) if m is not None]
+    return {
+        "buckets": list(a["buckets"]),
+        "bucket_counts": [
+            x + y for x, y in zip(a["bucket_counts"], b["bucket_counts"])
+        ],
+        "count": a["count"] + b["count"],
+        "total": a["total"] + b["total"],
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+    }
 
 
 _default_registry = MetricsRegistry()

@@ -15,6 +15,19 @@ disabling tracing can never change query results or counters.
 Span names are dotted: the first segment is the *phase* (``plan``,
 ``descend``, ``sweep``, ``fetch``, ``verify``, ``build``, ``maintain``),
 the rest is free-form detail (``sweep.primary``, ``sweep.app1``).
+
+Multi-pager traces
+------------------
+A sharded engine runs one query against N independent pager stacks. The
+trace keeps a *pager context stack*: a span measures the innermost
+explicitly-bound pager (its own ``pager=`` argument, else the nearest
+ancestor's), and records which one as :attr:`Span.pager_token`. The
+token makes page aggregation exact: a child measured on the *same*
+pager is already inside its parent's delta, while a child measured on a
+*different* pager (another shard) is disjoint work that must be added.
+:meth:`Span.inclusive_pages` / :meth:`Span.phase_pages` implement that
+accounting, so exclusive per-phase pages always sum to the inclusive
+total — the invariant ``repro explain`` asserts.
 """
 
 from __future__ import annotations
@@ -40,6 +53,18 @@ class Span:
     buffer_misses: int = 0
     counters: dict[str, float] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    #: Offset of the span's start from the trace's start, in seconds
+    #: (drives the Chrome trace-event timeline).
+    start: float = 0.0
+    #: Identity of the pager this span's ``io`` was measured on (``None``
+    #: when the span measured nothing). Children sharing the token are
+    #: already inside this span's delta; children with a different token
+    #: (another shard's pager) are disjoint work.
+    pager_token: int | None = None
+    #: Set by :meth:`QueryTrace.close` on the root once its ``io`` has
+    #: been overwritten with the inclusive sum of its children — the
+    #: children are then covered by construction, whatever their tokens.
+    aggregated: bool = False
 
     @property
     def phase(self) -> str:
@@ -65,13 +90,76 @@ class Span:
         for child in self.children:
             yield from child.walk()
 
+    def _covers(self, child: "Span") -> bool:
+        """True when ``child``'s measured I/O is already inside this
+        span's own delta (same pager, both actually measured — or this
+        span's io was aggregated from its children at close time)."""
+        if self.aggregated:
+            return True
+        return (
+            child.pager_token is not None
+            and child.pager_token == self.pager_token
+        )
+
+    def inclusive_io(self) -> IOStats:
+        """I/O of the whole subtree, exact across pagers: this span's
+        measured delta plus every child subtree measured on a *different*
+        pager (same-pager children are already inside the delta)."""
+        total = self.io.snapshot()
+        for child in self.children:
+            if not self._covers(child):
+                part = child.inclusive_io()
+                total.logical_reads += part.logical_reads
+                total.logical_writes += part.logical_writes
+                total.physical_reads += part.physical_reads
+                total.physical_writes += part.physical_writes
+                total.allocations += part.allocations
+                total.frees += part.frees
+        return total
+
+    def inclusive_pages(self) -> int:
+        """Logical page accesses of the whole subtree (multi-pager safe)."""
+        total = self.pages
+        for child in self.children:
+            if not self._covers(child):
+                total += child.inclusive_pages()
+        return total
+
+    def inclusive_buffer(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the whole subtree (multi-pager safe)."""
+        hits, misses = self.buffer_hits, self.buffer_misses
+        for child in self.children:
+            if not self._covers(child):
+                h, m = child.inclusive_buffer()
+                hits += h
+                misses += m
+        return hits, misses
+
     def phase_pages(self) -> dict[str, int]:
         """Logical page accesses per phase, attributed to the *innermost*
-        span that caused them (exclusive accounting over the subtree)."""
+        span that caused them (exclusive accounting over the subtree).
+
+        The accounting is pager-token aware, so per-shard spans measured
+        on disjoint pagers attribute correctly and the exclusive values
+        always sum to :meth:`inclusive_pages` of the subtree root.
+        """
         totals: dict[str, int] = {}
         for node in self.walk():
-            exclusive = node.pages - sum(c.pages for c in node.children)
+            exclusive = node.inclusive_pages() - sum(
+                c.inclusive_pages() for c in node.children
+            )
             totals[node.phase] = totals.get(node.phase, 0) + exclusive
+        return totals
+
+    def phase_times(self) -> dict[str, float]:
+        """Exclusive wall seconds per phase (children subtracted; clamped
+        at zero against timer jitter)."""
+        totals: dict[str, float] = {}
+        for node in self.walk():
+            exclusive = node.elapsed - sum(c.elapsed for c in node.children)
+            totals[node.phase] = totals.get(node.phase, 0.0) + max(
+                0.0, exclusive
+            )
         return totals
 
     def total_counters(self) -> dict[str, float]:
@@ -87,6 +175,7 @@ class Span:
         return {
             "name": self.name,
             "meta": dict(self.meta),
+            "start_ms": self.start * 1000.0,
             "elapsed_ms": self.elapsed * 1000.0,
             "io": self.io.as_dict(),
             "buffer": {"hits": self.buffer_hits, "misses": self.buffer_misses},
@@ -113,6 +202,9 @@ class QueryTrace:
         self.pager = pager
         self.root = Span(name, dict(meta or {}))
         self._stack: list[Span] = [self.root]
+        #: Pager context stack: a span measures the innermost explicitly
+        #: bound pager (its own ``pager=``, else the nearest ancestor's).
+        self._pagers: list = [pager]
         self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -120,25 +212,38 @@ class QueryTrace:
     # ------------------------------------------------------------------
     @contextmanager
     def span(self, name: str, pager=None, **meta):
-        """Open a child span of the innermost open span."""
+        """Open a child span of the innermost open span.
+
+        ``pager=`` rebinds the measurement context for this span and its
+        descendants (per-shard sub-queries pass their own pager); without
+        it the span inherits the nearest ancestor's pager. The first
+        pager ever seen also late-binds the trace itself.
+        """
         if pager is not None and self.pager is None:
             self.pager = pager
+        effective = pager if pager is not None else self._pagers[-1]
+        if effective is None:
+            effective = self.pager
         node = Span(name, {k: str(v) for k, v in meta.items()})
+        node.start = time.perf_counter() - self._started
+        node.pager_token = id(effective) if effective is not None else None
         parent = self._stack[-1]
         parent.children.append(node)
         self._stack.append(node)
-        before_io = self.pager.stats.snapshot() if self.pager is not None else None
-        before_hits = self.pager.buffer.hits if self.pager is not None else 0
-        before_misses = self.pager.buffer.misses if self.pager is not None else 0
+        self._pagers.append(effective)
+        before_io = effective.stats.snapshot() if effective is not None else None
+        before_hits = effective.buffer.hits if effective is not None else 0
+        before_misses = effective.buffer.misses if effective is not None else 0
         start = time.perf_counter()
         try:
             yield node
         finally:
             node.elapsed = time.perf_counter() - start
             if before_io is not None:
-                node.io = self.pager.stats.delta_since(before_io)
-                node.buffer_hits = self.pager.buffer.hits - before_hits
-                node.buffer_misses = self.pager.buffer.misses - before_misses
+                node.io = effective.stats.delta_since(before_io)
+                node.buffer_hits = effective.buffer.hits - before_hits
+                node.buffer_misses = effective.buffer.misses - before_misses
+            self._pagers.pop()
             self._stack.pop()
 
     def incr(self, name: str, amount: float = 1.0) -> None:
@@ -146,21 +251,29 @@ class QueryTrace:
         self._stack[-1].incr(name, amount)
 
     def close(self) -> Span:
-        """Finalise the root span (sums children; idempotent)."""
+        """Finalise the root span (sums children; idempotent).
+
+        The root measured nothing itself (it has no pager snapshot), so
+        its totals are the token-aware inclusive sums of its children —
+        exact even when children measured different shard pagers.
+        """
         root = self.root
         root.elapsed = time.perf_counter() - self._started
         if root.children:
             root.io = IOStats()
             root.buffer_hits = root.buffer_misses = 0
             for child in root.children:
-                root.io.logical_reads += child.io.logical_reads
-                root.io.logical_writes += child.io.logical_writes
-                root.io.physical_reads += child.io.physical_reads
-                root.io.physical_writes += child.io.physical_writes
-                root.io.allocations += child.io.allocations
-                root.io.frees += child.io.frees
-                root.buffer_hits += child.buffer_hits
-                root.buffer_misses += child.buffer_misses
+                part = child.inclusive_io()
+                root.io.logical_reads += part.logical_reads
+                root.io.logical_writes += part.logical_writes
+                root.io.physical_reads += part.physical_reads
+                root.io.physical_writes += part.physical_writes
+                root.io.allocations += part.allocations
+                root.io.frees += part.frees
+                hits, misses = child.inclusive_buffer()
+                root.buffer_hits += hits
+                root.buffer_misses += misses
+            root.aggregated = True
         return root
 
     # ------------------------------------------------------------------
@@ -186,14 +299,16 @@ def _render_span(node: Span, prefix: str, is_last: bool, is_root: bool,
     label = node.name
     if node.meta:
         label += " [" + " ".join(f"{k}={v}" for k, v in node.meta.items()) + "]"
+    io = node.inclusive_io()
     stats = (
         f"{node.elapsed * 1000:8.3f} ms  "
-        f"{node.pages:5d} pages "
-        f"({node.io.logical_reads}r+{node.io.logical_writes}w, "
-        f"{node.io.physical_reads + node.io.physical_writes} physical"
+        f"{io.logical_reads + io.logical_writes:5d} pages "
+        f"({io.logical_reads}r+{io.logical_writes}w, "
+        f"{io.physical_reads + io.physical_writes} physical"
     )
-    if node.buffer_hits + node.buffer_misses:
-        stats += f", hit {node.hit_ratio:.0%}"
+    hits, misses = node.inclusive_buffer()
+    if hits + misses:
+        stats += f", hit {hits / (hits + misses):.0%}"
     stats += ")"
     if node.counters:
         stats += "  " + " ".join(

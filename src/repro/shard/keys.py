@@ -35,6 +35,7 @@ from repro.core.dual_index import _SIDES, EntryKeys
 from repro.core.slope_set import SlopeSet
 from repro.geometry.vectorized import DualSurface
 from repro.obs import trace as obs
+from repro.obs.metrics import MetricsRegistry, RegistrySnapshot, get_registry
 
 #: Below this many tuples a process pool costs more than it saves
 #: (pool spawn + pickling the chunks); the serial vectorized path runs.
@@ -109,10 +110,30 @@ def compute_keys_batch(
 
 def _compute_chunk(
     payload: tuple[list[tuple[int, GeneralizedTuple]], SlopeSet],
-) -> dict[int, EntryKeys | None]:
-    """Process-pool worker: vectorized keys for one chunk."""
+) -> tuple[dict[int, EntryKeys | None], "RegistrySnapshot"]:
+    """Process-pool worker: vectorized keys for one chunk.
+
+    Returns the keys plus a :class:`RegistrySnapshot` of the worker's
+    private registry (snapshots are plain data, so they pickle back
+    across the pool boundary); the parent relabels it ``worker=j`` and
+    absorbs it into the global registry.
+    """
+    import time
+
     items, slopes = payload
-    return compute_keys_batch(items, slopes)
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    keys = compute_keys_batch(items, slopes)
+    registry.counter("tuples", "Tuples keyed by this build worker").inc(
+        len(items)
+    )
+    registry.counter("chunks", "Chunks processed by this build worker").inc()
+    registry.histogram(
+        "seconds",
+        "Per-chunk key-computation wall time in this build worker",
+        buckets=(0.01, 0.1, 1.0, 10.0),
+    ).observe(time.perf_counter() - start)
+    return keys, registry.snapshot()
 
 
 def parallel_compute_keys(
@@ -154,6 +175,10 @@ def parallel_compute_keys(
             obs.incr("build_parallel.fallbacks")
             return compute_keys_batch(items, slopes)
     merged: dict[int, EntryKeys | None] = {}
-    for part in parts:
+    registry = get_registry()
+    for j, (part, snap) in enumerate(parts):
         merged.update(part)
+        registry.absorb(
+            snap.with_labels(prefix="build_worker_", worker=str(j))
+        )
     return merged

@@ -91,6 +91,12 @@ class ShardedDualIndex:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._executors: list[BatchExecutor] | None = None
+        #: One private registry per shard. Shard-local recording is
+        #: thread-safe by construction (no sharing); after every query
+        #: or batch the facade drains them into :attr:`registry` as
+        #: ``shard_*{shard=i}`` labeled series (see
+        #: :meth:`_drain_shard_metrics`).
+        self._shard_registries = [MetricsRegistry() for _ in self.planners]
 
     # ------------------------------------------------------------------
     # construction
@@ -189,6 +195,8 @@ class ShardedDualIndex:
             partials = self._fanout(
                 lambda p: p.query(query, refresh=refresh)
             )
+        self._record_partials(partials)
+        self._drain_shard_metrics()
         return _merge_query_results(partials)
 
     def query_batch(self, queries: Sequence[HalfPlaneQuery]) -> BatchResult:
@@ -219,6 +227,12 @@ class ShardedDualIndex:
         self.registry.counter(
             "shard_fanout_queries", "Queries answered by shard fan-out"
         ).inc(len(queries) * self.shards)
+        for i, part in enumerate(parts):
+            self._record_shard_work(
+                i, part.page_accesses,
+                sum(len(res.ids) for res in part.results),
+            )
+        self._drain_shard_metrics()
         return merged
 
     def exist(
@@ -268,10 +282,44 @@ class ShardedDualIndex:
     def _shard_executors(self) -> list[BatchExecutor]:
         if self._executors is None:
             self._executors = [
-                BatchExecutor(p, registry=self.registry)
-                for p in self.planners
+                BatchExecutor(p, registry=reg)
+                for p, reg in zip(self.planners, self._shard_registries)
             ]
         return self._executors
+
+    # ------------------------------------------------------------------
+    # per-shard metric aggregation
+    # ------------------------------------------------------------------
+    def _record_partials(self, partials: Sequence[QueryResult]) -> None:
+        """Record one fan-out's per-shard work (``partials`` is aligned
+        with :attr:`planners`) into the shard-local registries."""
+        for i, part in enumerate(partials):
+            self._record_shard_work(i, part.page_accesses, len(part.ids))
+
+    def _record_shard_work(self, shard: int, pages: int, results: int) -> None:
+        reg = self._shard_registries[shard]
+        reg.counter("pages", "Page accesses on this shard").inc(pages)
+        reg.counter("results", "Answer tuples from this shard").inc(results)
+
+    def _drain_shard_metrics(self) -> None:
+        """Merge shard-local registries into the facade's registry.
+
+        Each shard's families are drained (snapshot + reset), prefixed
+        with ``shard_`` and labeled ``shard=i`` — so the executor's
+        ``exec_batches`` surfaces as ``shard_exec_batches{shard=i}`` and
+        the facade's own recording as ``shard_pages{shard=i}`` /
+        ``shard_results{shard=i}``. The prefix keeps relabeled families
+        from colliding with the identically named unlabeled globals
+        under the registry's strict registration rules.
+        """
+        for i, reg in enumerate(self._shard_registries):
+            snap = reg.snapshot()
+            if not snap.families:
+                continue
+            reg.reset()
+            self.registry.absorb(
+                snap.with_labels(prefix="shard_", shard=str(i))
+            )
 
     def _thread_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:

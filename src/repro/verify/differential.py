@@ -9,7 +9,10 @@ answers every query through each production path —
 * the vectorized :class:`~repro.geometry.vectorized.DualSurface`,
 * the :class:`~repro.exec.BatchExecutor`, cache cold *and* hot,
 * the :class:`~repro.shard.ShardedDualIndex` (2 shards), direct and
-  batched — sharded answers must be bit-identical to unsharded —
+  batched — sharded answers must be bit-identical to unsharded,
+* the explain-instrumented path (:func:`repro.obs.explain.traced_answer`
+  — the same query under a trace with checked exclusive/inclusive
+  attribution; observability must never change answers) —
 
 comparing each answer set **strictly** against the exact geometric
 oracle (:func:`repro.geometry.predicates.evaluate_relation`, minus the
@@ -43,6 +46,8 @@ from repro.core.query import EXIST, HalfPlaneQuery
 from repro.errors import FaultInjectedError, ReproError, VerificationError
 from repro.geometry.predicates import evaluate_relation
 from repro.geometry.vectorized import DualSurface
+from repro.obs import trace as obs
+from repro.obs.explain import traced_answer
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.rtree.planner import RTreePlanner
 from repro.shard.sharded import ShardedDualIndex
@@ -235,6 +240,11 @@ def run_checks(
             "sharded": sharded.query(q).ids,
             "sharded-batch": sharded_batch.results[position].ids,
         }
+        if obs.current() is None:
+            # Explain-instrumented path: the same query under a trace
+            # with checked attribution must never change the answer
+            # (skipped when a trace is already active — they don't nest).
+            answers["explain"] = traced_answer(t2, q).ids
         if rtree is not None:
             answers["rtree"] = rtree.query(q).ids
         for path, got in answers.items():

@@ -181,3 +181,85 @@ def test_smoke_missing_baseline(tmp_path, capsys):
          "--baseline", str(tmp_path / "nope.json")]
     ) == 2
     assert "--update-baseline" in capsys.readouterr().err
+
+
+def test_explain_workload_smoke(capsys):
+    assert main(["explain", "--workload", "smoke", "--count", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "phase attribution" in out
+    assert "(checked)" in out
+    assert "per-index work" in out
+
+
+def test_explain_sharded_shows_per_shard_rows(capsys):
+    assert main(
+        ["explain", "--workload", "smoke", "--count", "1", "--shards", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "shard0" in out and "shard1" in out
+    assert "(checked)" in out
+
+
+def test_explain_from_files_with_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(TRACE_TUPLES)
+    queries = tmp_path / "queries.txt"
+    queries.write_text("EXIST 0.5 2.0 GE\nALL 0.5 -1.0 LE\n")
+    chrome = tmp_path / "trace.json"
+    events = tmp_path / "events.jsonl"
+    code = main(
+        [
+            "explain",
+            "--tuples", str(tuples),
+            "--queries", str(queries),
+            "--chrome-out", str(chrome),
+            "--events-out", str(events),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote chrome trace" in out
+    doc = json.loads(chrome.read_text())
+    assert validate_chrome_trace(doc) == []
+    from repro.obs.events import parse_jsonl
+
+    assert parse_jsonl(events.read_text())
+
+
+def test_explain_requires_exactly_one_source(tmp_path, capsys):
+    assert main(["explain"]) == 2
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(TRACE_TUPLES)
+    assert main(
+        ["explain", "--workload", "smoke", "--tuples", str(tuples)]
+    ) == 2
+    assert main(["explain", "--tuples", str(tuples)]) == 2
+    err = capsys.readouterr().err
+    assert "exactly one" in err and "--queries" in err
+
+
+def test_stats_prom_format(capsys):
+    assert main(["stats", "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE" in out and "# HELP" in out
+    assert 'smoke_total_pages{structure="dual"' in out
+
+
+def test_bench_diff_subcommand_exit_codes(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps({"counters": {"pages": 10}}))
+    cur.write_text(json.dumps({"counters": {"pages": 10}}))
+    assert main(["bench-diff", str(base), str(cur)]) == 0
+    cur.write_text(json.dumps({"counters": {"pages": 12}}))
+    assert main(["bench-diff", str(base), str(cur)]) == 1
+    assert main(
+        ["bench-diff", str(base), str(cur), "--threshold", "0.5"]
+    ) == 0
+    capsys.readouterr()

@@ -111,3 +111,180 @@ class TestRegistry:
 
     def test_default_registry_is_shared(self):
         assert get_registry() is get_registry()
+
+
+class TestStrictRegistration:
+    """S1: re-registration with mismatched shape must raise, not alias."""
+
+    def test_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("pages", labelnames=("phase",))
+        with pytest.raises(ValueError, match="labelnames"):
+            reg.counter("pages", labelnames=("structure",))
+        with pytest.raises(ValueError, match="labelnames"):
+            reg.counter("pages")  # unlabeled vs labeled is also a mismatch
+
+    def test_gauge_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("frames")
+        with pytest.raises(ValueError, match="labelnames"):
+            reg.gauge("frames", labelnames=("pool",))
+
+    def test_histogram_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("ms", labelnames=("phase",))
+        with pytest.raises(ValueError, match="labelnames"):
+            reg.histogram("ms")
+
+    def test_histogram_buckets_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("ms", buckets=(1.0, 5.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("ms", buckets=(1.0, 10.0))
+
+    def test_identical_reregistration_still_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("pages", labelnames=("phase",))
+        assert reg.counter("pages", labelnames=("phase",)) is a
+        h = reg.histogram("ms", buckets=(1.0, 5.0))
+        assert reg.histogram("ms", buckets=(5.0, 1.0)) is h  # order-free
+
+
+class TestHistogramNullMinMax:
+    """S2: min/max are null (never inf) for strict JSON consumers."""
+
+    def test_unobserved_summary_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.histogram("ms")  # zero observations
+        doc = json.loads(reg.export_json())  # allow_nan=False underneath
+        assert doc["histograms"]["ms"]["min"] is None
+        assert doc["histograms"]["ms"]["max"] is None
+
+    def test_unobserved_labeled_child_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.histogram("ms", labelnames=("phase",)).labels(phase="sweep")
+        doc = json.loads(json.dumps(reg.collect(), allow_nan=False))
+        assert doc["histograms"]["ms{phase=sweep}"]["min"] is None
+
+    def test_observed_min_max(self):
+        h = Histogram("ms")
+        h.observe(3.0)
+        h.observe(1.0)
+        assert (h.min, h.max) == (1.0, 3.0)
+        doc = json.loads(json.dumps(h.summary(), allow_nan=False))
+        assert (doc["min"], doc["max"]) == (1.0, 3.0)
+
+
+class TestRegistrySnapshot:
+    def make_source(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", "help text").inc(3)
+        reg.counter("pages", labelnames=("phase",)).labels(phase="sweep").inc(5)
+        reg.gauge("frames").set(2)
+        h = reg.histogram("ms", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(7.0)
+        return reg
+
+    def test_absorb_accumulates(self):
+        snap = self.make_source().snapshot()
+        target = MetricsRegistry()
+        target.absorb(snap)
+        target.absorb(snap)
+        c = target.collect()
+        assert c["counters"]["ops"] == 6.0
+        assert c["counters"]["pages{phase=sweep}"] == 10.0
+        assert c["gauges"]["frames"] == 4.0  # gauges sum (disjoint fleets)
+        assert c["histograms"]["ms"]["count"] == 4
+        assert c["histograms"]["ms"]["min"] == 0.5
+        assert c["histograms"]["ms"]["max"] == 7.0
+
+    def test_merge_is_strict_and_additive(self):
+        a = self.make_source().snapshot()
+        b = self.make_source().snapshot()
+        merged = a.merge(b)
+        assert merged is a
+        target = MetricsRegistry()
+        target.absorb(merged)
+        assert target.collect()["counters"]["ops"] == 6.0
+        other = MetricsRegistry()
+        other.counter("ops", labelnames=("x",)).labels(x="1").inc()
+        with pytest.raises(ValueError, match="labelnames"):
+            a.merge(other.snapshot())
+
+    def test_with_labels_prefixes_and_extends(self):
+        snap = self.make_source().snapshot().with_labels(
+            prefix="shard_", shard="2"
+        )
+        target = MetricsRegistry()
+        target.absorb(snap)
+        c = target.collect()["counters"]
+        assert c["shard_ops{shard=2}"] == 3.0
+        assert c["shard_pages{phase=sweep,shard=2}"] == 5.0
+        # relabeled families never collide with unlabeled globals
+        target.counter("ops").inc()
+        assert target.collect()["counters"]["ops"] == 1.0
+
+    def test_with_labels_rejects_duplicate_label(self):
+        snap = self.make_source().snapshot()
+        with pytest.raises(ValueError, match="phase"):
+            snap.with_labels(phase="0")
+
+    def test_dict_round_trip_and_pickle(self):
+        import pickle
+
+        from repro.obs import RegistrySnapshot
+
+        snap = self.make_source().snapshot()
+        via_dict = RegistrySnapshot.from_dict(
+            json.loads(json.dumps(snap.to_dict(), allow_nan=False))
+        )
+        via_pickle = pickle.loads(pickle.dumps(snap))
+        for clone in (via_dict, via_pickle):
+            target = MetricsRegistry()
+            target.absorb(clone)
+            assert target.collect() == self.make_source().collect()
+
+    def test_absorb_respects_strict_registration(self):
+        target = MetricsRegistry()
+        target.counter("ops", labelnames=("x",))
+        with pytest.raises(ValueError, match="labelnames"):
+            target.absorb(self.make_source().snapshot())
+
+
+class TestPromExport:
+    def test_families_and_series(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", "operations").inc(3)
+        reg.counter("pages", labelnames=("phase",)).labels(phase="sweep").inc(5)
+        reg.gauge("frames").set(2)
+        text = reg.export_prom()
+        assert "# TYPE ops counter" in text
+        assert "# HELP ops operations" in text
+        assert "ops 3" in text
+        assert 'pages{phase="sweep"} 5' in text
+        assert "# TYPE frames gauge" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ms", "latency", buckets=(1.0, 5.0))
+        for v in (0.5, 0.7, 3.0, 70.0):
+            h.observe(v)
+        text = reg.export_prom()
+        assert 'ms_bucket{le="1"} 2' in text
+        assert 'ms_bucket{le="5"} 3' in text
+        assert 'ms_bucket{le="+Inf"} 4' in text
+        assert "ms_count 4" in text
+        assert "ms_sum 74.2" in text
+
+    def test_name_and_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("build.fallbacks", labelnames=("why",)).labels(
+            why='fork "failed"\nhard'
+        ).inc()
+        text = reg.export_prom()
+        assert "build_fallbacks" in text
+        assert r"fork \"failed\"\nhard" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().export_prom() == ""

@@ -209,3 +209,156 @@ class TestEndToEnd:
             result = planner.all(0.5, -1.0)
         names = {node.phase for node in result.trace.walk()}
         assert {"query", "plan", "sweep", "fetch", "verify"} <= names
+
+
+class TestMultiPagerAttribution:
+    """Pager-token accounting across per-shard pagers."""
+
+    def test_child_on_other_pager_adds_to_inclusive(self):
+        pager_a, pids_a = make_pager()
+        pager_b, pids_b = make_pager()
+        trace = QueryTrace(pager=pager_a, name="fanout")
+        with trace.span("query", pager=pager_a):
+            pager_a.read(pids_a[0])
+            # a sub-query measured on a *different* shard's pager: its
+            # pages are invisible to the parent's snapshot delta
+            with trace.span("query.shard", pager=pager_b):
+                pager_b.read(pids_b[0])
+                pager_b.read(pids_b[1])
+        root = trace.close()
+        outer = root.children[0]
+        inner = outer.children[0]
+        assert outer.pages == 1              # own measured delta only
+        assert inner.pages == 2              # child pages exceed parent's
+        assert outer.inclusive_pages() == 3  # token-aware sum
+        assert root.pages == 3
+        phases = root.phase_pages()
+        assert phases == {"fanout": 0, "query": 3}
+        assert sum(phases.values()) == root.inclusive_pages()
+
+    def test_same_pager_child_not_double_counted(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager, name="q")
+        with trace.span("sweep", pager=pager):
+            pager.read(pids[0])
+            with trace.span("descend"):   # inherits the same pager
+                pager.read(pids[1])
+        root = trace.close()
+        sweep = root.children[0]
+        assert sweep.pages == 2
+        assert sweep.inclusive_pages() == 2  # child already inside delta
+        assert root.pages == 2
+
+    def test_exclusive_sums_to_inclusive_with_shard_mix(self):
+        pagers = [make_pager() for _ in range(3)]
+        trace = QueryTrace(name="fan")
+        with trace.span("batch", pager=pagers[0][0]):
+            pagers[0][0].read(pagers[0][1][0])
+            for pager, pids in pagers[1:]:
+                with trace.span("query.sub", pager=pager):
+                    pager.read(pids[0])
+                    with trace.span("fetch"):
+                        pager.read(pids[1])
+        root = trace.close()
+        assert root.inclusive_pages() == 5
+        assert sum(root.phase_pages().values()) == 5
+
+    def test_pager_token_recorded(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager)
+        with trace.span("a"):
+            pass
+        with trace.span("b", pager=pager):
+            pass
+        a, b = trace.root.children
+        assert a.pager_token == b.pager_token == id(pager)
+        unbound = QueryTrace()
+        with unbound.span("c"):
+            pass
+        assert unbound.root.children[0].pager_token is None
+
+    def test_span_start_offsets_are_monotonic(self):
+        trace = QueryTrace(name="t")
+        with trace.span("first"):
+            pass
+        with trace.span("second"):
+            pass
+        first, second = trace.root.children
+        assert 0.0 <= first.start <= second.start
+        assert trace.to_dict()["children"][0]["start_ms"] >= 0.0
+
+
+class TestDegenerateTrees:
+    """phase_pages() on empty / single-span / childless shapes."""
+
+    def test_empty_trace(self):
+        trace = QueryTrace(name="empty")
+        root = trace.close()
+        assert root.children == []
+        assert root.phase_pages() == {"empty": 0}
+        assert root.inclusive_pages() == 0
+        assert root.inclusive_buffer() == (0, 0)
+
+    def test_single_span(self):
+        pager, pids = make_pager()
+        trace = QueryTrace(pager=pager, name="one")
+        with trace.span("fetch"):
+            pager.read(pids[0])
+        root = trace.close()
+        assert root.phase_pages() == {"one": 0, "fetch": 1}
+        assert sum(root.phase_pages().values()) == root.inclusive_pages() == 1
+
+    def test_unmeasured_spans_are_zero(self):
+        trace = QueryTrace(name="t")  # never bound to any pager
+        with trace.span("sweep"):
+            with trace.span("descend"):
+                pass
+        root = trace.close()
+        assert root.phase_pages() == {"t": 0, "sweep": 0, "descend": 0}
+
+    def test_phase_times_clamped_non_negative(self):
+        trace = QueryTrace(name="t")
+        with trace.span("sweep"):
+            pass
+        root = trace.close()
+        for value in root.phase_times().values():
+            assert value >= 0.0
+
+
+class TestNoOpModeBitIdentical:
+    """S3: tracing disabled must change nothing — answers or counters."""
+
+    def test_untraced_runs_identical_before_and_after_tracing(self):
+        from repro.core import DualIndexPlanner, SlopeSet
+        from repro.workloads import make_relation
+
+        planner = DualIndexPlanner.build(
+            make_relation(60, "small", seed=11), SlopeSet.uniform_angles(3)
+        )
+
+        def footprint():
+            res = planner.exist(0.5, 2.0)
+            return (
+                sorted(res.ids), res.candidates, res.false_hits,
+                res.duplicates, res.refinement_pages,
+                res.io.as_dict(), res.trace,
+            )
+
+        before = footprint()
+        with tracing(QueryTrace(pager=planner.index.pager)):
+            planner.exist(0.5, 2.0)
+        after = footprint()
+        assert before == after
+        assert before[-1] is None  # no trace attached in no-op mode
+
+    def test_disabled_mode_touches_no_registry(self):
+        from repro.core import DualIndexPlanner, SlopeSet
+        from repro.obs import get_registry
+        from repro.workloads import make_relation
+
+        planner = DualIndexPlanner.build(
+            make_relation(40, "small", seed=3), SlopeSet.uniform_angles(3)
+        )
+        snapshot = get_registry().collect()
+        planner.all(0.25, 1.0)
+        assert get_registry().collect() == snapshot

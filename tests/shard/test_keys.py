@@ -89,3 +89,52 @@ def test_parallel_keys_small_input_short_circuits():
         dict(parallel_compute_keys(relation, slopes, workers=8)),
         _scalar_keys(relation, slopes),
     )
+
+
+def test_pooled_build_merges_worker_series_into_global_registry():
+    """Each build worker ships a registry snapshot back with its chunk;
+    the parent merges them as ``build_worker_*{worker=j}`` series."""
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.reset()
+    try:
+        relation = make_relation(
+            max(96, MIN_PARALLEL_TUPLES + 8), "small", seed=9
+        )
+        parallel_compute_keys(
+            relation, SlopeSet.uniform_angles(3), workers=2, use_pool=True
+        )
+        counters = registry.collect()["counters"]
+        tuple_series = {
+            key: val for key, val in counters.items()
+            if key.startswith("build_worker_tuples{")
+        }
+        assert tuple_series, counters
+        assert sum(tuple_series.values()) == len(relation)
+        workers = {
+            key.rsplit("worker=", 1)[1].rstrip("}") for key in tuple_series
+        }
+        assert workers == {"0", "1"}
+        hists = registry.collect()["histograms"]
+        assert any(
+            key.startswith("build_worker_seconds{") for key in hists
+        )
+    finally:
+        registry.reset()
+
+
+def test_serial_build_leaves_global_registry_untouched():
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.reset()
+    try:
+        relation = make_relation(MIN_PARALLEL_TUPLES // 2, "small", seed=3)
+        parallel_compute_keys(relation, SlopeSet.uniform_angles(3), workers=4)
+        assert not any(
+            key.startswith("build_worker_")
+            for key in registry.collect()["counters"]
+        )
+    finally:
+        registry.reset()
