@@ -6,13 +6,19 @@ baseline) or a flat ``{"key": number}`` map (legacy ``BENCH_*.json``
 summaries). Only numeric scalars are compared; histograms and nested
 sections other than ``counters`` are informational and skipped.
 
-The diff reports every changed counter and *gates* on regressions:
-a counter whose current value exceeds baseline × (1 + threshold), or a
-baseline counter missing from the current run (the workload silently
-shrank). New counters are listed but never fail — adding
-instrumentation must not break CI. Exit code 1 on any regression, so
-the CI perf-smoke job tracks the perf trajectory per-PR instead of
-re-pinning blind.
+The diff reports every changed counter and *gates* on regressions.
+What counts as a regression depends on ``--mode``:
+
+* ``ceiling`` (default) — counters are costs (page accesses, false
+  hits): current exceeding baseline × (1 + threshold) fails;
+* ``floor`` — counters are throughput (the ``BENCH_vector.json`` QPS
+  gate): current falling below baseline × (1 - threshold) fails.
+
+Either way a baseline counter missing from the current run fails (the
+workload silently shrank), and new counters are listed but never fail —
+adding instrumentation must not break CI. Exit code 1 on any
+regression, so the CI perf-smoke job tracks the perf trajectory per-PR
+instead of re-pinning blind.
 """
 
 from __future__ import annotations
@@ -42,13 +48,18 @@ def diff_counters(
     baseline: dict[str, float],
     current: dict[str, float],
     threshold: float = 0.0,
+    mode: str = "ceiling",
 ) -> tuple[list[str], list[str]]:
     """``(report_lines, regressions)`` for two counter maps.
 
-    ``threshold`` is a fractional allowance: 0.05 tolerates a 5% rise
-    above baseline before calling it a regression. Improvements and
+    ``threshold`` is a fractional allowance: with ``mode="ceiling"``,
+    0.05 tolerates a 5% rise above baseline before calling it a
+    regression; with ``mode="floor"`` the counters are
+    higher-is-better and 0.05 tolerates a 5% *fall*. Improvements and
     within-threshold changes are reported but never gate.
     """
+    if mode not in ("ceiling", "floor"):
+        raise ValueError(f"mode must be 'ceiling' or 'floor', got {mode!r}")
     report: list[str] = []
     regressions: list[str] = []
     for key in sorted(baseline.keys() | current.keys()):
@@ -69,7 +80,11 @@ def diff_counters(
                 + ")"
             )
             report.append(line)
-            if cur > base * (1.0 + threshold):
+            if mode == "floor":
+                regressed = cur < base * (1.0 - threshold)
+            else:
+                regressed = cur > base * (1.0 + threshold)
+            if regressed:
                 regressions.append(line)
     return report, regressions
 
@@ -86,7 +101,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--threshold", type=float, default=0.0,
         help="fractional regression allowance per counter "
-             "(default 0 = any rise above baseline fails)",
+             "(default 0 = any move past baseline fails)",
+    )
+    parser.add_argument(
+        "--mode", choices=["ceiling", "floor"], default="ceiling",
+        help="ceiling: counters are costs, rises fail (default); "
+             "floor: counters are throughput, falls fail",
     )
     args = parser.parse_args(argv)
     try:
@@ -96,7 +116,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench-diff: {exc}", file=sys.stderr)
         return 2
     report, regressions = diff_counters(
-        baseline, current, threshold=args.threshold
+        baseline, current, threshold=args.threshold, mode=args.mode
     )
     unchanged = len(baseline.keys() & current.keys()) - sum(
         1 for line in report if "->" in line and "MISSING" not in line

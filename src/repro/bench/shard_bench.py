@@ -10,15 +10,29 @@ fig9-medium workload (N=2000 medium objects, k=3):
   *fresh* relation: :class:`GeneralizedTuple` memoises its polygon
   extension, so reusing one relation would let the second run ride the
   first run's cache and fake a speedup.
-* **sharded QPS** — batch throughput of :class:`ShardedDualIndex` at
-  1/2/4 shards over a mixed EXIST/ALL interior- and exact-slope batch,
-  with a per-shard-count correctness check against the unsharded
-  planner (``answers_match_unsharded`` must be true for the numbers to
-  mean anything).
+* **sharded QPS** — query-side throughput of :class:`ShardedDualIndex`
+  at 1/2/4 shards over the columnar fan batch
+  (:func:`repro.bench.vector_bench.fan_batch`, 240 queries), with a
+  per-shard-count correctness check against the unsharded planner
+  (``answers_match_unsharded`` must be true for the numbers to mean
+  anything). Two numbers per shard count:
 
-Timings are informational (never gated in CI); the emitted JSON is
-uploaded as a workflow artifact and a reference copy is checked in at
-the repository root.
+  - ``wall`` — one ``query_batch`` call through the facade, fan-out
+    included, exactly what a caller observes **on this machine**;
+  - ``critical_path`` — ``max(per-shard execute_partials seconds) +
+    merge seconds``, the fork-join span of the batch. Per-shard work is
+    timed serially on cache-less executors (best-of-``repeats``), so
+    the span is what the process fan-out achieves with one core per
+    shard. On a single-CPU container (this repo's CI) wall time cannot
+    drop with shard count no matter how the work is split — the span is
+    the hardware-independent scaling signal, which is why it is the
+    number the ``qps`` field and the shards=4 > shards=1 gate use.
+
+The shards=4 > shards=1 critical-path comparison IS gated (exit 1):
+each shard holds a smaller forest, so per-shard sweeps touch fewer
+leaves and the span must shrink as shards grow. Build timings remain
+informational. The emitted JSON is uploaded as a workflow artifact and
+a reference copy is checked in at the repository root.
 """
 
 from __future__ import annotations
@@ -29,8 +43,11 @@ import sys
 import time
 
 from repro.bench import harness
+from repro.bench.vector_bench import fan_batch
 from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.exec import BatchExecutor
 from repro.shard import ShardedDualIndex
+from repro.shard.sharded import _merge_partials
 from repro.workloads import make_relation
 
 #: The fig9-medium workload (Figure 9: medium objects, N=2000, k=3).
@@ -112,38 +129,77 @@ def run_bench(
         build_seconds[lo] / build_seconds[hi], 3
     )
 
-    queries = _build_queries(n, size, k, queries_per_type)
+    # The columnar fan batch plus the mixed interior/exact batch, so the
+    # timed workload covers both the exact merged-sweep path and the
+    # vector technique.
+    queries = fan_batch(k) + _build_queries(n, size, k, queries_per_type)
     reference = DualIndexPlanner.build(
         make_relation(n, size, seed=seed), SlopeSet.uniform_angles(k)
     )
     expected = [frozenset(reference.query(q).ids) for q in queries]
+    crit_qps: dict[int, float] = {}
+    query_repeats = max(repeats, 3)
     for shards in SHARD_COUNTS:
         engine = ShardedDualIndex.build(
             make_relation(n, size, seed=seed),
             SlopeSet.uniform_angles(k),
             shards=shards,
         )
-        # Warm the fan-out thread pool and per-shard executors with a
+        # Wall leg: warm the fan-out pool and per-shard executors with a
         # query OUTSIDE the timed batch, so the timed run exercises real
         # query execution rather than the result LRU.
         engine.query_batch([HalfPlaneQuery(EXIST, 0.1234, 0.0, ">=")])
         start = time.perf_counter()
         batch = engine.query_batch(queries)
-        elapsed = time.perf_counter() - start
+        wall = time.perf_counter() - start
         matches = all(
             frozenset(res.ids) == want
             for res, want in zip(batch.results, expected)
         )
+
+        # Critical-path leg: per-shard partials timed serially on
+        # cache-less executors, span = slowest shard + merge (see module
+        # docstring for why this, not wall, is the scaling signal).
+        executors = [BatchExecutor(p, cache_size=0) for p in engine.planners]
+        for executor in executors:  # untimed decode/warm pass
+            executor.execute_partials(queries)
+        shard_seconds = []
+        for executor in executors:
+            best = float("inf")
+            for _ in range(query_repeats):
+                start = time.perf_counter()
+                executor.execute_partials(queries)
+                best = min(best, time.perf_counter() - start)
+            shard_seconds.append(best)
+        parts = [executor.execute_partials(queries) for executor in executors]
+        merge_seconds = float("inf")
+        for _ in range(query_repeats):
+            start = time.perf_counter()
+            merged = _merge_partials(parts, len(queries))
+            merge_seconds = min(merge_seconds, time.perf_counter() - start)
+        matches = matches and all(
+            frozenset(res.ids) == want
+            for res, want in zip(merged.results, expected)
+        )
+        crit = max(shard_seconds) + merge_seconds
+        crit_qps[shards] = len(queries) / crit
         payload["query"].append(
             {
                 "shards": shards,
-                "batch_seconds": round(elapsed, 6),
-                "qps": round(len(queries) / elapsed, 1),
+                "critical_path_seconds": round(crit, 6),
+                "qps": round(len(queries) / crit, 1),
+                "max_shard_seconds": round(max(shard_seconds), 6),
+                "merge_seconds": round(merge_seconds, 6),
+                "wall_batch_seconds": round(wall, 6),
+                "wall_qps": round(len(queries) / wall, 1),
                 "page_accesses": batch.page_accesses,
                 "answers_match_unsharded": matches,
             }
         )
         engine.close()
+    lo, hi = min(SHARD_COUNTS), max(SHARD_COUNTS)
+    payload["query_speedup_4v1"] = round(crit_qps[hi] / crit_qps[lo], 3)
+    payload["query_scales_with_shards"] = crit_qps[hi] > crit_qps[lo]
     return payload
 
 
@@ -163,10 +219,16 @@ def format_report(payload: dict) -> str:
     for row in payload["query"]:
         ok = "ok" if row["answers_match_unsharded"] else "MISMATCH"
         lines.append(
-            f"  shards={row['shards']}: {row['batch_seconds']:.3f}s batch "
-            f"({row['qps']:.0f} q/s, {row['page_accesses']} pages, "
+            f"  shards={row['shards']}: span {row['critical_path_seconds']:.4f}s "
+            f"({row['qps']:.0f} q/s; wall {row['wall_batch_seconds']:.4f}s, "
+            f"{row['wall_qps']:.0f} q/s; {row['page_accesses']} pages, "
             f"answers {ok})"
         )
+    scales = "yes" if payload["query_scales_with_shards"] else "NO"
+    lines.append(
+        f"  query speedup 4v1 (critical path): "
+        f"{payload['query_speedup_4v1']:.2f}x — scales with shards: {scales}"
+    )
     return "\n".join(lines)
 
 
@@ -207,6 +269,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.out}")
     if not all(row["answers_match_unsharded"] for row in payload["query"]):
         print("sharded answers diverged from unsharded", file=sys.stderr)
+        return 1
+    if not payload["query_scales_with_shards"]:
+        print(
+            "query-side critical-path QPS did not improve from "
+            f"{min(SHARD_COUNTS)} to {max(SHARD_COUNTS)} shards",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -1,0 +1,227 @@
+"""Columnar-vs-scalar batch throughput (``BENCH_vector.json``).
+
+The tentpole measurement of the columnar B+-tree hot path: the
+fig9-medium workload (N=2000 medium objects, k=3 slopes) answered as a
+*slope-group fan batch* — for every predefined slope, a fan of 20
+intercepts × {EXIST, ALL} × {>=, <=}, i.e. 240 exact-path queries that
+group into one merged sweep per (slope, direction, type) — once on the
+scalar engine (``columnar=False``, the pre-PR per-entry Python path)
+and once on the columnar engine (vectorized descent, array sweeps,
+lazy tid-column answers).
+
+Guard rails before any number is reported:
+
+* **answers identical** — every query's id set must match between the
+  two engines (the columnar path is a faster arrangement of the same
+  computation, not an approximation);
+* **page accounting identical** — batch logical reads/writes must be
+  bit-identical (the paper's cost metric is untouched by the rewrite).
+
+Either check failing exits 1 and the artifact says which.
+
+Timing uses dedicated :class:`BatchExecutor` instances with the result
+LRU disabled — a warm cache would measure ``set.copy`` instead of query
+execution. The ``counters`` section feeds ``repro bench-diff --mode
+floor`` (the CI QPS gate): ``qps_columnar`` is the pinned floor metric,
+``speedup_vs_scalar`` the hardware-portable sanity ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench import harness
+from repro.core import ALL, EXIST, DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.exec import BatchExecutor
+from repro.workloads import make_relation
+
+#: The fig9-medium workload (Figure 9: medium objects, N=2000, k=3).
+FIG9_N = 2000
+FIG9_SIZE = "medium"
+FIG9_K = 3
+
+DEFAULT_OUT = "BENCH_vector.json"
+#: Intercepts per (slope, type, theta) combination.
+FAN_WIDTH = 20
+
+
+def fan_batch(k: int, width: int = FAN_WIDTH) -> list[HalfPlaneQuery]:
+    """The slope-group fan: ``k × width × 4`` exact-path queries.
+
+    Intercepts sweep the populated key range so per-query answer sets
+    span empty to nearly-everything; the per-slope offset keeps fans on
+    different slopes from quantizing to identical key sets.
+    """
+    queries: list[HalfPlaneQuery] = []
+    for i, slope in enumerate(SlopeSet.uniform_angles(k)):
+        for j in range(width):
+            intercept = -40.0 + 80.0 * j / max(width - 1, 1) + 0.37 * i
+            queries.append(HalfPlaneQuery(EXIST, slope, intercept, ">="))
+            queries.append(HalfPlaneQuery(EXIST, slope, -intercept, "<="))
+            queries.append(HalfPlaneQuery(ALL, slope, intercept, ">="))
+            queries.append(HalfPlaneQuery(ALL, slope, -intercept, "<="))
+    return queries
+
+
+def time_engine(
+    planner: DualIndexPlanner,
+    queries: list[HalfPlaneQuery],
+    repeats: int,
+):
+    """``(best seconds, last batch)`` over ``repeats`` cold executions.
+
+    A fresh cache-less executor per attempt: every timed batch pays the
+    full descent/sweep/classify/assemble pipeline.
+    """
+    best = float("inf")
+    batch = None
+    for _ in range(repeats):
+        executor = BatchExecutor(planner, cache_size=0)
+        start = time.perf_counter()
+        batch = executor.execute(queries)
+        best = min(best, time.perf_counter() - start)
+    return best, batch
+
+
+def run_bench(
+    n: int = FIG9_N,
+    size: str = FIG9_SIZE,
+    k: int = FIG9_K,
+    seed: int = harness.SEED,
+    repeats: int = 5,
+    width: int = FAN_WIDTH,
+) -> dict:
+    """Run both engines and return the ``BENCH_vector.json`` payload."""
+    relation = make_relation(n, size, seed=seed)
+    slopes = SlopeSet.uniform_angles(k)
+    queries = fan_batch(k, width)
+
+    scalar = DualIndexPlanner.build(relation, slopes, columnar=False)
+    columnar = DualIndexPlanner.build(relation, slopes, columnar=True)
+    # One untimed pass per engine decodes node pages into the columnar
+    # cache / buffer pool, so both timed runs start equally warm.
+    time_engine(scalar, queries[:1], 1)
+    time_engine(columnar, queries[:1], 1)
+
+    scalar_s, scalar_batch = time_engine(scalar, queries, repeats)
+    columnar_s, columnar_batch = time_engine(columnar, queries, repeats)
+
+    answers_identical = all(
+        a.ids == b.ids
+        for a, b in zip(scalar_batch.results, columnar_batch.results)
+    )
+    pages_identical = (
+        scalar_batch.io.logical_reads == columnar_batch.io.logical_reads
+        and scalar_batch.io.logical_writes == columnar_batch.io.logical_writes
+    )
+    speedup = scalar_s / columnar_s
+
+    payload = {
+        "workload": {
+            "figure": "9 (medium objects)",
+            "n": n,
+            "size": size,
+            "k": k,
+            "seed": seed,
+            "repeats": repeats,
+            "queries": len(queries),
+        },
+        "engines": [
+            {
+                "engine": "scalar",
+                "batch_seconds": round(scalar_s, 6),
+                "qps": round(len(queries) / scalar_s, 1),
+                "page_accesses": scalar_batch.page_accesses,
+            },
+            {
+                "engine": "columnar",
+                "batch_seconds": round(columnar_s, 6),
+                "qps": round(len(queries) / columnar_s, 1),
+                "page_accesses": columnar_batch.page_accesses,
+            },
+        ],
+        "answers_identical": answers_identical,
+        "pages_identical": pages_identical,
+        "speedup_vs_scalar": round(speedup, 2),
+        # bench-diff floor-gate input (see module docstring).
+        "counters": {
+            "qps_scalar": round(len(queries) / scalar_s, 1),
+            "qps_columnar": round(len(queries) / columnar_s, 1),
+            "speedup_vs_scalar": round(speedup, 2),
+        },
+    }
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    w = payload["workload"]
+    lines = [
+        f"vector bench — fig9-medium (n={w['n']}, size={w['size']}, "
+        f"k={w['k']}, {w['queries']} queries/batch)",
+    ]
+    for row in payload["engines"]:
+        lines.append(
+            f"  {row['engine']:8s}: {row['batch_seconds']:.4f}s batch "
+            f"({row['qps']:.0f} q/s, {row['page_accesses']} pages)"
+        )
+    lines.append(f"  speedup: {payload['speedup_vs_scalar']:.2f}x")
+    lines.append(
+        "  answers identical: %s, pages identical: %s"
+        % (payload["answers_identical"], payload["pages_identical"])
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro vector-bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro vector-bench",
+        description=(
+            "columnar-vs-scalar batch QPS on the fig9-medium slope-group "
+            "fan (answers and page accounting asserted identical)"
+        ),
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"where to write the JSON payload (default {DEFAULT_OUT})",
+    )
+    parser.add_argument("--n", type=int, default=FIG9_N, help="relation size")
+    parser.add_argument(
+        "--size", default=FIG9_SIZE, choices=["small", "medium"]
+    )
+    parser.add_argument("--k", type=int, default=FIG9_K, help="slope count")
+    parser.add_argument(
+        "--seed", type=int, default=harness.SEED, help="workload seed"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed attempts per engine (best-of; default 5)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=FAN_WIDTH,
+        help=f"intercepts per (slope,type,theta) fan (default {FAN_WIDTH})",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        n=args.n, size=args.size, k=args.k, seed=args.seed,
+        repeats=args.repeats, width=args.width,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.out}")
+    if not payload["answers_identical"]:
+        print("columnar answers diverged from scalar", file=sys.stderr)
+        return 1
+    if not payload["pages_identical"]:
+        print("columnar page accounting diverged from scalar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

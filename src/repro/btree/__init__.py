@@ -5,19 +5,27 @@ structure of Sections 3–4, and the handicap directories used for dynamic
 maintenance, are instances of :class:`BPlusTree`.
 """
 
+from repro.btree.columnar import ColumnarCache, columnar_default
 from repro.btree.node import (
     FLAG_HANDICAPS_VALID,
+    InternalArrays,
     InternalNode,
+    LeafArrays,
     LeafNode,
     NodeLayout,
 )
-from repro.btree.tree import BPlusTree, LeafVisit
+from repro.btree.tree import BPlusTree, LeafVisit, MultiSweep
 
 __all__ = [
     "BPlusTree",
     "LeafVisit",
     "LeafNode",
+    "LeafArrays",
     "InternalNode",
+    "InternalArrays",
+    "MultiSweep",
     "NodeLayout",
+    "ColumnarCache",
+    "columnar_default",
     "FLAG_HANDICAPS_VALID",
 ]

@@ -81,6 +81,35 @@ class LeafNode:
 
 
 @dataclass
+class LeafArrays:
+    """Columnar view of one leaf page (see ``docs/ARCHITECTURE.md``).
+
+    ``keys`` is float64 ascending, ``rids`` int64 — the same values
+    :class:`LeafNode` holds as Python lists, but as read-only numpy
+    arrays so descent and sweeps can use ``np.searchsorted`` and slice
+    instead of per-entry comparisons. Decoded once per page image and
+    cached (:class:`repro.btree.columnar.ColumnarCache`); the page read
+    itself is still counted per touch, so logical accounting is
+    unchanged.
+    """
+
+    keys: np.ndarray
+    rids: np.ndarray
+    prev: int
+    next: int
+
+
+@dataclass
+class InternalArrays:
+    """Columnar view of one internal page: separator key/rid columns
+    plus the child page-id array (``len(children) == len(keys) + 1``)."""
+
+    keys: np.ndarray
+    rids: np.ndarray
+    children: np.ndarray
+
+
+@dataclass
 class InternalNode:
     """Decoded internal node.
 
@@ -173,6 +202,53 @@ class NodeLayout:
         pos += self.aux_slots * kb
         keys, rids = self._decode_entries(data, pos, count)
         return LeafNode(keys, rids, prev, nxt, aux, flags)
+
+    def decode_leaf_arrays(self, data: bytes) -> LeafArrays:
+        """Decode a leaf page into read-only numpy columns.
+
+        Carries exactly the information the read paths need (keys, rids,
+        chain links); aux slots and flags are write-path concerns and
+        stay on :meth:`decode_leaf`. Key values are bit-identical to the
+        scalar decoder's (same widening cast, no re-rounding).
+        """
+        kind, _flags, count = _HEADER.unpack_from(data, 0)
+        if kind != _LEAF_KIND:
+            raise StorageError("page is not a leaf node")
+        prev, nxt = _LINKS.unpack_from(data, _HEADER.size)
+        pos = (
+            _HEADER.size
+            + _LINKS.size
+            + self.aux_slots * self.key_codec.key_bytes
+        )
+        entries = np.frombuffer(data, dtype=self._entry_dtype,
+                                count=count, offset=pos)
+        keys = entries["k"].astype(np.float64)
+        rids = entries["r"].astype(np.int64)
+        keys.flags.writeable = False
+        rids.flags.writeable = False
+        return LeafArrays(keys, rids, prev, nxt)
+
+    def decode_internal_arrays(self, data: bytes) -> InternalArrays:
+        """Decode an internal page into read-only numpy columns.
+
+        ``rids`` widen to int64 so composite-descent targets with
+        sentinel rids (-1, ``0xFFFFFFFF``) compare correctly.
+        """
+        kind, _flags, count = _HEADER.unpack_from(data, 0)
+        if kind != _INTERNAL_KIND:
+            raise StorageError("page is not an internal node")
+        pos = _HEADER.size
+        children = np.frombuffer(
+            data, dtype="<u4", count=count + 1, offset=pos
+        ).astype(np.int64)
+        pos += (count + 1) * _RID.size
+        entries = np.frombuffer(data, dtype=self._entry_dtype,
+                                count=count, offset=pos)
+        keys = entries["k"].astype(np.float64)
+        rids = entries["r"].astype(np.int64)
+        for arr in (keys, rids, children):
+            arr.flags.writeable = False
+        return InternalArrays(keys, rids, children)
 
     # ------------------------------------------------------------------
     # internal codec

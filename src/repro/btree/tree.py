@@ -19,12 +19,21 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import IndexError_
 from repro.obs import trace as obs
 from repro.storage.disk import NULL_PAGE
 from repro.storage.pager import Pager
 from repro.storage.serialize import KeyCodec
-from repro.btree.node import InternalNode, LeafNode, NodeLayout
+from repro.btree.columnar import ColumnarCache, columnar_default
+from repro.btree.node import (
+    InternalArrays,
+    InternalNode,
+    LeafArrays,
+    LeafNode,
+    NodeLayout,
+)
 
 Composite = tuple[float, int]
 _MAX_RID = 0xFFFFFFFF
@@ -49,17 +58,35 @@ class MultiSweep:
     ``keys[offsets[i]:]`` — for an up-sweep those are the keys
     ``>= starts[i]``, for a down-sweep the keys ``<= starts[i]``.
     ``leaves`` is the number of leaf pages the shared sweep touched.
+
+    On the columnar path ``keys``/``rids`` are numpy arrays (float64 /
+    int64); callers wanting arrays regardless of path use
+    :meth:`arrays`, while :meth:`entries_for` always returns plain
+    lists.
     """
 
-    keys: list[float] = field(default_factory=list)
-    rids: list[int] = field(default_factory=list)
+    keys: "list[float] | np.ndarray" = field(default_factory=list)
+    rids: "list[int] | np.ndarray" = field(default_factory=list)
     offsets: list[int] = field(default_factory=list)
     leaves: int = 0
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, rids)`` as numpy arrays (no copy on the columnar
+        path; one conversion on the scalar path)."""
+        if isinstance(self.keys, np.ndarray):
+            return self.keys, self.rids  # type: ignore[return-value]
+        return (
+            np.asarray(self.keys, dtype=np.float64),
+            np.asarray(self.rids, dtype=np.int64),
+        )
 
     def entries_for(self, i: int) -> tuple[list[float], list[int]]:
         """The (keys, rids) slice serving the i-th start key."""
         at = self.offsets[i]
-        return self.keys[at:], self.rids[at:]
+        keys, rids = self.keys[at:], self.rids[at:]
+        if isinstance(keys, np.ndarray):
+            return keys.tolist(), rids.tolist()  # type: ignore[union-attr]
+        return keys, rids  # type: ignore[return-value]
 
 
 class BPlusTree:
@@ -76,6 +103,14 @@ class BPlusTree:
         plain trees.
     name:
         Diagnostic label.
+    columnar:
+        When True (the default unless ``REPRO_SCALAR=1`` is set in the
+        environment), descent and merged sweeps run on cached numpy
+        columns (``np.searchsorted`` over per-node key arrays) instead
+        of per-entry Python comparisons. Logical page accounting is
+        bit-identical either way — the flag only changes in-memory work.
+        Pass ``False`` explicitly to force the scalar path (used by the
+        differential verifier to cross-check both engines).
     """
 
     def __init__(
@@ -84,11 +119,16 @@ class BPlusTree:
         key_codec: KeyCodec | None = None,
         aux_slots: int = 0,
         name: str = "btree",
+        columnar: bool | None = None,
     ) -> None:
         self.pager = pager
         self.codec = key_codec if key_codec is not None else KeyCodec(4)
         self.layout = NodeLayout(pager.page_size, self.codec, aux_slots)
         self.name = name
+        self.columnar = (
+            columnar_default() if columnar is None else bool(columnar)
+        )
+        self._columns = ColumnarCache(self.layout)
         self.root: int | None = None
         self.height = 0
         self.size = 0
@@ -111,6 +151,7 @@ class BPlusTree:
     def _free(self, pid: int) -> None:
         self.owned_pages.discard(pid)
         self.dirty_leaves.discard(pid)
+        self._columns.invalidate(pid)
         self.pager.free(pid)
 
     def _read_leaf(self, pid: int) -> LeafNode:
@@ -119,15 +160,29 @@ class BPlusTree:
     def _read_internal(self, pid: int) -> InternalNode:
         return self.layout.decode_internal(self.pager.read(pid))
 
+    def _leaf_arrays(self, pid: int) -> LeafArrays:
+        """Columnar leaf view. The ``pager.read`` is issued per touch —
+        one logical read, exactly like :meth:`_read_leaf` — only the
+        decode is cached."""
+        return self._columns.leaf(pid, self.pager.read(pid))
+
+    def _internal_arrays(self, pid: int) -> InternalArrays:
+        """Columnar internal view (counted read per touch, cached decode)."""
+        return self._columns.internal(pid, self.pager.read(pid))
+
     def _write_leaf(self, pid: int, node: LeafNode) -> None:
         if self.layout.aux_slots:
             if node.handicaps_valid:
                 self.dirty_leaves.discard(pid)
             else:
                 self.dirty_leaves.add(pid)
+        # Invalidate before the write: if the write faults, the cache
+        # must not keep serving the page's old columns.
+        self._columns.invalidate(pid)
         self.pager.write(pid, self.layout.encode_leaf(node))
 
     def _write_internal(self, pid: int, node: InternalNode) -> None:
+        self._columns.invalidate(pid)
         self.pager.write(pid, self.layout.encode_internal(node))
 
     # ------------------------------------------------------------------
@@ -152,6 +207,15 @@ class BPlusTree:
         """Leaf that would contain the smallest entry >= target."""
         assert self.root is not None
         pid = self.root
+        if self.columnar:
+            for _ in range(self.height - 1):
+                arrs = self._internal_arrays(pid)
+                obs.incr("btree.node_visits")
+                at = _searchsorted_composite(
+                    arrs.keys, arrs.rids, target, right=False
+                )
+                pid = int(arrs.children[at])
+            return pid
         for _ in range(self.height - 1):
             node = self._read_internal(pid)
             obs.incr("btree.node_visits")
@@ -162,6 +226,15 @@ class BPlusTree:
         """Leaf that would contain the largest entry <= target."""
         assert self.root is not None
         pid = self.root
+        if self.columnar:
+            for _ in range(self.height - 1):
+                arrs = self._internal_arrays(pid)
+                obs.incr("btree.node_visits")
+                at = _searchsorted_composite(
+                    arrs.keys, arrs.rids, target, right=True
+                )
+                pid = int(arrs.children[at])
+            return pid
         for _ in range(self.height - 1):
             node = self._read_internal(pid)
             obs.incr("btree.node_visits")
@@ -202,7 +275,8 @@ class BPlusTree:
         if from_key is None:
             pid = self.first_leaf
         else:
-            with obs.span("descend", tree=self.name, height=self.height):
+            with obs.span("descend", tree=self.name, height=self.height,
+                          descent_vectorized=self.columnar):
                 pid = self._descend_left((self.quantize(from_key), -1))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)
@@ -218,7 +292,8 @@ class BPlusTree:
         if from_key is None:
             pid = self.last_leaf
         else:
-            with obs.span("descend", tree=self.name, height=self.height):
+            with obs.span("descend", tree=self.name, height=self.height,
+                          descent_vectorized=self.columnar):
                 pid = self._descend_right((self.quantize(from_key), _MAX_RID))
         while pid != NULL_PAGE:
             leaf = self._read_leaf(pid)
@@ -238,6 +313,8 @@ class BPlusTree:
         the page cost of the single widest sweep instead of one descent
         and one overlapping sweep per query.
         """
+        if self.columnar:
+            return self._sweep_up_multi_columnar(starts)
         qstarts = [self.quantize(s) for s in starts]
         out = MultiSweep()
         if self.root is None or not qstarts:
@@ -254,6 +331,45 @@ class BPlusTree:
         out.offsets = [bisect.bisect_left(out.keys, q) for q in qstarts]
         return out
 
+    def _sweep_up_multi_columnar(self, starts: Sequence[float]) -> MultiSweep:
+        """Vectorized :meth:`sweep_up_multi`: same descent, same leaf
+        chain (one counted read per leaf), but entries are gathered as
+        array segments and per-query offsets come from one
+        ``np.searchsorted`` over the merged key column."""
+        out = MultiSweep()
+        if self.root is None or len(starts) == 0:
+            out.offsets = [0] * len(starts)
+            return out
+        qstarts = self.codec.quantize_many(starts)
+        lo = float(qstarts.min())
+        with obs.span("descend", tree=self.name, height=self.height,
+                      descent_vectorized=True):
+            pid = self._descend_left((lo, -1))
+        key_segs: list[np.ndarray] = []
+        rid_segs: list[np.ndarray] = []
+        while pid != NULL_PAGE:
+            arrs = self._leaf_arrays(pid)
+            obs.incr("btree.leaf_visits")
+            out.leaves += 1
+            obs.incr("comparisons", int(arrs.keys.size))
+            # Keys below ``lo`` can only exist in the descent leaf (the
+            # chain is globally sorted); the searchsorted trim is a no-op
+            # on every later leaf.
+            cut = int(np.searchsorted(arrs.keys, lo, side="left"))
+            if cut < arrs.keys.size:
+                key_segs.append(arrs.keys[cut:])
+                rid_segs.append(arrs.rids[cut:])
+            pid = arrs.next
+        if key_segs:
+            out.keys = np.concatenate(key_segs)
+            out.rids = np.concatenate(rid_segs)
+            out.offsets = np.searchsorted(
+                out.keys, qstarts, side="left"
+            ).tolist()
+        else:
+            out.offsets = [0] * len(starts)
+        return out
+
     def sweep_down_multi(self, starts: Sequence[float]) -> MultiSweep:
         """Descending counterpart of :meth:`sweep_up_multi`.
 
@@ -261,6 +377,8 @@ class BPlusTree:
         i-th query's entries are the suffix ``keys[offsets[i]:]`` of the
         *descending* entry list (its keys ``<= quantize(starts[i])``).
         """
+        if self.columnar:
+            return self._sweep_down_multi_columnar(starts)
         qstarts = [self.quantize(s) for s in starts]
         out = MultiSweep()
         if self.root is None or not qstarts:
@@ -280,6 +398,44 @@ class BPlusTree:
         # index whose key is <= q, found by bisecting the negated keys.
         negated = [-k for k in out.keys]
         out.offsets = [bisect.bisect_left(negated, -q) for q in qstarts]
+        return out
+
+    def _sweep_down_multi_columnar(
+        self, starts: Sequence[float]
+    ) -> MultiSweep:
+        """Vectorized :meth:`sweep_down_multi`: right-to-left chain walk
+        with reversed array segments; offsets bisect the negated
+        (ascending) key column, matching the scalar path exactly."""
+        out = MultiSweep()
+        if self.root is None or len(starts) == 0:
+            out.offsets = [0] * len(starts)
+            return out
+        qstarts = self.codec.quantize_many(starts)
+        hi = float(qstarts.max())
+        with obs.span("descend", tree=self.name, height=self.height,
+                      descent_vectorized=True):
+            pid = self._descend_right((hi, _MAX_RID))
+        key_segs: list[np.ndarray] = []
+        rid_segs: list[np.ndarray] = []
+        while pid != NULL_PAGE:
+            arrs = self._leaf_arrays(pid)
+            obs.incr("btree.leaf_visits")
+            out.leaves += 1
+            obs.incr("comparisons", int(arrs.keys.size))
+            # Keys above ``hi`` can only exist in the descent leaf.
+            cut = int(np.searchsorted(arrs.keys, hi, side="right"))
+            if cut > 0:
+                key_segs.append(arrs.keys[cut - 1 :: -1])
+                rid_segs.append(arrs.rids[cut - 1 :: -1])
+            pid = arrs.prev
+        if key_segs:
+            out.keys = np.concatenate(key_segs)
+            out.rids = np.concatenate(rid_segs)
+            out.offsets = np.searchsorted(
+                -out.keys, -qstarts, side="left"
+            ).tolist()
+        else:
+            out.offsets = [0] * len(starts)
         return out
 
     def items_from(
@@ -746,6 +902,26 @@ class BPlusTree:
 # ----------------------------------------------------------------------
 # composite bisect helpers (parallel key/rid lists)
 # ----------------------------------------------------------------------
+def _searchsorted_composite(
+    keys: np.ndarray, rids: np.ndarray, target: Composite, right: bool
+) -> int:
+    """Vectorized composite bisect over parallel key/rid columns.
+
+    Equivalent to ``_bisect_left``/``_bisect_right`` on the zipped
+    ``(key, rid)`` pairs: the key column locates the equal-key run, the
+    rid column (int64, so sentinel targets -1 and ``0xFFFFFFFF`` compare
+    correctly) breaks the tie inside it.
+    """
+    key, rid = target
+    lo = int(np.searchsorted(keys, key, side="left"))
+    hi = int(np.searchsorted(keys, key, side="right"))
+    if lo == hi:
+        return lo
+    side = "right" if right else "left"
+    return lo + int(np.searchsorted(rids[lo:hi], rid, side=side))
+
+
+
 def _bisect_left(seps: Sequence[Composite], target: Composite) -> int:
     lo, hi = 0, len(seps)
     while lo < hi:

@@ -36,9 +36,12 @@ Commands
     ``--shards``/``--build-workers``, the merged ``shard=i``/
     ``worker=j`` fleet series). ``--format prom`` emits Prometheus text
     exposition instead of JSON.
-``bench-diff BASELINE CURRENT [--threshold F]``
+``bench-diff BASELINE CURRENT [--threshold F --mode ceiling|floor]``
     Per-counter delta report between two bench/smoke JSON artifacts;
     exits non-zero when a counter regresses beyond the threshold.
+    ``--mode floor`` inverts the gate for throughput counters
+    (falling below baseline fails) — the CI QPS-floor leg runs it
+    against ``benchmarks/baselines/qps.json``.
 ``overhead [--budget F --repeats N]``
     Measure traced vs untraced query wall time (best-of-N) and fail
     when tracing exceeds the fractional budget.
@@ -47,9 +50,16 @@ Commands
     lives at ``benchmarks/baselines/smoke.json`` relative to the
     repository root; ``--baseline PATH`` overrides the convention.
 ``shard-bench [--out FILE --n N --size small|medium --k K --repeats R]``
-    Build-throughput (1 vs 4 workers) and sharded-QPS (1/2/4 shards)
-    benchmark on the fig9-medium workload; writes ``BENCH_shard.json``
+    Build-throughput (1 vs 4 workers) and sharded query-side QPS
+    (1/2/4 shards, wall + critical-path span) benchmark on the
+    fig9-medium workload; writes ``BENCH_shard.json`` and fails unless
+    4-shard critical-path QPS beats 1-shard
     (see :mod:`repro.bench.shard_bench`).
+``vector-bench [--out FILE --n N --size small|medium --k K --repeats R]``
+    Columnar-vs-scalar batch throughput on the fig9-medium slope-group
+    fan; asserts identical answers and page accounting, writes
+    ``BENCH_vector.json`` whose ``counters`` section feeds the CI
+    QPS-floor gate (see :mod:`repro.bench.vector_bench`).
 ``fuzz [--seed N --budget 30s --out DIR --replay FILE --fault-demo]``
     Differential fuzzing (:mod:`repro.verify`): cross-check every query
     path against the geometric and LP oracles on randomized +
@@ -333,6 +343,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed build attempts per worker count (best-of; default 2)",
     )
 
+    vector_bench = sub.add_parser(
+        "vector-bench",
+        help="columnar-vs-scalar batch QPS benchmark (BENCH_vector.json)",
+        description=(
+            "Benchmark the columnar B+-tree hot path against the scalar "
+            "engine on the fig9-medium slope-group fan batch. Answers "
+            "and page accounting are asserted identical between the two "
+            "engines (exit 1 on divergence). Writes BENCH_vector.json; "
+            "its counters section feeds `repro bench-diff --mode floor` "
+            "in the CI QPS gate."
+        ),
+    )
+    vector_bench.add_argument(
+        "--out", default=None,
+        help="where to write the JSON payload (default BENCH_vector.json)",
+    )
+    vector_bench.add_argument("--n", type=int, default=None,
+                              help="relation size (default 2000)")
+    vector_bench.add_argument("--size", default=None,
+                              choices=["small", "medium"])
+    vector_bench.add_argument("--k", type=int, default=None,
+                              help="slope count (default 3)")
+    vector_bench.add_argument("--seed", type=int, default=None,
+                              help="workload seed")
+    vector_bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed attempts per engine (best-of; default 5)",
+    )
+
     bench_diff = sub.add_parser(
         "bench-diff",
         help="diff two bench/smoke JSON artifacts, gate on regressions",
@@ -349,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument(
         "--threshold", type=float, default=0.0,
         help="fractional regression allowance (default 0)",
+    )
+    bench_diff.add_argument(
+        "--mode", choices=["ceiling", "floor"], default="ceiling",
+        help="ceiling: rises fail (costs, default); floor: falls fail "
+             "(throughput)",
     )
 
     overhead = sub.add_parser(
@@ -428,7 +472,7 @@ def main(argv: list[str] | None = None) -> int:
 
         return diff.main(
             [args.baseline, args.current, "--threshold",
-             str(args.threshold)]
+             str(args.threshold), "--mode", args.mode]
         )
     if args.command == "overhead":
         from repro.bench import overhead
@@ -440,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
         return _smoke(args)
     if args.command == "shard-bench":
         return _shard_bench(args)
+    if args.command == "vector-bench":
+        return _vector_bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
     return 2  # pragma: no cover - argparse enforces choices
@@ -900,6 +946,25 @@ def _shard_bench(args) -> int:
     if args.repeats is not None:
         argv += ["--repeats", str(args.repeats)]
     return shard_bench.main(argv)
+
+
+def _vector_bench(args) -> int:
+    from repro.bench import vector_bench
+
+    argv: list[str] = []
+    if args.out:
+        argv += ["--out", args.out]
+    if args.n is not None:
+        argv += ["--n", str(args.n)]
+    if args.size is not None:
+        argv += ["--size", args.size]
+    if args.k is not None:
+        argv += ["--k", str(args.k)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.repeats is not None:
+        argv += ["--repeats", str(args.repeats)]
+    return vector_bench.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
+from repro.btree.columnar import columnar_default
 from repro.btree.tree import BPlusTree
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.tuples import GeneralizedTuple
@@ -49,6 +52,11 @@ NO_LOW = math.inf
 NO_HIGH = -math.inf
 
 _SIDES = ("prev", "next")
+
+#: Largest packed-RID value for which the rid -> tid translation keeps a
+#: dense gather table (32 MB of int64 at the limit); sparser rid spaces
+#: fall back to binary search over the sorted translation arrays.
+_DENSE_LUT_LIMIT = 1 << 22
 
 
 @dataclass
@@ -165,6 +173,12 @@ class DualIndex:
         answer-preserving (evicted keys are re-derived from the heap
         record on demand); the bound keeps memory flat under sustained
         update traffic.
+    columnar:
+        Forwarded to every B+-tree: True runs descents and merged sweeps
+        on cached numpy columns, False forces the legacy scalar path.
+        ``None`` (default) follows the ``REPRO_SCALAR`` environment gate
+        (see :mod:`repro.btree.columnar`). Answers and logical page
+        accounting are identical either way.
     """
 
     def __init__(
@@ -175,20 +189,26 @@ class DualIndex:
         dynamic: bool = False,
         name: str = "dual",
         keys_cache_entries: int = 65536,
+        columnar: bool | None = None,
     ) -> None:
         self.pager = pager if pager is not None else Pager()
         self.slopes = slopes if isinstance(slopes, SlopeSet) else SlopeSet(slopes)
         self.codec = key_codec if key_codec is not None else KeyCodec(4)
         self.dynamic = dynamic
         self.name = name
+        self.columnar = (
+            columnar_default() if columnar is None else bool(columnar)
+        )
         self.heap = HeapFile(self.pager)
         k = len(self.slopes)
         self.up = [
-            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.up[{i}]")
+            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.up[{i}]",
+                      columnar=self.columnar)
             for i in range(k)
         ]
         self.down = [
-            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.down[{i}]")
+            BPlusTree(self.pager, self.codec, AUX_SLOTS, f"{name}.down[{i}]",
+                      columnar=self.columnar)
             for i in range(k)
         ]
         # Handicap directories: per slope, per side, one tree keyed by
@@ -201,10 +221,12 @@ class DualIndex:
                     if self.slopes.strip(i, side) is None:
                         continue
                     self.dir_top[i][side] = BPlusTree(
-                        self.pager, self.codec, 0, f"{name}.dirT[{i}.{side}]"
+                        self.pager, self.codec, 0, f"{name}.dirT[{i}.{side}]",
+                        columnar=self.columnar,
                     )
                     self.dir_bot[i][side] = BPlusTree(
-                        self.pager, self.codec, 0, f"{name}.dirB[{i}.{side}]"
+                        self.pager, self.codec, 0, f"{name}.dirB[{i}.{side}]",
+                        columnar=self.columnar,
                     )
         # Catalog: tuple id <-> heap RID (a real system's data dictionary),
         # plus a key cache so handicap maintenance does not have to fetch
@@ -212,6 +234,12 @@ class DualIndex:
         self.rid_of: dict[int, int] = {}
         self.tid_of: dict[int, int] = {}
         self.keys_cache = KeysLRU(keys_cache_entries)
+        # Sorted rid -> tid translation arrays for the vectorized batch
+        # path, rebuilt lazily whenever the structure version moves.
+        self._rid_lut: "np.ndarray | None" = None
+        self._tid_lut: "np.ndarray | None" = None
+        self._dense_lut: "np.ndarray | None" = None
+        self._lut_version = -1
         # Global assignment-key extrema per (tree name, side): a query
         # whose intercept lies beyond every assignment key can skip the
         # secondary sweep entirely (extension A7; conservative under
@@ -580,6 +608,43 @@ class DualIndex:
         """Fetch and decode a record (one counted page read)."""
         return decode_tuple(self.heap.fetch(rid))
 
+    def tids_for_rids(self, rids) -> "np.ndarray":
+        """Vectorized catalog translation: tuple ids for an array of
+        rids (all must be indexed).
+
+        A dense gather table (``table[rid] -> tid``) when the rid space
+        is small enough — one fancy-indexing pass, ~1ns per rid — and a
+        ``np.searchsorted`` against sorted translation arrays otherwise.
+        The batch executor's accepted sets are the largest per-query
+        loops left once sweeps are columnar, and binary search was
+        measured an order of magnitude slower than the dense gather.
+        The tables rebuild lazily on version changes, so updates stay
+        cheap.
+        """
+        arr = np.asarray(rids, dtype=np.int64)
+        if self._lut_version != self.version:
+            items = sorted(self.tid_of.items())
+            self._rid_lut = np.fromiter(
+                (r for r, _ in items), dtype=np.int64, count=len(items)
+            )
+            self._tid_lut = np.fromiter(
+                (t for _, t in items), dtype=np.int64, count=len(items)
+            )
+            max_rid = int(self._rid_lut[-1]) if len(items) else -1
+            if 0 <= max_rid < _DENSE_LUT_LIMIT:
+                dense = np.full(max_rid + 1, -1, dtype=np.int64)
+                dense[self._rid_lut] = self._tid_lut
+                self._dense_lut = dense
+            else:
+                self._dense_lut = None
+            self._lut_version = self.version
+        if arr.size == 0:
+            return arr
+        if self._dense_lut is not None:
+            return self._dense_lut[arr]
+        assert self._rid_lut is not None and self._tid_lut is not None
+        return self._tid_lut[np.searchsorted(self._rid_lut, arr)]
+
     def margin(self, value: float) -> float:
         """Safety widening of sweep boundaries.
 
@@ -620,7 +685,14 @@ def _write_aggregates(
     assignments_low: dict[str, list[tuple[float, float]]],
     assignments_high: dict[str, list[tuple[float, float]]],
 ) -> None:
-    """One merge pass: per-leaf min/max of assigned tuple keys."""
+    """One merge pass: per-leaf min/max of assigned tuple keys.
+
+    The leaf owning an assignment key is found with one vectorized
+    ``np.searchsorted`` over the leaf boundary keys, and the per-leaf
+    extrema accumulate through ``np.minimum.at``/``np.maximum.at`` —
+    both order-independent, so the aggregates are bit-identical to the
+    old per-assignment binary-search loop.
+    """
     pids: list[int] = []
     boundaries: list[float] = []
     for pid in tree.leaf_pids():
@@ -629,33 +701,33 @@ def _write_aggregates(
         boundaries.append(leaf.keys[0] if leaf.keys else math.inf)
     if not pids:
         return
-    aggregates = [[NO_LOW, NO_LOW, NO_HIGH, NO_HIGH] for _ in pids]
+    bounds = np.asarray(boundaries, dtype=np.float64)
+    aggregates = np.empty((len(pids), AUX_SLOTS), dtype=np.float64)
+    aggregates[:, (AUX_LOW_PREV, AUX_LOW_NEXT)] = NO_LOW
+    aggregates[:, (AUX_HIGH_PREV, AUX_HIGH_NEXT)] = NO_HIGH
 
-    def owner(value: float) -> int:
-        lo, hi = 0, len(boundaries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if boundaries[mid] <= value:
-                lo = mid + 1
-            else:
-                hi = mid
-        return max(0, lo - 1)
+    def owners(assign_keys: np.ndarray) -> np.ndarray:
+        return np.maximum(
+            np.searchsorted(bounds, assign_keys, side="right") - 1, 0
+        )
 
     for side, low_list in assignments_low.items():
         slot = AUX_LOW_PREV if side == "prev" else AUX_LOW_NEXT
-        for assign_key, value in low_list:
-            index = owner(assign_key)
-            if value < aggregates[index][slot]:
-                aggregates[index][slot] = value
+        if low_list:
+            pairs = np.asarray(low_list, dtype=np.float64)
+            np.minimum.at(
+                aggregates[:, slot], owners(pairs[:, 0]), pairs[:, 1]
+            )
     for side, high_list in assignments_high.items():
         slot = AUX_HIGH_PREV if side == "prev" else AUX_HIGH_NEXT
-        for assign_key, value in high_list:
-            index = owner(assign_key)
-            if value > aggregates[index][slot]:
-                aggregates[index][slot] = value
+        if high_list:
+            pairs = np.asarray(high_list, dtype=np.float64)
+            np.maximum.at(
+                aggregates[:, slot], owners(pairs[:, 0]), pairs[:, 1]
+            )
     for pid, aux in zip(pids, aggregates):
         leaf = tree.read_leaf(pid)
-        leaf.set_handicaps(aux)
+        leaf.set_handicaps(aux.tolist())
         tree.write_leaf(pid, leaf)
 
 

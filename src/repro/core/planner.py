@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.theta import Theta
 from repro.core.approx_t1 import t1_candidates
@@ -67,12 +69,15 @@ class DualIndexPlanner:
         pivot_x: float = 0.0,
         workers: int = 0,
         name: str = "dual",
+        columnar: bool | None = None,
     ) -> "DualIndexPlanner":
         """Index a relation and return a ready planner.
 
         ``workers >= 2`` builds the key set on a process pool with
         vectorized per-worker evaluation (see :meth:`DualIndex.build`);
         the resulting index is byte-identical to a serial build.
+        ``columnar=False`` forces the scalar B+-tree path (answers and
+        page accounting are identical; used for differential testing).
         """
         index = DualIndex(
             pager=pager,
@@ -80,6 +85,7 @@ class DualIndexPlanner:
             key_codec=KeyCodec(key_bytes),
             dynamic=dynamic,
             name=name,
+            columnar=columnar,
         )
         index.build(relation, fill, workers=workers)
         return cls(index, technique=technique, pivot_x=pivot_x)
@@ -203,9 +209,11 @@ class DualIndexPlanner:
         trees, upward = self.index.trees_for(query.query_type, query.theta)
         tree = trees[slope_index]
         margin = self.index.margin(query.intercept)
+        if tree.columnar:
+            return self._exact_path_columnar(query, tree, upward, margin)
         accepted: set[int] = set()
         boundary: set[int] = set()
-        with obs.span("sweep.exact", tree=tree.name):
+        with obs.span("sweep.exact", tree=tree.name, path="scalar"):
             if upward:
                 start = tree.quantize(query.intercept - margin)
                 accept_from = tree.quantize(query.intercept + margin)
@@ -231,6 +239,46 @@ class DualIndexPlanner:
         result.candidates = len(accepted) + len(boundary)
         result.ids = {self.index.tid_of[rid] for rid in accepted}
         confirmed, false_hits, pages = self._refine(query, boundary)
+        result.ids |= confirmed
+        result.false_hits = false_hits
+        result.refinement_pages = pages
+        return result
+
+    def _exact_path_columnar(
+        self,
+        query: HalfPlaneQuery,
+        tree,
+        upward: bool,
+        margin: float,
+    ) -> QueryResult:
+        """Columnar exact path: one merged sweep (single start) plus one
+        ``np.searchsorted`` split into accepted/boundary.
+
+        Page-identical to the scalar exact path: the scalar sweep also
+        runs from its quantized start to the end of the leaf chain, so
+        descent target, leaves read, and counters all match; only the
+        per-entry Python classification is replaced by the array split.
+        """
+        with obs.span("sweep.exact", tree=tree.name, path="columnar"):
+            if upward:
+                accept_key = tree.quantize(query.intercept + margin)
+                sweep = tree.sweep_up_multi([query.intercept - margin])
+            else:
+                accept_key = tree.quantize(query.intercept - margin)
+                sweep = tree.sweep_down_multi([query.intercept + margin])
+            keys, rids = sweep.arrays()
+            if upward:
+                split = int(np.searchsorted(keys, accept_key, side="left"))
+            else:
+                # Descending keys: accepted are keys <= accept_key.
+                split = int(np.searchsorted(-keys, -accept_key, side="left"))
+            accepted = rids[split:]
+            boundary = rids[:split]
+        result = QueryResult(technique="exact")
+        result.accepted_without_refinement = int(accepted.size)
+        result.candidates = int(accepted.size + boundary.size)
+        result.ids = set(self.index.tids_for_rids(accepted).tolist())
+        confirmed, false_hits, pages = self._refine(query, boundary.tolist())
         result.ids |= confirmed
         result.false_hits = false_hits
         result.refinement_pages = pages

@@ -13,7 +13,7 @@ the page accesses charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.constraints.linear import LinearConstraint
@@ -123,12 +123,18 @@ class AppQuery:
     theta: Theta
 
 
-@dataclass
 class QueryResult:
     """Answer set plus execution diagnostics.
 
     ``ids`` is the oracle-exact answer (tuple ids); the remaining fields
     are the per-query measurements the paper's experiments report.
+
+    The columnar batch path hands answers over as numpy tid arrays
+    (:meth:`set_lazy_ids`); the Python ``set`` is materialised on first
+    access to :attr:`ids`, so callers that only count or never look at
+    individual ids (benchmarks, shard fan-out merges) skip the
+    array→set conversion entirely. Either way the observable value of
+    ``ids`` is identical.
 
     Example::
 
@@ -144,21 +150,110 @@ class QueryResult:
         False
     """
 
-    ids: set[int] = field(default_factory=set)
-    technique: str = ""
-    candidates: int = 0
-    false_hits: int = 0
-    duplicates: int = 0
-    accepted_without_refinement: int = 0
-    refinement_pages: int = 0
-    #: True when a batch executor served this answer from its result
-    #: cache (the counts above describe the original execution; ``io``
-    #: is zero — a cache hit touches no pages).
-    cached: bool = False
-    io: IOStats = field(default_factory=IOStats)
-    #: Root span of the query's trace when tracing was active, else None
-    #: (see :mod:`repro.obs`).
-    trace: object | None = None
+    __slots__ = (
+        "_ids",
+        "_lazy_tids",
+        "_lazy_extra",
+        "technique",
+        "candidates",
+        "false_hits",
+        "duplicates",
+        "accepted_without_refinement",
+        "refinement_pages",
+        "cached",
+        "io",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        ids: set[int] | None = None,
+        technique: str = "",
+        candidates: int = 0,
+        false_hits: int = 0,
+        duplicates: int = 0,
+        accepted_without_refinement: int = 0,
+        refinement_pages: int = 0,
+        cached: bool = False,
+        io: IOStats | None = None,
+        trace: object | None = None,
+    ) -> None:
+        self._ids: set[int] | None = ids if ids is not None else set()
+        #: Deferred answer columns (numpy tid array + refined extras).
+        self._lazy_tids = None
+        self._lazy_extra: set[int] | None = None
+        self.technique = technique
+        self.candidates = candidates
+        self.false_hits = false_hits
+        self.duplicates = duplicates
+        self.accepted_without_refinement = accepted_without_refinement
+        self.refinement_pages = refinement_pages
+        #: True when a batch executor served this answer from its result
+        #: cache (the counts above describe the original execution; ``io``
+        #: is zero — a cache hit touches no pages).
+        self.cached = cached
+        self.io = io if io is not None else IOStats()
+        #: Root span of the query's trace when tracing was active, else
+        #: None (see :mod:`repro.obs`).
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # answer set (lazy columnar handoff)
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> set[int]:
+        """The answer set; materialised from columns on first access."""
+        if self._ids is None:
+            tids = self._lazy_tids
+            if isinstance(tids, (list, tuple)):
+                ids: set[int] = set()
+                for column in tids:
+                    ids.update(column.tolist())
+            else:
+                ids = set(tids.tolist())
+            if self._lazy_extra:
+                ids |= self._lazy_extra
+            self._ids = ids
+            self._lazy_tids = None
+            self._lazy_extra = None
+        return self._ids
+
+    @ids.setter
+    def ids(self, value: set[int]) -> None:
+        self._ids = value
+        self._lazy_tids = None
+        self._lazy_extra = None
+
+    def set_lazy_ids(self, tids, extra: set[int] | None = None) -> None:
+        """Adopt a columnar answer: a numpy tid array (or a list of
+        disjoint tid arrays, e.g. one view per shard) plus refined
+        extras. ``ids`` materialises the set only when read."""
+        self._ids = None
+        self._lazy_tids = tids
+        self._lazy_extra = extra
+
+    def lazy_id_columns(self):
+        """The un-materialised answer columns ``(tid array, extra set)``
+        or ``None`` once (or when) the set form exists — lets array
+        consumers (shard merges) bypass set materialisation."""
+        if self._ids is None:
+            return self._lazy_tids, self._lazy_extra
+        return None
+
+    @property
+    def answer_count(self) -> int:
+        """``len(ids)`` without forcing set materialisation."""
+        if self._ids is not None:
+            return len(self._ids)
+        # Accepted tids are distinct and refined extras come from the
+        # disjoint boundary segment of the same sweep (shard columns are
+        # disjoint partitions), so the union is free of overlap.
+        tids = self._lazy_tids
+        if isinstance(tids, (list, tuple)):
+            size = sum(int(column.size) for column in tids)
+        else:
+            size = int(tids.size)
+        return size + (len(self._lazy_extra) if self._lazy_extra else 0)
 
     @property
     def page_accesses(self) -> int:
@@ -177,7 +272,7 @@ class QueryResult:
 
     def __repr__(self) -> str:
         return (
-            f"<QueryResult {self.technique} |ids|={len(self.ids)} "
+            f"<QueryResult {self.technique} |ids|={self.answer_count} "
             f"candidates={self.candidates} false_hits={self.false_hits} "
             f"duplicates={self.duplicates} pages={self.page_accesses}>"
         )

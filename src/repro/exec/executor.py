@@ -33,6 +33,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.constraints.tuples import GeneralizedTuple
 from repro.core.query import ALL, HalfPlaneQuery, QueryResult
 from repro.errors import QueryError
@@ -42,7 +44,7 @@ from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.geometry.vectorized import DualSurface
 from repro.obs import trace as obs
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.storage.heap import unpack_rid
+from repro.storage.heap import rid_pages, unpack_rid
 from repro.storage.serialize import decode_tuple
 from repro.storage.stats import IOStats
 
@@ -205,7 +207,10 @@ class BatchExecutor:
         boundary_rids: set[int] = set()
         for _leaves, partials in sweeps:
             for _position, _query, _accepted, boundary in partials:
-                boundary_rids.update(boundary)
+                if isinstance(boundary, np.ndarray):
+                    boundary_rids.update(boundary.tolist())
+                else:
+                    boundary_rids.update(boundary)
         decoded = self._fetch_boundary(boundary_rids, batch)
 
         # 5. Per-query verify + assemble, exactly the sequential
@@ -221,11 +226,13 @@ class BatchExecutor:
             surface = self._surface_for(version)
             for position, query in zip(group.indices, group.queries):
                 result = QueryResult(technique="vector")
-                result.ids = surface.answer(
-                    query.query_type,
-                    query.slope_2d,
-                    query.intercept,
-                    query.theta,
+                result.set_lazy_ids(
+                    surface.answer_tids(
+                        query.query_type,
+                        query.slope_2d,
+                        query.intercept,
+                        query.theta,
+                    )
                 )
                 result.candidates = len(surface)
                 batch.results[position] = result
@@ -238,6 +245,160 @@ class BatchExecutor:
             for position in positions[1:]:
                 batch.results[position] = _clone_cached(first)
 
+    def execute_partials(self, queries: Sequence[HalfPlaneQuery]) -> "ShardPartials":
+        """Answer a batch as compact :class:`ShardPartials` columns.
+
+        Same grouping, sweeps, refinement and answers as
+        :meth:`execute`, but per-query results stay numpy columns — no
+        :class:`QueryResult` objects, no result cache. This is the lean
+        path the process fan-out workers run: on a fanned-out batch the
+        per-query Python assembly would otherwise be repeated on every
+        shard, and it is exactly the cost that does not shrink with the
+        shard count. Duplicate queries inside the batch are deduplicated
+        the same way :meth:`execute` does, so page accounting matches
+        the threaded fan-out bit for bit.
+        """
+        from repro.exec.partials import ShardPartials
+
+        for query in queries:
+            if query.dimension != 2:
+                raise QueryError("BatchExecutor is 2-D; use DDimPlanner")
+        if self.planner.index.dynamic and self.planner._has_dirty_leaves():
+            with obs.span("maintain", pager=self.index.pager):
+                self.index.refresh_handicaps()
+        version = self.index.version
+        queries = list(queries)
+        n = len(queries)
+        out = ShardPartials(
+            extras=[None] * n,
+            technique=np.zeros(n, dtype=np.uint8),
+            candidates=np.zeros(n, dtype=np.int64),
+            false_hits=np.zeros(n, dtype=np.int64),
+            accepted_without_refinement=np.zeros(n, dtype=np.int64),
+            refinement_pages_q=np.zeros(n, dtype=np.int64),
+        )
+        columns: list = [None] * n
+        with obs.span("batch", pager=self.index.pager,
+                      index=self.index.name, queries=n):
+            with self.index.pager.measure() as scope:
+                self._execute_partials(queries, version, out, columns)
+            out.io = scope.delta
+        sizes = np.fromiter(
+            (c.size for c in columns), dtype=np.int64, count=n
+        )
+        out.offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=out.offsets[1:])
+        out.tids = (
+            np.concatenate(columns) if n else np.empty(0, dtype=np.int64)
+        )
+        return out
+
+    def _execute_partials(
+        self,
+        queries: list[HalfPlaneQuery],
+        version: int,
+        out: "ShardPartials",
+        columns: list,
+    ) -> None:
+        from repro.exec.partials import TECH_VECTOR
+
+        empty = np.empty(0, dtype=np.int64)
+        # 1. Intra-batch duplicates execute once (same dedup as
+        # `_execute`, so sweeps and page accounting are identical); the
+        # result cache is not consulted — fan-out workers answer cold.
+        pending: dict[CacheKey, list[int]] = {}
+        fresh: list[tuple[int, HalfPlaneQuery]] = []
+        for position, query in enumerate(queries):
+            key = cache_key(query)
+            if key in pending:
+                out.cache_hits += 1
+                pending[key].append(position)
+                continue
+            out.cache_misses += 1
+            pending[key] = [position]
+            fresh.append((position, query))
+
+        exact_groups, vector_groups = group_queries(
+            fresh, self.index.slopes, _slope_tol()
+        )
+        out.exact_groups = len(exact_groups)
+        out.vector_groups = len(vector_groups)
+
+        sweeps = self._map_groups(self._sweep_group, exact_groups)
+        boundary_rids: set[int] = set()
+        for _leaves, partials in sweeps:
+            for _position, _query, _accepted, boundary in partials:
+                if isinstance(boundary, np.ndarray):
+                    boundary_rids.update(boundary.tolist())
+                else:
+                    boundary_rids.update(boundary)
+        scratch = BatchResult()
+        decoded = self._fetch_boundary(boundary_rids, scratch)
+        out.refinement_pages = scratch.refinement_pages
+
+        scratch_result = QueryResult()
+        for leaves, partials in sweeps:
+            out.sweep_leaves += leaves
+            for position, query, accepted, boundary in partials:
+                out.candidates[position] = len(accepted) + len(boundary)
+                out.accepted_without_refinement[position] = len(accepted)
+                if isinstance(accepted, np.ndarray):
+                    columns[position] = self.index.tids_for_rids(accepted)
+                    boundary_list = boundary.tolist()
+                    if boundary_list:
+                        out.refinement_pages_q[position] = int(
+                            rid_pages(boundary).size
+                        )
+                else:
+                    # Scalar-path partials are Python sets: the tids ride
+                    # in the extras set, the array column stays empty.
+                    tid_of = self.index.tid_of
+                    out.extras[position] = {tid_of[rid] for rid in accepted}
+                    columns[position] = empty
+                    boundary_list = boundary
+                    out.refinement_pages_q[position] = len(
+                        {unpack_rid(rid)[0] for rid in boundary}
+                    )
+                if boundary_list:
+                    scratch_result.false_hits = 0
+                    confirmed = self._verify_boundary(
+                        query, boundary_list, decoded, scratch_result
+                    )
+                    out.false_hits[position] = scratch_result.false_hits
+                    if confirmed:
+                        if out.extras[position] is None:
+                            out.extras[position] = confirmed
+                        else:
+                            out.extras[position] |= confirmed
+
+        for group in vector_groups:
+            surface = self._surface_for(version)
+            for position, query in zip(group.indices, group.queries):
+                out.technique[position] = TECH_VECTOR
+                columns[position] = surface.answer_tids(
+                    query.query_type,
+                    query.slope_2d,
+                    query.intercept,
+                    query.theta,
+                )
+                out.candidates[position] = len(surface)
+
+        # Duplicate positions share the first occurrence's columns.
+        for positions in pending.values():
+            first = positions[0]
+            for position in positions[1:]:
+                columns[position] = columns[first]
+                out.extras[position] = out.extras[first]
+                out.technique[position] = out.technique[first]
+                out.candidates[position] = out.candidates[first]
+                out.false_hits[position] = out.false_hits[first]
+                out.accepted_without_refinement[position] = (
+                    out.accepted_without_refinement[first]
+                )
+                out.refinement_pages_q[position] = (
+                    out.refinement_pages_q[first]
+                )
+
     # ------------------------------------------------------------------
     # exact groups
     # ------------------------------------------------------------------
@@ -248,8 +409,11 @@ class BatchExecutor:
 
         Returns ``(leaf pages swept, partials)`` where each partial is
         ``(original position, query, accepted rids, boundary rids)`` —
-        the same two sets the sequential exact path builds with its own
-        sweep (same quantized start and accept boundaries).
+        the same two candidate sets the sequential exact path builds
+        with its own sweep (same quantized start and accept boundaries).
+        On the columnar path accepted/boundary are int64 numpy arrays
+        (one ``np.searchsorted`` split per query over the shared sweep);
+        on the scalar path they are Python sets built entry by entry.
         """
         theta = group.queries[0].theta
         trees, upward = self.index.trees_for(group.query_type, theta)
@@ -271,13 +435,18 @@ class BatchExecutor:
                 tree.quantize(q.intercept - m)
                 for q, m in zip(group.queries, margins)
             ]
+        path = "columnar" if tree.columnar else "scalar"
         with self._io_lock, obs.span(
-            "sweep.batch", tree=tree.name, queries=len(group)
+            "sweep.batch", tree=tree.name, queries=len(group), path=path
         ):
             sweep = (
                 tree.sweep_up_multi(starts)
                 if upward
                 else tree.sweep_down_multi(starts)
+            )
+        if tree.columnar:
+            return sweep.leaves, self._classify_columnar(
+                group, sweep, accepts, upward
             )
         partials = []
         for j, (position, query) in enumerate(
@@ -302,6 +471,35 @@ class BatchExecutor:
             partials.append((position, query, accepted, boundary))
         return sweep.leaves, partials
 
+    def _classify_columnar(self, group, sweep, accepts, upward):
+        """Array split of one merged sweep into per-query partials.
+
+        A query's entries are the suffix ``keys[offsets[j]:]``; the
+        accept boundary lands at one ``searchsorted`` index, so accepted
+        is ``rids[split:]`` and boundary ``rids[offsets[j]:split]`` —
+        the same membership the scalar per-entry loop produces (the
+        sweep keys are sorted toward the accept region in both
+        directions).
+        """
+        keys, rids = sweep.arrays()
+        # Ascending comparison space: up-sweeps accept keys >= accept,
+        # down-sweeps (descending keys) accept keys <= accept.
+        base = keys if upward else -keys
+        probes = np.asarray(accepts, dtype=np.float64)
+        if not upward:
+            probes = -probes
+        splits = np.searchsorted(base, probes, side="left")
+        partials = []
+        for j, (position, query) in enumerate(
+            zip(group.indices, group.queries)
+        ):
+            at = sweep.offsets[j]
+            split = max(at, int(splits[j]))
+            partials.append(
+                (position, query, rids[split:], rids[at:split])
+            )
+        return partials
+
     def _fetch_boundary(
         self, boundary_rids: set[int], batch: BatchResult
     ) -> dict[int, tuple[int, GeneralizedTuple]]:
@@ -318,27 +516,51 @@ class BatchExecutor:
     def _assemble_exact(
         self,
         query: HalfPlaneQuery,
-        accepted: set[int],
-        boundary: set[int],
+        accepted,
+        boundary,
         decoded: dict[int, tuple[int, GeneralizedTuple]],
     ) -> QueryResult:
-        predicate = all_halfplane if query.query_type == ALL else exist_halfplane
         result = QueryResult(technique="exact")
         result.accepted_without_refinement = len(accepted)
         result.candidates = len(accepted) + len(boundary)
+        if isinstance(accepted, np.ndarray):
+            # Columnar partial: vectorized rid -> tid translation, the
+            # answer handed over as a lazy tid column (set membership is
+            # identical to the scalar path, materialised on access).
+            tids = self.index.tids_for_rids(accepted)
+            if not len(boundary):
+                result.set_lazy_ids(tids)
+                return result
+            result.refinement_pages = int(rid_pages(boundary).size)
+            extra = self._verify_boundary(query, boundary.tolist(), decoded, result)
+            result.set_lazy_ids(tids, extra)
+            return result
         result.ids = {self.index.tid_of[rid] for rid in accepted}
         result.refinement_pages = len(
             {unpack_rid(rid)[0] for rid in boundary}
         )
+        result.ids |= self._verify_boundary(query, boundary, decoded, result)
+        return result
+
+    def _verify_boundary(
+        self,
+        query: HalfPlaneQuery,
+        boundary,
+        decoded: dict[int, tuple[int, GeneralizedTuple]],
+        result: QueryResult,
+    ) -> set[int]:
+        """Run the refinement predicate over one query's boundary rids;
+        returns the confirmed tids and counts false hits on ``result``."""
+        predicate = all_halfplane if query.query_type == ALL else exist_halfplane
+        slope, intercept, theta = query.slope_2d, query.intercept, query.theta
+        confirmed: set[int] = set()
         for rid in boundary:
             tid, t = decoded[rid]
-            if predicate(
-                t.extension(), query.slope_2d, query.intercept, query.theta
-            ):
-                result.ids.add(tid)
+            if predicate(t.extension(), slope, intercept, theta):
+                confirmed.add(tid)
             else:
                 result.false_hits += 1
-        return result
+        return confirmed
 
     # ------------------------------------------------------------------
     # vector path

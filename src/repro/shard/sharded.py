@@ -26,10 +26,15 @@ pager and is not thread-safe).
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import fields as dataclass_fields
+from pickle import PicklingError
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.theta import Theta
@@ -83,14 +88,26 @@ class ShardedDualIndex:
         self,
         planners: Sequence[DualIndexPlanner],
         registry: MetricsRegistry | None = None,
+        fanout: str = "thread",
     ) -> None:
         if not planners:
             raise IndexError_("ShardedDualIndex needs at least one shard")
+        if fanout not in ("thread", "process"):
+            raise IndexError_(f"fanout must be 'thread' or 'process', got {fanout!r}")
         self.planners = list(planners)
         self.registry = registry if registry is not None else get_registry()
+        #: Batch fan-out mode. ``"process"`` forks one worker per shard
+        #: (copy-on-write planners) so CPU-bound shard work actually
+        #: overlaps — the GIL caps thread fan-out at 1× (see
+        #: :mod:`repro.shard.procfan`). Falls back to threads when
+        #: forking is unavailable or the shards are dynamic.
+        self.fanout = fanout
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._executors: list[BatchExecutor] | None = None
+        self._proc_pool = None
+        self._proc_key: int | None = None
+        self._proc_version: int | None = None
         #: One private registry per shard. Shard-local recording is
         #: thread-safe by construction (no sharing); after every query
         #: or batch the facade drains them into :attr:`registry` as
@@ -114,11 +131,15 @@ class ShardedDualIndex:
         pivot_x: float = 0.0,
         pager_factory: Callable[[int], Pager] | None = None,
         registry: MetricsRegistry | None = None,
+        columnar: bool | None = None,
+        fanout: str = "thread",
     ) -> "ShardedDualIndex":
         """Partition ``relation`` into ``shards`` sub-relations by tuple
         id and build one full planner per shard (each with its own
         pager unless ``pager_factory`` supplies them). ``workers`` is
-        forwarded to every shard's parallel build path.
+        forwarded to every shard's parallel build path, ``columnar`` to
+        every shard's B+-tree forest (default: the process-wide
+        :func:`repro.btree.columnar_default`).
         """
         if shards < 1:
             raise IndexError_("shards must be >= 1")
@@ -142,9 +163,10 @@ class ShardedDualIndex:
                         pivot_x=pivot_x,
                         workers=workers,
                         name=f"shard{n}",
+                        columnar=columnar,
                     )
                 )
-        return cls(planners, registry=registry)
+        return cls(planners, registry=registry, fanout=fanout)
 
     # ------------------------------------------------------------------
     # facade properties
@@ -203,6 +225,15 @@ class ShardedDualIndex:
         """Fan a whole batch out to per-shard batch executors and merge
         per-position results plus batch-scope accounting."""
         queries = list(queries)
+        if (
+            self.fanout == "process"
+            and self.shards > 1
+            and obs.current() is None
+            and not any(p.index.dynamic for p in self.planners)
+        ):
+            merged = self._query_batch_processes(queries)
+            if merged is not None:
+                return merged
         with obs.span("shard.fanout_batch", shards=self.shards,
                       queries=len(queries)):
             obs.incr("shard_fanout.batches")
@@ -230,7 +261,7 @@ class ShardedDualIndex:
         for i, part in enumerate(parts):
             self._record_shard_work(
                 i, part.page_accesses,
-                sum(len(res.ids) for res in part.results),
+                sum(res.answer_count for res in part.results),
             )
         self._drain_shard_metrics()
         return merged
@@ -257,6 +288,92 @@ class ShardedDualIndex:
     def delete(self, tid: int) -> None:
         """Delete from the shard owning ``tid`` (dynamic shards only)."""
         self.planners[shard_of(tid, self.shards)].delete(tid)
+
+    # ------------------------------------------------------------------
+    # process fan-out (fork + copy-on-write shards)
+    # ------------------------------------------------------------------
+    def _query_batch_processes(
+        self, queries: list[HalfPlaneQuery]
+    ) -> BatchResult | None:
+        """Ship the batch to one forked worker per shard; ``None`` means
+        process fan-out is unavailable (caller falls back to threads)."""
+        from repro.shard import procfan
+
+        pool = self._process_pool()
+        if pool is None:
+            return None
+        try:
+            futures = [
+                pool.submit(procfan.worker_batch, self._proc_key, n, queries)
+                for n in range(self.shards)
+            ]
+            parts = [f.result() for f in futures]
+        except (OSError, BrokenProcessPool, PicklingError):
+            # A worker died (or the payload would not cross the process
+            # boundary): permanently drop to the threaded fan-out.
+            self._shutdown_process_pool()
+            self.fanout = "thread"
+            return None
+        merged = _merge_partials(parts, len(queries))
+        self.registry.counter(
+            "shard_fanout_batches", "Batches fanned out across shards"
+        ).inc()
+        self.registry.counter(
+            "shard_fanout_queries", "Queries answered by shard fan-out"
+        ).inc(len(queries) * self.shards)
+        for i, part in enumerate(parts):
+            answers = int(part.offsets[-1]) + sum(
+                len(e) for e in part.extras if e
+            )
+            self._record_shard_work(
+                i,
+                part.io.logical_reads + part.io.logical_writes,
+                answers,
+            )
+        self._drain_shard_metrics()
+        return merged
+
+    def _process_pool(self):
+        """The forked worker pool for the current index version (re-forked
+        after any shard mutation so workers see current state)."""
+        from repro.shard import procfan
+
+        version = self.version
+        if self._proc_pool is not None and self._proc_version == version:
+            return self._proc_pool
+        self._shutdown_process_pool()
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            self.fanout = "thread"
+            return None
+        self._proc_key = procfan.register(self.planners)
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.shards, mp_context=context
+            )
+            # Force the fork now, while the registration is current.
+            for _ in pool.map(_noop, range(self.shards)):
+                pass
+        except (OSError, BrokenProcessPool):  # pragma: no cover - no fork
+            procfan.unregister(self._proc_key)
+            self._proc_key = None
+            self.fanout = "thread"
+            return None
+        self._proc_pool = pool
+        self._proc_version = version
+        return pool
+
+    def _shutdown_process_pool(self) -> None:
+        from repro.shard import procfan
+
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown(wait=False, cancel_futures=True)
+            self._proc_pool = None
+        if self._proc_key is not None:
+            procfan.unregister(self._proc_key)
+            self._proc_key = None
+        self._proc_version = None
 
     # ------------------------------------------------------------------
     # fan-out machinery
@@ -294,7 +411,7 @@ class ShardedDualIndex:
         """Record one fan-out's per-shard work (``partials`` is aligned
         with :attr:`planners`) into the shard-local registries."""
         for i, part in enumerate(partials):
-            self._record_shard_work(i, part.page_accesses, len(part.ids))
+            self._record_shard_work(i, part.page_accesses, part.answer_count)
 
     def _record_shard_work(self, shard: int, pages: int, results: int) -> None:
         reg = self._shard_registries[shard]
@@ -330,11 +447,12 @@ class ShardedDualIndex:
             return self._pool
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
+        """Shut down the fan-out pools (idempotent)."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            self._shutdown_process_pool()
 
     def __repr__(self) -> str:
         return (
@@ -343,12 +461,80 @@ class ShardedDualIndex:
         )
 
 
+def _noop(_n: int) -> None:
+    """Worker warm-up task; its only job is to force the fork."""
+    return None
+
+
+def _merge_partials(parts, n_queries: int) -> BatchResult:
+    """Assemble the facade's :class:`BatchResult` from per-shard
+    :class:`~repro.exec.partials.ShardPartials` columns.
+
+    Per-query answer sets stay lazy: each merged result holds one
+    zero-copy tid-column view per shard (disjoint by construction), so
+    the merge is O(shards) slicing per query — no set unions, no
+    concatenations — and a Python set only exists if a caller reads
+    ``ids``.
+    """
+    from repro.exec.partials import TECH_NAMES
+
+    merged = BatchResult(results=[None] * n_queries)  # type: ignore[list-item]
+    if not parts:
+        return merged
+    candidates = sum(p.candidates for p in parts)
+    false_hits = sum(p.false_hits for p in parts)
+    accepted = sum(p.accepted_without_refinement for p in parts)
+    refinement_q = sum(p.refinement_pages_q for p in parts)
+    technique = parts[0].technique
+    for j in range(n_queries):
+        result = QueryResult(technique=TECH_NAMES[technique[j]])
+        extra: set[int] | None = None
+        for p in parts:
+            part_extra = p.extras[j]
+            if part_extra:
+                extra = set(part_extra) if extra is None else extra | part_extra
+        result.set_lazy_ids([p.tid_column(j) for p in parts], extra)
+        result.candidates = int(candidates[j])
+        result.false_hits = int(false_hits[j])
+        result.accepted_without_refinement = int(accepted[j])
+        result.refinement_pages = int(refinement_q[j])
+        merged.results[j] = result
+    for p in parts:
+        _add_io(merged.io, p.io)
+        merged.cache_hits += p.cache_hits
+        merged.cache_misses += p.cache_misses
+        merged.exact_groups += p.exact_groups
+        merged.vector_groups += p.vector_groups
+        merged.sweep_leaves += p.sweep_leaves
+        merged.refinement_pages += p.refinement_pages
+    return merged
+
+
 def _merge_query_results(partials: Sequence[QueryResult]) -> QueryResult:
-    """Union the answer sets of disjoint shards; sum the diagnostics."""
+    """Union the answer sets of disjoint shards; sum the diagnostics.
+
+    When every partial still holds its answer as lazy tid columns (the
+    columnar batch path), the merge stays columnar: shard answers are
+    disjoint, so the union is one array concatenation and the merged
+    result materialises a Python set only if a caller reads ``ids``.
+    """
     merged = QueryResult(technique=partials[0].technique)
     merged.cached = all(p.cached for p in partials)
+    columns = [part.lazy_id_columns() for part in partials]
+    if all(cols is not None for cols in columns):
+        arrays = [tids for tids, _extra in columns]
+        extra: set[int] = set()
+        for _tids, part_extra in columns:
+            if part_extra:
+                extra |= part_extra
+        merged.set_lazy_ids(
+            arrays[0] if len(arrays) == 1 else np.concatenate(arrays),
+            extra or None,
+        )
+    else:
+        for part in partials:
+            merged.ids |= part.ids
     for part in partials:
-        merged.ids |= part.ids
         merged.candidates += part.candidates
         merged.false_hits += part.false_hits
         merged.duplicates += part.duplicates

@@ -17,6 +17,8 @@ from __future__ import annotations
 import struct
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import PageOverflowError, StorageError
 from repro.obs import trace as obs
 from repro.storage.pager import Pager
@@ -42,6 +44,12 @@ def pack_rid(page_id: int, slot: int) -> int:
 def unpack_rid(rid: int) -> tuple[int, int]:
     """Inverse of :func:`pack_rid`."""
     return rid >> _SLOT_BITS, rid & _SLOT_MASK
+
+
+def rid_pages(rids) -> np.ndarray:
+    """Distinct heap page ids of an array of packed RIDs (vectorized
+    ``unpack_rid(...)[0]`` + dedup, used by the columnar batch path)."""
+    return np.unique(np.asarray(rids, dtype=np.int64) >> _SLOT_BITS)
 
 
 class HeapFile:
