@@ -79,6 +79,7 @@ def run_smoke(
     count: int = SMOKE_QUERIES,
     shards: int = 1,
     build_workers: int = 0,
+    data_dir: str | None = None,
 ) -> MetricsRegistry:
     """Run the workload and return the populated registry.
 
@@ -87,7 +88,8 @@ def run_smoke(
     build path timed by the build leg (the resulting index — and so
     ``smoke_build_pages`` — is byte-identical either way); ``shards > 1``
     adds a sharded-engine leg whose counters are new (warn-only) until
-    pinned into the baseline.
+    pinned into the baseline; ``data_dir`` adds a durable save/open leg
+    under that directory.
     """
     registry = registry if registry is not None else MetricsRegistry()
     _run_build_leg(registry, n, size, k, build_workers)
@@ -148,6 +150,8 @@ def run_smoke(
     _run_batch_leg(registry, structures[0][1], n, size, k, count)
     if shards > 1:
         _run_shard_leg(registry, n, size, k, count, shards, build_workers)
+    if data_dir is not None:
+        _run_durable_leg(registry, n, size, k, count, data_dir)
     return registry
 
 
@@ -238,6 +242,64 @@ def _run_shard_leg(
         )
     finally:
         engine.close()
+
+
+def _run_durable_leg(
+    registry: MetricsRegistry, n: int, size: str, k: int, count: int,
+    data_dir: str,
+) -> None:
+    """Durable save/open leg (``--data-dir``).
+
+    Builds the smoke dual index on a WAL-mode :class:`FileDisk` under
+    ``data_dir``, saves it (checkpoint + catalog), reopens it from disk
+    and answers the smoke batch on both engines, asserting identical
+    answer sets. Adds ``smoke_durable_pages``/``smoke_durable_results``;
+    the durability counters themselves (``wal_appends``, ``wal_fsyncs``,
+    ``checkpoint_pages``) register in the process-global registry as a
+    side effect of running a WAL-mode disk — a run without this leg
+    shows none of them.
+    """
+    from repro.core import DualIndexPlanner, SlopeSet
+    from repro.errors import VerificationError
+    from repro.storage import FileDisk, Pager, open_planner, save_planner
+    from repro.workloads import make_relation
+
+    engine_dir = os.path.join(data_dir, "smoke-engine")
+    disk = FileDisk(engine_dir, durability="wal")
+    planner = DualIndexPlanner.build(
+        make_relation(n, size, seed=harness.SEED),
+        SlopeSet.uniform_angles(k),
+        pager=Pager(disk=disk),
+    )
+    save_planner(planner, engine_dir)
+    queries = []
+    for qtype in (EXIST, ALL):
+        queries.extend(harness.queries_for(n, size, qtype, k, count=count))
+    reopened = open_planner(engine_dir)
+    pages = 0
+    answers = 0
+    try:
+        for query in queries:
+            live = planner.query(query)
+            restored = reopened.query(query)
+            if restored.ids != live.ids:
+                raise VerificationError(
+                    f"durable leg: reopened engine diverged on {query!r}"
+                )
+            pages += restored.page_accesses
+            answers += len(restored.ids)
+    finally:
+        reopened.index.pager.disk.close()
+        disk.close()
+    registry.counter(
+        "smoke_durable_pages",
+        "Total page accesses of the reopened-from-disk smoke leg",
+    ).inc(pages)
+    registry.counter(
+        "smoke_durable_results",
+        "Total answer tuples of the reopened-from-disk smoke leg "
+        "(must match the live engine)",
+    ).inc(answers)
 
 
 def _run_batch_leg(
@@ -334,11 +396,22 @@ def main(argv: list[str] | None = None) -> int:
              "legacy path; >=2 uses the parallel vectorized path — the "
              "built index is byte-identical either way)",
     )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="run the whole workload file-backed (sets REPRO_DATA_DIR) "
+             "under this directory and add the durable save/open leg; "
+             "page counters must not move (the FileDisk accounting is "
+             "bit-identical to the simulator's)",
+    )
     args = parser.parse_args(argv)
     if args.baseline is None:
         args.baseline = default_baseline()
+    if args.data_dir is not None:
+        # Every default pager in this process now runs file-backed.
+        os.environ["REPRO_DATA_DIR"] = args.data_dir
 
-    registry = run_smoke(shards=args.shards, build_workers=args.build_workers)
+    registry = run_smoke(shards=args.shards, build_workers=args.build_workers,
+                         data_dir=args.data_dir)
     current = registry.collect()
     with open(args.out, "w") as handle:
         handle.write(registry.export_json())

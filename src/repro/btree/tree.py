@@ -141,6 +141,37 @@ class BPlusTree:
         self.dirty_leaves: set[int] = set()
 
     # ------------------------------------------------------------------
+    # snapshot state (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """The tree's non-page state, JSON-serialisable.
+
+        Everything else a live tree holds — node images — is already in
+        the pager; together with this payload a tree reopens from disk
+        without a rebuild (``repro.storage.checkpoint``).
+        """
+        return {
+            "root": self.root,
+            "height": self.height,
+            "size": self.size,
+            "first_leaf": self.first_leaf,
+            "last_leaf": self.last_leaf,
+            "owned_pages": sorted(self.owned_pages),
+            "dirty_leaves": sorted(self.dirty_leaves),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_payload` (columnar cache starts cold)."""
+        self.root = payload["root"]
+        self.height = payload["height"]
+        self.size = payload["size"]
+        self.first_leaf = payload["first_leaf"]
+        self.last_leaf = payload["last_leaf"]
+        self.owned_pages = set(payload["owned_pages"])
+        self.dirty_leaves = set(payload["dirty_leaves"])
+        self._columns = ColumnarCache(self.layout)
+
+    # ------------------------------------------------------------------
     # node I/O
     # ------------------------------------------------------------------
     def _alloc(self) -> int:

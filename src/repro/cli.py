@@ -164,13 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch.add_argument(
-        "--tuples", required=True,
-        help="tuple file path (one generalized tuple per line)",
+        "--tuples", default=None,
+        help="tuple file path (one generalized tuple per line); omit "
+             "with --data-dir to reopen a saved engine instead",
     )
     batch.add_argument(
         "--queries", required=True,
         help="query file path (`ALL|EXIST <slope> <intercept> <GE|LE>` "
              "per line)",
+    )
+    batch.add_argument(
+        "--data-dir", default=None,
+        help="durable engine directory: with --tuples, save the built "
+             "engine there after answering; without --tuples, open the "
+             "saved engine from there (no rebuild)",
     )
     batch.add_argument(
         "--slopes", default=None,
@@ -256,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the raw trace JSON instead of the rendered report",
     )
+    explain.add_argument(
+        "--data-dir", default=None,
+        help="open a saved engine from this directory instead of "
+             "building one (needs --queries; excludes --workload/"
+             "--tuples)",
+    )
 
     stats = sub.add_parser(
         "stats", help="run a query batch and print the metrics registry"
@@ -280,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--build-workers", type=int, default=0,
         help="worker processes for the build leg; pool workers report "
              "build_worker_*{worker=j} series",
+    )
+    stats.add_argument(
+        "--data-dir", default=None,
+        help="also run the durable save/open leg under this directory; "
+             "its WAL/checkpoint counters (wal_appends, wal_fsyncs, "
+             "checkpoint_pages) join the output",
     )
 
     smoke = sub.add_parser(
@@ -313,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument(
         "--build-workers", type=int, default=0,
         help="worker processes for the smoke build leg",
+    )
+    smoke.add_argument(
+        "--data-dir", default=None,
+        help="run the whole workload file-backed (REPRO_DATA_DIR) under "
+             "this directory and add a durable save/open leg whose "
+             "answers must match the live engine",
     )
 
     shard_bench = sub.add_parser(
@@ -446,6 +471,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-demo", action="store_true",
         help="run the fault-injection scenario and write its repro",
     )
+    fuzz.add_argument(
+        "--recovery-demo", action="store_true",
+        help="crash a durable engine mid-WAL-append and mid-checkpoint, "
+             "reopen each from disk, require the oracle to accept, and "
+             "write replayable repros + the crashed data directories",
+    )
+
+    save = sub.add_parser(
+        "save",
+        help="build an index from a tuple file and persist it durably",
+        description=(
+            "Build a dual-index engine (or a sharded one with --shards) "
+            "from a tuple file and save it to a data directory — page "
+            "file, free list, WAL, and catalog (format: docs/"
+            "STORAGE.md). The directory reopens with `repro open` or "
+            "`repro batch --data-dir` without rebuilding."
+        ),
+    )
+    save.add_argument(
+        "--tuples", required=True,
+        help="tuple file path (one generalized tuple per line)",
+    )
+    save.add_argument(
+        "--data-dir", required=True,
+        help="target directory for the durable engine",
+    )
+    save.add_argument(
+        "--slopes", default=None,
+        help="comma-separated predefined slope set (default: 3 uniform)",
+    )
+    save.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition across N shards (default 1)",
+    )
+    save.add_argument(
+        "--build-workers", type=int, default=0,
+        help="worker processes for the index build",
+    )
+
+    open_cmd = sub.add_parser(
+        "open",
+        help="open a saved engine from disk and print its catalog",
+        description=(
+            "Open a durable engine directory written by `repro save` (or "
+            "the save APIs) without rebuilding: replay the WAL up to the "
+            "catalog's commit point and print what was restored. With "
+            "--queries, also answer a query file through the reopened "
+            "engine."
+        ),
+    )
+    open_cmd.add_argument(
+        "--data-dir", required=True,
+        help="durable engine directory to open",
+    )
+    open_cmd.add_argument(
+        "--queries", default=None,
+        help="optional query file (`ALL|EXIST <slope> <intercept> "
+             "<GE|LE>` per line) to answer through the reopened engine",
+    )
+    open_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the summary (and any answers) as JSON",
+    )
     return parser
 
 
@@ -488,6 +576,10 @@ def main(argv: list[str] | None = None) -> int:
         return _vector_bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
+    if args.command == "save":
+        return _save(args)
+    if args.command == "open":
+        return _open(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -707,18 +799,31 @@ def _batch(args) -> int:
 
     from repro.exec import BatchExecutor
 
-    relation, planner = _load_relation(
-        args.tuples, args.slopes,
-        build_workers=args.build_workers, shards=args.shards,
-    )
-    if relation is None:
-        print("no tuples found", file=sys.stderr)
-        return 1
+    if args.tuples is None:
+        if args.data_dir is None:
+            print("batch: need --tuples or --data-dir", file=sys.stderr)
+            return 2
+        from repro.storage import open_engine
+
+        planner = open_engine(args.data_dir)
+    else:
+        relation, planner = _load_relation(
+            args.tuples, args.slopes,
+            build_workers=args.build_workers, shards=args.shards,
+        )
+        if relation is None:
+            print("no tuples found", file=sys.stderr)
+            return 1
+        if args.data_dir is not None:
+            from repro.storage import save_engine
+
+            save_engine(planner, args.data_dir)
+            print(f"saved engine to {args.data_dir}", file=sys.stderr)
     queries = _parse_query_file(args.queries)
     if not queries:
         print("no queries found", file=sys.stderr)
         return 1
-    if args.shards > 1:
+    if hasattr(planner, "planners"):
         # The sharded facade owns per-shard batch executors and merges
         # their results/accounting.
         batch = planner.query_batch(queries)
@@ -780,11 +885,23 @@ def _explain(args) -> int:
     from repro.obs.events import EventLog, log_trace
     from repro.obs.export import write_chrome_trace
 
-    if (args.workload is None) == (args.tuples is None):
-        print("explain: give exactly one of --workload or --tuples",
-              file=sys.stderr)
+    sources = [
+        s for s in (args.workload, args.tuples, args.data_dir)
+        if s is not None
+    ]
+    if len(sources) != 1:
+        print("explain: give exactly one of --workload, --tuples or "
+              "--data-dir", file=sys.stderr)
         return 2
-    if args.workload is not None:
+    if args.data_dir is not None:
+        if args.queries is None:
+            print("explain: --data-dir needs --queries", file=sys.stderr)
+            return 2
+        from repro.storage import open_engine
+
+        engine = open_engine(args.data_dir)
+        queries = _parse_query_file(args.queries)
+    elif args.workload is not None:
         from repro.bench import harness
         from repro.core import DualIndexPlanner, SlopeSet
         from repro.workloads import make_relation
@@ -851,7 +968,7 @@ def _stats(args) -> int:
     registry = run_smoke(
         get_registry(), n=args.n, size=args.size, k=args.k,
         count=args.queries, shards=args.shards,
-        build_workers=args.build_workers,
+        build_workers=args.build_workers, data_dir=args.data_dir,
     )
     if args.format == "prom":
         sys.stdout.write(registry.export_prom())
@@ -898,6 +1015,15 @@ def _fuzz(args) -> int:
         print(f"injected fault surfaced as {type(error).__name__}: {error}")
         print(f"repro written: {path}")
         return 0
+    if args.recovery_demo:
+        from repro.verify import run_recovery_scenario
+
+        paths = run_recovery_scenario(seed=args.seed, out_dir=args.out)
+        print("crashed mid-WAL-append and mid-checkpoint; both reopened "
+              "from disk and the differential oracle accepted")
+        for path in paths:
+            print(f"repro written: {path}")
+        return 0
     config = FuzzConfig(
         seed=args.seed,
         budget_seconds=parse_budget(args.budget),
@@ -926,7 +1052,79 @@ def _smoke(args) -> int:
         argv += ["--shards", str(args.shards)]
     if args.build_workers:
         argv += ["--build-workers", str(args.build_workers)]
+    if args.data_dir:
+        argv += ["--data-dir", args.data_dir]
     return smoke.main(argv)
+
+
+def _save(args) -> int:
+    from repro.storage import save_engine
+
+    relation, engine = _load_relation(
+        args.tuples, args.slopes,
+        build_workers=args.build_workers, shards=args.shards,
+    )
+    if relation is None:
+        print("no tuples found", file=sys.stderr)
+        return 1
+    save_engine(engine, args.data_dir)
+    kind = "sharded" if hasattr(engine, "planners") else "planner"
+    print(f"saved {kind} engine ({len(relation)} tuples) to "
+          f"{args.data_dir}")
+    return 0
+
+
+def _open(args) -> int:
+    import json as json_mod
+
+    from repro.storage import open_engine, read_catalog
+
+    payload, seq, generation = read_catalog(args.data_dir)
+    engine = open_engine(args.data_dir)
+    if hasattr(engine, "planners"):
+        planners = engine.planners
+        summary = {
+            "kind": "sharded",
+            "shards": len(planners),
+            "size": sum(p.index.size for p in planners),
+            "pages": sum(
+                p.index.pager.disk.allocated_pages for p in planners
+            ),
+        }
+    else:
+        planners = [engine]
+        summary = {
+            "kind": "planner",
+            "technique": engine.technique,
+            "size": engine.index.size,
+            "pages": engine.index.pager.disk.allocated_pages,
+            "slopes": list(engine.index.slopes),
+            "commit_seq": seq,
+            "catalog_generation": generation,
+        }
+    answers = None
+    if args.queries:
+        queries = _parse_query_file(args.queries)
+        answers = [
+            {"query": repr(q), "ids": sorted(engine.query(q).ids)}
+            for q in queries
+        ]
+    if args.json:
+        doc = dict(summary)
+        if answers is not None:
+            doc["answers"] = answers
+        print(json_mod.dumps(doc, indent=2))
+    else:
+        for key, value in summary.items():
+            print(f"{key:18}: {value}")
+        if answers is not None:
+            for entry in answers:
+                print(f"{entry['query']} -> {entry['ids']}")
+    if hasattr(engine, "close"):
+        engine.close()
+    for planner in planners:
+        planner.index.pager.disk.close()
+    return 0
 
 
 def _shard_bench(args) -> int:

@@ -595,6 +595,63 @@ class DualIndex:
     # ------------------------------------------------------------------
     # accounting & helpers
     # ------------------------------------------------------------------
+    def all_trees(self) -> Iterator[BPlusTree]:
+        """Every B+-tree of the index, in a deterministic order."""
+        yield from self.up
+        yield from self.down
+        for per_slope in (self.dir_top, self.dir_bot):
+            for sides in per_slope:
+                for side in _SIDES:
+                    if side in sides:
+                        yield sides[side]
+
+    def catalog_payload(self) -> dict:
+        """The index's non-page state as a JSON-serialisable catalog.
+
+        Page images live in the pager; this payload is everything else a
+        restored process needs: configuration (slopes, key width,
+        dynamic flag), the tuple↔RID catalog, per-tree shape state, heap
+        bookkeeping, and the assignment-key extrema. Deliberately *not*
+        persisted: ``keys_cache`` (re-derived from heap records on
+        miss), the lazy rid/tid LUTs (rebuilt on version), and the
+        ``columnar`` flag (an engine choice, re-decided at open time).
+        """
+        return {
+            "name": self.name,
+            "dynamic": self.dynamic,
+            "key_bytes": self.codec.key_bytes,
+            "slopes": list(self.slopes),
+            "size": self.size,
+            "version": self.version,
+            "skipped": list(self.skipped),
+            "rid_of": sorted(self.rid_of.items()),
+            "assign_extrema": [
+                [tree_name, side, lo, hi]
+                for (tree_name, side), (lo, hi)
+                in sorted(self.assign_extrema.items())
+            ],
+            "heap": self.heap.state_payload(),
+            "trees": {t.name: t.state_payload() for t in self.all_trees()},
+        }
+
+    def restore_catalog(self, payload: dict) -> None:
+        """Inverse of :meth:`catalog_payload`, onto a freshly constructed
+        index with matching slopes/key width/dynamic flag."""
+        self.size = payload["size"]
+        self.version = payload["version"]
+        self.skipped = list(payload["skipped"])
+        self.rid_of = {int(t): int(r) for t, r in payload["rid_of"]}
+        self.tid_of = {r: t for t, r in self.rid_of.items()}
+        self.assign_extrema = {
+            (name, side): (lo, hi)
+            for name, side, lo, hi in payload["assign_extrema"]
+        }
+        self.heap.restore_state(payload["heap"])
+        trees = payload["trees"]
+        for tree in self.all_trees():
+            tree.restore_state(trees[tree.name])
+        self._lut_version = -1
+
     def space(self) -> IndexSpace:
         """Page breakdown (Figure 10 compares ``tree_pages``)."""
         tree_pages = sum(t.page_count for t in self.up + self.down)

@@ -52,6 +52,44 @@ class DualIndexPlanner:
         self.technique = technique
         self.pivot_x = pivot_x
         self._batch_executor = None
+        #: Set by :meth:`save`/:meth:`open`: the durable home directory.
+        self.data_dir: str | None = None
+
+    # ------------------------------------------------------------------
+    # durability (see repro.storage.checkpoint and docs/STORAGE.md)
+    # ------------------------------------------------------------------
+    def save(self, data_dir: str) -> None:
+        """Persist this planner to ``data_dir`` (checkpointed snapshot).
+
+        A planner already running on a WAL-mode file-backed pager in
+        ``data_dir`` checkpoints in place; any other planner is cloned
+        into a fresh page file with identical accounting state.
+        """
+        from repro.storage.checkpoint import save_planner
+
+        save_planner(self, data_dir)
+        self.data_dir = data_dir
+
+    def commit(self, data_dir: str | None = None) -> int:
+        """Cheap durability point: fsync the WAL + write the catalog,
+        without rewriting the page file. Requires a file-backed pager
+        (``FileDisk`` in ``"wal"`` mode) in ``data_dir``."""
+        from repro.storage.checkpoint import commit_planner
+
+        target = data_dir if data_dir is not None else self.data_dir
+        if target is None:
+            raise QueryError("commit() needs a data_dir (none remembered)")
+        seq = commit_planner(self, target)
+        self.data_dir = target
+        return seq
+
+    @classmethod
+    def open(cls, data_dir: str,
+             columnar: bool | None = None) -> "DualIndexPlanner":
+        """Open a saved planner from disk without rebuilding."""
+        from repro.storage.checkpoint import open_planner
+
+        return open_planner(data_dir, columnar=columnar)
 
     # ------------------------------------------------------------------
     # construction

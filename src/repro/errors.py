@@ -37,6 +37,30 @@ class PageOverflowError(StorageError):
     """A record or node image did not fit in a page."""
 
 
+class DoubleFreeError(StorageError):
+    """A page already on the free list was freed again.
+
+    Distinct from the generic "not allocated" :class:`StorageError` so a
+    persistent free list can tell allocator bugs (double free corrupts
+    the on-disk free chain) from plain bad page ids.
+    """
+
+
+class TruncatedRecordError(StorageError):
+    """A serialized record or key buffer was shorter than its framing
+    promised — the torn state left behind by a crash mid-page."""
+
+
+class WalCorruptionError(StorageError):
+    """A WAL or catalog file failed structural validation (bad magic,
+    version, or CRC) somewhere recovery cannot simply truncate away."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not reconstruct a consistent state (e.g. a
+    replayed allocation disagrees with the recomputed allocator)."""
+
+
 class FaultInjectedError(StorageError):
     """A deliberately injected storage fault (``repro.verify.faults``).
 

@@ -116,6 +116,28 @@ class ShardedDualIndex:
         self._shard_registries = [MetricsRegistry() for _ in self.planners]
 
     # ------------------------------------------------------------------
+    # durability (see repro.storage.checkpoint and docs/STORAGE.md)
+    # ------------------------------------------------------------------
+    def save(self, data_dir: str) -> None:
+        """Persist every shard (``shard-N/`` subdirectories) plus a
+        manifest catalog naming the shard count and fan-out mode."""
+        from repro.storage.checkpoint import save_sharded
+
+        save_sharded(self, data_dir)
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        columnar: bool | None = None,
+        fanout: str | None = None,
+    ) -> "ShardedDualIndex":
+        """Open a saved sharded engine from its manifest."""
+        from repro.storage.checkpoint import open_sharded
+
+        return open_sharded(data_dir, columnar=columnar, fanout=fanout)
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod

@@ -1,12 +1,27 @@
-"""Simulated storage engine: disk, buffer pool, pager, heap file, codecs.
+"""Storage engine: disk, buffer pool, pager, heap file, codecs — plus
+the durable substrate (file-backed pager, WAL, checkpoint catalogs).
 
 A byte-accurate reproduction of the paper's storage substrate (1024-byte
 pages, 4-byte values) with exact page-access accounting — the metric every
-experiment in Section 5 reports.
+experiment in Section 5 reports. The file-backed :class:`FileDisk` keeps
+that accounting bit-identical while making pages survive a process exit;
+``docs/STORAGE.md`` specifies the on-disk format.
 """
 
 from repro.storage.buffer import BufferPool
+from repro.storage.checkpoint import (
+    commit_planner,
+    open_engine,
+    open_planner,
+    open_sharded,
+    read_catalog,
+    save_engine,
+    save_planner,
+    save_sharded,
+    write_catalog,
+)
 from repro.storage.disk import DEFAULT_PAGE_SIZE, NULL_PAGE, DiskSimulator
+from repro.storage.filepager import FileDisk
 from repro.storage.heap import HeapFile, pack_rid, unpack_rid
 from repro.storage.pager import Pager
 from repro.storage.serialize import (
@@ -17,9 +32,12 @@ from repro.storage.serialize import (
     tuple_record_size,
 )
 from repro.storage.stats import IOStats, StatsScope
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
     "DiskSimulator",
+    "FileDisk",
+    "WriteAheadLog",
     "BufferPool",
     "Pager",
     "HeapFile",
@@ -31,6 +49,15 @@ __all__ = [
     "tuple_record_size",
     "pack_rid",
     "unpack_rid",
+    "save_planner",
+    "commit_planner",
+    "open_planner",
+    "save_sharded",
+    "open_sharded",
+    "save_engine",
+    "open_engine",
+    "write_catalog",
+    "read_catalog",
     "DEFAULT_PAGE_SIZE",
     "NULL_PAGE",
     "RID_BYTES",

@@ -9,7 +9,7 @@ measurements (Figure 10) are exact byte counts.
 
 from __future__ import annotations
 
-from repro.errors import StorageError
+from repro.errors import DoubleFreeError, StorageError
 from repro.storage.stats import IOStats
 
 #: The paper's page size (Section 5).
@@ -48,8 +48,17 @@ class DiskSimulator:
         return page_id
 
     def free(self, page_id: int) -> None:
-        """Return a page to the free list."""
-        self._require(page_id)
+        """Return a page to the free list.
+
+        Freeing a page that is already on the free list raises
+        :class:`~repro.errors.DoubleFreeError` (a double free would
+        corrupt a persistent free chain); freeing a page that was never
+        allocated raises the generic :class:`StorageError`.
+        """
+        if page_id not in self._pages:
+            if page_id in self._free:
+                raise DoubleFreeError(f"page {page_id} is already free")
+            raise StorageError(f"page {page_id} is not allocated")
         del self._pages[page_id]
         self._free.append(page_id)
         self.stats.frees += 1

@@ -61,6 +61,18 @@ class HeapFile:
         self._open_page: int | None = None
 
     # ------------------------------------------------------------------
+    # snapshot state (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """The heap's non-page state (record bytes live in the pager)."""
+        return {"pages": list(self._pages), "open_page": self._open_page}
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_payload`."""
+        self._pages = list(payload["pages"])
+        self._open_page = payload["open_page"]
+
+    # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     def insert(self, record: bytes) -> int:

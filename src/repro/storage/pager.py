@@ -9,11 +9,29 @@ gets its own pager when per-structure accounting is wanted.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable
 
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskSimulator
 from repro.storage.stats import IOStats, StatsScope
+
+
+def _default_disk(page_size: int) -> DiskSimulator:
+    """The disk behind a ``Pager()`` with no explicit ``disk=``.
+
+    Normally the in-memory :class:`DiskSimulator`. With ``REPRO_DATA_DIR``
+    set, every default pager instead gets an ephemeral file-backed
+    :class:`~repro.storage.filepager.FileDisk` under that directory —
+    how CI runs the whole tier-1 suite against real files while keeping
+    page accounting bit-identical.
+    """
+    root = os.environ.get("REPRO_DATA_DIR")
+    if not root:
+        return DiskSimulator(page_size)
+    from repro.storage.filepager import FileDisk
+
+    return FileDisk.ephemeral(root, page_size=page_size)
 
 
 class _PinScope:
@@ -42,7 +60,7 @@ class Pager:
         buffer_frames: int = 0,
         disk: DiskSimulator | None = None,
     ) -> None:
-        self.disk = disk if disk is not None else DiskSimulator(page_size)
+        self.disk = disk if disk is not None else _default_disk(page_size)
         self.buffer = BufferPool(self.disk, buffer_frames)
         self.stats = IOStats()
 
@@ -60,10 +78,14 @@ class Pager:
         return self.disk.allocate()
 
     def free(self, page_id: int) -> None:
-        """Free a page and drop any cached frame."""
+        """Free a page and drop any cached frame.
+
+        The disk is asked first: a rejected free (double free, bad page
+        id) raises with the pager's stats and cached frames untouched.
+        """
+        self.disk.free(page_id)
         self.buffer.discard(page_id)
         self.stats.frees += 1
-        self.disk.free(page_id)
 
     def read(self, page_id: int) -> bytes:
         """Read a page (one logical read; physical only on cache miss)."""

@@ -23,7 +23,7 @@ import numpy as np
 from repro.constraints.linear import LinearConstraint
 from repro.constraints.theta import Theta
 from repro.constraints.tuples import GeneralizedTuple
-from repro.errors import StorageError
+from repro.errors import StorageError, TruncatedRecordError
 
 #: Encodings of Theta in tuple records.
 _THETA_CODES = {Theta.LE: 0, Theta.GE: 1, Theta.EQ: 2, Theta.LT: 3, Theta.GT: 4}
@@ -62,7 +62,15 @@ class KeyCodec:
         return self._struct.pack(value)
 
     def decode(self, data: bytes) -> float:
-        """Unpack a key."""
+        """Unpack a key.
+
+        Raises :class:`~repro.errors.TruncatedRecordError` if ``data``
+        is not exactly one key wide (the torn read after a crash).
+        """
+        if len(data) != self.key_bytes:
+            raise TruncatedRecordError(
+                f"key buffer of {len(data)} bytes, expected {self.key_bytes}"
+            )
         return self._struct.unpack(data)[0]
 
     # ------------------------------------------------------------------
@@ -102,7 +110,18 @@ class KeyCodec:
 
         The inverse of :meth:`encode_keys`; values equal per-key
         :meth:`decode` results exactly (float32 widens losslessly).
+        Raises :class:`~repro.errors.TruncatedRecordError` when the
+        buffer is too short for the promised count.
         """
+        if count < 0 or offset < 0:
+            raise TruncatedRecordError(
+                f"invalid key range count={count} offset={offset}"
+            )
+        if offset + count * self.key_bytes > len(data):
+            raise TruncatedRecordError(
+                f"key buffer of {len(data)} bytes cannot hold {count} "
+                f"keys of {self.key_bytes} bytes at offset {offset}"
+            )
         arr = np.frombuffer(data, dtype=self._dtype, count=count,
                             offset=offset)
         return arr.astype(np.float64).tolist()
@@ -174,8 +193,22 @@ def encode_tuple(tuple_id: int, t: GeneralizedTuple) -> bytes:
 
 
 def decode_tuple(data: bytes) -> tuple[int, GeneralizedTuple]:
-    """Inverse of :func:`encode_tuple`."""
+    """Inverse of :func:`encode_tuple`.
+
+    A buffer shorter than its own header promises raises
+    :class:`~repro.errors.TruncatedRecordError`; an unknown theta code
+    (bit rot rather than tearing) raises :class:`StorageError`.
+    """
+    if len(data) < 6:
+        raise TruncatedRecordError(
+            f"tuple record of {len(data)} bytes is shorter than its header"
+        )
     tuple_id, dim, m = struct.unpack_from("<IBB", data, 0)
+    needed = tuple_record_size(dim, m)
+    if len(data) < needed:
+        raise TruncatedRecordError(
+            f"tuple record of {len(data)} bytes, header promises {needed}"
+        )
     offset = 6
     atoms = []
     for _ in range(m):
@@ -183,6 +216,8 @@ def decode_tuple(data: bytes) -> tuple[int, GeneralizedTuple]:
         offset += 8 * dim
         const, code = struct.unpack_from("<dB", data, offset)
         offset += 9
+        if code not in _THETA_FROM_CODE:
+            raise StorageError(f"unknown theta code {code} in tuple record")
         atoms.append(LinearConstraint(coeffs, const, _THETA_FROM_CODE[code]))
     return tuple_id, GeneralizedTuple(atoms)
 

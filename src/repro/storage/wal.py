@@ -1,0 +1,265 @@
+"""Write-ahead log: typed, CRC32-framed records with fsync-on-commit.
+
+The durable pager (:mod:`repro.storage.filepager`) never touches the
+page file between checkpoints. Every mutation instead appends a redo
+record here; ``commit`` appends a COMMIT marker and fsyncs, making the
+whole batch durable at one well-defined point. Recovery replays
+committed batches in order and *truncates* anything after the last
+commit it can prove complete — a torn tail (short frame or CRC
+mismatch) is the expected crash artifact, not corruption.
+
+Byte layout (full spec in ``docs/STORAGE.md``):
+
+- file header, 16 bytes: ``b"RWAL" | u16 version | u16 reserved |
+  u32 page_size | u32 crc32(bytes[0:12])``
+- record frame: ``u32 crc32(type+payload) | u32 len(type+payload) |
+  u8 type | payload``
+
+Record types::
+
+    1  PAGE    u32 page_id + page image   (redo: full page image)
+    2  ALLOC   u32 page_id                (redo: replays the allocator)
+    3  FREE    u32 page_id
+    4  COMMIT  u64 seq                    (batch boundary, fsynced)
+
+All integers are little-endian. Everything between two COMMITs belongs
+to the *later* COMMIT's sequence number; records after the final COMMIT
+are uncommitted and discarded by recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FaultInjectedError, WalCorruptionError
+
+_MAGIC = b"RWAL"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHI")  # magic, version, reserved, page_size
+_HEADER_SIZE = _HEADER.size + 4  # + u32 crc
+_FRAME = struct.Struct("<II")  # crc, length (of type byte + payload)
+
+#: Record type tags.
+REC_PAGE = 1
+REC_ALLOC = 2
+REC_FREE = 3
+REC_COMMIT = 4
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Sanity bound on a single record (a PAGE record plus slack).
+_MAX_RECORD = 1 << 26
+
+
+@dataclass
+class WalBatch:
+    """One committed batch: ``(seq, records)`` with records as
+    ``(type, page_id_or_seq, image_or_None)`` tuples."""
+
+    seq: int
+    records: list[tuple[int, int, bytes | None]]
+
+
+class WriteAheadLog:
+    """Append-only redo log over a single file.
+
+    Appends buffer in the OS page cache (plain ``os.write``); only
+    :meth:`commit` fsyncs. Crash-injection hooks (``fail_append_at``)
+    let the fuzzer tear an append mid-frame exactly the way a power cut
+    would, then prove recovery discards it.
+    """
+
+    def __init__(self, path: str, page_size: int) -> None:
+        self.path = path
+        self.page_size = page_size
+        self.appends_seen = 0
+        #: Armed crash point: tear the Nth append (absolute index).
+        self.fail_append_at: int | None = None
+        #: How many bytes of the torn frame reach the file (default half).
+        self.torn_bytes: int | None = None
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        self._c_appends = registry.counter(
+            "wal_appends", "WAL records appended")
+        self._c_fsyncs = registry.counter(
+            "wal_fsyncs", "WAL fsync calls (one per commit)")
+        self._c_replayed = registry.counter(
+            "wal_replayed_records", "WAL records reapplied during recovery")
+        # A file shorter than its header can only be a torn creation —
+        # no record can precede the header, so rewriting it is safe.
+        existing = (
+            os.path.exists(path) and os.path.getsize(path) >= _HEADER_SIZE
+        )
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        if existing:
+            self._check_header()
+            self._end = os.path.getsize(path)
+        else:
+            self._write_header()
+            self._end = _HEADER_SIZE
+        # High-water mark of committed bytes; replay() corrects it after
+        # a crash (an existing file may end in a torn, uncommitted tail).
+        self._clean_end = self._end
+        self.last_seq = 0
+
+    # ------------------------------------------------------------------
+    # header
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        head = _HEADER.pack(_MAGIC, _VERSION, 0, self.page_size)
+        head += _U32.pack(zlib.crc32(head))
+        os.pwrite(self._fd, head, 0)
+
+    def _check_header(self) -> None:
+        head = os.pread(self._fd, _HEADER_SIZE, 0)
+        if len(head) < _HEADER_SIZE:
+            raise WalCorruptionError(f"{self.path}: short WAL header")
+        magic, version, _, page_size = _HEADER.unpack(head[:_HEADER.size])
+        (crc,) = _U32.unpack(head[_HEADER.size:])
+        if magic != _MAGIC or crc != zlib.crc32(head[:_HEADER.size]):
+            raise WalCorruptionError(f"{self.path}: bad WAL header")
+        if version != _VERSION:
+            raise WalCorruptionError(
+                f"{self.path}: WAL format v{version}, expected v{_VERSION}")
+        if page_size != self.page_size:
+            raise WalCorruptionError(
+                f"{self.path}: WAL page size {page_size} != {self.page_size}")
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def _append(self, rec_type: int, payload: bytes) -> None:
+        body = bytes([rec_type]) + payload
+        frame = _FRAME.pack(zlib.crc32(body), len(body)) + body
+        index = self.appends_seen
+        self.appends_seen += 1
+        self._c_appends.inc()
+        if self.fail_append_at is not None and index >= self.fail_append_at:
+            torn = self.torn_bytes
+            if torn is None:
+                torn = len(frame) // 2
+            torn = max(1, min(torn, len(frame) - 1))
+            os.pwrite(self._fd, frame[:torn], self._end)
+            self._end += torn
+            self.fail_append_at = None
+            raise FaultInjectedError(
+                f"injected crash tearing WAL append #{index} "
+                f"({torn}/{len(frame)} bytes reached {self.path})",
+                op="wal-append", op_index=index,
+            )
+        os.pwrite(self._fd, frame, self._end)
+        self._end += len(frame)
+
+    def append_page(self, page_id: int, image: bytes) -> None:
+        """Redo record: full page image."""
+        self._append(REC_PAGE, _U32.pack(page_id) + image)
+
+    def append_alloc(self, page_id: int) -> None:
+        """Redo record: the allocator handed out ``page_id``."""
+        self._append(REC_ALLOC, _U32.pack(page_id))
+
+    def append_free(self, page_id: int) -> None:
+        """Redo record: ``page_id`` returned to the free list."""
+        self._append(REC_FREE, _U32.pack(page_id))
+
+    def commit(self) -> int:
+        """Append a COMMIT marker and fsync; returns its sequence number.
+
+        Idempotent when nothing was appended since the last commit: the
+        current sequence number is returned without touching the file.
+        """
+        if self._end == self._clean_end:
+            return self.last_seq
+        seq = self.last_seq + 1
+        self._append(REC_COMMIT, _U64.pack(seq))
+        os.fsync(self._fd)
+        self._c_fsyncs.inc()
+        self.last_seq = seq
+        self._clean_end = self._end
+        return seq
+
+    # ------------------------------------------------------------------
+    # replay / reset
+    # ------------------------------------------------------------------
+    def replay(self, upto_seq: int | None = None) -> list[WalBatch]:
+        """Committed batches with ``seq <= upto_seq`` (all if ``None``).
+
+        Scans from the header, validating each frame's CRC. The first
+        torn or corrupt frame ends the scan — everything before the last
+        complete COMMIT at or below ``upto_seq`` is returned, everything
+        after is truncated away so later appends start from a clean
+        tail. Also resets :attr:`last_seq` to the replayed high-water
+        mark.
+        """
+        size = os.path.getsize(self.path)
+        offset = _HEADER_SIZE
+        batches: list[WalBatch] = []
+        pending: list[tuple[int, int, bytes | None]] = []
+        keep_end = _HEADER_SIZE
+        while offset + _FRAME.size <= size:
+            head = os.pread(self._fd, _FRAME.size, offset)
+            if len(head) < _FRAME.size:
+                break
+            crc, length = _FRAME.unpack(head)
+            if length < 1 or length > _MAX_RECORD:
+                break
+            if offset + _FRAME.size + length > size:
+                break  # torn tail
+            body = os.pread(self._fd, length, offset + _FRAME.size)
+            if len(body) < length or zlib.crc32(body) != crc:
+                break
+            offset += _FRAME.size + length
+            rec_type, payload = body[0], body[1:]
+            if rec_type == REC_COMMIT:
+                (seq,) = _U64.unpack(payload)
+                if upto_seq is not None and seq > upto_seq:
+                    break
+                batches.append(WalBatch(seq, pending))
+                pending = []
+                keep_end = offset
+            elif rec_type == REC_PAGE:
+                (page_id,) = _U32.unpack(payload[:4])
+                image = payload[4:]
+                if len(image) != self.page_size:
+                    raise WalCorruptionError(
+                        f"{self.path}: PAGE record with {len(image)}-byte "
+                        f"image on a {self.page_size}-byte pager")
+                pending.append((REC_PAGE, page_id, image))
+            elif rec_type in (REC_ALLOC, REC_FREE):
+                (page_id,) = _U32.unpack(payload[:4])
+                pending.append((rec_type, page_id, None))
+            else:
+                break  # unknown type: treat as torn tail
+        os.ftruncate(self._fd, keep_end)
+        self._end = keep_end
+        self._clean_end = keep_end
+        self.last_seq = batches[-1].seq if batches else 0
+        n = sum(len(b.records) for b in batches)
+        if n:
+            self._c_replayed.inc(n)
+        return batches
+
+    def reset(self) -> None:
+        """Empty the log (after a checkpoint made its contents moot)."""
+        os.ftruncate(self._fd, _HEADER_SIZE)
+        os.fsync(self._fd)
+        self._c_fsyncs.inc()
+        self._end = _HEADER_SIZE
+        self._clean_end = _HEADER_SIZE
+
+    def close(self) -> None:
+        """Close the file descriptor (no implicit flush or fsync)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<WriteAheadLog {self.path!r} seq={self.last_seq} "
+            f"bytes={self._end}>"
+        )

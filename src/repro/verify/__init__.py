@@ -4,9 +4,10 @@ Cross-checks every production query path — restricted-slope sweeps,
 T1/T2 approximations, the R+-tree baseline, the vectorized dual surface,
 and the cached batch executor — against two independent oracles (the
 exact geometric predicates and an LP-backed brute-force oracle), with
-structural invariant checkers and a fault-injection pager. Failing cases
-are minimised to replayable JSON repro files. CLI entry point:
-``repro fuzz``; docs: ``docs/TESTING.md``.
+structural invariant checkers, a fault-injection pager, and crash
+recovery rounds that kill a durable engine mid-write and reopen it from
+disk. Failing cases are minimised to replayable JSON repro files. CLI
+entry point: ``repro fuzz``; docs: ``docs/TESTING.md``.
 """
 
 from repro.verify.differential import (
@@ -17,8 +18,10 @@ from repro.verify.differential import (
     run_checks,
     run_fault_scenario,
     run_fuzz,
+    run_recovery_case,
+    run_recovery_scenario,
 )
-from repro.verify.faults import FaultInjectingPager
+from repro.verify.faults import CrashPoint, FaultInjectingPager, arm_crash
 from repro.verify.invariants import (
     check_btree,
     check_buffer_pool,
@@ -29,9 +32,11 @@ from repro.verify.oracle import BruteForceOracle, lp_feasible, lp_support
 
 __all__ = [
     "BruteForceOracle",
+    "CrashPoint",
     "FaultInjectingPager",
     "FuzzConfig",
     "FuzzReport",
+    "arm_crash",
     "check_btree",
     "check_buffer_pool",
     "check_dual_index",
@@ -43,4 +48,6 @@ __all__ = [
     "run_checks",
     "run_fault_scenario",
     "run_fuzz",
+    "run_recovery_case",
+    "run_recovery_scenario",
 ]

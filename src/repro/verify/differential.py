@@ -23,7 +23,10 @@ with a small waiver band around decision boundaries (HiGHS solves to
 either side of ``ORACLE_TOL`` — those per-tuple flips are counted as
 ``fuzz_waivers``, not bugs). Mutation rounds interleave inserts/deletes
 on a dynamic index; fault rounds arm the fault-injection pager and
-assert a clean typed error plus untouched state.
+assert a clean typed error plus untouched state; recovery rounds build
+a durable engine on a WAL-mode :class:`~repro.storage.FileDisk`, crash
+it mid-WAL-append or mid-checkpoint, reopen the directory, and hold the
+recovered engine to the same oracle over the committed live set.
 
 Any finding is minimised by greedy delta debugging (drop tuples, then
 queries, re-running the check) and written as a replayable JSON repro;
@@ -35,6 +38,8 @@ from __future__ import annotations
 import json
 import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -51,8 +56,12 @@ from repro.obs.explain import traced_answer
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.rtree.planner import RTreePlanner
 from repro.shard.sharded import ShardedDualIndex
+from repro.storage.checkpoint import open_planner
+from repro.storage.disk import DiskSimulator
+from repro.storage.filepager import FileDisk
+from repro.storage.pager import Pager
 from repro.verify import workload
-from repro.verify.faults import FaultInjectingPager
+from repro.verify.faults import CrashPoint, FaultInjectingPager, arm_crash
 from repro.verify.invariants import (
     check_buffer_pool,
     check_dual_index,
@@ -91,6 +100,9 @@ class FuzzConfig:
     mutation_every: int = 4
     #: Every Nth round arms the fault-injection pager.
     fault_every: int = 5
+    #: Every Nth round crashes a durable engine mid-write and recovers it
+    #: (prime, so it rarely collides with the other specialised rounds).
+    recovery_every: int = 7
     check_invariants: bool = True
     out_dir: str = "fuzz-repros"
 
@@ -105,6 +117,7 @@ class FuzzReport:
     comparisons: int = 0
     waivers: int = 0
     faults_injected: int = 0
+    crashes_recovered: int = 0
     disagreements: list = field(default_factory=list)
     repro_paths: list = field(default_factory=list)
     elapsed: float = 0.0
@@ -121,7 +134,8 @@ class FuzzReport:
             f"fuzz seed={self.seed}: {self.rounds} rounds, "
             f"{self.queries} queries, {self.comparisons} comparisons, "
             f"{self.waivers} boundary waivers, "
-            f"{self.faults_injected} faults injected — {verdict} "
+            f"{self.faults_injected} faults injected, "
+            f"{self.crashes_recovered} crashes recovered — {verdict} "
             f"({self.elapsed:.1f}s)"
         )
 
@@ -570,6 +584,228 @@ def _inject_once(
 
 
 # ----------------------------------------------------------------------
+# recovery rounds (crash the durable engine, reopen, re-verify)
+# ----------------------------------------------------------------------
+def _apply_ops(planner, live: dict, ops: Sequence, next_tid: int) -> int:
+    """Apply JSON mutation ops (``["insert", tuple] | ["delete", tid]``)
+    to a dynamic planner, mirroring them in ``live``; returns next_tid."""
+    for op in ops:
+        if op[0] == "insert":
+            t = tuple_from_json(op[1])
+            planner.insert(next_tid, t)
+            live[next_tid] = t
+            next_tid += 1
+        else:
+            tid = int(op[1])
+            planner.delete(tid)
+            del live[tid]
+    return next_tid
+
+
+def make_recovery_case(
+    rng: random.Random,
+    slopes: Sequence[float],
+    n_tuples: int,
+    n_queries: int,
+    crash: CrashPoint | None = None,
+) -> dict:
+    """Generate one replayable recovery case (all-bounded tuples so the
+    committed live set is exactly what the index must hold back)."""
+    tuples = [workload.bounded_tuple(rng) for _ in range(n_tuples)]
+    alive = list(range(n_tuples))
+    next_tid = n_tuples
+
+    def gen_ops(n_ops: int) -> list:
+        nonlocal next_tid
+        ops: list = []
+        for _ in range(n_ops):
+            if len(alive) > 1 and rng.random() < 0.4:
+                tid = alive.pop(rng.randrange(len(alive)))
+                ops.append(["delete", tid])
+            else:
+                ops.append(
+                    ["insert", tuple_to_json(workload.bounded_tuple(rng))]
+                )
+                alive.append(next_tid)
+                next_tid += 1
+        return ops
+
+    committed = gen_ops(3)
+    crashed = gen_ops(3)
+    if crash is None:
+        point = rng.choice(("wal-append", "checkpoint"))
+        at = rng.randrange(1, 5) if point == "wal-append" else rng.randrange(3)
+        crash = CrashPoint(point, at)
+    return {
+        "kind": "recovery",
+        "slopes": list(slopes),
+        "tuples": [tuple_to_json(t) for t in tuples],
+        "committed": committed,
+        "crashed": crashed,
+        "crash": crash.to_json(),
+        "queries": [
+            query_to_json(q)
+            for q in workload.random_queries(rng, n_queries, slopes)
+        ],
+    }
+
+
+def run_recovery_case(
+    data: dict, keep_crashed_dir: str | None = None
+) -> list[dict]:
+    """Execute one recovery case; returns findings (``[]`` = ok).
+
+    Builds a dynamic planner on a WAL-mode :class:`FileDisk` (checking
+    its accounting stays bit-identical to a :class:`DiskSimulator` twin
+    over the same build + queries), saves, applies committed mutations,
+    commits, then arms the recorded :class:`CrashPoint` and applies the
+    doomed mutations. After the injected crash the directory is reopened
+    from disk and the recovered engine is checked against the geometric
+    oracle over the exact live set durability semantics dictate: a torn
+    WAL append rolls the doomed mutations back (they never committed),
+    while a mid-checkpoint crash keeps them (``save()``'s commit point —
+    the catalog write — precedes the page fold). ``keep_crashed_dir``
+    copies the post-crash directory (torn WAL included) there before
+    recovery, as the CI failure artifact.
+    """
+    slopes = [float(s) for s in data.get("slopes", DEFAULT_SLOPES)]
+    crash = CrashPoint.from_json(data["crash"])
+    queries = [query_from_json(qd) for qd in data["queries"]]
+    tuples = [tuple_from_json(td) for td in data["tuples"]]
+    findings: list[dict] = []
+    tmp = tempfile.mkdtemp(prefix="repro-recovery-")
+    engine_dir = os.path.join(tmp, "engine")
+    try:
+        disk = FileDisk(engine_dir, durability="wal")
+        planner = DualIndexPlanner.build(
+            workload.as_relation(tuples), slopes,
+            pager=Pager(disk=disk), dynamic=True,
+        )
+        sim = DiskSimulator()
+        sim_planner = DualIndexPlanner.build(
+            workload.as_relation(tuples), slopes,
+            pager=Pager(disk=sim), dynamic=True,
+        )
+        for q in queries:
+            planner.query(q)
+            sim_planner.query(q)
+        if disk.stats.__dict__ != sim.stats.__dict__:
+            findings.append(
+                {
+                    "kind": "accounting-drift",
+                    "file_backed": dict(disk.stats.__dict__),
+                    "simulator": dict(sim.stats.__dict__),
+                }
+            )
+        planner.save(engine_dir)
+        live = dict(
+            (tid, t) for tid, t in enumerate(tuples)
+            if tid not in planner.index.skipped
+        )
+        next_tid = len(tuples)
+        next_tid = _apply_ops(planner, live, data["committed"], next_tid)
+        planner.commit()
+        arm_crash(disk, crash)
+        doomed = dict(live)
+        fired = False
+        try:
+            _apply_ops(planner, doomed, data["crashed"], next_tid)
+            if crash.point == "checkpoint":
+                planner.save(engine_dir)
+            else:
+                planner.commit()
+        except FaultInjectedError:
+            fired = True
+        if not fired:
+            findings.append(
+                {"kind": "crash-not-injected", "crash": crash.to_json()}
+            )
+        # What must survive: a torn WAL append dies before its batch
+        # commits, so the doomed mutations roll back to the committed
+        # set. A mid-checkpoint crash dies *after* save()'s commit point
+        # (the catalog is written before the page fold), so the doomed
+        # mutations are durable and must all be there.
+        if fired and crash.point == "wal-append":
+            committed = sorted(live.items())
+        else:
+            committed = sorted(doomed.items())
+        disk.close()
+        if keep_crashed_dir is not None:
+            shutil.copytree(engine_dir, keep_crashed_dir,
+                            dirs_exist_ok=True)
+        recovered = open_planner(engine_dir)
+        try:
+            if recovered.index.size != len(committed):
+                findings.append(
+                    {
+                        "kind": "recovery-size-mismatch",
+                        "expected": len(committed),
+                        "got": recovered.index.size,
+                    }
+                )
+            for q in queries:
+                expected = evaluate_relation(
+                    committed, q.query_type, q.slope_2d, q.intercept,
+                    q.theta,
+                )
+                got = recovered.query(q).ids
+                if got != expected:
+                    findings.append(
+                        {
+                            "kind": "recovery-divergence",
+                            "query": query_to_json(q),
+                            "missing": sorted(expected - got),
+                            "extra": sorted(got - expected),
+                        }
+                    )
+            try:
+                check_dual_index(recovered.index)
+            except VerificationError as exc:
+                findings.append(
+                    {"kind": "recovery-invariant", "error": str(exc)}
+                )
+        finally:
+            recovered.index.pager.disk.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return findings
+
+
+def run_recovery_scenario(
+    seed: int = 0, out_dir: str = "fuzz-repros"
+) -> list[str]:
+    """The durability acceptance demo: crash once mid-WAL-append and once
+    mid-checkpoint, reopen each from disk, and require the differential
+    oracle to accept the recovered engine. Writes one replayable
+    kind-``recovery`` repro JSON per crash point plus a copy of each
+    crashed data directory (page file + torn WAL) as inspectable
+    artifacts; returns the repro paths. Raises on any finding.
+    """
+    paths: list[str] = []
+    for point, at in (("wal-append", 2), ("checkpoint", 1)):
+        rng = random.Random(f"recovery:{seed}:{point}")
+        case = make_recovery_case(
+            rng, DEFAULT_SLOPES, 10, 8, crash=CrashPoint(point, at)
+        )
+        artifact_dir = os.path.join(
+            out_dir, f"recovery-seed{seed}-{point}-data"
+        )
+        findings = run_recovery_case(case, keep_crashed_dir=artifact_dir)
+        if findings:
+            raise VerificationError(
+                f"recovery scenario ({point}) failed: {findings}"
+            )
+        paths.append(
+            write_repro(case, out_dir, f"recovery-seed{seed}-{point}")
+        )
+        get_registry().counter(
+            "fuzz_crashes_recovered",
+            "Injected crashes recovered by WAL replay",
+        ).inc()
+    return paths
+
+
+# ----------------------------------------------------------------------
 # minimisation
 # ----------------------------------------------------------------------
 def _minimize_list(items: list, still_fails: Callable[[list], bool]) -> list:
@@ -637,6 +873,36 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         round_no = report.rounds
         rng = random.Random(f"{config.seed}:{round_no}")
         registry.counter("fuzz_rounds", "Differential fuzz rounds run").inc()
+        if config.recovery_every and round_no % config.recovery_every == 0:
+            case = make_recovery_case(
+                rng, config.slopes, config.n_tuples,
+                config.queries_per_round,
+            )
+            findings = run_recovery_case(case)
+            if not any(
+                f["kind"] == "crash-not-injected" for f in findings
+            ):
+                report.crashes_recovered += 1
+                registry.counter(
+                    "fuzz_crashes_recovered",
+                    "Injected crashes recovered by WAL replay",
+                ).inc()
+            if findings:
+                report.disagreements.extend(findings)
+                registry.counter(
+                    "fuzz_disagreements",
+                    "Differential disagreements found",
+                ).inc(len(findings))
+                path = write_repro(
+                    {**case, "round": round_no, "findings": findings},
+                    config.out_dir,
+                    f"recovery-seed{config.seed}-round{round_no}",
+                )
+                report.repro_paths.append(path)
+                registry.counter(
+                    "fuzz_repros", "Minimised fuzz repro files written"
+                ).inc()
+            continue
         if config.fault_every and round_no % config.fault_every == 0:
             findings, faults = fault_round(rng, config.slopes)
             report.faults_injected += faults
@@ -735,6 +1001,8 @@ def replay_repro(path: str) -> list[dict]:
     """
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
+    if data["kind"] == "recovery":
+        return run_recovery_case(data)
     tuples = [tuple_from_json(td) for td in data["tuples"]]
     if data["kind"] == "fault":
         query = query_from_json(data["query"])

@@ -16,11 +16,52 @@ minimised repro pins the single fatal operation.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import FaultInjectedError
+from repro.errors import FaultInjectedError, StorageError
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskSimulator
+from repro.storage.filepager import FileDisk
 from repro.storage.pager import Pager
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A scheduled kill for the durable engine (recovery fuzz rounds).
+
+    ``point`` is ``"wal-append"`` (tear the ``at``-th WAL append from
+    arming, writing only ``torn_bytes`` of the frame — half if ``None``)
+    or ``"checkpoint"`` (raise after ``at`` checkpoint page writes,
+    always before the header flip). Both raise
+    :class:`~repro.errors.FaultInjectedError`; the process-death
+    simulation is completed by dropping the disk object and reopening
+    the directory.
+    """
+
+    point: str
+    at: int = 0
+    torn_bytes: int | None = None
+
+    def to_json(self) -> dict:
+        return {"point": self.point, "at": self.at,
+                "torn_bytes": self.torn_bytes}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CrashPoint":
+        return cls(data["point"], data["at"], data.get("torn_bytes"))
+
+
+def arm_crash(disk: FileDisk, crash: CrashPoint) -> None:
+    """Arm ``crash`` on a WAL-mode :class:`FileDisk`."""
+    if disk.wal is None:
+        raise StorageError("crash injection needs durability='wal'")
+    if crash.point == "wal-append":
+        disk.wal.fail_append_at = disk.wal.appends_seen + crash.at
+        disk.wal.torn_bytes = crash.torn_bytes
+    elif crash.point == "checkpoint":
+        disk.fail_checkpoint_after = crash.at
+    else:
+        raise StorageError(f"unknown crash point {crash.point!r}")
 
 
 class _DisarmScope:

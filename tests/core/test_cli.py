@@ -263,3 +263,69 @@ def test_bench_diff_subcommand_exit_codes(tmp_path, capsys):
         ["bench-diff", str(base), str(cur), "--threshold", "0.5"]
     ) == 0
     capsys.readouterr()
+
+
+def test_save_open_round_trip(tmp_path, capsys):
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(
+        "x >= 0 and x <= 2 and y >= 0 and y <= 2\n"
+        "x >= 5 and x <= 7 and y >= 5 and y <= 7\n"
+    )
+    data_dir = tmp_path / "engine"
+    assert main(
+        ["save", "--tuples", str(tuples), "--data-dir", str(data_dir),
+         "--slopes=-1,0,1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "saved planner engine (2 tuples)" in out
+
+    queries = tmp_path / "queries.txt"
+    queries.write_text("EXIST 0.0 4.0 GE\n")
+    assert main(
+        ["open", "--data-dir", str(data_dir), "--queries", str(queries)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "kind" in out and "planner" in out
+    assert "EXIST" in out  # query answers printed
+
+
+def test_save_open_sharded_json(tmp_path, capsys):
+    import json
+
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text(
+        "x >= 0 and x <= 1 and y >= 0 and y <= 1\n"
+        "x >= 2 and x <= 3 and y >= 2 and y <= 3\n"
+        "x >= 4 and x <= 5 and y >= 4 and y <= 5\n"
+    )
+    data_dir = tmp_path / "fleet"
+    assert main(
+        ["save", "--tuples", str(tuples), "--data-dir", str(data_dir),
+         "--shards", "2"]
+    ) == 0
+    capsys.readouterr()
+    assert main(["open", "--data-dir", str(data_dir), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "sharded"
+    assert doc["shards"] == 2
+    assert doc["size"] == 3
+
+
+def test_batch_from_data_dir(tmp_path, capsys):
+    tuples = tmp_path / "tuples.txt"
+    tuples.write_text("x >= 0 and x <= 2 and y >= 0 and y <= 2\n")
+    queries = tmp_path / "queries.txt"
+    queries.write_text("EXIST 0.0 4.0 GE\nALL 0.0 -4.0 LE\n")
+    data_dir = tmp_path / "engine"
+    assert main(
+        ["save", "--tuples", str(tuples), "--data-dir", str(data_dir)]
+    ) == 0
+    capsys.readouterr()
+    # no --tuples: the engine is opened from disk instead of rebuilt
+    assert main(
+        ["batch", "--data-dir", str(data_dir), "--queries", str(queries)]
+    ) == 0
+    assert "batch    : 2 queries" in capsys.readouterr().out
+
+    assert main(["batch", "--queries", str(queries)]) == 2
+    assert "--data-dir" in capsys.readouterr().err

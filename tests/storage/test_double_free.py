@@ -1,0 +1,71 @@
+"""Double-free rejection across every disk/pager implementation."""
+
+import pytest
+
+from repro.errors import DoubleFreeError, StorageError
+from repro.storage import DiskSimulator, FileDisk, Pager
+
+
+@pytest.fixture(params=["sim", "file-none", "file-wal"])
+def disk(request, tmp_path):
+    if request.param == "sim":
+        yield DiskSimulator(page_size=128)
+        return
+    durability = request.param.split("-")[1]
+    d = FileDisk(str(tmp_path / "d"), page_size=128, durability=durability)
+    yield d
+    d.close()
+
+
+def test_double_free_raises_typed_error(disk):
+    pid = disk.allocate()
+    disk.free(pid)
+    with pytest.raises(DoubleFreeError, match="already free"):
+        disk.free(pid)
+
+
+def test_double_free_is_a_storage_error(disk):
+    """Callers catching the generic class keep working."""
+    pid = disk.allocate()
+    disk.free(pid)
+    with pytest.raises(StorageError):
+        disk.free(pid)
+
+
+def test_never_allocated_free_stays_generic(disk):
+    with pytest.raises(StorageError) as exc:
+        disk.free(99)
+    assert not isinstance(exc.value, DoubleFreeError)
+
+
+def test_failed_free_leaves_stats_untouched(disk):
+    pid = disk.allocate()
+    disk.free(pid)
+    before = dict(disk.stats.__dict__)
+    with pytest.raises(DoubleFreeError):
+        disk.free(pid)
+    assert disk.stats.__dict__ == before
+
+
+def test_pager_free_rejected_before_counting(tmp_path):
+    """Pager.free asks the disk first: a rejected free leaves the
+    pager's own stats and cached frames untouched."""
+    for pager in (
+        Pager(page_size=128, buffer_frames=2),
+        Pager(page_size=128, buffer_frames=2,
+              disk=FileDisk(str(tmp_path / "d"), page_size=128)),
+    ):
+        pid = pager.allocate()
+        pager.free(pid)
+        frees_before = pager.stats.frees
+        with pytest.raises(DoubleFreeError):
+            pager.free(pid)
+        assert pager.stats.frees == frees_before
+
+
+def test_freed_page_is_reusable_after_rejection(disk):
+    pid = disk.allocate()
+    disk.free(pid)
+    with pytest.raises(DoubleFreeError):
+        disk.free(pid)
+    assert disk.allocate() == pid  # LIFO free list intact

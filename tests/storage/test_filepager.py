@@ -1,0 +1,181 @@
+"""FileDisk tests: DiskSimulator parity, persistence, crash recovery."""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import RecoveryError, StorageError
+from repro.storage import DiskSimulator, FileDisk, Pager
+from repro.storage.filepager import FREE_FILES, PAGE_FILE, _release
+
+
+def _random_ops(disk, sim, rng, n_ops):
+    """Drive both disks through the same random op stream."""
+    live = []
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not live:
+            a, b = disk.allocate(), sim.allocate()
+            assert a == b
+            live.append(a)
+        elif op < 0.65:
+            pid = live.pop(rng.randrange(len(live)))
+            disk.free(pid)
+            sim.free(pid)
+        elif op < 0.85:
+            pid = rng.choice(live)
+            image = bytes([rng.randrange(256)]) * disk.page_size
+            disk.write_page(pid, image)
+            sim.write_page(pid, image)
+        else:
+            pid = rng.choice(live)
+            assert disk.read_page(pid) == sim.read_page(pid)
+    return live
+
+
+@pytest.mark.parametrize("durability", ["none", "wal"])
+def test_parity_with_simulator(tmp_path, durability):
+    """Same op stream → identical page ids, images, and stats."""
+    disk = FileDisk(str(tmp_path / "d"), page_size=256, durability=durability)
+    sim = DiskSimulator(page_size=256)
+    rng = random.Random(11)
+    live = _random_ops(disk, sim, rng, 300)
+    for pid in live:
+        assert disk.read_page(pid) == sim.read_page(pid)
+    # read comparisons above count on both sides, so stats stay equal
+    assert disk.stats.__dict__ == sim.stats.__dict__
+    disk.close()
+
+
+@pytest.mark.parametrize("durability", ["none", "wal"])
+def test_reopen_preserves_pages_and_allocation_order(tmp_path, durability):
+    """A reopened disk serves the same images and allocates the same
+    future page ids (LIFO free list survives the restart)."""
+    path = str(tmp_path / "d")
+    disk = FileDisk(path, page_size=128, durability=durability)
+    pids = [disk.allocate() for _ in range(6)]
+    for n, pid in enumerate(pids):
+        disk.write_page(pid, bytes([n + 1]) * 128)
+    for pid in (pids[4], pids[1], pids[3]):
+        disk.free(pid)
+    if durability == "wal":
+        disk.commit()
+    disk.close()
+
+    sim = DiskSimulator(page_size=128)
+    for _ in range(6):
+        sim.allocate()
+    for pid in (pids[4], pids[1], pids[3]):
+        sim.free(pid)
+
+    reopened = FileDisk(path, page_size=128, durability=durability)
+    for n, pid in enumerate(pids):
+        if pid in (pids[4], pids[1], pids[3]):
+            continue
+        assert reopened.read_page(pid) == bytes([n + 1]) * 128
+    # allocation order after restart matches the in-memory simulator
+    assert [reopened.allocate() for _ in range(4)] == \
+        [sim.allocate() for _ in range(4)]
+    reopened.close()
+
+
+def test_freelist_files_ping_pong(tmp_path):
+    """Each durability point flips the free-list slot by generation."""
+    path = str(tmp_path / "d")
+    disk = FileDisk(path, page_size=128, durability="none")
+    disk.allocate()
+    disk.commit()
+    gen0 = disk._generation
+    disk.commit()
+    assert disk._generation == gen0 + 1
+    disk.close()
+    names = sorted(os.listdir(path))
+    assert PAGE_FILE in names
+    assert all(f in names for f in FREE_FILES)
+
+
+def test_wal_mode_defers_data_file_until_checkpoint(tmp_path):
+    """WAL mode never writes the data file before a checkpoint folds
+    the overlay in; a crash before commit rolls back cleanly."""
+    path = str(tmp_path / "d")
+    disk = FileDisk(path, page_size=128, durability="wal")
+    pid = disk.allocate()
+    disk.write_page(pid, b"\x7f" * 128)
+    size_before = os.stat(os.path.join(path, PAGE_FILE)).st_size
+    disk.commit()
+    assert os.stat(os.path.join(path, PAGE_FILE)).st_size == size_before
+    disk.checkpoint()
+    assert os.stat(os.path.join(path, PAGE_FILE)).st_size > size_before
+    assert disk.read_page(pid) == b"\x7f" * 128
+    disk.close()
+
+
+def test_uncommitted_wal_writes_roll_back(tmp_path):
+    path = str(tmp_path / "d")
+    disk = FileDisk(path, page_size=128, durability="wal")
+    pid = disk.allocate()
+    disk.write_page(pid, b"\x01" * 128)
+    disk.commit()
+    disk.write_page(pid, b"\x02" * 128)  # never committed
+    _release(disk._h, disk.wal)  # simulate a crash: no close(), no commit
+
+    reopened = FileDisk(path, page_size=128, durability="wal")
+    assert reopened.read_page(pid) == b"\x01" * 128
+    reopened.close()
+
+
+def test_page_size_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "d")
+    FileDisk(path, page_size=128, durability="none").close()
+    with pytest.raises(StorageError, match="page.size"):
+        FileDisk(path, page_size=256, durability="none")
+
+
+def test_corrupt_both_headers_raises_recovery_error(tmp_path):
+    path = str(tmp_path / "d")
+    disk = FileDisk(path, page_size=128, durability="none")
+    disk.allocate()
+    disk.close()
+    with open(os.path.join(path, PAGE_FILE), "r+b") as fh:
+        fh.write(b"\xff" * 128)  # both 64-byte header slots
+    with pytest.raises(RecoveryError):
+        FileDisk(path, page_size=128, durability="none")
+
+
+def test_ephemeral_cleanup(tmp_path):
+    disk = FileDisk.ephemeral(str(tmp_path), page_size=128)
+    path = disk.data_dir
+    pid = disk.allocate()
+    disk.write_page(pid, b"\x05" * 128)
+    assert disk.read_page(pid) == b"\x05" * 128
+    disk.close()
+    disk._finalizer()  # what garbage collection runs
+    assert not os.path.exists(path)
+
+
+def test_repro_data_dir_gates_default_disk(tmp_path, monkeypatch):
+    from repro.storage.pager import _default_disk
+
+    monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+    assert isinstance(_default_disk(1024), DiskSimulator)
+    monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+    disk = _default_disk(1024)
+    assert isinstance(disk, FileDisk)
+    disk.close()
+
+
+def test_pager_over_filedisk_counts_like_simulator(tmp_path):
+    """Pager logical/physical accounting is disk-implementation blind."""
+    fd = FileDisk(str(tmp_path / "d"), page_size=256, durability="wal")
+    file_pager = Pager(page_size=256, buffer_frames=4, disk=fd)
+    sim_pager = Pager(page_size=256, buffer_frames=4)
+    for pager in (file_pager, sim_pager):
+        pids = [pager.allocate() for _ in range(8)]
+        for n, pid in enumerate(pids):
+            pager.write(pid, bytes([n]) * 256)
+        for pid in pids:
+            pager.read(pid)
+        pager.flush()
+    assert file_pager.stats.__dict__ == sim_pager.stats.__dict__
+    fd.close()

@@ -1,0 +1,76 @@
+"""Typed errors on torn/short serialized buffers (crash debris)."""
+
+import pytest
+
+from repro.constraints.linear import LinearConstraint
+from repro.constraints.tuples import GeneralizedTuple
+from repro.errors import StorageError, TruncatedRecordError
+from repro.storage.serialize import (
+    KeyCodec,
+    decode_tuple,
+    encode_tuple,
+    tuple_record_size,
+)
+
+
+def _tuple():
+    return GeneralizedTuple([
+        LinearConstraint((1.0, 0.0), 2.0, "<="),
+        LinearConstraint((0.0, 1.0), 3.0, "<="),
+        LinearConstraint((-1.0, -1.0), 0.0, "<="),
+    ])
+
+
+@pytest.mark.parametrize("key_bytes", [4, 8])
+def test_key_decode_rejects_wrong_width(key_bytes):
+    codec = KeyCodec(key_bytes)
+    good = codec.encode(1.5)
+    assert codec.decode(good) == 1.5
+    with pytest.raises(TruncatedRecordError, match="key buffer"):
+        codec.decode(good[:-1])
+    with pytest.raises(TruncatedRecordError):
+        codec.decode(good + b"\x00")
+
+
+def test_decode_keys_rejects_short_buffer():
+    codec = KeyCodec(4)
+    data = codec.encode_keys([1.0, 2.0, 3.0])
+    assert codec.decode_keys(data, 3) == [1.0, 2.0, 3.0]
+    with pytest.raises(TruncatedRecordError, match="cannot hold"):
+        codec.decode_keys(data, 4)
+    with pytest.raises(TruncatedRecordError):
+        codec.decode_keys(data[:-1], 3)
+    with pytest.raises(TruncatedRecordError, match="cannot hold"):
+        codec.decode_keys(data, 3, offset=4)
+
+
+def test_decode_keys_rejects_negative_range():
+    codec = KeyCodec(8)
+    with pytest.raises(TruncatedRecordError, match="invalid key range"):
+        codec.decode_keys(b"", -1)
+    with pytest.raises(TruncatedRecordError, match="invalid key range"):
+        codec.decode_keys(b"", 0, offset=-8)
+
+
+def test_tuple_roundtrip_and_torn_buffers():
+    record = encode_tuple(42, _tuple())
+    assert len(record) == tuple_record_size(2, 3)
+    tid, decoded = decode_tuple(record)
+    assert tid == 42
+    assert len(decoded.constraints) == 3
+
+    # shorter than the 6-byte header
+    with pytest.raises(TruncatedRecordError, match="shorter than its header"):
+        decode_tuple(record[:5])
+    # header intact but body torn — every prefix length must raise
+    for cut in range(6, len(record)):
+        with pytest.raises(TruncatedRecordError, match="header promises"):
+            decode_tuple(record[:cut])
+
+
+def test_unknown_theta_is_bit_rot_not_tearing():
+    record = bytearray(encode_tuple(7, _tuple()))
+    record[-1] = 0xEE  # last byte is the final atom's theta code
+    with pytest.raises(StorageError, match="unknown theta") as exc:
+        decode_tuple(bytes(record))
+    assert not isinstance(exc.value, TruncatedRecordError)
