@@ -1,0 +1,132 @@
+"""End-to-end serving benchmark (``BENCH_serve.json``).
+
+The full production path under one roof: build the fig9-medium engine,
+save it to a temporary durable data directory, reopen it through
+:func:`~repro.storage.checkpoint.open_engine` inside a real
+:class:`~repro.serve.testing.ServerThread` (actual sockets, framing,
+coalescing, the single engine thread), then drive it with the
+closed-loop :mod:`~repro.serve.loadgen` and report QPS + latency.
+
+Guard rails before any number is reported:
+
+* **answers correct** — a sample of queries answered over the wire must
+  match the local planner bit-for-bit (a fast server returning wrong
+  ids is not a benchmark);
+* **p99 budget** — closed-loop p99 must stay under ``--p99-budget-ms``
+  (default 250 ms; generous on purpose — it catches pathologies like a
+  stuck coalescer deadline, not CI jitter).
+
+The ``counters`` section feeds ``repro bench-diff --mode floor``
+against ``benchmarks/baselines/serve.json``: ``serve_qps_closed`` is
+the pinned floor, ``serve_p99_ms`` rides along informationally (it is
+also a counter, but the floor gate only fails on *drops*, and latency
+regressions push it *up* — the hard latency gate is the in-process
+budget above).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+
+from repro.bench.harness import dual_planner, queries_for
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread
+from repro.storage.checkpoint import save_planner
+
+FIG9_N = 2000
+FIG9_SIZE = "medium"
+FIG9_K = 3
+
+DEFAULT_OUT = "BENCH_serve.json"
+
+
+def bench_queries() -> list:
+    """The loadgen mix: EXIST + ALL, selectivity-calibrated interior
+    slopes (the same generator the explain workload uses)."""
+    return (
+        queries_for(FIG9_N, FIG9_SIZE, "EXIST", FIG9_K, count=8)
+        + queries_for(FIG9_N, FIG9_SIZE, "ALL", FIG9_K, count=8)
+    )
+
+
+def run(requests: int, concurrency: int, p99_budget_ms: float) -> dict:
+    """Build → save → serve → verify → measure. Returns the artifact."""
+    planner = dual_planner(FIG9_N, FIG9_SIZE, FIG9_K)
+    queries = bench_queries()
+    expected = [r.ids for r in planner.query_batch(queries).results]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        data_dir = f"{tmp}/engine"
+        save_planner(planner, data_dir)
+        config = ServeConfig(data_dir=data_dir, port=0)
+        with ServerThread(config=config) as server:
+            client = server.client()
+            try:
+                served = [client.query_ids(q) for q in queries]
+            finally:
+                client.close()
+            mismatches = sum(
+                1 for mine, theirs in zip(expected, served)
+                if mine != theirs)
+            report = asyncio.run(run_loadgen(
+                "127.0.0.1", server.port, queries,
+                mode="closed", requests=requests,
+                concurrency=concurrency,
+                warmup=min(200, requests),
+            ))
+    return {
+        "note": (
+            "closed-loop loadgen against a served fig9-medium engine "
+            f"({concurrency} connections, {requests} requests)"),
+        "mismatched_answers": mismatches,
+        "report": report,
+        "p99_budget_ms": p99_budget_ms,
+        "counters": {
+            "serve_qps_closed": report["qps"],
+            "serve_p99_ms": report["latency_ms"]["p99"],
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--p99-budget-ms", type=float, default=250.0)
+    args = parser.parse_args(argv)
+
+    artifact = run(args.requests, args.concurrency, args.p99_budget_ms)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report = artifact["report"]
+    print(
+        f"serve-bench: {report['qps']:.0f} QPS closed-loop, "
+        f"p50 {report['latency_ms']['p50']:.2f} ms, "
+        f"p99 {report['latency_ms']['p99']:.2f} ms, "
+        f"{report['overloaded']} overloaded, "
+        f"{report['errors']} errors -> {args.out}")
+    if artifact["mismatched_answers"]:
+        print(
+            f"FAIL: {artifact['mismatched_answers']} served answers "
+            "diverged from the local engine", file=sys.stderr)
+        return 1
+    if report["errors"]:
+        print(f"FAIL: {report['errors']} request errors", file=sys.stderr)
+        return 1
+    p99 = report["latency_ms"]["p99"]
+    if p99 > args.p99_budget_ms:
+        print(
+            f"FAIL: closed-loop p99 {p99:.1f} ms exceeds the "
+            f"{args.p99_budget_ms:.0f} ms budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -534,6 +534,131 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the summary (and any answers) as JSON",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a saved engine over the length-prefixed JSON protocol",
+        description=(
+            "Run the asyncio query server over an engine directory "
+            "written by `repro save`: concurrent queries coalesce into "
+            "batch-executor calls, a bounded queue answers OVERLOADED "
+            "past capacity, SIGHUP reloads the index with draining, and "
+            "the WAL auto-checkpoints past a size threshold. Protocol "
+            "spec and semantics: docs/SERVING.md."
+        ),
+    )
+    serve.add_argument(
+        "--data-dir", required=True,
+        help="durable engine directory to serve",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7399,
+        help="query port (0 binds an ephemeral port; default 7399)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="HTTP sidecar port for GET /metrics (Prometheus text) "
+             "and /healthz; off unless given",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="coalesce at most N queries per executor batch (default 64)",
+    )
+    serve.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="hold a query at most S seconds awaiting batch-mates "
+             "(default 0.002)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help="in-flight requests beyond this get OVERLOADED (default 256)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=5.0,
+        help="drop a connection whose partial frame stalls S seconds",
+    )
+    serve.add_argument(
+        "--wal-checkpoint-mb", type=float, default=4.0,
+        help="auto-checkpoint when the WAL exceeds this many MiB "
+             "(default 4)",
+    )
+    serve.add_argument(
+        "--events-out", default=None,
+        help="write the event ring as JSONL on shutdown (trace artifact)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running server and report QPS + latency as JSON",
+        description=(
+            "Closed-loop (default): N connections each wait for their "
+            "answer before the next query — the model CI pins. "
+            "Open-loop: fire at a fixed --rate regardless of "
+            "completions, which is what pushes the server into "
+            "OVERLOADED backpressure."
+        ),
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed")
+    loadgen.add_argument(
+        "--requests", type=int, default=1000,
+        help="total requests to issue (default 1000)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop connections / open-loop pool size (default 8)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=1000.0,
+        help="open-loop arrival rate in requests/s (default 1000)",
+    )
+    loadgen.add_argument(
+        "--warmup", type=int, default=0,
+        help="unmeasured warmup requests before the clock starts",
+    )
+    loadgen.add_argument(
+        "--queries", default=None,
+        help="query file (`ALL|EXIST <slope> <intercept> <GE|LE>` per "
+             "line); default: the fig9-medium workload's query mix",
+    )
+    loadgen.add_argument(
+        "--workload", choices=sorted(_EXPLAIN_WORKLOADS),
+        default="fig9-medium",
+        help="built-in query mix when --queries is absent",
+    )
+    loadgen.add_argument(
+        "--out", default=None,
+        help="also write the JSON report to this path",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="end-to-end serve benchmark: build, save, serve, loadgen",
+        description=(
+            "Build the fig9-medium engine, save it to a temporary data "
+            "directory, stand up an in-process server, run a "
+            "closed-loop loadgen against it, and emit BENCH_serve.json "
+            "(gated in CI via `repro bench-diff --mode floor` against "
+            "benchmarks/baselines/serve.json)."
+        ),
+    )
+    serve_bench.add_argument(
+        "--out", default=None, help="write the metrics JSON here")
+    serve_bench.add_argument(
+        "--requests", type=int, default=2000,
+        help="measured closed-loop requests (default 2000)",
+    )
+    serve_bench.add_argument(
+        "--concurrency", type=int, default=16,
+        help="closed-loop connections (default 16)",
+    )
+    serve_bench.add_argument(
+        "--p99-budget-ms", type=float, default=250.0,
+        help="fail if closed-loop p99 exceeds this (default 250 ms)",
+    )
     return parser
 
 
@@ -580,6 +705,19 @@ def main(argv: list[str] | None = None) -> int:
         return _save(args)
     if args.command == "open":
         return _open(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
+    if args.command == "serve-bench":
+        from repro.bench import serve_bench
+
+        return serve_bench.main(
+            ["--requests", str(args.requests),
+             "--concurrency", str(args.concurrency),
+             "--p99-budget-ms", str(args.p99_budget_ms)]
+            + (["--out", args.out] if args.out else [])
+        )
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -1163,6 +1301,60 @@ def _vector_bench(args) -> int:
     if args.repeats is not None:
         argv += ["--repeats", str(args.repeats)]
     return vector_bench.main(argv)
+
+
+def _serve(args) -> int:  # pragma: no cover - run-forever loop (CI leg)
+    import asyncio
+
+    from repro.serve.server import ServeConfig, serve_until_interrupted
+
+    config = ServeConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        max_queue_depth=args.max_queue_depth,
+        read_timeout=args.read_timeout,
+        wal_checkpoint_bytes=int(args.wal_checkpoint_mb * (1 << 20)),
+    )
+    asyncio.run(serve_until_interrupted(config, events_out=args.events_out))
+    return 0
+
+
+def _loadgen_queries(args):
+    if args.queries:
+        return _parse_query_file(args.queries)
+    from repro.bench.harness import queries_for
+
+    n, size, k = _EXPLAIN_WORKLOADS[args.workload]
+    return (queries_for(n, size, "EXIST", k, count=8)
+            + queries_for(n, size, "ALL", k, count=8))
+
+
+def _loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import run_loadgen
+
+    report = asyncio.run(run_loadgen(
+        args.host,
+        args.port,
+        _loadgen_queries(args),
+        mode=args.mode,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        warmup=args.warmup,
+    ))
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if report["errors"] == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -83,6 +83,34 @@ class VerificationError(ReproError):
     (``repro.verify``)."""
 
 
+class ServeError(ReproError):
+    """Errors from the query service layer (``repro.serve``)."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violated the length-prefixed JSON protocol (bad
+    magic, malformed payload, or an ill-typed request envelope)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame header announced a payload above the configured limit.
+
+    Raised *before* reading the payload, so a hostile or buggy client
+    cannot make the server buffer unbounded input.
+    """
+
+
+class TruncatedFrameError(ProtocolError):
+    """The connection ended mid-frame — the serving-layer analogue of
+    :class:`TruncatedRecordError` for torn network reads."""
+
+
+class OverloadedError(ServeError):
+    """Admission control rejected a request because the server's bounded
+    queue was full. Clients receive this as a typed ``OVERLOADED`` error
+    frame and are expected to back off and retry."""
+
+
 class IndexError_(ReproError):
     """Errors from index structures (B+-tree, R+-tree, dual index).
 

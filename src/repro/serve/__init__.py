@@ -1,0 +1,39 @@
+"""Query service layer: asyncio front door over a shared engine.
+
+``repro serve`` exposes a built engine (planner or sharded, opened from
+a ``--data-dir``) over a length-prefixed JSON protocol. Concurrent
+in-flight queries are coalesced into single
+:meth:`~repro.exec.executor.BatchExecutor.query_batch` calls, admission
+control bounds the queue with typed OVERLOADED backpressure, SIGHUP
+reloads the index with connection draining, and a WAL size threshold
+triggers automatic checkpoints. ``repro loadgen`` is the matching
+closed/open-loop load client. Framing spec and operational semantics
+live in ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import ReproClient, SyncReproClient
+from repro.serve.coalesce import BatchBuffer, Coalescer
+from repro.serve.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    decode_frames,
+    encode_frame,
+    query_from_request,
+    query_to_request,
+)
+from repro.serve.server import ReproServer, ServeConfig
+
+__all__ = [
+    "BatchBuffer",
+    "Coalescer",
+    "FrameDecoder",
+    "MAX_FRAME",
+    "ReproClient",
+    "ReproServer",
+    "ServeConfig",
+    "SyncReproClient",
+    "decode_frames",
+    "encode_frame",
+    "query_from_request",
+    "query_to_request",
+]

@@ -1,0 +1,180 @@
+"""Clients for the serve protocol.
+
+:class:`ReproClient` is the asyncio client ``repro loadgen`` and the
+server tests use: it pipelines — requests carry client-assigned ids and
+a background reader task resolves each response to its waiter, so many
+requests can be in flight on one connection (that is what gives the
+server something to coalesce). :class:`SyncReproClient` is a plain
+blocking-socket client for synchronous callers (the differential
+fuzzer's served engine, quick scripting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from repro.core.query import HalfPlaneQuery
+from repro.errors import OverloadedError, ProtocolError, ServeError
+from repro.serve.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+    query_to_request,
+)
+
+
+def raise_for_error(response: dict) -> dict:
+    """Return ``response`` if ok; raise the typed error it carries."""
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    code = error.get("code", "INTERNAL")
+    message = f"{code}: {error.get('message', 'unknown server error')}"
+    if code == "OVERLOADED":
+        raise OverloadedError(message)
+    raise ServeError(message)
+
+
+class ReproClient:
+    """Pipelined asyncio client.
+
+    ::
+
+        client = await ReproClient.connect("127.0.0.1", port)
+        response = await client.query(HalfPlaneQuery("EXIST", 1, 0, ">="))
+        await client.close()
+
+    Concurrent ``request`` calls interleave on the wire; the reader task
+    matches responses back by id.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame)
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="repro-client-reader")
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, max_frame: int = MAX_FRAME,
+    ) -> "ReproClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame)
+
+    async def _read_loop(self) -> None:
+        error: BaseException | None = None
+        try:
+            while True:
+                chunk = await self._reader.read(65536)
+                if not chunk:
+                    self._decoder.finish()  # raises if torn mid-frame
+                    break
+                for response in self._decoder.feed(chunk):
+                    waiter = self._waiters.pop(response.get("id"), None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(response)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            error = exc
+        finally:
+            if error is None:
+                error = ConnectionError("server closed the connection")
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(error)
+            self._waiters.clear()
+
+    async def request(self, envelope: dict) -> dict:
+        """Send one request (id assigned here); await its response."""
+        rid = next(self._ids)
+        envelope = dict(envelope, id=rid)
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = future
+        frame = encode_frame(envelope, self._max_frame)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+        return await future
+
+    async def query(self, query: HalfPlaneQuery) -> dict:
+        """Run one half-plane query; raises on typed server errors."""
+        return raise_for_error(
+            await self.request(query_to_request(query, rid=0)))
+
+    async def query_ids(self, query: HalfPlaneQuery) -> set[int]:
+        """Just the answer set of one query."""
+        return set((await self.query(query))["ids"])
+
+    async def ping(self) -> dict:
+        return raise_for_error(await self.request({"op": "ping"}))
+
+    async def stats(self) -> dict:
+        return raise_for_error(await self.request({"op": "stats"}))
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, ProtocolError, ConnectionError):
+            pass
+
+
+class SyncReproClient:
+    """Blocking-socket client: one request in flight at a time.
+
+    The differential fuzzer routes its served-engine queries through
+    this — a deliberately boring, separate implementation, so a bug in
+    the async plumbing cannot hide in both directions of the check.
+    """
+
+    def __init__(self, host: str, port: int,
+                 max_frame: int = MAX_FRAME, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder(max_frame)
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+
+    def request(self, envelope: dict) -> dict:
+        rid = next(self._ids)
+        self._sock.sendall(
+            encode_frame(dict(envelope, id=rid), self._max_frame))
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self._decoder.finish()
+                raise ConnectionError("server closed the connection")
+            for response in self._decoder.feed(chunk):
+                if response.get("id") == rid:
+                    return response
+        # unreachable: matching response returns above
+
+    def query(self, query: HalfPlaneQuery) -> dict:
+        return raise_for_error(self.request(query_to_request(query, rid=0)))
+
+    def query_ids(self, query: HalfPlaneQuery) -> set[int]:
+        return set(self.query(query)["ids"])
+
+    def ping(self) -> dict:
+        return raise_for_error(self.request({"op": "ping"}))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,183 @@
+"""Load generator for the serve layer (``repro loadgen``).
+
+Two standard load models:
+
+- **closed loop** — ``concurrency`` connections, each issuing its next
+  query only after the previous answer arrives. Throughput is
+  latency-bound; this is the model CI pins (`BENCH_serve.json`).
+- **open loop** — queries fired at a fixed ``rate`` regardless of
+  completions, over a pipelined connection pool. This is the model
+  that actually exercises admission control: when the server can't
+  keep up, the generator does not slow down, and OVERLOADED responses
+  (counted, not failed) are the expected outcome.
+
+The report is plain JSON: request counts, elapsed wall time, QPS, and
+p50/p90/p99 latency — the shape ``repro bench-diff --mode floor``
+gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Sequence
+
+from repro.core.query import HalfPlaneQuery
+from repro.serve.client import ReproClient
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize(latencies_s: list[float]) -> dict:
+    """Latency summary in milliseconds (p50/p90/p99/mean/max)."""
+    ordered = sorted(latencies_s)
+    count = len(ordered)
+    return {
+        "p50": _percentile(ordered, 0.50) * 1e3,
+        "p90": _percentile(ordered, 0.90) * 1e3,
+        "p99": _percentile(ordered, 0.99) * 1e3,
+        "mean": (sum(ordered) / count if count else 0.0) * 1e3,
+        "max": (ordered[-1] if ordered else 0.0) * 1e3,
+    }
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    queries: Sequence[HalfPlaneQuery],
+    mode: str = "closed",
+    requests: int = 1000,
+    concurrency: int = 8,
+    rate: float = 1000.0,
+    warmup: int = 0,
+) -> dict:
+    """Drive a server and measure it; returns the report dict.
+
+    ``queries`` are issued round-robin. ``warmup`` requests are run
+    (closed-loop, excluded from the measurement) first, so caches and
+    code paths are hot before the clock starts.
+    """
+    if not queries:
+        raise ValueError("loadgen needs at least one query")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if warmup:
+        await _closed_loop(host, port, queries, warmup,
+                           min(concurrency, warmup))
+    started = time.monotonic()
+    if mode == "closed":
+        latencies, errors, overloaded = await _closed_loop(
+            host, port, queries, requests, concurrency)
+    else:
+        latencies, errors, overloaded = await _open_loop(
+            host, port, queries, requests, rate, concurrency)
+    elapsed = time.monotonic() - started
+    completed = len(latencies)
+    return {
+        "mode": mode,
+        "requests": requests,
+        "completed": completed,
+        "errors": errors,
+        "overloaded": overloaded,
+        "concurrency": concurrency,
+        "elapsed_s": elapsed,
+        "qps": completed / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": summarize(latencies),
+    }
+
+
+async def _closed_loop(host, port, queries, requests, concurrency):
+    latencies: list[float] = []
+    errors = 0
+    overloaded = 0
+    remaining = iter(range(requests))
+    lock = asyncio.Lock()
+
+    async def worker(worker_index: int) -> None:
+        nonlocal errors, overloaded
+        client = await ReproClient.connect(host, port)
+        try:
+            while True:
+                async with lock:
+                    try:
+                        n = next(remaining)
+                    except StopIteration:
+                        return
+                query = queries[n % len(queries)]
+                begin = time.monotonic()
+                response = await client.request(
+                    _envelope(query))
+                took = time.monotonic() - begin
+                if response.get("ok"):
+                    latencies.append(took)
+                elif _code(response) == "OVERLOADED":
+                    overloaded += 1
+                else:
+                    errors += 1
+        finally:
+            await client.close()
+
+    await asyncio.gather(
+        *(worker(i) for i in range(max(1, concurrency))))
+    return latencies, errors, overloaded
+
+
+async def _open_loop(host, port, queries, requests, rate, connections):
+    """Fixed arrival rate over a pool of pipelined connections."""
+    if rate <= 0:
+        raise ValueError(f"open-loop rate must be positive, got {rate}")
+    clients = [
+        await ReproClient.connect(host, port)
+        for _ in range(max(1, connections))
+    ]
+    latencies: list[float] = []
+    errors = 0
+    overloaded = 0
+
+    async def fire(n: int) -> None:
+        nonlocal errors, overloaded
+        query = queries[n % len(queries)]
+        begin = time.monotonic()
+        try:
+            response = await clients[n % len(clients)].request(
+                _envelope(query))
+        except (ConnectionError, OSError):
+            errors += 1
+            return
+        took = time.monotonic() - begin
+        if response.get("ok"):
+            latencies.append(took)
+        elif _code(response) == "OVERLOADED":
+            overloaded += 1
+        else:
+            errors += 1
+
+    interval = 1.0 / rate
+    epoch = time.monotonic()
+    tasks = []
+    for n in range(requests):
+        target = epoch + n * interval
+        delay = target - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.get_running_loop().create_task(fire(n)))
+    await asyncio.gather(*tasks)
+    for client in clients:
+        await client.close()
+    return latencies, errors, overloaded
+
+
+def _envelope(query: HalfPlaneQuery) -> dict:
+    from repro.serve.protocol import query_to_request
+
+    return query_to_request(query, rid=0)
+
+
+def _code(response: dict) -> str:
+    return (response.get("error") or {}).get("code", "")

@@ -1,0 +1,262 @@
+"""Wire protocol: length-prefixed JSON frames.
+
+One frame is an 8-byte big-endian header followed by a UTF-8 JSON
+object::
+
+    b"RSV1" | u32 payload_length | payload (UTF-8 JSON object)
+
+The magic makes garbage prefixes (an HTTP request, a stray telnet
+session) fail fast with a typed :class:`~repro.errors.ProtocolError`
+instead of being misread as an absurd length. The length is checked
+against a hard cap *before* the payload is read, so an adversarial
+header cannot make either side buffer unbounded input
+(:class:`~repro.errors.FrameTooLargeError`). A connection that ends
+mid-frame raises :class:`~repro.errors.TruncatedFrameError` — the
+serving-layer analogue of the storage layer's ``TruncatedRecordError``.
+
+Requests and responses are JSON objects. Every request carries a
+client-chosen ``id`` echoed verbatim in the matching response, so
+clients may pipeline: responses to independent requests can interleave
+in any order. Request envelope::
+
+    {"id": 7, "op": "query", "type": "EXIST", "slope": 0.5,
+     "intercept": 2.0, "theta": ">="}
+
+Other ops: ``ping``, ``stats``, ``insert``, ``delete``, ``commit``,
+``reload``, ``shutdown``. Responses are ``{"id", "ok": true, ...}`` or
+``{"id", "ok": false, "error": {"code", "message"}}`` with codes
+``BAD_REQUEST | OVERLOADED | UNSUPPORTED | SHUTTING_DOWN | INTERNAL``.
+
+Example::
+
+    >>> frame = encode_frame({"id": 1, "op": "ping"})
+    >>> frame[:4], len(frame)
+    (b'RSV1', 28)
+    >>> decode_frames(frame)
+    [{'id': 1, 'op': 'ping'}]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Iterator
+
+from repro.core.query import ALL, EXIST, HalfPlaneQuery
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    QueryError,
+    TruncatedFrameError,
+)
+
+#: Frame magic: "RSV" for serve, "1" the protocol version.
+MAGIC = b"RSV1"
+_HEADER = struct.Struct(">4sI")
+HEADER_SIZE = _HEADER.size
+
+#: Default cap on one frame's JSON payload (1 MiB). Generous for any
+#: legitimate request or answer page, tiny next to a memory bomb.
+MAX_FRAME = 1 << 20
+
+#: Error codes a response envelope may carry.
+ERROR_CODES = (
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "UNSUPPORTED",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+)
+
+#: Request operations the server understands.
+OPS = (
+    "query", "ping", "stats", "insert", "delete",
+    "commit", "reload", "shutdown",
+)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(obj: dict, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize one JSON object into a framed byte string."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameTooLargeError(
+            f"frame payload {len(payload)} bytes exceeds cap {max_frame}")
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+class FrameDecoder:
+    """Incremental decoder for a stream of frames.
+
+    Feed it whatever chunks the transport delivers; it yields complete
+    objects as they materialize and keeps partial bytes buffered. Call
+    :meth:`finish` at EOF — leftover bytes mean the peer died mid-frame.
+
+    >>> dec = FrameDecoder()
+    >>> frame = encode_frame({"id": 2, "op": "ping"})
+    >>> dec.feed(frame[:5])   # torn mid-header: nothing yet
+    []
+    >>> dec.feed(frame[5:])
+    [{'id': 2, 'op': 'ping'}]
+    >>> dec.finish()          # clean EOF on a frame boundary
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return the frames it completed (maybe [])."""
+        self._buf += data
+        out: list[dict] = []
+        while True:
+            # Check the magic as soon as 4 bytes exist: garbage (an
+            # HTTP request, line noise) fails before any length is
+            # trusted and before the rest of a "header" is awaited.
+            if len(self._buf) >= len(MAGIC) and \
+                    self._buf[:len(MAGIC)] != MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {bytes(self._buf[:len(MAGIC)])!r}, "
+                    f"expected {MAGIC!r}")
+            if len(self._buf) < HEADER_SIZE:
+                break
+            _magic, length = _HEADER.unpack_from(self._buf)
+            if length > self.max_frame:
+                raise FrameTooLargeError(
+                    f"frame header announces {length} bytes, cap is "
+                    f"{self.max_frame}")
+            if len(self._buf) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buf[:HEADER_SIZE + length]
+            out.append(_decode_payload(payload))
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buf)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buf:
+            raise TruncatedFrameError(
+                f"stream ended mid-frame with {len(self._buf)} buffered "
+                "bytes")
+
+
+def decode_frames(data: bytes) -> list[dict]:
+    """Decode a complete byte string into its frames (testing helper)."""
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    decoder.finish()
+    return frames
+
+
+def iter_frames(data: bytes) -> Iterator[dict]:
+    """Iterate frames in ``data`` (complete buffer)."""
+    yield from decode_frames(data)
+
+
+# ----------------------------------------------------------------------
+# request envelope
+# ----------------------------------------------------------------------
+def _finite(value: object, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"request field {field!r} must be a number")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(f"request field {field!r} must be finite")
+    return value
+
+
+def validate_request(obj: dict) -> dict:
+    """Check a decoded request envelope; returns it unchanged.
+
+    Raises :class:`~repro.errors.ProtocolError` naming the first bad
+    field, so the server can answer with a BAD_REQUEST frame that tells
+    the client what to fix.
+    """
+    rid = obj.get("id")
+    if not isinstance(rid, int) or isinstance(rid, bool) or rid < 0:
+        raise ProtocolError("request 'id' must be a non-negative integer")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+    if op == "query":
+        query_from_request(obj)
+    elif op in ("insert", "delete"):
+        tid = obj.get("tid")
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            raise ProtocolError(f"{op} request 'tid' must be an integer")
+        if op == "insert" and not isinstance(obj.get("tuple"), list):
+            raise ProtocolError(
+                "insert request 'tuple' must be a list of constraint "
+                "triples")
+    return obj
+
+
+def query_from_request(obj: dict) -> HalfPlaneQuery:
+    """Build the :class:`HalfPlaneQuery` a ``query`` request describes."""
+    qtype = obj.get("type")
+    if qtype not in (ALL, EXIST):
+        raise ProtocolError(
+            f"query 'type' must be 'ALL' or 'EXIST', got {qtype!r}")
+    slope = obj.get("slope")
+    if isinstance(slope, list):
+        slope_v: float | list[float] = [
+            _finite(v, "slope") for v in slope]
+        if not slope_v:
+            raise ProtocolError("query 'slope' must not be empty")
+    else:
+        slope_v = _finite(slope, "slope")
+    intercept = _finite(obj.get("intercept"), "intercept")
+    theta = obj.get("theta")
+    if theta not in (">=", "<="):
+        raise ProtocolError(
+            f"query 'theta' must be '>=' or '<=', got {theta!r}")
+    try:
+        return HalfPlaneQuery(qtype, slope_v, intercept, theta)
+    except QueryError as exc:  # pragma: no cover - guarded above
+        raise ProtocolError(str(exc))
+
+
+def query_to_request(query: HalfPlaneQuery, rid: int) -> dict:
+    """The request envelope for ``query`` (client-side inverse)."""
+    slope = (
+        query.slope[0] if len(query.slope) == 1 else list(query.slope)
+    )
+    return {
+        "id": rid,
+        "op": "query",
+        "type": query.query_type,
+        "slope": slope,
+        "intercept": query.intercept,
+        "theta": query.theta.value,
+    }
+
+
+def error_response(rid: int | None, code: str, message: str) -> dict:
+    """A typed error envelope (``ok: false``)."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "id": rid if isinstance(rid, int) and rid >= 0 else -1,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

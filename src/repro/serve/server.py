@@ -1,0 +1,601 @@
+"""Asyncio query server over a shared read-mostly engine.
+
+One :class:`ReproServer` owns one engine (planner or sharded, opened
+from a ``--data-dir`` catalog via
+:func:`repro.storage.checkpoint.open_engine`) and serves it over the
+length-prefixed JSON protocol of :mod:`repro.serve.protocol`.
+
+Concurrency model: the engine is **not** thread-safe, so every engine
+touch — query batches, mutations, reloads, checkpoints — runs on a
+single dedicated executor thread. The asyncio side never blocks on the
+engine; it parks queries in a :class:`~repro.serve.coalesce.Coalescer`
+whose flushes become single ``query_batch`` calls on that thread. The
+serialization doubles as drain correctness: a reload queued behind
+in-flight batches cannot observe or interrupt them.
+
+Admission control is a bounded in-flight count: past
+``max_queue_depth``, new requests are answered immediately with a typed
+``OVERLOADED`` error frame (never silently dropped) so clients back
+off. SIGHUP (or a ``reload`` request) reopens the engine from the data
+directory and swaps it atomically between batches. After every
+mutation the server checks the WAL size and, past
+``wal_checkpoint_bytes``, folds the log into the page file via
+:func:`repro.storage.checkpoint.maybe_checkpoint` — closing the loop
+left open by ``commit_planner``'s grow-forever log.
+
+Observability: ``serve_*`` metrics in the process registry (exported
+from the sidecar HTTP ``/metrics`` endpoint in Prometheus text form),
+one event per lifecycle action in the default event ring, and a span
+per request when tracing is active.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+)
+from repro.obs import trace as obs
+from repro.obs.events import get_event_log
+from repro.obs.metrics import get_registry
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+    error_response,
+    query_from_request,
+    validate_request,
+)
+from repro.storage.checkpoint import maybe_checkpoint, open_engine, wal_size
+
+#: Latency-scale histogram buckets (seconds).
+_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+#: Coalesced batch-size buckets.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for :class:`ReproServer`.
+
+    ``data_dir`` is the saved engine to open (and the target of reloads
+    and auto-checkpoints). ``port``/``metrics_port`` of 0 bind an
+    ephemeral port (read the bound one back from ``server.port``).
+    """
+
+    data_dir: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    metrics_port: int | None = None
+    #: Coalescing: flush at this many queries or after this many seconds.
+    max_batch: int = 64
+    max_delay: float = 0.002
+    #: Admission control: in-flight requests beyond this get OVERLOADED.
+    max_queue_depth: int = 256
+    max_frame: int = MAX_FRAME
+    #: Seconds a partially received frame may stall before the
+    #: connection is dropped (slow-loris defense). Idle connections on a
+    #: frame boundary are not timed out.
+    read_timeout: float = 5.0
+    #: WAL size that triggers an automatic checkpoint after a mutation.
+    wal_checkpoint_bytes: int = 4 << 20
+    columnar: bool | None = None
+
+
+class ReproServer:
+    """The asyncio front door. See the module docstring for the model.
+
+    Typical embedded use (tests, the differential fuzzer)::
+
+        server = ReproServer(ServeConfig(data_dir=...))
+        await server.start()
+        ...
+        await server.stop()
+
+    The CLI wraps this in :func:`serve_until_interrupted`.
+    """
+
+    def __init__(self, config: ServeConfig, engine=None) -> None:
+        self.config = config
+        self._engine = engine
+        self._owns_engine = engine is None
+        if engine is None and not config.data_dir:
+            raise ValueError("ServeConfig.data_dir or an engine is required")
+        self._exec = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine")
+        self._server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
+        self._coalescer: Coalescer | None = None
+        self._inflight = 0
+        self._draining = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._events = get_event_log()
+        registry = get_registry()
+        self._c_requests = registry.counter(
+            "serve_requests", "Requests received", labelnames=("op",))
+        self._c_errors = registry.counter(
+            "serve_errors", "Error responses sent", labelnames=("code",))
+        self._c_batches = registry.counter(
+            "serve_batches", "Coalesced batches executed")
+        self._c_reloads = registry.counter(
+            "serve_reloads", "Engine reloads (SIGHUP or reload op)")
+        self._c_checkpoints = registry.counter(
+            "serve_autocheckpoints",
+            "Automatic WAL-threshold checkpoints")
+        self._c_timeouts = registry.counter(
+            "serve_timeouts", "Connections dropped on read timeout")
+        self._c_disconnects = registry.counter(
+            "serve_disconnects", "Connections that ended mid-frame")
+        self._g_inflight = registry.gauge(
+            "serve_inflight", "Requests admitted and not yet answered")
+        self._g_depth = registry.gauge(
+            "serve_queue_depth", "Queries parked in the coalescing buffer")
+        self._g_connections = registry.gauge(
+            "serve_connections", "Open client connections")
+        self._h_batch = registry.histogram(
+            "serve_batch_size", "Queries per coalesced batch",
+            buckets=_BATCH_BUCKETS)
+        self._h_latency = registry.histogram(
+            "serve_request_seconds", "Per-request wall time",
+            labelnames=("op",), buckets=_LATENCY_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound query port (resolves an ephemeral config port)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    @property
+    def engine(self):
+        """The currently served engine (swapped by reload)."""
+        return self._engine
+
+    async def start(self) -> None:
+        """Open the engine (if not injected) and start listening."""
+        loop = asyncio.get_running_loop()
+        if self._engine is None:
+            self._engine = await loop.run_in_executor(
+                self._exec, self._open_engine)
+        self._coalescer = Coalescer(
+            self._execute_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            on_flush=self._note_flush,
+        )
+        self._coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics, self.config.host,
+                self.config.metrics_port)
+        try:
+            loop.add_signal_handler(
+                signal.SIGHUP, lambda: loop.create_task(self.reload()))
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Non-main thread (embedded/test servers) or platforms
+            # without signal support: reload stays available as an op.
+            pass
+        self._events.emit(
+            "serve", "start", host=self.config.host, port=self.port)
+
+    def _open_engine(self):
+        return open_engine(self.config.data_dir,
+                           columnar=self.config.columnar)
+
+    async def stop(self) -> None:
+        """Drain: stop accepting, finish in-flight work, close engine."""
+        self._draining = True
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        if self._coalescer is not None:
+            await self._coalescer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        try:
+            loop.remove_signal_handler(signal.SIGHUP)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        if self._owns_engine and self._engine is not None:
+            await loop.run_in_executor(
+                self._exec, _close_engine, self._engine)
+            self._engine = None
+        self._exec.shutdown(wait=True)
+        self._events.emit("serve", "stop")
+
+    async def reload(self) -> None:
+        """Reopen the engine from ``data_dir`` and swap it in.
+
+        Runs on the engine thread, which serializes it *behind* every
+        batch already queued: in-flight queries drain against the old
+        engine, queries coalesced afterwards see the new one. The old
+        engine is closed after the swap.
+        """
+        if not self.config.data_dir:
+            raise QueryError("reload needs a data_dir to reopen from")
+        loop = asyncio.get_running_loop()
+
+        def _swap():
+            fresh = self._open_engine()
+            stale, self._engine = self._engine, fresh
+            if stale is not None:
+                _close_engine(stale)
+
+        await loop.run_in_executor(self._exec, _swap)
+        self._c_reloads.inc()
+        self._events.emit("serve", "reload", data_dir=self.config.data_dir)
+
+    # ------------------------------------------------------------------
+    # engine thread
+    # ------------------------------------------------------------------
+    def _note_flush(self, size: int) -> None:
+        self._c_batches.inc()
+        self._h_batch.observe(size)
+
+    async def _execute_batch(self, queries: list):
+        """Coalescer flush → one ``query_batch`` on the engine thread."""
+        loop = asyncio.get_running_loop()
+
+        def _run():
+            return self._engine.query_batch(queries).results
+
+        return await loop.run_in_executor(self._exec, _run)
+
+    async def _run_mutation(self, fn):
+        """Run ``fn`` on the engine thread, then auto-checkpoint if the
+        WAL outgrew its threshold."""
+        loop = asyncio.get_running_loop()
+
+        def _run():
+            result = fn()
+            checkpointed = False
+            planner = self._engine
+            if (
+                self.config.data_dir
+                and not hasattr(planner, "planners")
+                and wal_size(planner) > self.config.wal_checkpoint_bytes
+            ):
+                checkpointed = maybe_checkpoint(
+                    planner, self.config.data_dir,
+                    self.config.wal_checkpoint_bytes)
+            return result, checkpointed
+
+        result, checkpointed = await loop.run_in_executor(self._exec, _run)
+        if checkpointed:
+            self._c_checkpoints.inc()
+            self._events.emit(
+                "serve", "auto-checkpoint", data_dir=self.config.data_dir)
+        return result
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._g_connections.inc()
+        decoder = FrameDecoder(self.config.max_frame)
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                # Slow-loris defense: a *partial* frame must keep
+                # making progress; an idle boundary may sit forever.
+                timeout = (
+                    self.config.read_timeout if decoder.pending_bytes
+                    else None)
+                try:
+                    chunk = await asyncio.wait_for(
+                        reader.read(65536), timeout=timeout)
+                except asyncio.TimeoutError:
+                    self._c_timeouts.inc()
+                    await self._send(
+                        writer, write_lock,
+                        error_response(
+                            None, "BAD_REQUEST",
+                            f"no progress on a partial frame within "
+                            f"{self.config.read_timeout}s"))
+                    break
+                if not chunk:
+                    try:
+                        decoder.finish()
+                    except ProtocolError:
+                        self._c_disconnects.inc()
+                    break
+                try:
+                    requests = decoder.feed(chunk)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, write_lock,
+                        error_response(None, "BAD_REQUEST", str(exc)))
+                    break
+                for request in requests:
+                    # Task-per-request so pipelined queries land in the
+                    # same coalesced batch instead of serializing.
+                    rtask = asyncio.get_running_loop().create_task(
+                        self._handle_request(request, writer, write_lock))
+                    request_tasks.add(rtask)
+                    rtask.add_done_callback(request_tasks.discard)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            for rtask in list(request_tasks):
+                rtask.cancel()
+            if request_tasks:
+                await asyncio.gather(
+                    *request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._g_connections.dec()
+            self._conn_tasks.discard(task)
+
+    async def _send(self, writer, write_lock, obj: dict) -> None:
+        if not obj.get("ok", True):
+            self._c_errors.labels(code=obj["error"]["code"]).inc()
+        try:
+            frame = encode_frame(obj, self.config.max_frame)
+        except FrameTooLargeError:
+            obj = error_response(
+                obj.get("id"), "INTERNAL",
+                "response exceeds the frame cap")
+            self._c_errors.labels(code="INTERNAL").inc()
+            frame = encode_frame(obj, self.config.max_frame)
+        async with write_lock:
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                # Client went away mid-response; their loss.
+                self._c_disconnects.inc()
+
+    async def _handle_request(self, request, writer, write_lock) -> None:
+        started = time.monotonic()
+        rid = request.get("id") if isinstance(request, dict) else None
+        op = request.get("op") if isinstance(request, dict) else None
+        try:
+            validate_request(request)
+        except ProtocolError as exc:
+            await self._send(
+                writer, write_lock,
+                error_response(
+                    rid if isinstance(rid, int) else None,
+                    "BAD_REQUEST", str(exc)))
+            return
+        self._c_requests.labels(op=op).inc()
+        if self._draining:
+            await self._send(
+                writer, write_lock,
+                error_response(rid, "SHUTTING_DOWN", "server is draining"))
+            return
+        if self._inflight >= self.config.max_queue_depth:
+            await self._send(
+                writer, write_lock,
+                error_response(
+                    rid, "OVERLOADED",
+                    f"{self._inflight} requests in flight (cap "
+                    f"{self.config.max_queue_depth}); back off and retry"))
+            return
+        self._inflight += 1
+        self._g_inflight.set(self._inflight)
+        try:
+            with obs.span(f"serve.{op}", id=rid):
+                response = await self._dispatch(request)
+            response["id"] = rid
+            await self._send(writer, write_lock, response)
+        except asyncio.CancelledError:
+            raise
+        except QueryError as exc:
+            # The request was well-formed but this engine can't do it
+            # (mutation on a sharded engine, commit without a data_dir).
+            await self._send(
+                writer, write_lock,
+                error_response(rid, "UNSUPPORTED", str(exc)))
+        except ReproError as exc:
+            # Engine-side failure (storage fault, injected crash): the
+            # client's request was fine, the server hurt itself.
+            await self._send(
+                writer, write_lock,
+                error_response(
+                    rid, "INTERNAL", f"{type(exc).__name__}: {exc}"))
+        except Exception as exc:
+            await self._send(
+                writer, write_lock,
+                error_response(
+                    rid, "INTERNAL", f"{type(exc).__name__}: {exc}"))
+        finally:
+            self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+            self._g_depth.set(
+                self._coalescer.depth if self._coalescer else 0)
+            self._h_latency.labels(op=op).observe(
+                time.monotonic() - started)
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request["op"]
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "query":
+            query = query_from_request(request)
+            result = await self._coalescer.submit(query)
+            return {
+                "ok": True,
+                "ids": sorted(result.ids),
+                "technique": result.technique,
+                "cached": result.cached,
+            }
+        if op == "stats":
+            registry = get_registry()
+            return {
+                "ok": True,
+                "metrics": registry.collect(),
+                "wal_bytes": (
+                    0 if hasattr(self._engine, "planners")
+                    else wal_size(self._engine)),
+            }
+        if op == "reload":
+            await self.reload()
+            return {"ok": True, "reloaded": True}
+        if op == "shutdown":
+            # Acknowledge first; the drain starts a beat later so this
+            # response reaches the client before connections close.
+            async def _stop_soon():
+                await asyncio.sleep(0.05)
+                await self.stop()
+
+            asyncio.get_running_loop().create_task(_stop_soon())
+            return {"ok": True, "stopping": True}
+        if hasattr(self._engine, "planners"):
+            raise QueryError(f"op {op!r} is not supported on a sharded "
+                             "engine (mutations need a single planner)")
+        planner = self._engine
+        if op == "insert":
+            tuple_obj = _tuple_from_wire(request["tuple"])
+            await self._run_mutation(
+                lambda: planner.insert(request["tid"], tuple_obj))
+            return {"ok": True, "tid": request["tid"]}
+        if op == "delete":
+            await self._run_mutation(lambda: planner.delete(request["tid"]))
+            return {"ok": True, "tid": request["tid"]}
+        if op == "commit":
+            if not self.config.data_dir:
+                raise QueryError("commit needs a server data_dir")
+            seq = await self._run_mutation(
+                lambda: planner.commit(self.config.data_dir))
+            return {"ok": True, "seq": seq, "wal_bytes": wal_size(planner)}
+        raise QueryError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # metrics endpoint (HTTP sidecar)
+    # ------------------------------------------------------------------
+    async def _handle_metrics(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Minimal HTTP/1.0: GET /metrics → Prometheus text, one
+        request per connection."""
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.read_timeout)
+            parts = line.decode("latin-1", "replace").split()
+            target = parts[1] if len(parts) >= 2 else ""
+            while True:  # drain headers up to the blank line
+                header = await asyncio.wait_for(
+                    reader.readline(), timeout=self.config.read_timeout)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if target == "/metrics":
+                body = get_registry().export_prom().encode("utf-8")
+                status, ctype = "200 OK", "text/plain; version=0.0.4"
+            elif target == "/healthz":
+                body, status, ctype = b"ok\n", "200 OK", "text/plain"
+            else:
+                body, status, ctype = b"not found\n", "404 Not Found", \
+                    "text/plain"
+            writer.write(
+                f"HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n".encode("latin-1")
+                + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionResetError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+def _close_engine(engine) -> None:
+    """Release an engine's pools and file descriptors."""
+    if hasattr(engine, "planners"):
+        engine.close()
+        planners = engine.planners
+    else:
+        planners = [engine]
+    for planner in planners:
+        disk = planner.index.pager.disk
+        close = getattr(disk, "close", None)
+        if close is not None:
+            close()
+
+
+def _tuple_from_wire(atoms: list) -> "object":
+    """Build a GeneralizedTuple from its wire form (list of
+    ``{"coeffs", "const", "theta"}`` atoms, matching the fuzzer's
+    ``tuple_to_json`` layout)."""
+    from repro.constraints.linear import LinearConstraint
+    from repro.constraints.tuples import GeneralizedTuple
+
+    try:
+        return GeneralizedTuple([
+            LinearConstraint(tuple(a["coeffs"]), a["const"], a["theta"])
+            for a in atoms
+        ])
+    except (TypeError, KeyError, ReproError) as exc:
+        raise ProtocolError(f"malformed insert tuple: {exc}")
+
+
+async def serve_until_interrupted(config: ServeConfig,
+                                  events_out: str | None = None) -> None:
+    """Run a server until SIGINT/SIGTERM (the ``repro serve`` CLI loop).
+
+    On shutdown, optionally dumps the event ring to ``events_out`` as
+    JSONL (the CI trace artifact).
+    """
+    server = ReproServer(config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # pragma: no cover - non-main-thread embedding
+    print(f"serving {config.data_dir} on {config.host}:{server.port}"
+          + (f" (metrics :{server.metrics_port})"
+             if server.metrics_port is not None else ""),
+          flush=True)
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        if events_out:
+            get_event_log().write_jsonl(events_out)
+            if not os.environ.get("REPRO_QUIET"):
+                print(f"wrote events to {events_out}", flush=True)

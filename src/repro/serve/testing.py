@@ -1,0 +1,134 @@
+"""In-process server harness for tests and the differential fuzzer.
+
+:class:`ServerThread` runs a real :class:`~repro.serve.server.ReproServer`
+— real sockets, real framing, real coalescing — on a private asyncio
+loop in a daemon thread, so synchronous test code (and the fuzzer's
+engine matrix) can stand a server up, talk to it over localhost with
+:class:`~repro.serve.client.SyncReproClient`, and tear it down, all
+without touching the caller's event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.client import SyncReproClient
+from repro.serve.server import ReproServer, ServeConfig
+
+
+class ServerThread:
+    """A live server on an ephemeral localhost port.
+
+    Pass either a pre-built ``engine`` (planner or sharded; the server
+    will not close it) or a ``config`` whose ``data_dir`` names a saved
+    one. Use as a context manager::
+
+        with ServerThread(engine=planner) as server:
+            client = server.client()
+            ids = client.query_ids(q)
+            client.close()
+    """
+
+    def __init__(self, engine=None, config: ServeConfig | None = None,
+                 **overrides) -> None:
+        if config is None:
+            config = ServeConfig(port=0, **overrides)
+        self._config = config
+        self._engine = engine
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: ReproServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.port: int | None = None
+
+    @property
+    def host(self) -> str:
+        return self._config.host
+
+    @property
+    def server(self) -> ReproServer:
+        assert self._server is not None, "server not started"
+        return self._server
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server thread failed to start in 30s")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def _start():
+            self._server = ReproServer(self._config, engine=self._engine)
+            await self._server.start()
+            self.port = self._server.port
+
+        try:
+            self._loop.run_until_complete(_start())
+        except BaseException as exc:  # surface in start()
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._server.stop())
+            self._loop.close()
+
+    def client(self, timeout: float = 30.0) -> SyncReproClient:
+        """A fresh blocking client connected to this server."""
+        assert self.port is not None, "server not started"
+        return SyncReproClient(
+            self.host, self.port,
+            max_frame=self._config.max_frame, timeout=timeout)
+
+    def call(self, coro_fn):
+        """Run ``coro_fn(server)`` on the server's loop; block for the
+        result (e.g. ``server.call(lambda s: s.reload())``)."""
+        assert self._loop is not None and self._server is not None
+        future = asyncio.run_coroutine_threadsafe(
+            coro_fn(self._server), self._loop)
+        return future.result(timeout=60)
+
+    def stop(self) -> None:
+        """Drain and shut down (idempotent)."""
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def served_batch_answers(engine, queries, **server_overrides):
+    """Answer ``queries`` through a real server socket; returns a list
+    of id-sets aligned with the input order.
+
+    This is the differential fuzzer's wire path: every query crosses
+    the framing, validation, coalescing, and executor layers of an
+    actual server before its answer comes back.
+    """
+    with ServerThread(engine=engine, **server_overrides) as server:
+        client = server.client()
+        try:
+            return [client.query_ids(q) for q in queries]
+        finally:
+            client.close()

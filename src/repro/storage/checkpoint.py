@@ -260,6 +260,40 @@ def open_planner(data_dir: str, columnar: bool | None = None,
     return planner
 
 
+def wal_size(planner) -> int:
+    """Bytes currently in the planner's WAL (0 for non-durable planners).
+
+    Includes the 16-byte file header, so an empty-but-present log
+    reports a small non-zero size.
+    """
+    disk = planner.index.pager.disk
+    if isinstance(disk, FileDisk) and disk.wal is not None:
+        return disk.wal.size_bytes
+    return 0
+
+
+def maybe_checkpoint(planner, data_dir: str, threshold_bytes: int) -> bool:
+    """Checkpoint the planner iff its WAL has outgrown ``threshold_bytes``.
+
+    This is the serve layer's WAL-bounding primitive: `commit_planner`
+    keeps commits cheap by letting the log grow, and this folds the log
+    back into the page file once it passes the threshold. Returns True
+    when a checkpoint ran. Ordering matches :func:`save_planner` — the
+    catalog (commit point) is written *before* the page-file fold, so a
+    crash mid-checkpoint replays the still-intact WAL on reopen.
+    """
+    disk = _live_disk(planner, data_dir)
+    if disk is None or disk.wal is None:
+        return False
+    if disk.wal.size_bytes <= threshold_bytes:
+        return False
+    planner.index.pager.flush()
+    seq = disk.commit()
+    write_catalog(data_dir, _planner_payload(planner), seq)
+    disk.checkpoint()
+    return True
+
+
 # ----------------------------------------------------------------------
 # sharded save / open
 # ----------------------------------------------------------------------

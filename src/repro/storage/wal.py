@@ -244,6 +244,16 @@ class WriteAheadLog:
             self._c_replayed.inc(n)
         return batches
 
+    @property
+    def size_bytes(self) -> int:
+        """Current log size in bytes, header included.
+
+        The serve layer polls this after write batches to decide when a
+        checkpoint should fold the log back into the page file (see
+        :func:`repro.storage.checkpoint.maybe_checkpoint`).
+        """
+        return self._end
+
     def reset(self) -> None:
         """Empty the log (after a checkpoint made its contents moot)."""
         os.ftruncate(self._fd, _HEADER_SIZE)

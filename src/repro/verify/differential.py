@@ -247,6 +247,22 @@ def run_checks(
     )
     scalar_batch = scalar_engine.query_batch(list(queries))
     columnar_batch = columnar_engine.query_batch(list(queries))
+    # Served engine: the same queries through a real localhost server
+    # socket — framing, envelope validation, coalescing, and the engine
+    # thread all sit between the question and the answer, and none of
+    # them may change it. A dedicated planner keeps the first pass
+    # genuinely cache-cold; the second pass goes through the executor's
+    # result cache behind the server.
+    from repro.serve.testing import ServerThread
+
+    served_engine = DualIndexPlanner.build(relation, slopes, technique="T2")
+    with ServerThread(engine=served_engine, max_delay=0.0) as server:
+        client = server.client()
+        try:
+            served_cold = [client.query_ids(q) for q in queries]
+            served_hot = [client.query_ids(q) for q in queries]
+        finally:
+            client.close()
 
     lp = oracle if oracle is not None else BruteForceOracle()
     comparisons = 0
@@ -267,6 +283,8 @@ def run_checks(
             "sharded-batch": sharded_batch.results[position].ids,
             "batch-scalar": scalar_batch.results[position].ids,
             "batch-columnar": columnar_batch.results[position].ids,
+            "served-cold": served_cold[position],
+            "served-hot": served_hot[position],
         }
         comparisons += 1
         scalar_acc = _accounting(scalar_batch.results[position])

@@ -1,0 +1,210 @@
+"""Coalescing-buffer tests, including the starvation regression.
+
+The bug the oldest-first cutoff prevents: if the flush deadline resets
+on every arrival, a steady trickle spaced just under ``max_delay``
+postpones the flush forever and the oldest query never executes. The
+:class:`BatchBuffer` deadline belongs to the oldest pending item, so a
+trickle can delay it by at most one ``max_delay``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.coalesce import BatchBuffer, Coalescer
+
+
+class FakeClock:
+    def __init__(self, at=0.0):
+        self.at = at
+
+    def __call__(self):
+        return self.at
+
+
+# ----------------------------------------------------------------------
+# BatchBuffer (pure, fake clock)
+# ----------------------------------------------------------------------
+def test_deadline_is_oldest_arrival_plus_delay():
+    clock = FakeClock()
+    buf = BatchBuffer(max_batch=8, max_delay=0.010, clock=clock)
+    buf.push("a")
+    assert buf.deadline() == pytest.approx(0.010)
+    clock.at = 0.004
+    buf.push("b")
+    # the deadline did NOT move: it still belongs to "a"
+    assert buf.deadline() == pytest.approx(0.010)
+
+
+def test_trickle_cannot_starve_the_oldest_request():
+    """Regression: arrivals every 0.9×max_delay must not postpone the
+    first item's flush past its own deadline."""
+    clock = FakeClock()
+    buf = BatchBuffer(max_batch=100, max_delay=0.010, clock=clock)
+    buf.push(0)
+    flushed_at = None
+    for step in range(1, 50):
+        clock.at = step * 0.009
+        if buf.due():
+            flushed_at = clock.at
+            break
+        buf.push(step)
+    assert flushed_at is not None, "trickle starved the buffer"
+    assert flushed_at <= 0.010 + 0.009  # one trickle step past deadline
+
+
+def test_take_pops_oldest_first_and_keeps_stamps():
+    clock = FakeClock()
+    buf = BatchBuffer(max_batch=2, max_delay=0.010, clock=clock)
+    for step in range(4):
+        clock.at = step * 0.001
+        buf.push(step)
+    assert buf.full()
+    assert buf.take() == [0, 1]
+    # leftovers keep their original stamps: the next deadline belongs
+    # to item 2 (enqueued at 0.002), not to "now"
+    assert buf.deadline() == pytest.approx(0.002 + 0.010)
+    assert buf.take() == [2, 3]
+    assert buf.deadline() is None
+
+
+def test_due_on_full_batch_ignores_clock():
+    buf = BatchBuffer(max_batch=2, max_delay=9999.0, clock=FakeClock())
+    buf.push("a")
+    assert not buf.due()
+    buf.push("b")
+    assert buf.due()
+
+
+def test_drain_empties_everything():
+    buf = BatchBuffer(max_batch=2, max_delay=1.0, clock=FakeClock())
+    for item in "abc":
+        buf.push(item)
+    assert buf.drain() == ["a", "b", "c"]
+    assert len(buf) == 0
+
+
+def test_rejects_nonsense_limits():
+    with pytest.raises(ValueError):
+        BatchBuffer(max_batch=0, max_delay=1.0)
+    with pytest.raises(ValueError):
+        BatchBuffer(max_batch=1, max_delay=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Coalescer (asyncio)
+# ----------------------------------------------------------------------
+def test_concurrent_submits_share_one_batch():
+    calls = []
+
+    async def execute(queries):
+        calls.append(list(queries))
+        return [q * 10 for q in queries]
+
+    async def scenario():
+        coalescer = Coalescer(execute, max_batch=64, max_delay=0.01)
+        coalescer.start()
+        results = await asyncio.gather(
+            *(coalescer.submit(n) for n in range(8)))
+        await coalescer.close()
+        return results
+
+    assert asyncio.run(scenario()) == [n * 10 for n in range(8)]
+    assert len(calls) == 1  # all eight coalesced
+    assert sorted(calls[0]) == list(range(8))
+
+
+def test_full_batch_flushes_before_deadline():
+    calls = []
+
+    async def execute(queries):
+        calls.append(len(queries))
+        return queries
+
+    async def scenario():
+        # max_delay is an hour: only the size trigger can flush.
+        coalescer = Coalescer(execute, max_batch=4, max_delay=3600.0)
+        coalescer.start()
+        started = time.monotonic()
+        await asyncio.gather(*(coalescer.submit(n) for n in range(4)))
+        took = time.monotonic() - started
+        await asyncio.wait_for(coalescer.close(), timeout=5)
+        return took
+
+    assert asyncio.run(scenario()) < 5.0
+    assert calls == [4]
+
+
+def test_executor_failure_reaches_every_waiter_in_batch_only():
+    async def execute(queries):
+        if "boom" in queries:
+            raise RuntimeError("executor exploded")
+        return queries
+
+    async def scenario():
+        coalescer = Coalescer(execute, max_batch=16, max_delay=0.005)
+        coalescer.start()
+        bad = await asyncio.gather(
+            coalescer.submit("boom"), coalescer.submit("collateral"),
+            return_exceptions=True)
+        good = await coalescer.submit("fine")  # next batch unaffected
+        await coalescer.close()
+        return bad, good
+
+    bad, good = asyncio.run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in bad)
+    assert good == "fine"
+
+
+def test_close_flushes_pending_and_rejects_new_work():
+    async def execute(queries):
+        return queries
+
+    async def scenario():
+        coalescer = Coalescer(execute, max_batch=64, max_delay=3600.0)
+        coalescer.start()
+        pending = asyncio.get_running_loop().create_task(
+            coalescer.submit("parked"))
+        await asyncio.sleep(0)  # let the submit park
+        await asyncio.wait_for(coalescer.close(), timeout=5)
+        result = await pending
+        try:
+            await coalescer.submit("late")
+        except RuntimeError:
+            return result, "rejected"
+        return result, "accepted"
+
+    assert asyncio.run(scenario()) == ("parked", "rejected")
+
+
+def test_live_trickle_does_not_starve_first_submit():
+    """End-to-end starvation regression on the real event loop: keep a
+    trickle arriving faster than max_delay and require the first
+    submission to resolve on its own deadline, not the trickle's end."""
+    executed_at = {}
+
+    async def execute(queries):
+        for q in queries:
+            executed_at.setdefault(q, time.monotonic())
+        return queries
+
+    async def scenario():
+        coalescer = Coalescer(execute, max_batch=1000, max_delay=0.05)
+        coalescer.start()
+        started = time.monotonic()
+        first = asyncio.get_running_loop().create_task(
+            coalescer.submit("first"))
+        trickle = []
+        for n in range(10):  # 10 × 30ms = 300ms of trickle
+            await asyncio.sleep(0.03)
+            trickle.append(asyncio.get_running_loop().create_task(
+                coalescer.submit(f"drip-{n}")))
+        await first
+        await asyncio.gather(*trickle)
+        await coalescer.close()
+        return executed_at["first"] - started
+
+    # Deadline is 50ms; generous CI allowance, but far below the 300ms
+    # a deadline-resetting buffer would take.
+    assert asyncio.run(scenario()) < 0.25

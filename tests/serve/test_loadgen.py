@@ -1,0 +1,78 @@
+"""Loadgen tests: both loop models against a live server, report shape."""
+
+import asyncio
+
+import pytest
+
+from repro.bench.harness import dual_planner, queries_for
+from repro.serve.loadgen import run_loadgen, summarize
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread
+
+N, SIZE, K = 300, "small", 3
+
+
+@pytest.fixture(scope="module")
+def served():
+    planner = dual_planner(N, SIZE, K)
+    with ServerThread(engine=planner) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return queries_for(N, SIZE, "EXIST", K, count=6)
+
+
+def test_closed_loop_report(served, queries):
+    report = asyncio.run(run_loadgen(
+        "127.0.0.1", served.port, queries,
+        mode="closed", requests=60, concurrency=4, warmup=10))
+    assert report["completed"] == 60
+    assert report["errors"] == 0
+    assert report["qps"] > 0
+    latency = report["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+
+
+def test_open_loop_report(served, queries):
+    report = asyncio.run(run_loadgen(
+        "127.0.0.1", served.port, queries,
+        mode="open", requests=50, rate=500.0, concurrency=2))
+    assert report["completed"] + report["overloaded"] \
+        + report["errors"] == 50
+    assert report["errors"] == 0
+    assert report["mode"] == "open"
+
+
+def test_open_loop_overload_counts_backpressure(queries):
+    """An open-loop burst against a tiny queue produces OVERLOADED
+    responses, counted in the report rather than failing it."""
+    planner = dual_planner(N, SIZE, K)
+    config = ServeConfig(max_queue_depth=1, max_delay=0.05, max_batch=512)
+    with ServerThread(engine=planner, config=config) as server:
+        report = asyncio.run(run_loadgen(
+            "127.0.0.1", server.port, queries,
+            mode="open", requests=80, rate=100_000.0, concurrency=2))
+    assert report["overloaded"] > 0
+    assert report["errors"] == 0
+    assert report["completed"] + report["overloaded"] == 80
+
+
+def test_loadgen_input_validation(queries):
+    with pytest.raises(ValueError, match="at least one query"):
+        asyncio.run(run_loadgen("127.0.0.1", 1, []))
+    with pytest.raises(ValueError, match="mode"):
+        asyncio.run(run_loadgen("127.0.0.1", 1, queries, mode="sideways"))
+    with pytest.raises(ValueError, match="rate"):
+        asyncio.run(run_loadgen(
+            "127.0.0.1", 1, queries, mode="open", rate=0.0))
+
+
+def test_summarize_percentiles():
+    summary = summarize([i / 1000.0 for i in range(1, 101)])
+    assert summary["p50"] == pytest.approx(50.0, abs=2.0)
+    assert summary["p99"] == pytest.approx(99.0, abs=2.0)
+    assert summary["max"] == pytest.approx(100.0)
+    assert summarize([]) == {
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}

@@ -1,0 +1,171 @@
+"""Wire-protocol property tests: framing round-trips, torn frames,
+oversize and garbage rejection, envelope validation."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import HalfPlaneQuery
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    TruncatedFrameError,
+)
+from repro.serve.protocol import (
+    MAGIC,
+    FrameDecoder,
+    decode_frames,
+    encode_frame,
+    error_response,
+    query_from_request,
+    query_to_request,
+    validate_request,
+)
+
+# JSON-representable payloads (ints bounded: json round-trips floats
+# through repr, and huge ints are legal but uninteresting here).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+_payloads = st.dictionaries(
+    st.text(max_size=10),
+    st.one_of(_scalars, st.lists(_scalars, max_size=5)),
+    max_size=8,
+)
+
+
+@given(_payloads)
+def test_roundtrip_single_frame(payload):
+    assert decode_frames(encode_frame(payload)) == [payload]
+
+
+@given(st.lists(_payloads, min_size=1, max_size=6), st.data())
+def test_roundtrip_stream_in_arbitrary_chunks(payloads, data):
+    """Any chunking of a frame stream decodes to the same objects in
+    order — the decoder is agnostic to how TCP slices the bytes."""
+    stream = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    out = []
+    position = 0
+    while position < len(stream):
+        step = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - position))
+        out.extend(decoder.feed(stream[position:position + step]))
+        position += step
+    decoder.finish()
+    assert out == payloads
+
+
+@given(_payloads, st.data())
+def test_torn_frame_raises_truncated(payload, data):
+    """EOF at any interior byte boundary is a typed truncation error."""
+    frame = encode_frame(payload)
+    cut = data.draw(st.integers(min_value=1, max_value=len(frame) - 1))
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:cut]) == []
+    assert decoder.pending_bytes == cut
+    with pytest.raises(TruncatedFrameError):
+        decoder.finish()
+
+
+@given(st.binary(min_size=4, max_size=64))
+def test_garbage_prefix_rejected(junk):
+    """Anything not starting with the magic fails immediately — before
+    any length is trusted."""
+    if junk[:4] == MAGIC:
+        junk = b"XXXX" + junk[4:]
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed(junk)
+
+
+def test_oversized_header_rejected_before_payload():
+    header = struct.pack(">4sI", MAGIC, 2**31)
+    with pytest.raises(FrameTooLargeError):
+        FrameDecoder(max_frame=1024).feed(header)
+
+
+def test_oversized_encode_rejected():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame({"blob": "x" * 2048}, max_frame=1024)
+
+
+def test_exactly_max_frame_passes():
+    payload = {"k": "v"}
+    exact = len(json.dumps(payload, separators=(",", ":")))
+    frame = encode_frame(payload, max_frame=exact)
+    assert FrameDecoder(max_frame=exact).feed(frame) == [payload]
+
+
+def test_non_object_payload_rejected():
+    body = json.dumps([1, 2, 3]).encode()
+    raw = struct.pack(">4sI", MAGIC, len(body)) + body
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_frames(raw)
+
+
+def test_non_json_payload_rejected():
+    body = b"\xff\xfe not json"
+    raw = struct.pack(">4sI", MAGIC, len(body)) + body
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode_frames(raw)
+
+
+# ----------------------------------------------------------------------
+# request envelopes
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(["ALL", "EXIST"]),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from([">=", "<="]),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_query_request_roundtrip(qtype, slope, intercept, theta, rid):
+    query = HalfPlaneQuery(qtype, slope, intercept, theta)
+    envelope = validate_request(query_to_request(query, rid))
+    # JSON floats round-trip exactly through repr, so the rebuilt query
+    # is bit-identical — the differential fuzzer depends on this.
+    rebuilt = query_from_request(
+        json.loads(json.dumps(envelope)))
+    assert rebuilt == query
+
+
+@pytest.mark.parametrize("bad", [
+    {},                                         # no id, no op
+    {"id": -1, "op": "ping"},                   # negative id
+    {"id": True, "op": "ping"},                 # bool is not an int here
+    {"id": 1, "op": "frobnicate"},              # unknown op
+    {"id": 1, "op": "query", "type": "SOME",
+     "slope": 1, "intercept": 0, "theta": ">="},
+    {"id": 1, "op": "query", "type": "ALL",
+     "slope": "steep", "intercept": 0, "theta": ">="},
+    {"id": 1, "op": "query", "type": "ALL",
+     "slope": 1, "intercept": 0, "theta": "=="},
+    {"id": 1, "op": "query", "type": "ALL",
+     "slope": [], "intercept": 0, "theta": ">="},
+    {"id": 1, "op": "insert", "tid": "seven", "tuple": []},
+    {"id": 1, "op": "insert", "tid": 7, "tuple": "nope"},
+    {"id": 1, "op": "delete", "tid": None},
+])
+def test_bad_envelopes_rejected(bad):
+    with pytest.raises(ProtocolError):
+        validate_request(bad)
+
+
+def test_error_response_shape():
+    response = error_response(9, "OVERLOADED", "back off")
+    assert response == {
+        "id": 9, "ok": False,
+        "error": {"code": "OVERLOADED", "message": "back off"},
+    }
+    assert error_response(None, "INTERNAL", "x")["id"] == -1
+    with pytest.raises(ValueError):
+        error_response(1, "EBADF", "not a protocol code")

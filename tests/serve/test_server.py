@@ -1,0 +1,229 @@
+"""End-to-end server tests over real localhost sockets."""
+
+import asyncio
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.bench.harness import dual_planner, queries_for
+from repro.core.query import HalfPlaneQuery
+from repro.core.slope_set import SlopeSet
+from repro.errors import OverloadedError
+from repro.serve.client import ReproClient
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread, served_batch_answers
+from repro.shard.sharded import ShardedDualIndex
+from repro.storage.checkpoint import save_planner
+from repro.workloads.generator import make_relation
+
+N, SIZE, K = 300, "small", 3
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return dual_planner(N, SIZE, K)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return (queries_for(N, SIZE, "EXIST", K, count=6)
+            + queries_for(N, SIZE, "ALL", K, count=6))
+
+
+def test_served_answers_match_local_engine(planner, queries):
+    expected = [r.ids for r in planner.query_batch(queries).results]
+    assert served_batch_answers(planner, queries) == expected
+
+
+def test_served_sharded_engine(queries):
+    engine = ShardedDualIndex.build(
+        make_relation(N, SIZE, seed=5), SlopeSet.uniform_angles(K),
+        shards=2)
+    expected = [r.ids for r in engine.query_batch(queries).results]
+    assert served_batch_answers(engine, queries) == expected
+    engine.close()
+
+
+def test_pipelined_requests_interleave_and_match_ids(planner, queries):
+    """Many concurrent requests on one connection: every response must
+    come back under its own request's id (the loadgen pattern)."""
+    expected = [r.ids for r in planner.query_batch(queries).results]
+
+    async def scenario(port):
+        client = await ReproClient.connect("127.0.0.1", port)
+        answered = await asyncio.gather(
+            *(client.query_ids(q) for q in queries * 3))
+        await client.close()
+        return answered
+
+    with ServerThread(engine=planner) as server:
+        answered = asyncio.run(scenario(server.port))
+    assert answered == expected * 3
+
+
+def test_bad_requests_get_typed_errors_and_connection_survives(planner):
+    with ServerThread(engine=planner) as server:
+        client = server.client()
+        try:
+            response = client.request({"op": "query", "type": "BOGUS",
+                                       "slope": 1, "intercept": 0,
+                                       "theta": ">="})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "BAD_REQUEST"
+            assert "BOGUS" in response["error"]["message"]
+            # same connection still serves good requests afterwards
+            assert client.ping()["pong"] is True
+        finally:
+            client.close()
+
+
+def test_garbage_prefix_closes_connection_with_error(planner):
+    with ServerThread(engine=planner) as server:
+        with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.1\r\n\r\n")
+            raw = sock.recv(65536)
+        # an error frame, then EOF
+        from repro.serve.protocol import decode_frames
+        frames = decode_frames(raw)
+        assert frames[0]["ok"] is False
+        assert frames[0]["error"]["code"] == "BAD_REQUEST"
+
+
+def test_overload_backpressure_is_typed_not_silent(planner):
+    """With a queue depth of 1 and a long coalescing delay, pipelined
+    requests past the first get OVERLOADED frames immediately."""
+    config = ServeConfig(max_queue_depth=1, max_delay=0.2, max_batch=512)
+
+    async def scenario(port):
+        client = await ReproClient.connect("127.0.0.1", port)
+        q = HalfPlaneQuery("EXIST", 1.0, 0.0, ">=")
+        outcomes = await asyncio.gather(
+            *(client.request(
+                {"op": "query", "type": q.query_type, "slope": 1.0,
+                 "intercept": 0.0, "theta": ">="})
+              for _ in range(4)))
+        await client.close()
+        return outcomes
+
+    with ServerThread(engine=planner, config=config) as server:
+        outcomes = asyncio.run(scenario(server.port))
+    ok = [r for r in outcomes if r.get("ok")]
+    overloaded = [
+        r for r in outcomes
+        if not r.get("ok") and r["error"]["code"] == "OVERLOADED"]
+    assert len(ok) >= 1
+    assert len(overloaded) >= 1
+    assert len(ok) + len(overloaded) == 4
+
+
+def test_sync_client_raises_typed_overload(planner):
+    config = ServeConfig(max_queue_depth=0)
+    with ServerThread(engine=planner, config=config) as server:
+        client = server.client()
+        try:
+            with pytest.raises(OverloadedError):
+                client.query(HalfPlaneQuery("EXIST", 1.0, 0.0, ">="))
+        finally:
+            client.close()
+
+
+def test_reload_swaps_engine_from_data_dir(tmp_path, queries):
+    """Save v1, serve it, overwrite the directory with v2 (more
+    tuples), reload: answers switch to v2 without a restart."""
+    v1 = dual_planner(N, SIZE, K)
+    data_dir = str(tmp_path / "engine")
+    save_planner(v1, data_dir)
+    expected_v1 = [r.ids for r in v1.query_batch(queries).results]
+
+    config = ServeConfig(data_dir=data_dir)
+    with ServerThread(config=config) as server:
+        client = server.client()
+        try:
+            assert [client.query_ids(q) for q in queries] == expected_v1
+            # new index generation lands on disk (fresh directory swap
+            # is the documented rebuild procedure; here we grow in
+            # place via a bigger build saved over a clean dir)
+            import shutil
+            shutil.rmtree(data_dir)
+            from repro.core.planner import DualIndexPlanner
+            v2 = DualIndexPlanner.build(
+                make_relation(2 * N, SIZE, seed=6),
+                SlopeSet.uniform_angles(K))
+            save_planner(v2, data_dir)
+            expected_v2 = [r.ids for r in v2.query_batch(queries).results]
+            assert expected_v2 != expected_v1  # the swap is observable
+            response = client.request({"op": "reload"})
+            assert response["ok"] and response["reloaded"]
+            assert [client.query_ids(q) for q in queries] == expected_v2
+        finally:
+            client.close()
+
+
+def test_stats_op_and_metrics_endpoint(planner):
+    config = ServeConfig(metrics_port=0)
+    with ServerThread(engine=planner, config=config) as server:
+        client = server.client()
+        try:
+            client.query_ids(HalfPlaneQuery("EXIST", 1.0, 0.0, ">="))
+            stats = client.request({"op": "stats"})
+            assert stats["ok"]
+            assert any(key.startswith("serve_requests")
+                       for key in stats["metrics"]["counters"])
+        finally:
+            client.close()
+        mport = server.server.metrics_port
+        body = urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/metrics", timeout=10).read()
+        text = body.decode()
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests{op="query"}' in text
+        assert "serve_batch_size" in text
+        health = urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/healthz", timeout=10)
+        assert health.read() == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{mport}/nope", timeout=10)
+
+
+def test_shutdown_op_acknowledges_then_drains(planner):
+    server = ServerThread(engine=planner).start()
+    client = server.client()
+    try:
+        response = client.request({"op": "shutdown"})
+        assert response["ok"] and response["stopping"]
+    finally:
+        client.close()
+        server.stop()
+
+
+def test_mutations_rejected_on_sharded_engine(queries):
+    engine = ShardedDualIndex.build(
+        make_relation(N, SIZE, seed=5), SlopeSet.uniform_angles(K),
+        shards=2)
+    with ServerThread(engine=engine) as server:
+        client = server.client()
+        try:
+            response = client.request({"op": "delete", "tid": 1})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "UNSUPPORTED"
+        finally:
+            client.close()
+    engine.close()
+
+
+def test_response_json_is_wire_safe(planner):
+    """Every response must survive a JSON round-trip (ids are plain
+    ints, not numpy scalars)."""
+    with ServerThread(engine=planner) as server:
+        client = server.client()
+        try:
+            response = client.query(HalfPlaneQuery("EXIST", 1.0, 0.0, ">="))
+            rebuilt = json.loads(json.dumps(response))
+            assert rebuilt == response
+            assert all(isinstance(i, int) for i in response["ids"])
+        finally:
+            client.close()

@@ -1,0 +1,62 @@
+"""The served engine inside the differential regime.
+
+``run_checks`` registers ``served-cold`` and ``served-hot`` paths —
+the same queries through a real localhost server socket — against the
+same geometric oracle as every in-process engine. These tests pin that
+registration and prove a wire-layer corruption would be caught.
+"""
+
+import random
+
+import pytest
+
+from repro.verify import workload
+from repro.verify.differential import DEFAULT_SLOPES, run_checks
+
+
+def _case(seed, n=10, count=8):
+    rng = random.Random(seed)
+    tuples = [workload.bounded_tuple(rng) for _ in range(n)]
+    return tuples, workload.random_queries(rng, count, DEFAULT_SLOPES)
+
+
+def test_run_checks_includes_served_paths():
+    tuples, queries = _case(seed=3)
+    assert run_checks(tuples, queries, DEFAULT_SLOPES) == []
+
+
+def test_served_divergence_would_be_reported(monkeypatch):
+    """Corrupt the wire path (drop one id from every served answer) and
+    require run_checks to flag exactly the served paths."""
+    from repro.serve.client import SyncReproClient
+
+    real_query_ids = SyncReproClient.query_ids
+
+    def corrupted(self, query):
+        ids = real_query_ids(self, query)
+        if ids:
+            ids.discard(max(ids))
+        return ids
+
+    monkeypatch.setattr(SyncReproClient, "query_ids", corrupted)
+    tuples, queries = _case(seed=5)
+    findings = run_checks(
+        tuples, queries, DEFAULT_SLOPES, check_invariants=False
+    )
+    served = {
+        f["path"] for f in findings if f["kind"] == "path-divergence"
+    }
+    assert served, "corrupted served answers were not detected"
+    assert served <= {"served-cold", "served-hot"}
+
+
+@pytest.mark.fuzz
+def test_served_engine_on_adversarial_mix():
+    """Unbounded + singleton + empty tuples through the wire (nightly)."""
+    rng = random.Random(29)
+    tuples = workload.make_tuples(rng, 12)
+    relation = workload.as_relation(tuples)
+    queries = workload.random_queries(
+        rng, 6, DEFAULT_SLOPES
+    ) + workload.boundary_queries(relation, DEFAULT_SLOPES, rng, budget=6)
+    assert run_checks(tuples, queries, DEFAULT_SLOPES) == []
