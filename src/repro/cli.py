@@ -60,6 +60,21 @@ Commands
     fan; asserts identical answers and page accounting, writes
     ``BENCH_vector.json`` whose ``counters`` section feeds the CI
     QPS-floor gate (see :mod:`repro.bench.vector_bench`).
+``tune --data-dir DIR (--queries FILE | --slope-log FILE) [--k K --apply --out DIR]``
+    Adaptive slope-set tuning (:mod:`repro.tune`): learn a slope set
+    from observed query slopes (a query file, or a slope-log snapshot
+    JSON), price it against the engine's current set with the
+    Theorem 4.1/4.2 cost model, and report the predicted win. With
+    ``--apply``, rebuild the engine under the learned set into a *new*
+    data directory ``--out`` (the source directory is untouched —
+    rollback is keeping the old path). Answers are preserved
+    bit-exactly; only page counts change.
+``tune-bench [--out FILE --n N --size small|medium --k K --seed S --queries Q --repeats R]``
+    Fixed-``S`` vs learned-``S`` ablation on fig9-medium under skewed
+    and uniform slope traffic; asserts bit-identical answers, writes
+    ``BENCH_tune.json`` whose ``counters`` feed the CI floor gate
+    against ``benchmarks/baselines/tune.json``
+    (see :mod:`repro.bench.tune_bench`).
 ``fuzz [--seed N --budget 30s --out DIR --replay FILE --fault-demo]``
     Differential fuzzing (:mod:`repro.verify`): cross-check every query
     path against the geometric and LP oracles on randomized +
@@ -587,6 +602,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", default=None,
         help="write the event ring as JSONL on shutdown (trace artifact)",
     )
+    serve.add_argument(
+        "--auto-tune", action="store_true",
+        help="periodically learn a slope set from served traffic and "
+             "hot-swap a rebuilt engine when the cost model predicts "
+             "a win (the tune op stays available either way)",
+    )
+    serve.add_argument(
+        "--tune-interval", type=float, default=5.0,
+        help="seconds between auto-tune checks (default 5)",
+    )
+    serve.add_argument(
+        "--tune-min-evidence", type=int, default=64,
+        help="logged queries required before a tune decision (default 64)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -633,6 +662,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="also write the JSON report to this path",
     )
+
+    tune = sub.add_parser(
+        "tune",
+        help="learn a slope set from observed traffic, optionally "
+             "rebuild to it",
+        description=(
+            "Learn a slope set from observed query slopes, price it "
+            "against the saved engine's current set, and report the "
+            "predicted win. --apply rebuilds into a new --out data "
+            "directory through the checkpoint path; the source "
+            "directory is never written."
+        ),
+    )
+    tune.add_argument(
+        "--data-dir", required=True,
+        help="saved engine directory to tune (read-only unless --apply)",
+    )
+    tune.add_argument(
+        "--queries", default=None,
+        help="query file (`ALL|EXIST <slope> <intercept> <GE|LE>` per "
+             "line) as slope evidence",
+    )
+    tune.add_argument(
+        "--slope-log", default=None,
+        help="slope-log snapshot JSON (SlopeLogSnapshot.to_dict form) "
+             "as slope evidence",
+    )
+    tune.add_argument(
+        "--k", type=int, default=None,
+        help="learned slope-set size (default: match the current set)",
+    )
+    tune.add_argument(
+        "--apply", action="store_true",
+        help="rebuild the engine under the learned set into --out",
+    )
+    tune.add_argument(
+        "--out", default=None,
+        help="target data directory for --apply (must not exist or be "
+             "empty; must differ from --data-dir)",
+    )
+    tune.add_argument(
+        "--json", action="store_true", help="emit the report as JSON",
+    )
+
+    tune_bench = sub.add_parser(
+        "tune-bench",
+        help="fixed-S vs learned-S ablation benchmark (BENCH_tune.json)",
+        description=(
+            "Answer skewed and uniform slope traffic on the fig9-medium "
+            "relation with both the build-time slope set and one learned "
+            "from that traffic's slope log; report page accesses, T1/T2 "
+            "false hits and batch QPS per cell. Its counters section "
+            "feeds `repro bench-diff --mode floor` against "
+            "benchmarks/baselines/tune.json."
+        ),
+    )
+    tune_bench.add_argument(
+        "--out", default=None, help="write the JSON artifact here")
+    tune_bench.add_argument("--n", type=int, default=None,
+                            help="relation size (default 2000)")
+    tune_bench.add_argument("--size", default=None,
+                            choices=["small", "medium"])
+    tune_bench.add_argument("--k", type=int, default=None,
+                            help="slope-set size (default 3)")
+    tune_bench.add_argument("--seed", type=int, default=None)
+    tune_bench.add_argument("--queries", type=int, default=None,
+                            help="queries per family (default 240)")
+    tune_bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats, best-of (default 3)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -699,6 +798,10 @@ def main(argv: list[str] | None = None) -> int:
         return _shard_bench(args)
     if args.command == "vector-bench":
         return _vector_bench(args)
+    if args.command == "tune":
+        return _tune(args)
+    if args.command == "tune-bench":
+        return _tune_bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
     if args.command == "save":
@@ -1303,6 +1406,80 @@ def _vector_bench(args) -> int:
     return vector_bench.main(argv)
 
 
+def _tune(args) -> int:
+    import json
+
+    from repro.obs.slopelog import SlopeLog, SlopeLogSnapshot
+    from repro.storage.checkpoint import open_planner
+    from repro.tune import apply_tune, propose
+
+    if bool(args.queries) == bool(args.slope_log):
+        print("tune needs exactly one evidence source: --queries FILE "
+              "or --slope-log FILE", file=sys.stderr)
+        return 2
+    if args.apply and not args.out:
+        print("--apply needs --out DIR (the new data directory)",
+              file=sys.stderr)
+        return 2
+    if args.slope_log:
+        with open(args.slope_log, encoding="utf-8") as handle:
+            snapshot = SlopeLogSnapshot.from_dict(json.load(handle))
+    else:
+        log = SlopeLog()
+        for query in _parse_query_file(args.queries):
+            for slope in query.slope:
+                log.record(slope, query.query_type)
+        snapshot = log.snapshot()
+    planner = open_planner(args.data_dir)
+    try:
+        decision = propose(snapshot, planner.index.slopes, k=args.k)
+    finally:
+        planner.index.pager.disk.close()
+    report = decision.to_dict()
+    if args.apply:
+        apply_tune(args.data_dir, args.out, decision.learned)
+        report["applied_to"] = args.out
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    pred = decision.prediction
+    print(f"current S: {', '.join(f'{s:g}' for s in decision.current)}")
+    print(f"learned S: {', '.join(f'{s:g}' for s in decision.learned)}")
+    print(f"evidence: {decision.evidence} logged slopes")
+    print(f"predicted cost ratio: {pred['predicted_cost_ratio']:.3f} "
+          f"(expected nearest-anchor distance "
+          f"{pred['expected_distance_current']:.4f} -> "
+          f"{pred['expected_distance_learned']:.4f} rad)")
+    print(f"worthwhile: {decision.worthwhile}")
+    if args.apply:
+        print(f"rebuilt into {args.out} (answers preserved; source "
+              f"directory untouched)")
+    elif decision.worthwhile:
+        print("run again with --apply --out DIR to rebuild")
+    return 0
+
+
+def _tune_bench(args) -> int:
+    from repro.bench import tune_bench
+
+    argv = []
+    if args.out is not None:
+        argv += ["--out", args.out]
+    if args.n is not None:
+        argv += ["--n", str(args.n)]
+    if args.size is not None:
+        argv += ["--size", args.size]
+    if args.k is not None:
+        argv += ["--k", str(args.k)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.queries is not None:
+        argv += ["--queries", str(args.queries)]
+    if args.repeats is not None:
+        argv += ["--repeats", str(args.repeats)]
+    return tune_bench.main(argv)
+
+
 def _serve(args) -> int:  # pragma: no cover - run-forever loop (CI leg)
     import asyncio
 
@@ -1318,6 +1495,9 @@ def _serve(args) -> int:  # pragma: no cover - run-forever loop (CI leg)
         max_queue_depth=args.max_queue_depth,
         read_timeout=args.read_timeout,
         wal_checkpoint_bytes=int(args.wal_checkpoint_mb * (1 << 20)),
+        auto_tune=args.auto_tune,
+        tune_interval=args.tune_interval,
+        tune_min_evidence=args.tune_min_evidence,
     )
     asyncio.run(serve_until_interrupted(config, events_out=args.events_out))
     return 0

@@ -789,11 +789,17 @@ def _write_aggregates(
 
 
 def _directory_range(tree: BPlusTree, lo: float, hi: float) -> Iterator[int]:
-    """RIDs with assignment key in ``[lo, hi)``."""
+    """RIDs with assignment key in ``[lo, hi)`` — except that ``hi ==
+    +inf`` (the last leaf's ownership range) also admits keys exactly at
+    ``+inf``. Unbounded-above tuples carry ``TOP ≡ +inf`` strip
+    assignment keys, and the bulk build's ``searchsorted`` owner maps
+    them to the last leaf; the dynamic refresh must agree or those
+    tuples silently drop out of the refreshed aggregate and the T2
+    secondary sweep never runs for them (false dismissals)."""
     start = lo if math.isfinite(lo) else None
     for visit in tree.sweep_up(start):
         for key, rid in zip(visit.leaf.keys, visit.leaf.rids):
-            if key >= hi:
+            if key >= hi and not (hi == math.inf and key == math.inf):
                 return
             if lo == -math.inf or key >= lo:
                 yield rid

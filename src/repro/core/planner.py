@@ -27,6 +27,7 @@ from repro.core.dual_index import DualIndex
 from repro.core.query import ALL, EXIST, HalfPlaneQuery, QueryResult
 from repro.core.slope_set import SlopeSet
 from repro.errors import QueryError
+from repro.obs import slopelog
 from repro.obs import trace as obs
 from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.storage.pager import Pager
@@ -54,6 +55,10 @@ class DualIndexPlanner:
         self._batch_executor = None
         #: Set by :meth:`save`/:meth:`open`: the durable home directory.
         self.data_dir: str | None = None
+        #: When False this planner's queries stay out of the slope log
+        #: (shard-internal planners: the facade records each logical
+        #: query once, so fan-out copies must not inflate the counts).
+        self.slope_logging = True
 
     # ------------------------------------------------------------------
     # durability (see repro.storage.checkpoint and docs/STORAGE.md)
@@ -150,6 +155,8 @@ class DualIndexPlanner:
         """
         if query.dimension != 2:
             raise QueryError("DualIndexPlanner is 2-D; use DDimPlanner")
+        if self.slope_logging:
+            slopelog.record(query.slope_2d, query.query_type)
         if refresh and self.index.dynamic and self._has_dirty_leaves():
             with obs.span("maintain", pager=self.index.pager):
                 self.index.refresh_handicaps()

@@ -42,6 +42,7 @@ from repro.exec.cache import CacheKey, QueryResultCache, cache_key
 from repro.exec.grouping import ExactGroup, VectorGroup, group_queries
 from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.geometry.vectorized import DualSurface
+from repro.obs import slopelog
 from repro.obs import trace as obs
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.storage.heap import rid_pages, unpack_rid
@@ -146,9 +147,12 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     def execute(self, queries: Sequence[HalfPlaneQuery]) -> BatchResult:
         """Answer every query in the batch; results align with inputs."""
+        log_slopes = self.planner.slope_logging
         for query in queries:
             if query.dimension != 2:
                 raise QueryError("BatchExecutor is 2-D; use DDimPlanner")
+            if log_slopes:
+                slopelog.record(query.slope_2d, query.query_type)
         if self.planner.index.dynamic and self.planner._has_dirty_leaves():
             with obs.span("maintain", pager=self.index.pager):
                 self.index.refresh_handicaps()

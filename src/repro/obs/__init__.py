@@ -64,6 +64,11 @@ from repro.obs.metrics import (
     RegistrySnapshot,
     get_registry,
 )
+from repro.obs.slopelog import (
+    SlopeLog,
+    SlopeLogSnapshot,
+    logging_slopes,
+)
 from repro.obs.trace import (
     QueryTrace,
     Span,
@@ -92,6 +97,9 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "SlopeLog",
+    "SlopeLogSnapshot",
+    "logging_slopes",
     "QueryTrace",
     "Span",
     "current",

@@ -1,0 +1,263 @@
+"""The slope log: a bounded sink of observed query slopes.
+
+Theorems 4.1/4.2 price T1/T2 exactly by how far query slopes sit from
+their nearest member of the restricted slope set ``S``, so the one
+signal an adaptive index needs from production traffic is the *slope
+distribution* of the queries it answers. This module records it with
+the same discipline as the rest of :mod:`repro.obs`:
+
+* **zero overhead when disabled** — the hot-path hook
+  (:func:`record`) mirrors :mod:`repro.obs.trace`: one module-global
+  load and a ``None`` check, nothing else touched, answers never
+  affected;
+* **bounded** — a reservoir (Vitter's algorithm R) keeps an unbiased
+  sample of at most ``capacity`` raw slopes, alongside an exact
+  fixed-bin streaming histogram in angle space (``atan`` of the slope,
+  so arbitrarily steep traffic still bins finitely);
+* **drainable** — :meth:`SlopeLog.snapshot` yields a picklable
+  :class:`SlopeLogSnapshot` that merges associatively across shards and
+  serve workers, exactly like
+  :class:`~repro.obs.metrics.RegistrySnapshot`.
+
+While enabled the log also reports through the global registry as
+``slope_log_records`` / ``slope_log_sampled_out`` counters.
+
+Example::
+
+    >>> from repro.obs import slopelog
+    >>> log = slopelog.SlopeLog(capacity=8, seed=1)
+    >>> with slopelog.logging_slopes(log):
+    ...     slopelog.record(0.5, "EXIST")
+    ...     slopelog.record(-2.0, "ALL")
+    >>> sorted(log.snapshot().samples)
+    [-2.0, 0.5]
+    >>> slopelog.record(99.0, "EXIST")   # disabled again: a no-op
+    >>> log.count
+    2
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.obs.metrics import get_registry
+
+#: Fixed bin count of the streaming angle histogram. Bins partition
+#: the open angle interval (-pi/2, pi/2); the histogram is exact (every
+#: record lands in a bin) even when the reservoir has sampled out.
+N_BINS = 64
+
+_HALF_PI = math.pi / 2.0
+
+
+def bin_of(slope: float) -> int:
+    """The angle-histogram bin of one slope value."""
+    angle = math.atan(slope)
+    i = int((angle + _HALF_PI) / math.pi * N_BINS)
+    return min(max(i, 0), N_BINS - 1)
+
+
+def bin_center_slope(i: int) -> float:
+    """The slope at the centre of bin ``i`` (inverse of :func:`bin_of`)."""
+    angle = -_HALF_PI + (i + 0.5) * math.pi / N_BINS
+    return math.tan(angle)
+
+
+@dataclass
+class SlopeLogSnapshot:
+    """Plain-data, mergeable state of a :class:`SlopeLog`.
+
+    ``samples`` is the reservoir (an unbiased sample of everything
+    recorded; *all* of it while ``count <= capacity``); ``bins`` is the
+    exact angle histogram; ``by_type`` counts records per query type.
+    Snapshots pickle across process boundaries and merge associatively,
+    so per-shard / per-worker logs drain the same way registry
+    snapshots do.
+    """
+
+    capacity: int
+    count: int = 0
+    samples: list[float] = field(default_factory=list)
+    bins: list[int] = field(default_factory=lambda: [0] * N_BINS)
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "SlopeLogSnapshot") -> "SlopeLogSnapshot":
+        """Accumulate ``other`` into this snapshot (returns ``self``).
+
+        While the combined reservoirs fit the capacity the merge is
+        lossless (plain concatenation); beyond that a deterministic
+        weighted subsample (Efraimidis–Spirakis A-Res keyed by each
+        side's sampling weight) keeps the result unbiased.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"cannot merge slope logs with capacity {other.capacity} "
+                f"into {self.capacity}"
+            )
+        pooled = len(self.samples) + len(other.samples)
+        if pooled <= self.capacity:
+            merged = self.samples + other.samples
+        else:
+            rng = random.Random((self.count, other.count, pooled))
+            weighted: list[tuple[float, float]] = []
+            for snap in (self, other):
+                w = snap.count / max(len(snap.samples), 1)
+                for s in snap.samples:
+                    weighted.append((rng.random() ** (1.0 / w), s))
+            weighted.sort(reverse=True)
+            merged = [s for _key, s in weighted[: self.capacity]]
+        self.samples = merged
+        self.count += other.count
+        self.bins = [a + b for a, b in zip(self.bins, other.bins)]
+        for qtype, n in other.by_type.items():
+            self.by_type[qtype] = self.by_type.get(qtype, 0) + n
+        return self
+
+    @property
+    def lossless(self) -> bool:
+        """True while the reservoir still holds every recorded slope."""
+        return len(self.samples) == self.count
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "capacity": self.capacity,
+            "count": self.count,
+            "samples": list(self.samples),
+            "bins": list(self.bins),
+            "by_type": dict(sorted(self.by_type.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "SlopeLogSnapshot":
+        return cls(
+            capacity=int(doc["capacity"]),
+            count=int(doc["count"]),
+            samples=[float(s) for s in doc["samples"]],
+            bins=[int(b) for b in doc["bins"]],
+            by_type=dict(doc["by_type"]),
+        )
+
+
+class SlopeLog:
+    """A bounded recorder of observed query slopes.
+
+    ``capacity`` bounds the reservoir; ``seed`` makes the sampling
+    deterministic (tests, replayable tuning decisions). The log itself
+    is cheap enough to sit on the per-query hot path *when enabled*;
+    when no log is installed the module-level :func:`record` hook never
+    reaches it.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("slope log capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self._samples: list[float] = []
+        self._bins = [0] * N_BINS
+        self._by_type: dict[str, int] = {}
+        self._rng = random.Random(seed)
+        registry = get_registry()
+        self._records = registry.counter(
+            "slope_log_records", "Query slopes recorded by the slope log"
+        )
+        self._sampled_out = registry.counter(
+            "slope_log_sampled_out",
+            "Slope-log records beyond the reservoir capacity "
+            "(histogram still exact)",
+        )
+
+    def record(self, slope: float, query_type: str = "") -> None:
+        """Record one observed query slope (must be finite)."""
+        if not math.isfinite(slope):
+            return
+        self.count += 1
+        self._records.inc()
+        self._bins[bin_of(slope)] += 1
+        if query_type:
+            self._by_type[query_type] = self._by_type.get(query_type, 0) + 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(slope)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self._samples[j] = slope
+            self._sampled_out.inc()
+
+    def record_many(self, slopes: Sequence[float], query_type: str = "") -> None:
+        for s in slopes:
+            self.record(s, query_type)
+
+    def snapshot(self) -> SlopeLogSnapshot:
+        """A picklable copy of the current state."""
+        return SlopeLogSnapshot(
+            capacity=self.capacity,
+            count=self.count,
+            samples=list(self._samples),
+            bins=list(self._bins),
+            by_type=dict(self._by_type),
+        )
+
+    def drain(self) -> SlopeLogSnapshot:
+        """Snapshot then reset — the per-shard / per-worker drain unit."""
+        snap = self.snapshot()
+        self.count = 0
+        self._samples = []
+        self._bins = [0] * N_BINS
+        self._by_type = {}
+        return snap
+
+    def absorb(self, snap: SlopeLogSnapshot) -> None:
+        """Merge a drained snapshot back into this log."""
+        merged = self.snapshot().merge(snap)
+        self.count = merged.count
+        self._samples = merged.samples
+        self._bins = merged.bins
+        self._by_type = merged.by_type
+
+
+# ----------------------------------------------------------------------
+# the module-level hot-path hook (mirrors repro.obs.trace)
+# ----------------------------------------------------------------------
+_ACTIVE: SlopeLog | None = None
+
+
+def active() -> SlopeLog | None:
+    """The installed slope log, or ``None`` when logging is disabled."""
+    return _ACTIVE
+
+
+def record(slope: float, query_type: str = "") -> None:
+    """Hot-path hook: record one query slope into the active log.
+
+    When no log is installed this is one global load and a ``None``
+    check — observability must never change answers or cost accounting.
+    """
+    log = _ACTIVE
+    if log is None:
+        return
+    log.record(slope, query_type)
+
+
+def install(log: SlopeLog | None) -> SlopeLog | None:
+    """Install (or, with ``None``, remove) the process-wide slope log;
+    returns the previously installed one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = log
+    return previous
+
+
+@contextmanager
+def logging_slopes(log: SlopeLog) -> Iterator[SlopeLog]:
+    """Scope-install a slope log (restores the previous one on exit)."""
+    previous = install(log)
+    try:
+        yield log
+    finally:
+        install(previous)

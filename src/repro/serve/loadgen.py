@@ -11,9 +11,13 @@ Two standard load models:
   keep up, the generator does not slow down, and OVERLOADED responses
   (counted, not failed) are the expected outcome.
 
-The report is plain JSON: request counts, elapsed wall time, QPS, and
+The report is plain JSON: request counts, elapsed wall time, QPS,
 p50/p90/p99 latency — the shape ``repro bench-diff --mode floor``
-gates on.
+gates on — plus a per-op slope histogram of the issued traffic
+(:func:`slope_summary`), the client-side view of the slope
+distribution the server's own slope log sees. Comparing the two is the
+quick sanity check that a ``repro tune`` decision was driven by the
+traffic you think you sent.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import time
 from typing import Sequence
 
 from repro.core.query import HalfPlaneQuery
+from repro.obs.slopelog import bin_center_slope, bin_of
 from repro.serve.client import ReproClient
 
 
@@ -32,6 +37,40 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     index = min(len(sorted_values) - 1,
                 max(0, round(fraction * (len(sorted_values) - 1))))
     return sorted_values[index]
+
+
+def slope_summary(queries: Sequence[HalfPlaneQuery],
+                  top: int = 8) -> dict:
+    """Per-op slope histogram of a query mix (angle-space bins).
+
+    Bins match :mod:`repro.obs.slopelog` (``atan`` of the slope over 64
+    fixed bins), so this client-side summary lines up bin-for-bin with
+    the server's slope log. Per query type the report carries the total
+    count and the ``top`` heaviest bins as ``{bin, center_slope,
+    count}`` rows, heaviest first.
+    """
+    per_op: dict[str, dict[int, int]] = {}
+    for query in queries:
+        bins = per_op.setdefault(query.query_type, {})
+        for slope in query.slope:
+            bins[bin_of(slope)] = bins.get(bin_of(slope), 0) + 1
+    out: dict[str, dict] = {}
+    for op, bins in sorted(per_op.items()):
+        heaviest = sorted(
+            bins.items(), key=lambda item: (-item[1], item[0]))[:top]
+        out[op] = {
+            "count": sum(bins.values()),
+            "distinct_bins": len(bins),
+            "top_bins": [
+                {
+                    "bin": i,
+                    "center_slope": round(bin_center_slope(i), 6),
+                    "count": n,
+                }
+                for i, n in heaviest
+            ],
+        }
+    return out
 
 
 def summarize(latencies_s: list[float]) -> dict:
@@ -89,6 +128,7 @@ async def run_loadgen(
         "elapsed_s": elapsed,
         "qps": completed / elapsed if elapsed > 0 else 0.0,
         "latency_ms": summarize(latencies),
+        "slopes": slope_summary(queries),
     }
 
 

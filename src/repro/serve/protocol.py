@@ -23,7 +23,7 @@ in any order. Request envelope::
      "intercept": 2.0, "theta": ">="}
 
 Other ops: ``ping``, ``stats``, ``insert``, ``delete``, ``commit``,
-``reload``, ``shutdown``. Responses are ``{"id", "ok": true, ...}`` or
+``reload``, ``tune``, ``shutdown``. Responses are ``{"id", "ok": true, ...}`` or
 ``{"id", "ok": false, "error": {"code", "message"}}`` with codes
 ``BAD_REQUEST | OVERLOADED | UNSUPPORTED | SHUTTING_DOWN | INTERNAL``.
 
@@ -72,7 +72,7 @@ ERROR_CODES = (
 #: Request operations the server understands.
 OPS = (
     "query", "ping", "stats", "insert", "delete",
-    "commit", "reload", "shutdown",
+    "commit", "reload", "tune", "shutdown",
 )
 
 
@@ -208,6 +208,9 @@ def validate_request(obj: dict) -> dict:
             raise ProtocolError(
                 "insert request 'tuple' must be a list of constraint "
                 "triples")
+    elif op == "tune":
+        if "apply" in obj and not isinstance(obj["apply"], bool):
+            raise ProtocolError("tune request 'apply' must be a boolean")
     return obj
 
 

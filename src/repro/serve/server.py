@@ -44,6 +44,7 @@ from repro.errors import (
     QueryError,
     ReproError,
 )
+from repro.obs import slopelog
 from repro.obs import trace as obs
 from repro.obs.events import get_event_log
 from repro.obs.metrics import get_registry
@@ -93,6 +94,18 @@ class ServeConfig:
     #: WAL size that triggers an automatic checkpoint after a mutation.
     wal_checkpoint_bytes: int = 4 << 20
     columnar: bool | None = None
+    #: Online slope-set tuning (``--auto-tune``): periodically learn a
+    #: slope set from the served traffic's slope log and, when the cost
+    #: model predicts a real win, rebuild on a background thread and
+    #: hot-swap behind the engine-thread drain. The ``tune`` op works
+    #: regardless; this flag only enables the periodic loop.
+    auto_tune: bool = False
+    #: Seconds between auto-tune checks.
+    tune_interval: float = 5.0
+    #: Minimum logged queries before a tune decision is attempted.
+    tune_min_evidence: int = 64
+    #: Slope-log reservoir capacity.
+    tune_capacity: int = 4096
 
 
 class ReproServer:
@@ -123,6 +136,14 @@ class ReproServer:
         self._draining = False
         self._conn_tasks: set[asyncio.Task] = set()
         self._events = get_event_log()
+        #: Traffic slope log feeding ``tune`` / auto-tune decisions.
+        self._slope_log = slopelog.SlopeLog(capacity=config.tune_capacity)
+        self._prev_slope_log: slopelog.SlopeLog | None = None
+        #: Bumped on the engine thread per mutation; a tune rebuild that
+        #: raced a mutation is detected and discarded at swap time.
+        self._mutation_seq = 0
+        self._tune_seq = 0
+        self._tune_task: asyncio.Task | None = None
         registry = get_registry()
         self._c_requests = registry.counter(
             "serve_requests", "Requests received", labelnames=("op",))
@@ -137,6 +158,13 @@ class ReproServer:
             "Automatic WAL-threshold checkpoints")
         self._c_timeouts = registry.counter(
             "serve_timeouts", "Connections dropped on read timeout")
+        self._c_tune_swaps = registry.counter(
+            "tune_swaps",
+            "Engines hot-swapped to a learned slope set while serving")
+        self._c_tune_skips = registry.counter(
+            "tune_skipped",
+            "Tune checks that declined to rebuild",
+            labelnames=("reason",))
         self._c_disconnects = registry.counter(
             "serve_disconnects", "Connections that ended mid-frame")
         self._g_inflight = registry.gauge(
@@ -198,6 +226,11 @@ class ReproServer:
             # Non-main thread (embedded/test servers) or platforms
             # without signal support: reload stays available as an op.
             pass
+        # Record served query slopes for the tune op; the hook costs one
+        # global load per query, and the log is bounded.
+        self._prev_slope_log = slopelog.install(self._slope_log)
+        if self.config.auto_tune:
+            self._tune_task = loop.create_task(self._auto_tune_loop())
         self._events.emit(
             "serve", "start", host=self.config.host, port=self.port)
 
@@ -208,6 +241,14 @@ class ReproServer:
     async def stop(self) -> None:
         """Drain: stop accepting, finish in-flight work, close engine."""
         self._draining = True
+        if self._tune_task is not None:
+            self._tune_task.cancel()
+            try:
+                await self._tune_task
+            except asyncio.CancelledError:
+                pass
+            self._tune_task = None
+        slopelog.install(self._prev_slope_log)
         for server in (self._server, self._metrics_server):
             if server is not None:
                 server.close()
@@ -253,6 +294,130 @@ class ReproServer:
         self._events.emit("serve", "reload", data_dir=self.config.data_dir)
 
     # ------------------------------------------------------------------
+    # online retune
+    # ------------------------------------------------------------------
+    def _current_slopes(self):
+        engine = self._engine
+        planner = engine.planners[0] if hasattr(engine, "planners") \
+            else engine
+        return planner.index.slopes
+
+    async def tune(self, apply: bool = False) -> dict:
+        """Learn a slope set from the served traffic; with ``apply``,
+        rebuild and hot-swap when the cost model predicts a win.
+
+        The decision (``repro.tune.propose``) is pure and works on any
+        engine; applying is supported on single-planner engines only.
+        The rebuild never runs on the engine thread — queries keep
+        flowing — and the swap itself does, so it serializes behind
+        every in-flight batch exactly like a SIGHUP reload: no query
+        ever observes a half-swapped engine or gets dropped.
+        """
+        from repro.tune import propose
+
+        snapshot = self._slope_log.snapshot()
+        if snapshot.count < self.config.tune_min_evidence:
+            self._c_tune_skips.labels(reason="evidence").inc()
+            return {
+                "tuned": False,
+                "reason": "evidence",
+                "evidence": snapshot.count,
+                "required": self.config.tune_min_evidence,
+            }
+        current = self._current_slopes()
+        loop = asyncio.get_running_loop()
+        decision = await loop.run_in_executor(
+            None, lambda: propose(snapshot, current))
+        report = {"tuned": False, "decision": decision.to_dict()}
+        if not apply:
+            return report
+        if not decision.worthwhile:
+            self._c_tune_skips.labels(reason="not_worthwhile").inc()
+            report["reason"] = "not_worthwhile"
+            return report
+        if await self._apply_decision(decision):
+            # Evidence is consumed: the next decision must be earned by
+            # fresh traffic measured against the *new* slope set.
+            self._slope_log.drain()
+            self._c_tune_swaps.inc()
+            report["tuned"] = True
+            self._events.emit(
+                "serve", "tune-swap", slopes=list(decision.learned),
+                evidence=decision.evidence)
+        else:
+            self._c_tune_skips.labels(reason="mutated").inc()
+            report["reason"] = "mutated"
+        return report
+
+    async def _apply_decision(self, decision) -> bool:
+        """Rebuild to ``decision.learned`` off-thread, hot-swap on the
+        engine thread. Returns False if a mutation raced the rebuild
+        (the stale rebuild is discarded; the next cycle retries)."""
+        from repro.tune import rebuild_planner, relation_from_planner
+
+        if hasattr(self._engine, "planners"):
+            raise QueryError(
+                "online retune is not supported on a sharded engine")
+        planner = self._engine
+        loop = asyncio.get_running_loop()
+
+        def _extract():
+            return relation_from_planner(planner), self._mutation_seq
+
+        # Extraction serializes behind in-flight batches and mutations.
+        relation, seq_before = await loop.run_in_executor(
+            self._exec, _extract)
+        # The rebuild touches only the extracted copy: run it on the
+        # default pool so queries keep draining on the engine thread.
+        fresh = await loop.run_in_executor(
+            None,
+            lambda: rebuild_planner(
+                planner, decision.learned, relation=relation))
+        out_dir = None
+        if self.config.data_dir:
+            # Persist the tuned engine as a sibling data-dir (rollback =
+            # keep pointing at the old one) and reopen from it, so the
+            # swapped-in engine is WAL-backed and commits/reloads/
+            # auto-checkpoints follow the swap.
+            self._tune_seq += 1
+            out_dir = f"{self.config.data_dir.rstrip('/')}" \
+                      f"-tuned{self._tune_seq}"
+
+            def _persist():
+                fresh.save(out_dir)
+                return open_engine(out_dir, columnar=self.config.columnar)
+
+            fresh = await loop.run_in_executor(None, _persist)
+
+        def _swap():
+            if self._mutation_seq != seq_before:
+                _close_engine(fresh)
+                return False
+            stale, self._engine = self._engine, fresh
+            if out_dir is not None:
+                self.config.data_dir = out_dir
+            if self._owns_engine:
+                _close_engine(stale)
+            self._owns_engine = True
+            return True
+
+        return await loop.run_in_executor(self._exec, _swap)
+
+    async def _auto_tune_loop(self) -> None:
+        """The ``--auto-tune`` background cadence."""
+        try:
+            while True:
+                await asyncio.sleep(self.config.tune_interval)
+                try:
+                    await self.tune(apply=True)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    self._c_tune_skips.labels(reason="error").inc()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
     # engine thread
     # ------------------------------------------------------------------
     def _note_flush(self, size: int) -> None:
@@ -275,6 +440,7 @@ class ReproServer:
 
         def _run():
             result = fn()
+            self._mutation_seq += 1
             checkpointed = False
             planner = self._engine
             if (
@@ -469,6 +635,9 @@ class ReproServer:
         if op == "reload":
             await self.reload()
             return {"ok": True, "reloaded": True}
+        if op == "tune":
+            report = await self.tune(apply=bool(request.get("apply")))
+            return {"ok": True, **report}
         if op == "shutdown":
             # Acknowledge first; the drain starts a beat later so this
             # response reaches the client before connections close.

@@ -46,6 +46,7 @@ from repro.core.slope_set import SlopeSet
 from repro.errors import IndexError_
 from repro.exec.executor import BatchExecutor, BatchResult
 from repro.obs import trace as obs
+from repro.obs import slopelog
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.storage.pager import Pager
 from repro.storage.stats import IOStats
@@ -114,6 +115,12 @@ class ShardedDualIndex:
         #: ``shard_*{shard=i}`` labeled series (see
         #: :meth:`_drain_shard_metrics`).
         self._shard_registries = [MetricsRegistry() for _ in self.planners]
+        # Shard-internal planners stay out of the slope log: every shard
+        # sees the same broadcast stream, so the facade records each
+        # logical query exactly once (identically for thread and process
+        # fan-out, whose workers could not drain a forked log back).
+        for p in self.planners:
+            p.slope_logging = False
 
     # ------------------------------------------------------------------
     # durability (see repro.storage.checkpoint and docs/STORAGE.md)
@@ -233,6 +240,7 @@ class ShardedDualIndex:
         """Fan one query out to every shard and merge (union of ids,
         summed accounting). The answer is bit-identical to the
         unsharded planner's on the same relation."""
+        slopelog.record(query.slope_2d, query.query_type)
         with obs.span("shard.fanout", shards=self.shards,
                       type=query.query_type):
             obs.incr("shard_fanout.queries")
@@ -247,6 +255,8 @@ class ShardedDualIndex:
         """Fan a whole batch out to per-shard batch executors and merge
         per-position results plus batch-scope accounting."""
         queries = list(queries)
+        for q in queries:
+            slopelog.record(q.slope_2d, q.query_type)
         if (
             self.fanout == "process"
             and self.shards > 1

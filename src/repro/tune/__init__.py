@@ -1,0 +1,39 @@
+"""Adaptive slope-set tuning from observed query traffic.
+
+Theorems 4.1/4.2 price T1/T2 directly by the distance between a query's
+slope and its nearest member of the restricted slope set ``S`` — a
+build-time ``S`` is optimal only for the traffic the builder guessed.
+This package closes the loop over the :mod:`repro.obs.slopelog` sink:
+
+* :mod:`repro.tune.learner` — exact 1-D k-medoids (weighted L1
+  breakpoint clustering in angle space) over logged slopes;
+* :mod:`repro.tune.cost` — the predicted-cost model: expected
+  nearest-anchor distance under the logged distribution, so
+  ``repro tune`` reports the win *before* any rebuild;
+* :mod:`repro.tune.retune` — offline rebuild-to-learned-``S``
+  (``repro tune --apply`` via the checkpoint path) and the engine-side
+  pieces the serve layer's ``--auto-tune`` hot-swap uses.
+
+See ``docs/TUNING.md`` for the full lifecycle.
+"""
+
+from repro.tune.cost import expected_distance, predicted_improvement
+from repro.tune.learner import learn_slopes
+from repro.tune.retune import (
+    TuneDecision,
+    apply_tune,
+    propose,
+    rebuild_planner,
+    relation_from_planner,
+)
+
+__all__ = [
+    "TuneDecision",
+    "apply_tune",
+    "expected_distance",
+    "learn_slopes",
+    "predicted_improvement",
+    "propose",
+    "rebuild_planner",
+    "relation_from_planner",
+]

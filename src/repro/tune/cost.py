@@ -1,0 +1,91 @@
+"""The predicted-cost model: what a candidate slope set would cost.
+
+Theorems 4.1/4.2 bound the T1/T2 overhead beyond the output size by
+terms proportional to the distance between the query slope and its
+nearest member of ``S`` (the extra sweep covers exactly the tuples
+whose dual surfaces cross between the two slopes). The model therefore
+scores a candidate ``S`` by the *expected nearest-anchor distance in
+angle space* under the logged traffic distribution — cheap enough to
+evaluate for many candidates, monotone in the quantity the theorems
+price, and requiring no rebuild.
+
+The model deliberately reports a dimensionless ratio rather than page
+counts: the constant linking angle distance to pages depends on the
+data distribution, and ``repro tune-bench`` measures that empirically.
+Slopes within ``SLOPE_TOL`` of a member take the exact path (zero
+extra sweep), which the expectation captures as a distance of 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.slope_set import SlopeSet
+from repro.obs.slopelog import SlopeLogSnapshot
+
+
+def _angle_points(
+    snapshot: SlopeLogSnapshot | Sequence[float],
+) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(snapshot, SlopeLogSnapshot):
+        from repro.tune.learner import _weighted_points
+
+        return _weighted_points(snapshot)
+    finite = [s for s in snapshot if math.isfinite(s)]
+    return np.arctan(np.asarray(finite, dtype=np.float64)), np.ones(len(finite))
+
+
+def expected_distance(
+    snapshot: SlopeLogSnapshot | Sequence[float],
+    slopes: SlopeSet | Sequence[float],
+) -> float:
+    """Expected angle distance from a logged query slope to its nearest
+    member of ``slopes`` — the per-query cost surrogate of Theorems
+    4.1/4.2. Returns 0.0 when nothing was logged.
+
+    >>> from repro.tune.cost import expected_distance
+    >>> expected_distance([0.5, 0.5, 0.5], [0.5, 2.0])
+    0.0
+    >>> round(expected_distance([1.0], [0.0]), 6)
+    0.785398
+    """
+    angles, weights = _angle_points(snapshot)
+    if len(angles) == 0 or weights.sum() == 0:
+        return 0.0
+    anchors = np.arctan(np.asarray(list(slopes), dtype=np.float64))
+    dist = np.abs(angles[:, None] - anchors[None, :]).min(axis=1)
+    return float((dist * weights).sum() / weights.sum())
+
+
+def predicted_improvement(
+    snapshot: SlopeLogSnapshot | Sequence[float],
+    current: SlopeSet | Sequence[float],
+    learned: SlopeSet | Sequence[float],
+) -> dict:
+    """Score ``learned`` against ``current`` under the logged traffic.
+
+    Returns a JSON-ready report: both expected distances, the predicted
+    cost ratio (``learned / current``; < 1 means the rebuild should
+    win), and the fraction of logged traffic that would hit the exact
+    path (distance ~ 0) under each set.
+    """
+    angles, weights = _angle_points(snapshot)
+    report = {
+        "expected_distance_current": expected_distance(snapshot, current),
+        "expected_distance_learned": expected_distance(snapshot, learned),
+    }
+    cur = report["expected_distance_current"]
+    new = report["expected_distance_learned"]
+    report["predicted_cost_ratio"] = (new / cur) if cur > 0 else 1.0
+    for label, slope_set in (("current", current), ("learned", learned)):
+        if len(angles) == 0:
+            report[f"exact_fraction_{label}"] = 0.0
+            continue
+        anchors = np.arctan(np.asarray(list(slope_set), dtype=np.float64))
+        dist = np.abs(angles[:, None] - anchors[None, :]).min(axis=1)
+        exact = weights[dist < 1e-9].sum()
+        report[f"exact_fraction_{label}"] = float(exact / weights.sum())
+    return report

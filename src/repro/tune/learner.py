@@ -1,0 +1,222 @@
+"""The slope-set learner: exact 1-D k-medoids over logged slopes.
+
+Clustering happens in *angle* space (``atan`` of the slope): slope
+space distorts badly toward vertical — the distance between slopes 10
+and 100 is huge in slope units but tiny in sweep-cost terms — and the
+paper's own default sets (:meth:`SlopeSet.uniform_angles`) are
+angle-uniform for the same reason.
+
+The optimiser is weighted 1-D k-medians solved exactly by dynamic
+programming over breakpoints: for points on a line, optimal L1 clusters
+are contiguous runs, so ``D[j][i] = min_l D[j-1][l] + cost(l, i)`` with
+``cost`` the weighted-median absolute deviation of one run. Each
+centre is then snapped to the nearest *observed* slope (medoids, not
+synthetic means), which keeps hot exact-path slopes exactly in ``S``
+(``SLOPE_TOL`` membership is ``1e-12`` — a mean would miss it).
+
+Input comes from a :class:`~repro.obs.slopelog.SlopeLogSnapshot`: the
+reservoir gives unbiased raw slopes; when the reservoir has sampled out
+the exact angle histogram supplies the weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.slope_set import SlopeSet
+from repro.errors import ReproError
+from repro.obs.slopelog import SlopeLogSnapshot, bin_center_slope
+
+#: Cap on distinct weighted points fed to the O(n^2 k) DP; beyond it,
+#: points collapse into equal-frequency groups first.
+MAX_POINTS = 512
+
+#: Keep learned slopes inside atan-space margins, away from vertical
+#: (matches :meth:`SlopeSet.uniform_angles`'s ``vertical_margin``).
+VERTICAL_MARGIN = 0.05
+
+#: Minimum separation between learned slopes, in angle space. Medoids
+#: closer than this merge (a slope set with near-duplicate members
+#: wastes trees without shrinking any sweep).
+MIN_ANGLE_GAP = 1e-4
+
+
+class TuneError(ReproError):
+    """A slope set could not be learned from the given evidence."""
+
+
+def _weighted_points(
+    snapshot: SlopeLogSnapshot,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(angles, weights) from a snapshot — reservoir samples weighted
+    uniformly while lossless, histogram bins otherwise."""
+    if snapshot.samples and snapshot.lossless:
+        angles = np.arctan(np.asarray(snapshot.samples, dtype=np.float64))
+        weights = np.ones(len(angles))
+    elif snapshot.samples:
+        # Sampled-out reservoir: still unbiased, but rescale each sample
+        # by the true traffic volume so cost predictions stay absolute.
+        angles = np.arctan(np.asarray(snapshot.samples, dtype=np.float64))
+        weights = np.full(len(angles), snapshot.count / len(angles))
+    else:
+        centers = [bin_center_slope(i) for i in range(len(snapshot.bins))]
+        angles = np.arctan(np.asarray(centers, dtype=np.float64))
+        weights = np.asarray(snapshot.bins, dtype=np.float64)
+        keep = weights > 0
+        angles, weights = angles[keep], weights[keep]
+    return angles, weights
+
+
+def _compress(
+    angles: np.ndarray, weights: np.ndarray, max_points: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort, merge duplicates, and (if still too many) collapse into
+    equal-frequency groups represented by their weighted medians."""
+    order = np.argsort(angles, kind="stable")
+    angles, weights = angles[order], weights[order]
+    uniq, inverse = np.unique(angles, return_inverse=True)
+    merged = np.zeros(len(uniq))
+    np.add.at(merged, inverse, weights)
+    angles, weights = uniq, merged
+    if len(angles) <= max_points:
+        return angles, weights
+    cum = np.cumsum(weights)
+    edges = np.searchsorted(
+        cum, np.linspace(0, cum[-1], max_points + 1)[1:-1], side="left"
+    )
+    groups = np.split(np.arange(len(angles)), np.unique(edges + 1))
+    out_a, out_w = [], []
+    for g in groups:
+        if len(g) == 0:
+            continue
+        w = weights[g]
+        half = w.sum() / 2.0
+        median = angles[g[np.searchsorted(np.cumsum(w), half)]]
+        out_a.append(median)
+        out_w.append(w.sum())
+    return np.asarray(out_a), np.asarray(out_w)
+
+
+def _segment_costs(angles: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``C[l, r]`` = weighted L1 cost of serving points ``l..r``
+    (inclusive) from their weighted median, for all segments at once."""
+    n = len(angles)
+    pw = np.concatenate([[0.0], np.cumsum(weights)])
+    pwx = np.concatenate([[0.0], np.cumsum(weights * angles)])
+    C = np.zeros((n, n))
+    for left in range(n):
+        w = pw[left + 1 :] - pw[left]  # noqa: E203 - numpy slice style
+        half = w / 2.0
+        cumw = np.cumsum(weights[left:])
+        med_idx = left + np.searchsorted(cumw, half, side="left")
+        m = angles[med_idx]
+        # cost = m*(weight left of median) - (sum left) + (sum right) - m*(weight right)
+        wl = pw[med_idx + 1] - pw[left]
+        xl = pwx[med_idx + 1] - pwx[left]
+        wr = (pw[left + 1 :] - pw[left]) - wl  # noqa: E203
+        xr = (pwx[left + 1 :] - pwx[left]) - xl  # noqa: E203
+        C[left, left:] = m * wl - xl + (xr - m * wr)
+    return C
+
+
+def _kmedians(
+    angles: np.ndarray, weights: np.ndarray, k: int
+) -> tuple[list[float], float]:
+    """Exact weighted 1-D k-medians: returns (centres, total cost)."""
+    n = len(angles)
+    C = _segment_costs(angles, weights)
+    # D[j][i]: best cost of covering points 0..i with j+1 clusters.
+    D = np.full((k, n), np.inf)
+    split = np.zeros((k, n), dtype=np.int64)
+    D[0] = C[0]
+    for j in range(1, k):
+        for i in range(j, n):
+            options = D[j - 1, j - 1 : i] + C[j:i + 1, i]  # noqa: E203
+            best = int(np.argmin(options))
+            D[j, i] = options[best]
+            split[j, i] = best + j
+    centres: list[float] = []
+    i = n - 1
+    for j in range(k - 1, -1, -1):
+        left = int(split[j, i]) if j else 0
+        seg_w = weights[left : i + 1]  # noqa: E203
+        half = seg_w.sum() / 2.0
+        med = angles[left + np.searchsorted(np.cumsum(seg_w), half)]
+        centres.append(float(med))
+        i = left - 1
+    centres.reverse()
+    return centres, float(D[k - 1, n - 1])
+
+
+def learn_slopes(
+    snapshot: SlopeLogSnapshot | Sequence[float],
+    k: int = 4,
+    vertical_margin: float = VERTICAL_MARGIN,
+) -> SlopeSet:
+    """Learn a ``k``-member slope set from logged traffic.
+
+    ``snapshot`` is a :class:`SlopeLogSnapshot` (or, for convenience, a
+    raw slope sequence). Returns a :class:`SlopeSet` of medoid slopes —
+    every member is an actually observed slope (or a histogram bin
+    centre once the reservoir has sampled out), so traffic concentrated
+    on few slopes gets them *exactly*, turning those queries into
+    zero-false-hit exact-path lookups.
+
+    Raises :class:`TuneError` when there is no evidence to learn from
+    or ``k < 2`` (T2's interior technique needs at least two slopes).
+
+    >>> from repro.tune.learner import learn_slopes
+    >>> s = learn_slopes([0.5] * 90 + [-2.0] * 10, k=2)
+    >>> list(s)
+    [-2.0, 0.5]
+    """
+    if k < 2:
+        raise TuneError("a slope set needs at least 2 members (got k=%d)" % k)
+    if isinstance(snapshot, SlopeLogSnapshot):
+        angles, weights = _weighted_points(snapshot)
+        observed = (
+            snapshot.samples
+            if snapshot.samples
+            else [bin_center_slope(i) for i in range(len(snapshot.bins))
+                  if snapshot.bins[i] > 0]
+        )
+    else:
+        observed = [s for s in snapshot if math.isfinite(s)]
+        angles = np.arctan(np.asarray(observed, dtype=np.float64))
+        weights = np.ones(len(angles))
+    if len(angles) == 0:
+        raise TuneError("no logged slopes to learn from")
+    limit = math.pi / 2.0 - vertical_margin
+    angles = np.clip(angles, -limit, limit)
+    angles, weights = _compress(angles, weights, MAX_POINTS)
+    k_eff = min(k, len(angles))
+    centres, _cost = _kmedians(angles, weights, k_eff)
+    # Merge centres closer than the minimum gap, then pad back to >= 2
+    # members if the traffic was degenerate (a single observed slope).
+    kept: list[float] = []
+    for c in centres:
+        if not kept or c - kept[-1] > MIN_ANGLE_GAP:
+            kept.append(c)
+    while len(kept) < 2:
+        probe = kept[0] + 0.5 if kept[0] + 0.5 < limit else kept[0] - 0.5
+        kept.append(probe)
+        kept.sort()
+    return SlopeSet([_snap(a, observed) for a in kept])
+
+
+def _snap(angle: float, observed: Sequence[float]) -> float:
+    """The observed slope a medoid angle stands for.
+
+    Medoids are picked in angle space, and ``tan(atan(s))`` loses a
+    ULP — enough to cost exact-path membership only when the engine's
+    ``SLOPE_TOL`` is tighter than the roundtrip error. Returning the
+    *original* observed slope removes the roundtrip entirely; synthetic
+    angles (vertical clipping, degenerate-traffic padding) fall back to
+    ``tan``.
+    """
+    slope = math.tan(angle)
+    best = min(observed, key=lambda s: abs(math.atan(s) - angle))
+    return best if abs(math.atan(best) - angle) <= 1e-9 else slope

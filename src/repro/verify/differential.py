@@ -264,6 +264,22 @@ def run_checks(
         finally:
             client.close()
 
+    # Tuned engine: the T2 planner rebuilt under a slope set *learned*
+    # from this case's own query slopes (repro.tune). Tuning is a cost
+    # transformation — a learned S may change page counts, never
+    # answers — so the rebuilt engine faces the same strict oracle.
+    from repro.obs.slopelog import SlopeLog
+    from repro.tune import learn_slopes, rebuild_planner
+
+    tuned = None
+    tune_log = SlopeLog(capacity=256)
+    for q in queries:
+        tune_log.record(q.slope_2d, q.query_type)
+    if tune_log.count:
+        tuned = rebuild_planner(
+            t2, learn_slopes(tune_log.snapshot(), k=len(list(slopes)))
+        )
+
     lp = oracle if oracle is not None else BruteForceOracle()
     comparisons = 0
     for position, q in enumerate(queries):
@@ -286,6 +302,8 @@ def run_checks(
             "served-cold": served_cold[position],
             "served-hot": served_hot[position],
         }
+        if tuned is not None:
+            answers["tuned"] = tuned.query(q).ids
         comparisons += 1
         scalar_acc = _accounting(scalar_batch.results[position])
         columnar_acc = _accounting(columnar_batch.results[position])

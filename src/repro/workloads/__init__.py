@@ -15,6 +15,12 @@ from repro.workloads.queries import (
     random_query,
     surface_values,
 )
+from repro.workloads.skew import (
+    skewed_queries,
+    skewed_slopes,
+    uniform_queries,
+    uniform_slopes,
+)
 from repro.workloads.window import PAPER_WINDOW, Window
 
 __all__ = [
@@ -31,4 +37,8 @@ __all__ = [
     "intercept_for_selectivity",
     "surface_values",
     "actual_selectivity",
+    "skewed_queries",
+    "skewed_slopes",
+    "uniform_queries",
+    "uniform_slopes",
 ]

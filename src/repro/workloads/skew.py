@@ -1,0 +1,133 @@
+"""Skewed-vs-uniform query slope families (the tuning ablation traffic).
+
+The adaptive-tuning story (ROADMAP item 4, ``repro tune``) needs
+traffic whose slope distribution the build-time slope set did *not*
+anticipate: real constraint workloads concentrate on a handful of
+application-specific trade-off directions (cf. the skewed user
+preferences driving reverse top-k indexing). This module generates
+both ends of the spectrum with the same selectivity calibration as
+:mod:`repro.workloads.queries`, so fixed-``S`` and learned-``S``
+engines answer *identical* query sets and only the page counts differ:
+
+* ``uniform`` — slopes are ``tan`` of uniform non-vertical angles
+  (exactly the distribution :func:`random_query` draws and
+  ``uniform_angles`` optimises for);
+* ``skewed`` — most queries *repeat* one of a few preferred exact
+  directions drawn away from the build-time set (canned application
+  queries: the same trade-off line asked again and again), with a
+  small uniform background. Repetition matters: a slope inside the
+  restricted set answers on the cheap exact path, while any
+  non-member interior slope pays the T2 handicap sweep whose length
+  is set by the enclosing *strip*, not by the distance to the anchor
+  — so the entire tuning win comes from the learner promoting the
+  popular directions into ``S``. ``spread`` > 0 jitters the hot
+  directions instead (the continuous variant; the win is then bounded
+  by strip narrowing alone).
+
+>>> import random
+>>> from repro.workloads.generator import make_relation
+>>> from repro.workloads.skew import skewed_queries, uniform_queries
+>>> r = make_relation(60, "small", seed=5)
+>>> sq = skewed_queries(r, 10, seed=5)
+>>> uq = uniform_queries(r, 10, seed=5)
+>>> len(sq), len(uq)
+(10, 10)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.theta import Theta
+from repro.core.query import ALL, EXIST, HalfPlaneQuery
+from repro.workloads.generator import random_edge_angles
+from repro.workloads.queries import intercept_for_selectivity
+
+#: Default preferred query directions of the skewed family, as angles
+#: (radians). Chosen to sit *between* the members of the benchmarks'
+#: default ``uniform_angles`` sets — worst case for a build-time S,
+#: best case for a learner.
+DEFAULT_HOT_ANGLES = (-0.95, 0.35, 1.15)
+
+#: Angular jitter around each preferred direction (std dev, radians).
+#: 0 means hot queries repeat the preferred slopes *exactly* — the
+#: canned-query model the tuner is built for.
+DEFAULT_SPREAD = 0.0
+
+#: Fraction of skewed traffic that stays background-uniform.
+DEFAULT_BACKGROUND = 0.1
+
+
+def skewed_slopes(
+    rng: random.Random,
+    count: int,
+    hot_angles: tuple[float, ...] = DEFAULT_HOT_ANGLES,
+    spread: float = DEFAULT_SPREAD,
+    background: float = DEFAULT_BACKGROUND,
+) -> list[float]:
+    """``count`` slopes concentrated on the preferred directions."""
+    limit = math.pi / 2.0 - 0.05
+    hot_slopes = [math.tan(a) for a in hot_angles]
+    out: list[float] = []
+    for _ in range(count):
+        if rng.random() < background:
+            angle = random_edge_angles(rng, 1)[0]
+            out.append(math.tan(max(-limit, min(limit, angle))))
+        elif spread:
+            angle = rng.gauss(rng.choice(hot_angles), spread)
+            out.append(math.tan(max(-limit, min(limit, angle))))
+        else:
+            out.append(rng.choice(hot_slopes))
+    return out
+
+
+def uniform_slopes(rng: random.Random, count: int) -> list[float]:
+    """``count`` slopes as tan of uniform non-vertical angles."""
+    return [math.tan(a) for a in random_edge_angles(rng, count)]
+
+
+def _calibrated(
+    relation: GeneralizedRelation,
+    slopes: list[float],
+    rng: random.Random,
+    selectivity: tuple[float, float],
+) -> list[HalfPlaneQuery]:
+    queries = []
+    for slope in slopes:
+        query_type = rng.choice([ALL, EXIST])
+        theta = rng.choice([Theta.GE, Theta.LE])
+        sel = rng.uniform(*selectivity)
+        intercept = intercept_for_selectivity(
+            relation, query_type, slope, theta, sel
+        )
+        queries.append(HalfPlaneQuery(query_type, slope, intercept, theta))
+    return queries
+
+
+def skewed_queries(
+    relation: GeneralizedRelation,
+    count: int,
+    seed: int = 0,
+    selectivity: tuple[float, float] = (0.10, 0.15),
+    hot_angles: tuple[float, ...] = DEFAULT_HOT_ANGLES,
+    spread: float = DEFAULT_SPREAD,
+    background: float = DEFAULT_BACKGROUND,
+) -> list[HalfPlaneQuery]:
+    """A selectivity-calibrated query set with skewed slopes."""
+    rng = random.Random(f"skew:{seed}")
+    slopes = skewed_slopes(rng, count, hot_angles, spread, background)
+    return _calibrated(relation, slopes, rng, selectivity)
+
+
+def uniform_queries(
+    relation: GeneralizedRelation,
+    count: int,
+    seed: int = 0,
+    selectivity: tuple[float, float] = (0.10, 0.15),
+) -> list[HalfPlaneQuery]:
+    """The control family: same calibration, uniform slope angles."""
+    rng = random.Random(f"uniform:{seed}")
+    slopes = uniform_slopes(rng, count)
+    return _calibrated(relation, slopes, rng, selectivity)

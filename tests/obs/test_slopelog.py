@@ -1,0 +1,169 @@
+"""Slope-log sink: reservoir bounds, zero-overhead disabled hook,
+and drain/merge across shards and serve workers."""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DualIndexPlanner, SlopeSet
+from repro.obs import slopelog
+from repro.obs.slopelog import N_BINS, SlopeLog, SlopeLogSnapshot
+from repro.shard import ShardedDualIndex
+from repro.workloads import make_relation, make_queries
+
+_slope = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# reservoir properties
+# ----------------------------------------------------------------------
+@given(slopes=st.lists(_slope, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_lossless_up_to_capacity_and_exact_histogram(slopes):
+    """While count <= capacity the reservoir holds *every* record (in
+    order); beyond, it holds exactly ``capacity`` of them — and the
+    angle histogram stays exact regardless."""
+    capacity = 32
+    log = SlopeLog(capacity=capacity, seed=7)
+    for s in slopes:
+        log.record(s)
+    snap = log.snapshot()
+    assert snap.count == len(slopes)
+    if len(slopes) <= capacity:
+        assert snap.lossless
+        assert snap.samples == slopes
+    else:
+        assert not snap.lossless
+        assert len(snap.samples) == capacity
+        # Reservoir contents are a subset of what was recorded.
+        recorded = sorted(slopes)
+        for s in snap.samples:
+            assert s in recorded
+    assert sum(snap.bins) == len(slopes)
+    for s in slopes:
+        assert snap.bins[slopelog.bin_of(s)] >= 1
+
+
+@given(
+    left=st.lists(_slope, max_size=80),
+    right=st.lists(_slope, max_size=80),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_lossless_within_bounds(left, right):
+    """Merging two drained snapshots is lossless while the pooled
+    reservoirs fit, and always preserves count/bins/by_type exactly."""
+    capacity = 64
+    a, b = SlopeLog(capacity=capacity), SlopeLog(capacity=capacity)
+    a.record_many(left, "EXIST")
+    b.record_many(right, "ALL")
+    merged = a.drain().merge(b.drain())
+    assert merged.count == len(left) + len(right)
+    assert sum(merged.bins) == merged.count
+    if len(left) + len(right) <= capacity:
+        assert merged.lossless
+        assert sorted(merged.samples) == sorted(left + right)
+    else:
+        assert len(merged.samples) <= capacity
+    assert merged.by_type.get("EXIST", 0) == len(left)
+    assert merged.by_type.get("ALL", 0) == len(right)
+    # Drain really reset the sources.
+    assert a.count == 0 and b.count == 0
+
+
+def test_merge_capacity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        SlopeLogSnapshot(capacity=8).merge(SlopeLogSnapshot(capacity=16))
+
+
+def test_non_finite_slopes_ignored():
+    log = SlopeLog(capacity=8)
+    log.record(math.inf)
+    log.record(-math.inf)
+    log.record(math.nan)
+    assert log.count == 0
+
+
+def test_snapshot_roundtrips_dict_and_pickle():
+    log = SlopeLog(capacity=4, seed=3)
+    log.record_many([0.5, -2.0, 1.0, 7.0, -0.25], "ALL")
+    snap = log.snapshot()
+    assert SlopeLogSnapshot.from_dict(snap.to_dict()) == snap
+    assert pickle.loads(pickle.dumps(snap)) == snap
+    assert len(snap.bins) == N_BINS
+
+
+# ----------------------------------------------------------------------
+# the disabled hook is a no-op; engines record once per logical query
+# ----------------------------------------------------------------------
+def _answers(planner, queries):
+    return [planner.query(q).ids for q in queries]
+
+
+def test_disabled_hook_is_bit_identical_noop():
+    """With no log installed, queries answer identically and nothing is
+    recorded anywhere — observability must never change behaviour."""
+    relation = make_relation(80, "small", seed=11)
+    planner = DualIndexPlanner.build(relation, SlopeSet.uniform_angles(3))
+    queries = make_queries(relation, 6, "EXIST", seed=2) + \
+        make_queries(relation, 6, "ALL", seed=3)
+    assert slopelog.active() is None
+    baseline = _answers(planner, queries)
+    log = SlopeLog(capacity=64)
+    with slopelog.logging_slopes(log):
+        logged = _answers(planner, queries)
+    after = _answers(planner, queries)
+    assert baseline == logged == after
+    assert log.count == len(queries)
+    # Pages too: logging is observation, not participation.
+    r_off = planner.query(queries[0])
+    with slopelog.logging_slopes(SlopeLog()):
+        r_on = planner.query(queries[0])
+    assert r_off.page_accesses == r_on.page_accesses
+
+
+def test_sharded_engine_records_each_logical_query_once():
+    """The facade records one entry per logical query — shard-internal
+    planners are suppressed, so thread and process fan-out would log
+    identically instead of once per shard."""
+    relation = make_relation(120, "small", seed=5)
+    queries = make_queries(relation, 5, "EXIST", seed=9)
+    sharded = ShardedDualIndex.build(
+        relation, SlopeSet.uniform_angles(3), shards=2
+    )
+    try:
+        for planner in sharded.planners:
+            assert planner.slope_logging is False
+        log = SlopeLog(capacity=64)
+        with slopelog.logging_slopes(log):
+            for q in queries:
+                sharded.query(q)
+            sharded.query_batch(queries)
+        assert log.count == 2 * len(queries)
+    finally:
+        sharded.close()
+
+
+def test_serve_worker_drains_merge_like_registry_snapshots():
+    """Per-worker logs drain to snapshots that merge associatively —
+    the same discipline RegistrySnapshot follows across the fleet."""
+    workers = []
+    for w in range(3):
+        log = SlopeLog(capacity=128, seed=w)
+        log.record_many([0.1 * w + 0.05 * i for i in range(10)], "EXIST")
+        workers.append(log.drain())
+    left = workers[0].merge(workers[1]).merge(workers[2])
+    right_tail = workers[1].merge(workers[2])
+    assert left.count == 30
+    assert left.lossless
+    assert sum(left.bins) == 30
+    assert left.by_type == {"EXIST": 30}
+    assert right_tail.count == 20
+    # A central log absorbs a drained snapshot without losing its own.
+    central = SlopeLog(capacity=128)
+    central.record(2.5, "ALL")
+    central.absorb(right_tail)
+    assert central.count == 21

@@ -1,0 +1,188 @@
+"""Online retune over real sockets: the ``tune`` op, the hot-swap, and
+``--auto-tune`` — including in-flight queries during the swap."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import DualIndexPlanner, HalfPlaneQuery, SlopeSet
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread
+from repro.storage.checkpoint import open_planner, save_planner
+from repro.workloads import make_relation
+
+#: Exact hot slopes (the canned-application-query model): repeated
+#: verbatim, so a learned S can adopt them and hit the exact path.
+HOT_A = 2.2344969487553255
+HOT_B = -1.398382589287699
+
+N, SIZE, K = 300, "small", 3
+
+
+def _hot_queries():
+    return [
+        HalfPlaneQuery("EXIST", HOT_A, 0.0, ">="),
+        HalfPlaneQuery("ALL", HOT_A, 4.0, "<="),
+        HalfPlaneQuery("EXIST", HOT_B, 1.5, "<="),
+        HalfPlaneQuery("ALL", HOT_B, -2.0, ">="),
+    ]
+
+
+@pytest.fixture()
+def planner():
+    return DualIndexPlanner.build(
+        make_relation(N, SIZE, seed=31), SlopeSet.uniform_angles(K)
+    )
+
+
+async def _slopes(server):
+    return list(server._current_slopes())
+
+
+def _pump_evidence(client, queries, rounds):
+    answered = []
+    for _ in range(rounds):
+        for i, q in enumerate(queries):
+            answered.append((i, client.query_ids(q)))
+    return answered
+
+
+def test_tune_op_reports_without_swapping(planner):
+    queries = _hot_queries()
+    before = list(planner.index.slopes)
+    with ServerThread(engine=planner, tune_min_evidence=8) as server:
+        client = server.client()
+        try:
+            # Pre-evidence: the op answers, but declines to decide.
+            early = client.request({"op": "tune"})
+            assert early["ok"] is True
+            assert early["tuned"] is False
+            assert early["reason"] == "evidence"
+
+            _pump_evidence(client, queries, rounds=3)
+            report = client.request({"op": "tune"})
+        finally:
+            client.close()
+        assert report["ok"] is True
+        assert report["tuned"] is False  # no apply: report only
+        assert report["decision"]["worthwhile"] is True
+        assert set(report["decision"]["learned_slopes"]) == {HOT_A, HOT_B}
+        assert server.call(_slopes) == before
+
+
+def test_hot_swap_keeps_in_flight_queries_whole(planner):
+    """The fault-injection case the tentpole promises: a client keeps
+    firing while ``tune --apply`` rebuilds and swaps. Every answer must
+    match the pre-swap truth — none dropped, none half-swapped."""
+    queries = _hot_queries()
+    expected = [planner.query(q).ids for q in queries]
+
+    with ServerThread(engine=planner, tune_min_evidence=8) as server:
+        evidence_client = server.client()
+        try:
+            _pump_evidence(evidence_client, queries, rounds=4)
+        finally:
+            evidence_client.close()
+
+        stop = threading.Event()
+        answered = []
+        errors = []
+
+        def _pump():
+            client = server.client()
+            try:
+                while not stop.is_set():
+                    for i, q in enumerate(queries):
+                        answered.append((i, client.query_ids(q)))
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+            finally:
+                client.close()
+
+        pump = threading.Thread(target=_pump)
+        pump.start()
+        try:
+            report = server.call(lambda s: s.tune(apply=True))
+            # Let the pump cross the swapped engine for a while too.
+            time.sleep(0.3)
+        finally:
+            stop.set()
+            pump.join(timeout=30)
+
+        assert not errors
+        assert report["tuned"] is True
+        assert {HOT_A, HOT_B} <= set(server.call(_slopes))
+        assert len(answered) > 0
+        for i, ids in answered:
+            assert ids == expected[i]
+
+        # The wire path still answers identically after the swap.
+        client = server.client()
+        try:
+            assert [client.query_ids(q) for q in queries] == expected
+        finally:
+            client.close()
+
+
+def test_durable_swap_rehomes_data_dir(planner, tmp_path):
+    """With a durable engine the tuned index lands in a sibling
+    data-dir, the server re-points at it, and ``commit`` keeps working
+    against the new home; the original dir stays intact (rollback)."""
+    queries = _hot_queries()
+    expected = [planner.query(q).ids for q in queries]
+    src = str(tmp_path / "engine")
+    save_planner(planner, src)
+    before_files = sorted(os.listdir(src))
+
+    config = ServeConfig(port=0, data_dir=src, tune_min_evidence=8)
+    with ServerThread(config=config) as server:
+        client = server.client()
+        try:
+            _pump_evidence(client, queries, rounds=4)
+            report = client.request({"op": "tune", "apply": True})
+            assert report["ok"] is True and report["tuned"] is True
+
+            async def _home(s):
+                return s.config.data_dir
+
+            new_home = server.call(_home)
+            assert new_home == f"{src}-tuned1"
+            assert os.path.isdir(new_home)
+            # Same answers from the swapped, reopened engine...
+            assert [client.query_ids(q) for q in queries] == expected
+            # ...and commit follows the new home (live WAL there).
+            assert client.request({"op": "commit"})["ok"] is True
+        finally:
+            client.close()
+
+    # Rollback path: the original data-dir was never touched.
+    assert sorted(os.listdir(src)) == before_files
+    reopened = open_planner(src)
+    try:
+        assert [reopened.query(q).ids for q in queries] == expected
+    finally:
+        reopened.index.pager.disk.close()
+
+
+def test_auto_tune_retunes_in_the_background(planner):
+    queries = _hot_queries()
+    expected = [planner.query(q).ids for q in queries]
+    with ServerThread(
+        engine=planner, auto_tune=True,
+        tune_interval=0.15, tune_min_evidence=8,
+    ) as server:
+        client = server.client()
+        try:
+            _pump_evidence(client, queries, rounds=4)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if {HOT_A, HOT_B} <= set(server.call(_slopes)):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("auto-tune never swapped the slope set")
+            assert [client.query_ids(q) for q in queries] == expected
+        finally:
+            client.close()

@@ -1,0 +1,173 @@
+"""repro.tune: the learner, the cost model, and the rebuild paths."""
+
+import math
+import os
+
+import pytest
+
+from repro.core import DualIndexPlanner, SlopeSet
+from repro.obs.slopelog import SlopeLog
+from repro.storage.checkpoint import open_planner, save_planner
+from repro.tune import (
+    apply_tune,
+    expected_distance,
+    learn_slopes,
+    predicted_improvement,
+    propose,
+    rebuild_planner,
+    relation_from_planner,
+)
+from repro.tune.learner import TuneError
+from repro.workloads import (
+    make_queries,
+    make_relation,
+    skewed_queries,
+    uniform_queries,
+)
+
+
+def _snapshot(slopes, types=None):
+    log = SlopeLog(capacity=4096)
+    for i, s in enumerate(slopes):
+        log.record(s, (types or ["EXIST"])[i % len(types or ["EXIST"])])
+    return log.snapshot()
+
+
+# ----------------------------------------------------------------------
+# learner
+# ----------------------------------------------------------------------
+class TestLearner:
+    def test_recovers_repeated_hot_slopes_exactly(self):
+        """Canned-query traffic: the medoids land *on* the repeated
+        values (exact slope-set membership is the whole win)."""
+        traffic = [0.75] * 50 + [-2.5] * 30 + [0.1] * 20
+        learned = learn_slopes(_snapshot(traffic), k=3)
+        assert set(learned) == {-2.5, 0.1, 0.75}
+
+    def test_weight_follows_traffic_mass(self):
+        """With k=2, the two heavy directions win over a straggler."""
+        traffic = [1.0] * 45 + [-1.0] * 45 + [5.0] * 10
+        learned = learn_slopes(_snapshot(traffic), k=2)
+        assert list(learned) == [-1.0, 1.0]
+
+    def test_near_vertical_clipped(self):
+        learned = learn_slopes(_snapshot([1e9, 1e9, 1e9]), k=2)
+        limit = math.tan(math.pi / 2.0 - 0.05)
+        assert all(abs(s) <= limit + 1e-9 for s in learned)
+
+    def test_pads_to_a_valid_slope_set(self):
+        """A single observed direction still yields >= 2 slopes (a
+        SlopeSet needs an interior for T2)."""
+        learned = learn_slopes(_snapshot([0.5] * 9), k=4)
+        assert len(learned) >= 2
+        assert 0.5 in set(learned)
+
+    def test_empty_evidence_rejected(self):
+        with pytest.raises(TuneError):
+            learn_slopes(_snapshot([]), k=3)
+
+    def test_accepts_plain_sequences(self):
+        learned = learn_slopes([0.5] * 90 + [-2.0] * 10, k=2)
+        assert list(learned) == [-2.0, 0.5]
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_expected_distance_zero_on_members(self):
+        assert expected_distance([0.5, 0.5], [0.5, 2.0]) == 0.0
+
+    def test_expected_distance_is_angle_space(self):
+        assert expected_distance([1.0], [0.0]) == pytest.approx(
+            math.atan(1.0)
+        )
+
+    def test_predicted_improvement_prefers_matching_set(self):
+        traffic = _snapshot([0.75] * 80 + [-2.5] * 20)
+        report = predicted_improvement(
+            traffic, SlopeSet.uniform_angles(3), [-2.5, 0.75]
+        )
+        assert report["predicted_cost_ratio"] < 0.1
+        assert report["exact_fraction_learned"] == pytest.approx(1.0)
+        assert report["exact_fraction_current"] == pytest.approx(0.0)
+
+    def test_propose_decision(self):
+        traffic = _snapshot([0.75] * 80 + [-2.5] * 20)
+        decision = propose(traffic, SlopeSet.uniform_angles(3))
+        assert decision.worthwhile
+        # Only two distinct directions were observed, so k is capped —
+        # no synthetic third slope wasting a tree.
+        assert set(decision.learned) == {-2.5, 0.75}
+        assert decision.evidence == 100
+        doc = decision.to_dict()
+        assert doc["worthwhile"] is True
+        assert doc["learned_slopes"] == list(decision.learned)
+
+    def test_propose_not_worthwhile_when_already_tuned(self):
+        traffic = _snapshot([0.75] * 50 + [-2.5] * 50)
+        decision = propose(traffic, [-2.5, 0.75])
+        assert decision.prediction["predicted_cost_ratio"] == 1.0
+        assert not decision.worthwhile
+
+
+# ----------------------------------------------------------------------
+# rebuild paths
+# ----------------------------------------------------------------------
+class TestRebuild:
+    def test_rebuild_preserves_answers_bit_exactly(self):
+        relation = make_relation(150, "small", seed=21)
+        planner = DualIndexPlanner.build(
+            relation, SlopeSet.uniform_angles(3)
+        )
+        queries = (
+            skewed_queries(relation, 12, seed=21)
+            + uniform_queries(relation, 12, seed=21)
+            + make_queries(relation, 6, "ALL", seed=4)
+        )
+        rebuilt = rebuild_planner(planner, [-1.4, 0.36, 2.23])
+        for q in queries:
+            assert rebuilt.query(q).ids == planner.query(q).ids
+
+    def test_rebuild_preserves_sparse_ids_after_deletes(self):
+        relation = make_relation(40, "small", seed=8)
+        planner = DualIndexPlanner.build(
+            relation, SlopeSet.uniform_angles(3), dynamic=True
+        )
+        for tid in (0, 7, 13):
+            planner.delete(tid)
+        extracted = relation_from_planner(planner)
+        assert set(tid for tid, _ in extracted) == \
+            set(tid for tid, _ in relation) - {0, 7, 13}
+        rebuilt = rebuild_planner(planner, [-1.0, 1.0])
+        for q in make_queries(relation, 8, "EXIST", seed=5):
+            assert rebuilt.query(q).ids == planner.query(q).ids
+
+    def test_apply_tune_writes_a_new_data_dir(self, tmp_path):
+        relation = make_relation(60, "small", seed=13)
+        planner = DualIndexPlanner.build(
+            relation, SlopeSet.uniform_angles(3)
+        )
+        src = str(tmp_path / "engine")
+        out = str(tmp_path / "engine-tuned")
+        save_planner(planner, src)
+        before = sorted(os.listdir(src))
+        queries = skewed_queries(relation, 10, seed=13)
+        expected = [planner.query(q).ids for q in queries]
+
+        rebuilt = apply_tune(src, out, [-1.4, 0.36, 2.23])
+        assert list(rebuilt.index.slopes) == [-1.4, 0.36, 2.23]
+        # The source directory is untouched (rollback = keep using it).
+        assert sorted(os.listdir(src)) == before
+        reopened = open_planner(out)
+        try:
+            assert list(reopened.index.slopes) == [-1.4, 0.36, 2.23]
+            for q, ids in zip(queries, expected):
+                assert reopened.query(q).ids == ids
+        finally:
+            reopened.index.pager.disk.close()
+
+    def test_apply_tune_refuses_in_place(self, tmp_path):
+        target = str(tmp_path / "engine")
+        with pytest.raises(TuneError):
+            apply_tune(target, target, [0.0, 1.0])

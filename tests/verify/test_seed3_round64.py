@@ -1,0 +1,101 @@
+"""Regression: the fuzz seed-3 round-64 "dynamic" path divergence.
+
+Minimized from ``repro fuzz --seed 3`` (first noted in PR 8): two
+unbounded-above tuples on a dynamic T2 index; deleting one made the
+survivor vanish from an interior-slope ``ALL(>=)`` answer.
+
+Root cause: unbounded-above tuples carry ``TOP ≡ +inf`` strip
+assignment keys. The bulk build's ``searchsorted(side="right")`` owner
+maps a ``+inf`` assignment key to the last leaf, but the dynamic
+handicap refresh walked directories with a strictly half-open
+``[lo, hi)`` range — so with ``hi = +inf`` for the last leaf, keys
+exactly at ``+inf`` were excluded. The refreshed LOW aggregate became
+``NO_LOW``, the T2 secondary sweep never ran, and the unbounded tuple
+was false-dismissed.
+"""
+
+import math
+import random
+
+from repro.core.planner import DualIndexPlanner
+from repro.core.query import HalfPlaneQuery
+from repro.geometry.predicates import evaluate_relation
+from repro.verify import workload
+from repro.verify.differential import (
+    DEFAULT_SLOPES,
+    mutation_round,
+    tuple_from_json,
+)
+
+#: The two surviving tuples of the minimized case (original fuzz ids 3
+#: and 6) — both unbounded-above cones, so every TOP key is +inf.
+MINIMIZED_TUPLES = [
+    {
+        "label": None,
+        "atoms": [
+            {"coeffs": [8.929622810708247, 1.0],
+             "const": -113.59026805618679, "theta": ">="},
+            {"coeffs": [-0.3864893491773794, 1.0],
+             "const": -18.665153218059864, "theta": ">="},
+        ],
+    },
+    {
+        "label": None,
+        "atoms": [
+            {"coeffs": [-1.0707869431058377, 1.0],
+             "const": -45.59977362716512, "theta": ">="},
+            {"coeffs": [3.454742396895173, 1.0],
+             "const": 89.70077075058987, "theta": ">="},
+        ],
+    },
+]
+
+#: The interior-slope query that lost tuple 0 after the delete.
+MINIMIZED_QUERY = HalfPlaneQuery(
+    "ALL", 0.31886412369967854, 0.9561298049050464, ">="
+)
+
+
+class TestSeed3Round64:
+    def test_minimized_delete_then_interior_all(self):
+        """Delete one of two unbounded tuples; the survivor must still
+        answer the interior ALL(>=) query after the handicap refresh."""
+        tuples = [tuple_from_json(d) for d in MINIMIZED_TUPLES]
+        relation = workload.as_relation(tuples)
+        planner = DualIndexPlanner.build(
+            relation, DEFAULT_SLOPES, technique="T2", dynamic=True
+        )
+        planner.delete(1)
+        live = [(0, tuples[0])]
+        q = MINIMIZED_QUERY
+        expected = evaluate_relation(
+            live, q.query_type, q.slope_2d, q.intercept, q.theta
+        )
+        assert expected == {0}, "oracle sanity: the survivor qualifies"
+        assert planner.query(q).ids == expected
+        assert planner.query_batch([q]).results[0].ids == expected
+
+    def test_refreshed_aggregate_keeps_inf_assignment_keys(self):
+        """After delete + refresh, the last leaf's LOW aggregate must
+        still cover the surviving +inf-assigned tuple (not NO_LOW)."""
+        tuples = [tuple_from_json(d) for d in MINIMIZED_TUPLES]
+        relation = workload.as_relation(tuples)
+        planner = DualIndexPlanner.build(
+            relation, DEFAULT_SLOPES, technique="T2", dynamic=True
+        )
+        idx = planner.index
+        keys0 = idx.compute_keys(tuples[0])
+        assert keys0.assign_top[2]["prev"] == math.inf
+        planner.delete(1)
+        idx.refresh_handicaps()
+        # down[2] (anchor slope 0.5) single leaf: LOW_PREV must equal the
+        # survivor's BOT key (-inf), not the NO_LOW sentinel (+inf).
+        visits = list(idx.down[2].sweep_up(None))
+        assert len(visits) == 1
+        assert visits[0].leaf.aux[0] == -math.inf
+
+    def test_original_round_is_clean(self):
+        """The exact failing fuzz round (seed 3, round 64) is clean."""
+        rng = random.Random("3:64")
+        findings = mutation_round(rng, DEFAULT_SLOPES, 14, 12)
+        assert findings == []
