@@ -82,6 +82,19 @@ Commands
     minimised to replayable JSON repros in ``--out``. ``--replay FILE``
     re-runs one repro; ``--fault-demo`` runs the fault-injection
     scenario. Exit code 1 on any disagreement.
+``slowlog LOG [--by latency|pages --entry N --replay --data-dir DIR]``
+    Inspect a slow-query log dump (the ``--slowlog-out`` JSONL a server
+    writes on shutdown, or a ``kind=slowlog`` repro JSON). Default:
+    worst-first listing. ``--replay`` re-executes the selected entry
+    against its engine and exits 1 unless the recorded answer digest
+    and page accounting reproduce bit-identically
+    (:mod:`repro.verify.slowlog_replay`); ``--repro-out DIR`` converts
+    the entry to the differential fuzzer's repro format instead.
+``top --metrics-port P [--host H --interval S --iterations N --once]``
+    Refresh-loop terminal view over a serving process's ``/metrics`` +
+    ``/slowlog``: QPS, p50/p99, pages/query, predicted-vs-actual cost
+    ratio, watchdog violations, WAL/checkpoint lag, tune status
+    (:mod:`repro.serve.top`).
 """
 
 from __future__ import annotations
@@ -449,6 +462,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max fractional overhead (default 0.05)")
     overhead.add_argument("--repeats", type=int, default=5,
                           help="best-of repeats per mode (default 5)")
+    overhead.add_argument(
+        "--serve", action="store_true",
+        help="gate the serve path's request tracing (embedded server, "
+             "closed-loop load) instead of the in-process span hooks",
+    )
+    overhead.add_argument(
+        "--requests", type=int, default=400,
+        help="--serve: closed-loop requests per timed run (default 400)",
+    )
+    overhead.add_argument(
+        "--concurrency", type=int, default=8,
+        help="--serve: closed-loop connections (default 8)",
+    )
+    overhead.add_argument(
+        "--trace-sample", type=int, default=16,
+        help="--serve: span-tree cadence in the traced run (default 16)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -616,6 +646,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--tune-min-evidence", type=int, default=64,
         help="logged queries required before a tune decision (default 64)",
     )
+    serve.add_argument(
+        "--trace-sample", type=int, default=0,
+        help="request tracing: 0 = off (bit-identical request path); "
+             "N >= 1 traces every request (id + cost watchdog + "
+             "slow-query log) and records a span tree every Nth",
+    )
+    serve.add_argument(
+        "--slowlog-capacity", type=int, default=32,
+        help="slow-query log worst-N capacity per ranking (default 32)",
+    )
+    serve.add_argument(
+        "--slowlog-out", default=None,
+        help="write the slow-query log as JSONL on shutdown "
+             "(replayable via `repro slowlog --replay`)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="write the most recent sampled span tree as JSON on "
+             "shutdown (CI artifact)",
+    )
+    serve.add_argument(
+        "--cost-budget", type=float, default=4.0,
+        help="cost watchdog: actual/predicted page ratio above this "
+             "counts a violation (default 4.0)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -661,6 +716,88 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--out", default=None,
         help="also write the JSON report to this path",
+    )
+    loadgen.add_argument(
+        "--trace", action="store_true",
+        help="attach a client-minted trace id to every request (the "
+             "server echoes it and links it into /metrics exemplars "
+             "and the slow-query log)",
+    )
+    loadgen.add_argument(
+        "--trace-sample", type=int, default=0,
+        help="with --trace, ask for span-tree sampling every Nth "
+             "request (default 0: server decides)",
+    )
+
+    slowlog = sub.add_parser(
+        "slowlog",
+        help="inspect or replay a slow-query log",
+        description=(
+            "Read a slow-query log written by `repro serve "
+            "--slowlog-out` (or a /slowlog fetch saved to disk) and "
+            "list its worst entries; with --replay, re-run an entry's "
+            "query cold against its recorded engine and verify the "
+            "answer digest, technique and per-query accounting "
+            "bit-for-bit (exit 1 on divergence)."
+        ),
+    )
+    slowlog.add_argument(
+        "log", help="slow-query log JSONL (or a kind=slowlog repro JSON)")
+    slowlog.add_argument(
+        "--by", choices=("latency", "pages"), default="latency",
+        help="ranking used for listing and --entry selection",
+    )
+    slowlog.add_argument(
+        "--entry", type=int, default=0,
+        help="entry index under the chosen ranking (default 0 = worst)",
+    )
+    slowlog.add_argument(
+        "--replay", action="store_true",
+        help="re-run the selected entry and compare against the record",
+    )
+    slowlog.add_argument(
+        "--data-dir", default=None,
+        help="engine directory override (default: the entry's recorded "
+             "data_dir)",
+    )
+    slowlog.add_argument(
+        "--repro-out", default=None,
+        help="write the selected entry as a kind=slowlog repro JSON "
+             "into this directory (replayable via `repro fuzz "
+             "--replay`)",
+    )
+    slowlog.add_argument(
+        "--json", action="store_true",
+        help="print the selected entry (or replay findings) as JSON",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view over a serving process",
+        description=(
+            "Refresh-loop view over the metrics sidecar (/metrics + "
+            "/slowlog): QPS, p50/p99 latency, pages per query, the "
+            "cost watchdog's predicted-vs-actual ratio, WAL/checkpoint "
+            "lag, tune status and the worst slow-log entry. Rates are "
+            "window-local (deltas between refreshes)."
+        ),
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--metrics-port", type=int, required=True,
+        help="the server's --metrics-port",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single cumulative frame and exit",
     )
 
     tune = sub.add_parser(
@@ -789,9 +926,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "overhead":
         from repro.bench import overhead
 
-        return overhead.main(
-            ["--budget", str(args.budget), "--repeats", str(args.repeats)]
-        )
+        forwarded = [
+            "--budget", str(args.budget), "--repeats", str(args.repeats)]
+        if args.serve:
+            forwarded += [
+                "--serve", "--requests", str(args.requests),
+                "--concurrency", str(args.concurrency),
+                "--trace-sample", str(args.trace_sample)]
+        return overhead.main(forwarded)
     if args.command == "smoke":
         return _smoke(args)
     if args.command == "shard-bench":
@@ -812,6 +954,10 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.command == "loadgen":
         return _loadgen(args)
+    if args.command == "slowlog":
+        return _slowlog(args)
+    if args.command == "top":
+        return _top(args)
     if args.command == "serve-bench":
         from repro.bench import serve_bench
 
@@ -1498,6 +1644,11 @@ def _serve(args) -> int:  # pragma: no cover - run-forever loop (CI leg)
         auto_tune=args.auto_tune,
         tune_interval=args.tune_interval,
         tune_min_evidence=args.tune_min_evidence,
+        trace_sample=args.trace_sample,
+        slowlog_capacity=args.slowlog_capacity,
+        slowlog_out=args.slowlog_out,
+        trace_out=args.trace_out,
+        cost_budget=args.cost_budget,
     )
     asyncio.run(serve_until_interrupted(config, events_out=args.events_out))
     return 0
@@ -1528,6 +1679,8 @@ def _loadgen(args) -> int:
         concurrency=args.concurrency,
         rate=args.rate,
         warmup=args.warmup,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
     ))
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -1535,6 +1688,80 @@ def _loadgen(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
     return 0 if report["errors"] == 0 else 1
+
+
+def _slowlog(args) -> int:
+    import json
+
+    from repro.verify.differential import write_repro
+    from repro.verify.slowlog_replay import (
+        entry_to_repro,
+        load_entry,
+        replay_entry,
+    )
+
+    entry = load_entry(args.log, index=args.entry, by=args.by)
+    if args.repro_out:
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-._" else "_"
+            for ch in entry.trace_id)
+        path = write_repro(
+            entry_to_repro(entry, data_dir=args.data_dir),
+            args.repro_out,
+            f"slowlog-{safe}",
+        )
+        print(f"wrote {path}")
+        return 0
+    if args.replay:
+        findings = replay_entry(entry, data_dir=args.data_dir)
+        if args.json:
+            print(json.dumps(findings, indent=2, sort_keys=True))
+        elif findings:
+            for finding in findings:
+                print(json.dumps(finding, sort_keys=True))
+        else:
+            print(
+                f"replayed {entry.trace_id}: answer "
+                f"{entry.answer.get('count', '?')} ids "
+                f"(digest {entry.answer.get('digest', '?')}), technique "
+                f"{entry.technique}, accounting bit-identical")
+        return 1 if findings else 0
+    if args.json:
+        print(json.dumps(entry.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(f"{'trace_id':<22} {'lat_ms':>9} {'pages':>8} {'tech':>7} "
+          f"{'ratio':>7}  reason")
+    from repro.obs.slowlog import load_jsonl
+
+    try:
+        entries = load_jsonl(args.log)
+    except (json.JSONDecodeError, KeyError):
+        entries = [entry]
+    key = {"latency": lambda e: e.latency_s,
+           "pages": lambda e: e.pages}[args.by]
+    for row in sorted(entries, key=key, reverse=True):
+        ratio = f"{row.ratio:.2f}" if row.ratio is not None else "-"
+        print(f"{row.trace_id:<22} {row.latency_s * 1e3:>9.2f} "
+              f"{row.pages:>8.1f} {row.technique or '-':>7} "
+              f"{ratio:>7}  {row.reason}")
+    return 0
+
+
+def _top(args) -> int:
+    from repro.serve.top import run_top
+
+    iterations = 1 if args.once else args.iterations
+    try:
+        return run_top(
+            args.host, args.metrics_port,
+            interval=args.interval, iterations=iterations,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except OSError as exc:
+        print(f"top: cannot reach {args.host}:{args.metrics_port}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,7 @@ from repro.geometry.predicates import all_halfplane, exist_halfplane
 from repro.geometry.vectorized import DualSurface
 from repro.obs import slopelog
 from repro.obs import trace as obs
+from repro.obs import tracer
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.storage.heap import rid_pages, unpack_rid
 from repro.storage.serialize import decode_tuple
@@ -160,7 +161,8 @@ class BatchExecutor:
         batch = BatchResult(results=[None] * len(queries))  # type: ignore[list-item]
         hits0, misses0 = self.cache.hits, self.cache.misses
         with obs.span("batch", pager=self.index.pager,
-                      index=self.index.name, queries=len(queries)):
+                      index=self.index.name, queries=len(queries),
+                      **_trace_meta()):
             with self.index.pager.measure() as scope:
                 self._execute(list(queries), version, batch)
             batch.io = scope.delta
@@ -283,7 +285,8 @@ class BatchExecutor:
         )
         columns: list = [None] * n
         with obs.span("batch", pager=self.index.pager,
-                      index=self.index.name, queries=n):
+                      index=self.index.name, queries=n,
+                      **_trace_meta()):
             with self.index.pager.measure() as scope:
                 self._execute_partials(queries, version, out, columns)
             out.io = scope.delta
@@ -645,3 +648,10 @@ def _slope_tol() -> float:
     from repro.core.planner import SLOPE_TOL
 
     return SLOPE_TOL
+
+
+def _trace_meta() -> dict:
+    """Span meta tagging the batch with the active request's trace id
+    (empty when no request context is installed — the common case)."""
+    ctx = tracer.context()
+    return {"trace": ctx.trace_id} if ctx is not None else {}

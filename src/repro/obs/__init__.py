@@ -13,7 +13,13 @@ carries a first-class measurement layer:
   trees (openable in Perfetto);
 * :mod:`repro.obs.events` — a bounded JSONL structured-event ring;
 * :mod:`repro.obs.explain` — the ``repro explain`` report: exclusive
-  per-phase attribution with a sums-to-inclusive-total invariant.
+  per-phase attribution with a sums-to-inclusive-total invariant;
+* :mod:`repro.obs.tracer` — request-scoped trace contexts for the serve
+  path: wire-propagated trace ids, sampling decisions, and the module
+  hook fan-out workers re-install from a plain payload;
+* :mod:`repro.obs.slowlog` — the bounded worst-N slow-query log whose
+  entries carry enough state (query atoms, engine identity, answer
+  digest, span tree) to replay bit-identically offline.
 
 Fleet aggregation: shards and build workers record into private
 registries and ship :class:`RegistrySnapshot` objects back; the global
@@ -69,6 +75,17 @@ from repro.obs.slopelog import (
     SlopeLogSnapshot,
     logging_slopes,
 )
+from repro.obs.slowlog import (
+    SlowLogEntry,
+    SlowQueryLog,
+    answer_digest,
+    slope_set_hash,
+)
+from repro.obs.tracer import (
+    RequestTracer,
+    TraceContext,
+    request_context,
+)
 from repro.obs.trace import (
     QueryTrace,
     Span,
@@ -100,6 +117,13 @@ __all__ = [
     "SlopeLog",
     "SlopeLogSnapshot",
     "logging_slopes",
+    "SlowLogEntry",
+    "SlowQueryLog",
+    "answer_digest",
+    "slope_set_hash",
+    "RequestTracer",
+    "TraceContext",
+    "request_context",
     "QueryTrace",
     "Span",
     "current",

@@ -126,6 +126,11 @@ class Histogram(_Metric):
         # summary(), snapshots, prom export — must stay strict-JSON safe.
         self.min: float | None = None
         self.max: float | None = None
+        #: Last exemplar per bucket index: ``{i: (labels, value)}``.
+        #: Exemplars link an aggregate bucket back to one concrete
+        #: request (a trace id); they are process-local observability
+        #: breadcrumbs and deliberately do not merge across snapshots.
+        self.exemplars: dict[int, tuple[dict, float]] = {}
 
     def labels(self, **labelvalues: str):
         child = super().labels(**labelvalues)
@@ -134,15 +139,23 @@ class Histogram(_Metric):
             child.bucket_counts = [0] * (len(self.buckets) + 1)
         return child
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Mapping[str, str] | str | None = None) -> None:
+        """Record one observation; ``exemplar`` optionally attaches a
+        trace reference to the bucket the value lands in (a bare string
+        is shorthand for ``{"trace_id": value}``)."""
         if self.labelnames:
             raise ValueError(f"{self.name}: labeled histogram needs .labels(...)")
         value = float(value)
-        self.bucket_counts[bisect_right(self.buckets, value)] += 1
+        bucket = bisect_right(self.buckets, value)
+        self.bucket_counts[bucket] += 1
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if exemplar is not None:
+            if isinstance(exemplar, str):
+                exemplar = {"trace_id": exemplar}
+            self.exemplars[bucket] = (dict(exemplar), value)
 
     @property
     def mean(self) -> float:
@@ -302,17 +315,24 @@ class MetricsRegistry:
                 labels = series._labelmap()
                 if isinstance(series, Histogram):
                     cumulative = 0
-                    for b, c in zip(
+                    for i, (b, c) in enumerate(zip(
                         series.buckets + (float("inf"),),
                         series.bucket_counts,
-                    ):
+                    )):
                         cumulative += c
                         le = "+Inf" if b == float("inf") else f"{b:g}"
-                        lines.append(
+                        line = (
                             f"{pname}_bucket"
                             f"{_prom_labels({**labels, 'le': le})} "
                             f"{cumulative}"
                         )
+                        exemplar = series.exemplars.get(i)
+                        if exemplar is not None:
+                            ex_labels, ex_value = exemplar
+                            line += (
+                                f" # {_prom_labels(ex_labels)} {ex_value:g}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{pname}_sum{_prom_labels(labels)} {series.total:g}"
                     )

@@ -1,0 +1,297 @@
+"""The slow-query log: a bounded ring of the worst requests.
+
+The serve layer records one :class:`SlowLogEntry` per traced request
+and the log keeps the worst ``capacity`` of them **by latency and by
+page count independently** (a request that tops either ranking stays;
+one that falls out of both is dropped), plus every cost-model
+violation regardless of rank. Each entry carries enough to answer
+"which request burned the pages, and did it cost what the theory
+predicts?" after the fact:
+
+* the trace id and, for sampled requests, the full span tree
+  (:meth:`~repro.obs.trace.Span.to_dict` form);
+* the query itself (the fuzzer's ``query_to_json`` atom form), its
+  technique and per-query accounting columns;
+* the cost watchdog's verdict (predicted pages, actual pages, ratio);
+* the engine identity at answer time (structure version, catalog
+  commit seq / generation when durable, slope-set hash) — enough for
+  ``repro slowlog --replay`` to reopen the same engine and check the
+  recorded answer bit-for-bit.
+
+The log is lock-guarded and amortized O(capacity) per insert
+(capacities are tens, not thousands): admitted entries are appended
+and the ranking sorts run only when the buffer reaches twice the
+capacity — or when a reader looks — so the serve path's per-request
+cost is two float compares plus an append. It never touches the
+engine hot path; recording happens on the serve layer after the batch
+has been answered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+
+def slope_set_hash(slopes) -> str:
+    """Stable short hash of a slope set (order-insensitive).
+
+    >>> from repro.obs.slowlog import slope_set_hash
+    >>> slope_set_hash([2.0, -0.5]) == slope_set_hash([-0.5, 2.0])
+    True
+    >>> len(slope_set_hash([1.0]))
+    12
+    """
+    canon = ",".join(repr(float(s)) for s in sorted(slopes))
+    return hashlib.sha256(canon.encode("ascii")).hexdigest()[:12]
+
+
+def answer_digest(ids) -> str:
+    """Stable short hash of an answer id set (replay comparison key)."""
+    canon = ",".join(str(i) for i in sorted(ids))
+    return hashlib.sha256(canon.encode("ascii")).hexdigest()[:16]
+
+
+@dataclass
+class SlowLogEntry:
+    """One recorded request (JSON-ready via :meth:`to_json`)."""
+
+    trace_id: str
+    op: str
+    latency_s: float
+    pages: float
+    #: ``query_to_json`` form of the request's half-plane query
+    #: (``None`` for non-query ops).
+    query: dict | None = None
+    technique: str | None = None
+    #: Per-query accounting columns (batch-independent, so a cold
+    #: replay can compare them strictly).
+    accounting: dict = field(default_factory=dict)
+    #: Cost watchdog verdict: predicted pages / ratio (``None`` before
+    #: the model is calibrated).
+    predicted_pages: float | None = None
+    ratio: float | None = None
+    #: Why the entry was kept (``latency`` / ``pages`` / ``cost_model``);
+    #: informational — an entry may qualify on several.
+    reason: str = "latency"
+    batch_size: int = 1
+    #: Engine identity at answer time (``version``, ``slope_hash``, and
+    #: for durable engines ``commit_seq`` / ``generation`` /
+    #: ``data_dir``).
+    engine: dict = field(default_factory=dict)
+    #: Answer fingerprint for bit-identical replay.
+    answer: dict = field(default_factory=dict)
+    #: Sampled requests carry the batch's span tree.
+    span_tree: dict | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "latency_s": self.latency_s,
+            "pages": self.pages,
+            "query": self.query,
+            "technique": self.technique,
+            "accounting": dict(self.accounting),
+            "predicted_pages": self.predicted_pages,
+            "ratio": self.ratio,
+            "reason": self.reason,
+            "batch_size": self.batch_size,
+            "engine": dict(self.engine),
+            "answer": dict(self.answer),
+            "span_tree": self.span_tree,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SlowLogEntry":
+        return cls(
+            trace_id=data["trace_id"],
+            op=data["op"],
+            latency_s=float(data["latency_s"]),
+            pages=float(data["pages"]),
+            query=data.get("query"),
+            technique=data.get("technique"),
+            accounting=dict(data.get("accounting", {})),
+            predicted_pages=data.get("predicted_pages"),
+            ratio=data.get("ratio"),
+            reason=data.get("reason", "latency"),
+            batch_size=int(data.get("batch_size", 1)),
+            engine=dict(data.get("engine", {})),
+            answer=dict(data.get("answer", {})),
+            span_tree=data.get("span_tree"),
+        )
+
+
+class SlowQueryLog:
+    """Worst-N ring over two rankings (latency, pages) plus violations.
+
+    >>> from repro.obs.slowlog import SlowLogEntry, SlowQueryLog
+    >>> log = SlowQueryLog(capacity=2)
+    >>> for ms, pages in [(1, 50), (9, 1), (5, 5), (7, 40)]:
+    ...     _ = log.record(SlowLogEntry("t%d" % ms, "query",
+    ...                                 latency_s=ms / 1000.0, pages=pages))
+    >>> [e.trace_id for e in log.entries()]        # worst latency first
+    ['t9', 't7', 't1']
+    >>> log.worst(by="pages").trace_id             # t1 kept: worst by pages
+    't1'
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: list[SlowLogEntry] = []
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.dropped = 0
+        #: Admission cutoffs: the ``capacity``-th worst kept latency and
+        #: page count. A non-violation entry beating neither cannot
+        #: enter either ranking, so the steady-state hot path is two
+        #: float compares instead of three sorts.
+        self._cut_latency = float("-inf")
+        self._cut_pages = float("-inf")
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._prune()
+            return len(self._entries)
+
+    def would_keep(
+        self, latency_s: float, pages: float, violation: bool = False
+    ) -> bool:
+        """Whether an entry with these stats could enter the log.
+
+        The serve layer checks this *before* building a full entry
+        (answer digest, query atoms), so the common fast-request case
+        costs two comparisons. May err permissive, never restrictive.
+        """
+        with self._lock:
+            return (
+                violation
+                or latency_s > self._cut_latency
+                or pages > self._cut_pages
+            )
+
+    def note_dropped(self) -> None:
+        """Count a request that failed :meth:`would_keep` (so
+        ``recorded``/``dropped`` still mean "offered"/"not kept")."""
+        with self._lock:
+            self.recorded += 1
+            self.dropped += 1
+
+    def record(self, entry: SlowLogEntry) -> bool:
+        """Offer one entry; returns True while it is kept.
+
+        An entry survives while it ranks in the worst ``capacity`` by
+        latency **or** by pages; ``cost_model`` entries (watchdog
+        violations) are always kept and only compete with each other.
+        The ranking work is amortized: losers are culled (and the
+        admission cutoffs tightened) once the buffer holds twice the
+        capacity, not on every insert — every reader prunes first, so
+        the laziness is never observable. An admitted entry's True may
+        therefore be provisional (a later prune can evict it), exactly
+        as a kept entry was always evictable by later, worse ones.
+        """
+        with self._lock:
+            self.recorded += 1
+            if (
+                entry.reason != "cost_model"
+                and entry.latency_s <= self._cut_latency
+                and entry.pages <= self._cut_pages
+            ):
+                self.dropped += 1
+                return False
+            self._entries.append(entry)
+            if len(self._entries) < 2 * self.capacity:
+                return True
+            return self._prune(newest=entry)
+
+    def _prune(self, newest: SlowLogEntry | None = None) -> bool:
+        """Cull to the union of the two worst-``capacity`` rankings
+        (plus violations) and refresh the admission cutoffs. The caller
+        holds the lock. Returns whether ``newest`` survived."""
+        entries = self._entries
+        keep: set[int] = set()
+        by_latency = sorted(
+            range(len(entries)),
+            key=lambda i: entries[i].latency_s,
+            reverse=True,
+        )
+        by_pages = sorted(
+            range(len(entries)),
+            key=lambda i: entries[i].pages,
+            reverse=True,
+        )
+        violations = [
+            i for i, e in enumerate(entries) if e.reason == "cost_model"
+        ]
+        keep.update(by_latency[: self.capacity])
+        keep.update(by_pages[: self.capacity])
+        keep.update(violations[-self.capacity:])
+        survived = newest is None or len(entries) - 1 in keep
+        if len(keep) < len(entries):
+            self.dropped += len(entries) - len(keep)
+            self._entries = [
+                e for i, e in enumerate(entries) if i in keep
+            ]
+        if len(self._entries) >= self.capacity:
+            latencies = sorted(
+                (e.latency_s for e in self._entries), reverse=True)
+            pages = sorted(
+                (e.pages for e in self._entries), reverse=True)
+            self._cut_latency = latencies[self.capacity - 1]
+            self._cut_pages = pages[self.capacity - 1]
+        return survived
+
+    def entries(self, by: str = "latency") -> list[SlowLogEntry]:
+        """All kept entries, worst first under the chosen ranking."""
+        key = {
+            "latency": lambda e: e.latency_s,
+            "pages": lambda e: e.pages,
+        }[by]
+        with self._lock:
+            self._prune()
+            return sorted(self._entries, key=key, reverse=True)
+
+    def worst(self, by: str = "latency") -> SlowLogEntry | None:
+        ranked = self.entries(by=by)
+        return ranked[0] if ranked else None
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        with self._lock:
+            self._prune()
+            entries = list(self._entries)
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "entries": [
+                e.to_json()
+                for e in sorted(entries, key=lambda e: e.latency_s,
+                                reverse=True)
+            ],
+        }
+
+    def write_jsonl(self, path: str) -> int:
+        """One JSON entry per line, worst latency first; returns count."""
+        entries = self.entries()
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in entries:
+                fh.write(json.dumps(e.to_json(), sort_keys=True) + "\n")
+        return len(entries)
+
+
+def load_jsonl(path: str) -> list[SlowLogEntry]:
+    """Read back a :meth:`SlowQueryLog.write_jsonl` file."""
+    out: list[SlowLogEntry] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(SlowLogEntry.from_json(json.loads(line)))
+    return out

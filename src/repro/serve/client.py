@@ -107,10 +107,17 @@ class ReproClient:
             await self._writer.drain()
         return await future
 
-    async def query(self, query: HalfPlaneQuery) -> dict:
-        """Run one half-plane query; raises on typed server errors."""
+    async def query(
+        self, query: HalfPlaneQuery, trace: dict | None = None,
+    ) -> dict:
+        """Run one half-plane query; raises on typed server errors.
+
+        ``trace={"id": ..., "sampled": bool}`` attaches a client-minted
+        trace context; the server adopts the id end to end and echoes
+        it back as ``response["trace_id"]``.
+        """
         return raise_for_error(
-            await self.request(query_to_request(query, rid=0)))
+            await self.request(query_to_request(query, rid=0, trace=trace)))
 
     async def query_ids(self, query: HalfPlaneQuery) -> set[int]:
         """Just the answer set of one query."""
@@ -164,8 +171,9 @@ class SyncReproClient:
                     return response
         # unreachable: matching response returns above
 
-    def query(self, query: HalfPlaneQuery) -> dict:
-        return raise_for_error(self.request(query_to_request(query, rid=0)))
+    def query(self, query: HalfPlaneQuery, trace: dict | None = None) -> dict:
+        return raise_for_error(
+            self.request(query_to_request(query, rid=0, trace=trace)))
 
     def query_ids(self, query: HalfPlaneQuery) -> set[int]:
         return set(self.query(query)["ids"])

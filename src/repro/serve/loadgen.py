@@ -12,17 +12,25 @@ Two standard load models:
   (counted, not failed) are the expected outcome.
 
 The report is plain JSON: request counts, elapsed wall time, QPS,
-p50/p90/p99 latency — the shape ``repro bench-diff --mode floor``
-gates on — plus a per-op slope histogram of the issued traffic
+p50/p90/p99/p99.9 latency — the shape ``repro bench-diff --mode
+floor`` gates on — a per-op breakdown table (latency quantiles and,
+when the server runs with tracing on, the server-attributed pages per
+query), plus a per-op slope histogram of the issued traffic
 (:func:`slope_summary`), the client-side view of the slope
 distribution the server's own slope log sees. Comparing the two is the
 quick sanity check that a ``repro tune`` decision was driven by the
 traffic you think you sent.
+
+With ``trace=True`` every request carries a client-minted trace
+context (the wire ``trace`` field), and every ``trace_sample``-th one
+asks for span-tree sampling — the end-to-end id propagation the serve
+CI job exercises.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from typing import Sequence
 
@@ -74,16 +82,53 @@ def slope_summary(queries: Sequence[HalfPlaneQuery],
 
 
 def summarize(latencies_s: list[float]) -> dict:
-    """Latency summary in milliseconds (p50/p90/p99/mean/max)."""
+    """Latency summary in milliseconds (p50/p90/p99/p99.9/mean/max)."""
     ordered = sorted(latencies_s)
     count = len(ordered)
     return {
         "p50": _percentile(ordered, 0.50) * 1e3,
         "p90": _percentile(ordered, 0.90) * 1e3,
         "p99": _percentile(ordered, 0.99) * 1e3,
+        "p99_9": _percentile(ordered, 0.999) * 1e3,
         "mean": (sum(ordered) / count if count else 0.0) * 1e3,
         "max": (ordered[-1] if ordered else 0.0) * 1e3,
     }
+
+
+def per_op_breakdown(samples: list[tuple]) -> dict:
+    """The per-op table: latency quantiles and (when the server
+    attributed them) pages per query, keyed by query type.
+
+    ``samples`` are ``(latency_s, op, pages | None)`` rows; pages are
+    present only against a tracing-enabled server, so the column is
+    omitted rather than reported as zero when absent.
+    """
+    groups: dict[str, dict] = {}
+    for took, op, pages in samples:
+        group = groups.setdefault(op, {"lat": [], "pages": []})
+        group["lat"].append(took)
+        if pages is not None:
+            group["pages"].append(float(pages))
+    out: dict[str, dict] = {}
+    for op, group in sorted(groups.items()):
+        ordered = sorted(group["lat"])
+        entry = {
+            "count": len(ordered),
+            "latency_ms": {
+                "p50": _percentile(ordered, 0.50) * 1e3,
+                "p99": _percentile(ordered, 0.99) * 1e3,
+                "p99_9": _percentile(ordered, 0.999) * 1e3,
+                "mean": (sum(ordered) / len(ordered)) * 1e3,
+            },
+        }
+        if group["pages"]:
+            pages = group["pages"]
+            entry["pages"] = {
+                "mean": sum(pages) / len(pages),
+                "max": max(pages),
+            }
+        out[op] = entry
+    return out
 
 
 async def run_loadgen(
@@ -95,30 +140,36 @@ async def run_loadgen(
     concurrency: int = 8,
     rate: float = 1000.0,
     warmup: int = 0,
+    trace: bool = False,
+    trace_sample: int = 0,
 ) -> dict:
     """Drive a server and measure it; returns the report dict.
 
     ``queries`` are issued round-robin. ``warmup`` requests are run
     (closed-loop, excluded from the measurement) first, so caches and
-    code paths are hot before the clock starts.
+    code paths are hot before the clock starts. With ``trace``, each
+    request carries a client-minted trace id (and every
+    ``trace_sample``-th requests span-tree sampling).
     """
     if not queries:
         raise ValueError("loadgen needs at least one query")
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    envelope_for = _make_enveloper(trace, trace_sample)
     if warmup:
         await _closed_loop(host, port, queries, warmup,
-                           min(concurrency, warmup))
+                           min(concurrency, warmup), _make_enveloper(False, 0))
     started = time.monotonic()
     if mode == "closed":
-        latencies, errors, overloaded = await _closed_loop(
-            host, port, queries, requests, concurrency)
+        samples, errors, overloaded = await _closed_loop(
+            host, port, queries, requests, concurrency, envelope_for)
     else:
-        latencies, errors, overloaded = await _open_loop(
-            host, port, queries, requests, rate, concurrency)
+        samples, errors, overloaded = await _open_loop(
+            host, port, queries, requests, rate, concurrency, envelope_for)
     elapsed = time.monotonic() - started
+    latencies = [took for took, _op, _pages in samples]
     completed = len(latencies)
-    return {
+    report = {
         "mode": mode,
         "requests": requests,
         "completed": completed,
@@ -128,12 +179,17 @@ async def run_loadgen(
         "elapsed_s": elapsed,
         "qps": completed / elapsed if elapsed > 0 else 0.0,
         "latency_ms": summarize(latencies),
+        "per_op": per_op_breakdown(samples),
         "slopes": slope_summary(queries),
     }
+    if trace:
+        report["traced"] = True
+    return report
 
 
-async def _closed_loop(host, port, queries, requests, concurrency):
-    latencies: list[float] = []
+async def _closed_loop(host, port, queries, requests, concurrency,
+                       envelope_for):
+    samples: list[tuple] = []
     errors = 0
     overloaded = 0
     remaining = iter(range(requests))
@@ -152,10 +208,11 @@ async def _closed_loop(host, port, queries, requests, concurrency):
                 query = queries[n % len(queries)]
                 begin = time.monotonic()
                 response = await client.request(
-                    _envelope(query))
+                    envelope_for(n, query))
                 took = time.monotonic() - begin
                 if response.get("ok"):
-                    latencies.append(took)
+                    samples.append(
+                        (took, query.query_type, response.get("pages")))
                 elif _code(response) == "OVERLOADED":
                     overloaded += 1
                 else:
@@ -165,10 +222,11 @@ async def _closed_loop(host, port, queries, requests, concurrency):
 
     await asyncio.gather(
         *(worker(i) for i in range(max(1, concurrency))))
-    return latencies, errors, overloaded
+    return samples, errors, overloaded
 
 
-async def _open_loop(host, port, queries, requests, rate, connections):
+async def _open_loop(host, port, queries, requests, rate, connections,
+                     envelope_for):
     """Fixed arrival rate over a pool of pipelined connections."""
     if rate <= 0:
         raise ValueError(f"open-loop rate must be positive, got {rate}")
@@ -176,7 +234,7 @@ async def _open_loop(host, port, queries, requests, rate, connections):
         await ReproClient.connect(host, port)
         for _ in range(max(1, connections))
     ]
-    latencies: list[float] = []
+    samples: list[tuple] = []
     errors = 0
     overloaded = 0
 
@@ -186,13 +244,14 @@ async def _open_loop(host, port, queries, requests, rate, connections):
         begin = time.monotonic()
         try:
             response = await clients[n % len(clients)].request(
-                _envelope(query))
+                envelope_for(n, query))
         except (ConnectionError, OSError):
             errors += 1
             return
         took = time.monotonic() - begin
         if response.get("ok"):
-            latencies.append(took)
+            samples.append(
+                (took, query.query_type, response.get("pages")))
         elif _code(response) == "OVERLOADED":
             overloaded += 1
         else:
@@ -210,13 +269,32 @@ async def _open_loop(host, port, queries, requests, rate, connections):
     await asyncio.gather(*tasks)
     for client in clients:
         await client.close()
-    return latencies, errors, overloaded
+    return samples, errors, overloaded
 
 
-def _envelope(query: HalfPlaneQuery) -> dict:
+def _make_enveloper(trace: bool, trace_sample: int):
+    """Request-envelope factory; with tracing, mints per-request ids.
+
+    Ids are ``lg-<run prefix>-<request #>`` so a server-side slowlog
+    entry points straight back at the generating request.
+    """
+    if not trace:
+        return lambda n, query: _envelope(query)
+    prefix = f"lg-{os.urandom(3).hex()}"
+
+    def build(n: int, query: HalfPlaneQuery) -> dict:
+        context: dict = {"id": f"{prefix}-{n:08x}"}
+        if trace_sample and n % trace_sample == 0:
+            context["sampled"] = True
+        return _envelope(query, context)
+
+    return build
+
+
+def _envelope(query: HalfPlaneQuery, trace: dict | None = None) -> dict:
     from repro.serve.protocol import query_to_request
 
-    return query_to_request(query, rid=0)
+    return query_to_request(query, rid=0, trace=trace)
 
 
 def _code(response: dict) -> str:

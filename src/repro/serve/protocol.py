@@ -27,6 +27,17 @@ Other ops: ``ping``, ``stats``, ``insert``, ``delete``, ``commit``,
 ``{"id", "ok": false, "error": {"code", "message"}}`` with codes
 ``BAD_REQUEST | OVERLOADED | UNSUPPORTED | SHUTTING_DOWN | INTERNAL``.
 
+Any request may additionally carry a **trace context**::
+
+    {"id": 7, "op": "query", ..., "trace": {"id": "c0ffee-00000001",
+                                            "sampled": false}}
+
+The server adopts the client's trace id (minting one otherwise when
+tracing is enabled) and echoes it as ``"trace_id"`` in the response;
+``"sampled": true`` asks for a full span tree. The field is optional
+and ignored by servers running with tracing off — see
+docs/SERVING.md for the full spec.
+
 Example::
 
     >>> frame = encode_frame({"id": 1, "op": "ping"})
@@ -198,6 +209,8 @@ def validate_request(obj: dict) -> dict:
     if op not in OPS:
         raise ProtocolError(
             f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+    if "trace" in obj:
+        validate_trace_field(obj["trace"])
     if op == "query":
         query_from_request(obj)
     elif op in ("insert", "delete"):
@@ -239,12 +252,31 @@ def query_from_request(obj: dict) -> HalfPlaneQuery:
         raise ProtocolError(str(exc))
 
 
-def query_to_request(query: HalfPlaneQuery, rid: int) -> dict:
+def validate_trace_field(trace: object) -> dict:
+    """Check an optional request ``trace`` field: ``{"id": <printable
+    string, 1..64 chars>, "sampled": <bool, optional>}``. The field is
+    backward compatible — requests without it are untraced — but a
+    *malformed* one is a BAD_REQUEST, not silently ignored."""
+    from repro.obs.tracer import valid_trace_id
+
+    if not isinstance(trace, dict):
+        raise ProtocolError("request 'trace' must be an object")
+    if not valid_trace_id(trace.get("id")):
+        raise ProtocolError(
+            "trace 'id' must be a printable string of 1..64 characters")
+    if "sampled" in trace and not isinstance(trace["sampled"], bool):
+        raise ProtocolError("trace 'sampled' must be a boolean")
+    return trace
+
+
+def query_to_request(
+    query: HalfPlaneQuery, rid: int, trace: dict | None = None
+) -> dict:
     """The request envelope for ``query`` (client-side inverse)."""
     slope = (
         query.slope[0] if len(query.slope) == 1 else list(query.slope)
     )
-    return {
+    envelope = {
         "id": rid,
         "op": "query",
         "type": query.query_type,
@@ -252,6 +284,9 @@ def query_to_request(query: HalfPlaneQuery, rid: int) -> dict:
         "intercept": query.intercept,
         "theta": query.theta.value,
     }
+    if trace is not None:
+        envelope["trace"] = validate_trace_field(dict(trace))
+    return envelope
 
 
 def error_response(rid: int | None, code: str, message: str) -> dict:

@@ -26,15 +26,27 @@ left open by ``commit_planner``'s grow-forever log.
 Observability: ``serve_*`` metrics in the process registry (exported
 from the sidecar HTTP ``/metrics`` endpoint in Prometheus text form),
 one event per lifecycle action in the default event ring, and a span
-per request when tracing is active.
+per request when tracing is active. With ``trace_sample`` >= 1 every
+request additionally gets a request-scoped trace id (adopted from the
+wire ``trace`` field or minted), every Nth query batch records a full
+span tree, per-request page attribution feeds a cost watchdog scoring
+actual pages against the paper's distance-based prediction
+(:class:`repro.tune.cost.PageCostModel` — Theorems 4.1/4.2 as a live
+SLO), and the worst requests land in a
+:class:`~repro.obs.slowlog.SlowQueryLog` replayable via ``repro
+slowlog --replay``. The sidecar serves the live log at ``/slowlog``
+and ``/healthz`` reports WAL size and checkpoint lag.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import concurrent.futures
+import json
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 
@@ -44,10 +56,12 @@ from repro.errors import (
     QueryError,
     ReproError,
 )
-from repro.obs import slopelog
+from repro.obs import slopelog, tracer
 from repro.obs import trace as obs
 from repro.obs.events import get_event_log
 from repro.obs.metrics import get_registry
+from repro.obs.slowlog import SlowLogEntry, SlowQueryLog, answer_digest, \
+    slope_set_hash
 from repro.serve.coalesce import Coalescer
 from repro.serve.protocol import (
     MAX_FRAME,
@@ -57,7 +71,13 @@ from repro.serve.protocol import (
     query_from_request,
     validate_request,
 )
-from repro.storage.checkpoint import maybe_checkpoint, open_engine, wal_size
+from repro.storage.checkpoint import (
+    maybe_checkpoint,
+    open_engine,
+    read_catalog,
+    wal_size,
+)
+from repro.tune.cost import PageCostModel
 
 #: Latency-scale histogram buckets (seconds).
 _LATENCY_BUCKETS = (
@@ -66,6 +86,18 @@ _LATENCY_BUCKETS = (
 )
 #: Coalesced batch-size buckets.
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+#: Per-request attributed-pages buckets.
+_PAGE_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+#: Actual/predicted cost-ratio buckets, centered on 1.0 (a perfect
+#: model); the watchdog budget usually sits around 4.
+_RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0)
+#: Deferred-observation queue cap: past this the bookkeeping (never the
+#: request) is shed, so a stalled loop can't grow memory unboundedly.
+_OBS_PENDING_MAX = 4096
+
+#: Lazy :func:`repro.verify.differential.query_to_json` (import cycle:
+#: the fuzzer imports the serve layer).
+_query_to_json = None
 
 
 @dataclass
@@ -106,6 +138,22 @@ class ServeConfig:
     tune_min_evidence: int = 64
     #: Slope-log reservoir capacity.
     tune_capacity: int = 4096
+    #: Request tracing (``--trace-sample``): 0 disables tracing entirely
+    #: — the request path is bit-identical to a pre-tracing server. Any
+    #: N >= 1 turns tracing on: every request gets a trace id, the cost
+    #: watchdog and slow-query log run, and every Nth request records a
+    #: full span tree (1 = every request).
+    trace_sample: int = 0
+    #: Slow-query log: worst-N capacity per ranking (latency / pages).
+    slowlog_capacity: int = 32
+    #: Written as JSONL on shutdown when set (the CI artifact).
+    slowlog_out: str | None = None
+    #: The most recent sampled span tree, written as JSON on shutdown.
+    trace_out: str | None = None
+    #: Cost watchdog: a request whose actual/predicted page ratio
+    #: exceeds this budget raises ``cost_model_violations`` and is
+    #: force-kept in the slow-query log.
+    cost_budget: float = 4.0
 
 
 class ReproServer:
@@ -179,6 +227,50 @@ class ReproServer:
         self._h_latency = registry.histogram(
             "serve_request_seconds", "Per-request wall time",
             labelnames=("op",), buckets=_LATENCY_BUCKETS)
+        self._g_wal = registry.gauge(
+            "serve_wal_bytes",
+            "WAL bytes pending behind the served engine")
+        self._g_ckpt_lag = registry.gauge(
+            "serve_checkpoint_lag_bytes",
+            "WAL bytes past the auto-checkpoint threshold "
+            "(0 = checkpointing keeps up)")
+        #: Tracing plumbing (None/off unless ``trace_sample`` >= 1, so
+        #: the untraced request path stays bit-identical).
+        self._tracer: tracer.RequestTracer | None = None
+        self._slowlog: SlowQueryLog | None = None
+        self._cost_model: PageCostModel | None = None
+        self._engine_meta: dict = {}
+        self._last_trace: dict | None = None
+        #: Traced-request bookkeeping queue: the request path appends a
+        #: tuple and answers; histograms / watchdog / slow-log work
+        #: drains during loop idle (see :meth:`_queue_observation`).
+        self._obs_pending: collections.deque = collections.deque()
+        self._obs_scheduled = False
+        #: Serializes drains: the loop drains during idle, but readers
+        #: (the ``slowlog`` property, artifact writes) may flush from
+        #: another thread, and the cost model is not itself locked.
+        self._obs_lock = threading.Lock()
+        if config.trace_sample:
+            self._tracer = tracer.RequestTracer(
+                sample_every=config.trace_sample)
+            self._slowlog = SlowQueryLog(capacity=config.slowlog_capacity)
+            self._c_traced = registry.counter(
+                "serve_traced_requests",
+                "Requests carrying a trace context")
+            self._c_violations = registry.counter(
+                "cost_model_violations",
+                "Traced queries whose actual/predicted page ratio "
+                "exceeded the cost budget")
+            self._h_pages = registry.histogram(
+                "serve_request_pages",
+                "Pages attributed to one traced query (shared batch "
+                "work split evenly, refinement per-query)",
+                buckets=_PAGE_BUCKETS)
+            self._h_cost_ratio = registry.histogram(
+                "serve_cost_ratio",
+                "Actual/predicted pages per traced query (the paper's "
+                "cost model as a live SLO)",
+                buckets=_RATIO_BUCKETS)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -206,6 +298,7 @@ class ReproServer:
         if self._engine is None:
             self._engine = await loop.run_in_executor(
                 self._exec, self._open_engine)
+        self._note_engine_swap()
         self._coalescer = Coalescer(
             self._execute_batch,
             max_batch=self.config.max_batch,
@@ -238,6 +331,46 @@ class ReproServer:
         return open_engine(self.config.data_dir,
                            columnar=self.config.columnar)
 
+    def _note_engine_swap(self) -> None:
+        """Refresh what slow-log entries record about engine identity
+        (and re-anchor the cost model) after the engine changes.
+
+        Called on start, after a reload, after a tune hot-swap, and
+        after mutations (a commit/auto-checkpoint moves the catalog's
+        commit seq / generation). Cheap: one attribute walk plus, for
+        durable engines, one small catalog read.
+        """
+        engine = self._engine
+        planner = engine.planners[0] if hasattr(engine, "planners") \
+            else engine
+        meta: dict = {
+            "version": planner.index.version,
+            "slope_hash": slope_set_hash(planner.index.slopes),
+        }
+        if self.config.data_dir:
+            meta["data_dir"] = self.config.data_dir
+            try:
+                _payload, commit_seq, generation = read_catalog(
+                    self.config.data_dir)
+                meta["commit_seq"] = commit_seq
+                meta["generation"] = generation
+            except Exception:  # pragma: no cover - catalog mid-write
+                pass
+        slopes_changed = (
+            meta["slope_hash"] != self._engine_meta.get("slope_hash"))
+        # Queued observations belong to the outgoing engine: score and
+        # log them against it before the identity (and model) move on.
+        self.flush_observations()
+        self._engine_meta = meta
+        if self._tracer is not None:
+            anchors = list(planner.index.slopes)
+            if self._cost_model is None:
+                self._cost_model = PageCostModel(anchors)
+            elif slopes_changed:
+                # A new slope set invalidates the fitted distance→pages
+                # line; restart calibration against the new anchors.
+                self._cost_model.reset_anchors(anchors)
+
     async def stop(self) -> None:
         """Drain: stop accepting, finish in-flight work, close engine."""
         self._draining = True
@@ -269,6 +402,18 @@ class ReproServer:
                 self._exec, _close_engine, self._engine)
             self._engine = None
         self._exec.shutdown(wait=True)
+        self.flush_observations()
+        if self._slowlog is not None and self.config.slowlog_out:
+            count = self._slowlog.write_jsonl(self.config.slowlog_out)
+            self._events.emit(
+                "serve", "slowlog", path=self.config.slowlog_out,
+                entries=count)
+        if self.config.trace_out and self._last_trace is not None:
+            with open(self.config.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(self._last_trace, fh, sort_keys=True)
+                fh.write("\n")
+            self._events.emit(
+                "serve", "trace", path=self.config.trace_out)
         self._events.emit("serve", "stop")
 
     async def reload(self) -> None:
@@ -290,6 +435,7 @@ class ReproServer:
                 _close_engine(stale)
 
         await loop.run_in_executor(self._exec, _swap)
+        self._note_engine_swap()
         self._c_reloads.inc()
         self._events.emit("serve", "reload", data_dir=self.config.data_dir)
 
@@ -339,6 +485,7 @@ class ReproServer:
             # Evidence is consumed: the next decision must be earned by
             # fresh traffic measured against the *new* slope set.
             self._slope_log.drain()
+            self._note_engine_swap()
             self._c_tune_swaps.inc()
             report["tuned"] = True
             self._events.emit(
@@ -424,14 +571,88 @@ class ReproServer:
         self._c_batches.inc()
         self._h_batch.observe(size)
 
-    async def _execute_batch(self, queries: list):
-        """Coalescer flush → one ``query_batch`` on the engine thread."""
+    async def _execute_batch(self, items: list):
+        """Coalescer flush → one ``query_batch`` on the engine thread.
+
+        ``items`` are ``(query, ctx)`` pairs — the coalescer treats them
+        opaquely. With tracing off every ``ctx`` is None and the engine
+        call is exactly the pre-tracing one. With tracing on, the batch
+        runs under the first context in the batch (so downstream span
+        meta carries a trace id); if any request in the batch was
+        *sampled*, a full :class:`~repro.obs.trace.QueryTrace` records
+        the batch's span tree. Afterwards the batch bill is attributed
+        per request (the response carries ``pages``); the cost
+        watchdog's verdict joins the deferred observation drain so the
+        batch critical path stays lean.
+        """
         loop = asyncio.get_running_loop()
 
         def _run():
-            return self._engine.query_batch(queries).results
+            queries = [query for query, _ in items]
+            contexts = [ctx for _, ctx in items]
+            install = next(
+                (ctx for ctx in contexts if ctx is not None), None)
+            trace = None
+            if (
+                install is not None
+                and any(ctx is not None and ctx.sampled
+                        for ctx in contexts)
+                and obs.current() is None
+            ):
+                sampled = next(
+                    ctx for ctx in contexts
+                    if ctx is not None and ctx.sampled)
+                engine = self._engine
+                planner = engine.planners[0] \
+                    if hasattr(engine, "planners") else engine
+                trace = obs.QueryTrace(
+                    pager=planner.index.pager, name="serve.batch",
+                    meta={"trace": sampled.trace_id,
+                          "batch": len(items)})
+            with tracer.request_context(install):
+                if trace is not None:
+                    with obs.tracing(trace):
+                        batch = self._engine.query_batch(queries)
+                    trace.close()
+                else:
+                    batch = self._engine.query_batch(queries)
+            if self._tracer is None:
+                return [(result, None) for result in batch.results]
+            return self._annotate_batch(batch, queries, contexts, trace)
 
         return await loop.run_in_executor(self._exec, _run)
+
+    def _annotate_batch(self, batch, queries, contexts, trace):
+        """Per-request page attribution, on the engine thread.
+
+        The batch's shared work (descents, merged sweeps, surface
+        passes) is split evenly across the batch; refinement pages are
+        per-query attributable (``QueryResult.refinement_pages``) and
+        ride with their owner. The split is clamped so a per-query sum
+        exceeding the batch bill (shared refinement pages are counted
+        once per batch but reported per query) never attributes
+        negative shared work. The cost-watchdog verdict is *not*
+        computed here — it rides the deferred observation drain
+        (:meth:`_observe_traced`), off the batch critical path.
+        """
+        results = batch.results
+        n = len(results)
+        own = [float(getattr(r, "refinement_pages", 0) or 0)
+               for r in results]
+        shared = max(0.0, float(batch.page_accesses) - sum(own)) / n
+        span_tree = trace.to_dict() if trace is not None else None
+        if span_tree is not None:
+            self._last_trace = span_tree
+        out = []
+        for ctx, result, own_pages in zip(contexts, results, own):
+            out.append((result, {
+                "ctx": ctx,
+                "pages": shared + own_pages,
+                "batch_size": n,
+                "span_tree": span_tree
+                if (ctx is not None and ctx.sampled) else None,
+            }))
+        return out
 
     async def _run_mutation(self, fn):
         """Run ``fn`` on the engine thread, then auto-checkpoint if the
@@ -454,6 +675,7 @@ class ReproServer:
             return result, checkpointed
 
         result, checkpointed = await loop.run_in_executor(self._exec, _run)
+        self._note_engine_swap()
         if checkpointed:
             self._c_checkpoints.inc()
             self._events.emit(
@@ -575,12 +797,19 @@ class ReproServer:
                     f"{self._inflight} requests in flight (cap "
                     f"{self.config.max_queue_depth}); back off and retry"))
             return
+        ctx = (
+            self._tracer.make_context(request.get("trace"))
+            if self._tracer is not None else None)
         self._inflight += 1
         self._g_inflight.set(self._inflight)
         try:
-            with obs.span(f"serve.{op}", id=rid):
-                response = await self._dispatch(request)
+            meta = {"trace": ctx.trace_id} if ctx is not None else {}
+            with obs.span(f"serve.{op}", id=rid, **meta):
+                response = await self._dispatch(request, ctx, started)
             response["id"] = rid
+            if ctx is not None:
+                response.setdefault("trace_id", ctx.trace_id)
+                self._c_traced.inc()
             await self._send(writer, write_lock, response)
         except asyncio.CancelledError:
             raise
@@ -610,20 +839,27 @@ class ReproServer:
             self._h_latency.labels(op=op).observe(
                 time.monotonic() - started)
 
-    async def _dispatch(self, request: dict) -> dict:
+    async def _dispatch(self, request: dict, ctx=None,
+                        started: float | None = None) -> dict:
         op = request["op"]
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "query":
             query = query_from_request(request)
-            result = await self._coalescer.submit(query)
-            return {
+            result, note = await self._coalescer.submit((query, ctx))
+            ids = sorted(result.ids)
+            response = {
                 "ok": True,
-                "ids": sorted(result.ids),
+                "ids": ids,
                 "technique": result.technique,
                 "cached": result.cached,
             }
+            if note is not None:
+                response["pages"] = round(note["pages"], 3)
+                self._queue_observation(query, result, ids, note, started)
+            return response
         if op == "stats":
+            self.flush_observations()
             registry = get_registry()
             return {
                 "ok": True,
@@ -667,16 +903,151 @@ class ReproServer:
             return {"ok": True, "seq": seq, "wal_bytes": wal_size(planner)}
         raise QueryError(f"unhandled op {op!r}")  # pragma: no cover
 
+    def _queue_observation(self, query, result, ids, note, started) -> None:
+        """Defer one traced query's bookkeeping off the critical path.
+
+        Histograms, the watchdog verdict, and the slow-query-log offer
+        are not needed to answer the request, so the request path only
+        stamps the latency and appends a tuple here; the loop drains
+        the queue between I/O passes (``call_soon``), and every reader
+        of the metrics or the log flushes it first
+        (:meth:`flush_observations`) so nothing observable lags."""
+        latency = (
+            time.monotonic() - started if started is not None else 0.0)
+        if len(self._obs_pending) >= _OBS_PENDING_MAX:
+            # Overload: shed the bookkeeping, never the request.
+            self._slowlog.note_dropped()
+            return
+        self._obs_pending.append((query, result, ids, note, latency))
+        if not self._obs_scheduled:
+            self._obs_scheduled = True
+            asyncio.get_running_loop().call_soon(self._drain_observations)
+
+    def _drain_observations(self) -> None:
+        # Bounded chunk per loop pass so a burst can't starve I/O.
+        with self._obs_lock:
+            for _ in range(256):
+                if not self._obs_pending:
+                    break
+                self._observe_traced(*self._obs_pending.popleft())
+        if self._obs_pending:
+            asyncio.get_running_loop().call_soon(self._drain_observations)
+        else:
+            self._obs_scheduled = False
+
+    def flush_observations(self) -> None:
+        """Drain every queued observation now. Called before anything
+        reads the metrics or the slow-query log; safe (and cheap) when
+        the queue is empty or tracing is off."""
+        with self._obs_lock:
+            while self._obs_pending:
+                self._observe_traced(*self._obs_pending.popleft())
+
+    def _observe_traced(self, query, result, ids, note, latency) -> None:
+        """Record one traced query: histograms (exemplar-linked to the
+        trace id), the watchdog verdict, and a slow-query-log offer.
+
+        The latency was stamped when the batch answered (send and
+        deferral excluded — the log ranks server-side work, not client
+        socket time or bookkeeping lag). Runs under ``_obs_lock``; the
+        cost model is only ever touched here, in queue order, so the
+        predict-before-observe verdict stays out-of-sample."""
+        global _query_to_json
+        if _query_to_json is None:
+            from repro.verify.differential import query_to_json
+            _query_to_json = query_to_json
+
+        ctx = note["ctx"]
+        pages = note["pages"]
+        model = self._cost_model
+        predicted = ratio = None
+        violation = False
+        if model is not None:
+            slope = query.slope_2d
+            distance = model.distance(slope)
+            # Predict before observing: the verdict is always
+            # out-of-sample.
+            predicted = model.predict(slope, distance=distance)
+            model.observe(slope, pages, distance=distance)
+            if predicted:
+                ratio = pages / predicted
+                violation = ratio > self.config.cost_budget
+        exemplar = ctx.trace_id if ctx is not None else None
+        self._h_pages.observe(pages, exemplar=exemplar)
+        if ratio is not None:
+            self._h_cost_ratio.observe(ratio, exemplar=exemplar)
+        if violation:
+            self._c_violations.inc()
+        if not self._slowlog.would_keep(
+            latency, pages, violation=violation
+        ):
+            # The common fast-request case: skip the entry build (the
+            # answer digest is the expensive part) entirely.
+            self._slowlog.note_dropped()
+            return
+        entry = SlowLogEntry(
+            trace_id=ctx.trace_id if ctx is not None else "-",
+            op="query",
+            latency_s=latency,
+            pages=pages,
+            query=_query_to_json(query),
+            technique=result.technique,
+            accounting={
+                "candidates": result.candidates,
+                "false_hits": result.false_hits,
+                "accepted_without_refinement":
+                    result.accepted_without_refinement,
+                "refinement_pages": result.refinement_pages,
+                "cached": result.cached,
+            },
+            predicted_pages=predicted,
+            ratio=ratio,
+            reason="cost_model" if violation else "latency",
+            batch_size=note["batch_size"],
+            engine=dict(self._engine_meta),
+            answer={"count": len(ids), "digest": answer_digest(ids)},
+            span_tree=note["span_tree"],
+        )
+        self._slowlog.record(entry)
+
+    @property
+    def slowlog(self) -> SlowQueryLog | None:
+        """The live slow-query log (None with tracing off)."""
+        self.flush_observations()
+        return self._slowlog
+
     # ------------------------------------------------------------------
     # metrics endpoint (HTTP sidecar)
     # ------------------------------------------------------------------
+    def _healthz_body(self) -> bytes:
+        """The ``/healthz`` JSON body; also updates the WAL/checkpoint
+        gauges so durability debt is visible *between* auto-checkpoints
+        (a probe is exactly when an operator is looking)."""
+        engine = self._engine
+        wal = (
+            0 if engine is None or hasattr(engine, "planners")
+            else wal_size(engine))
+        lag = max(0, wal - self.config.wal_checkpoint_bytes)
+        self._g_wal.set(float(wal))
+        self._g_ckpt_lag.set(float(lag))
+        payload = {
+            "ok": True,
+            "wal_bytes": wal,
+            "checkpoint_lag_bytes": lag,
+            "inflight": self._inflight,
+            "draining": self._draining,
+        }
+        return (json.dumps(payload, sort_keys=True) + "\n") \
+            .encode("utf-8")
+
     async def _handle_metrics(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        """Minimal HTTP/1.0: GET /metrics → Prometheus text, one
-        request per connection."""
+        """Minimal HTTP/1.0: GET /metrics → Prometheus text, /healthz →
+        health JSON (WAL + checkpoint lag), /slowlog → the slow-query
+        log; one request per connection."""
         try:
             line = await asyncio.wait_for(
                 reader.readline(), timeout=self.config.read_timeout)
@@ -688,10 +1059,21 @@ class ReproServer:
                 if header in (b"\r\n", b"\n", b""):
                     break
             if target == "/metrics":
+                self.flush_observations()
                 body = get_registry().export_prom().encode("utf-8")
                 status, ctype = "200 OK", "text/plain; version=0.0.4"
             elif target == "/healthz":
-                body, status, ctype = b"ok\n", "200 OK", "text/plain"
+                body = self._healthz_body()
+                status, ctype = "200 OK", "application/json"
+            elif target == "/slowlog":
+                self.flush_observations()
+                payload = (
+                    self._slowlog.to_json() if self._slowlog is not None
+                    else {"capacity": 0, "recorded": 0, "dropped": 0,
+                          "entries": []})
+                body = (json.dumps(payload, sort_keys=True) + "\n") \
+                    .encode("utf-8")
+                status, ctype = "200 OK", "application/json"
             else:
                 body, status, ctype = b"not found\n", "404 Not Found", \
                     "text/plain"

@@ -1,0 +1,281 @@
+"""``repro top``: a refresh-loop terminal view over a serving process.
+
+Reads what the metrics sidecar already publishes — ``/metrics``
+(Prometheus text) and ``/slowlog`` (the live slow-query log) — and
+renders the numbers an operator reaches for first: QPS, p50/p99
+latency, pages per query, the cost watchdog's predicted-vs-actual
+ratio, and tune status. Rates and quantiles are computed from *deltas*
+between refreshes, so the view shows what the server is doing now, not
+since boot (the first frame, with nothing to diff against, shows
+cumulative values and says so).
+
+Everything except the fetch loop is pure: :func:`parse_prom` turns
+exposition text into a flat ``{series: value}`` map (exemplar suffixes
+stripped), :func:`quantile` interpolates a histogram quantile from
+cumulative buckets, and :func:`render` formats one frame from two
+samples — all unit-testable without a server.
+
+>>> sample = parse_prom('a 1\\nb{x="1"} 2.5\\nc_bucket{le="0.1"} 3 # {t="i"} 0.05\\n')
+>>> sample['a'], sample['b{x="1"}'], sample['c_bucket{le="0.1"}']
+(1.0, 2.5, 3.0)
+>>> quantile({0.1: 50.0, 1.0: 100.0, float("inf"): 100.0}, 0.5)
+0.1
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+#: Histogram series suffix carrying cumulative bucket counts.
+_BUCKET = "_bucket"
+
+
+# ----------------------------------------------------------------------
+# exposition parsing (pure)
+# ----------------------------------------------------------------------
+def parse_prom(text: str) -> dict[str, float]:
+    """Flatten Prometheus exposition text to ``{series: value}``.
+
+    A series key is the metric name plus its literal label block
+    (``name{a="b"}``). Comment/metadata lines are skipped; OpenMetrics
+    exemplar suffixes (``... # {trace_id="..."} 0.5``) are stripped.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, rest = _split_series(line)
+        if series is None:
+            continue
+        value = rest.strip().split()[0] if rest.strip() else ""
+        try:
+            out[series] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def _split_series(line: str) -> tuple[str | None, str]:
+    """Split one exposition line into (series key, remainder).
+
+    The label block may contain ``}``/spaces inside quoted values, so
+    the scan tracks quoting and backslash escapes instead of splitting
+    on the first space. The remainder may still carry an exemplar
+    suffix (`` # {...} v``), which the caller drops by taking the first
+    token.
+    """
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace == -1 or (space != -1 and space < brace):
+        if space == -1:
+            return None, ""
+        return line[:space], line[space + 1:]
+    i, quoted, escaped = brace + 1, False, False
+    while i < len(line):
+        ch = line[i]
+        if escaped:
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == '"':
+            quoted = not quoted
+        elif ch == "}" and not quoted:
+            return line[: i + 1], line[i + 1:]
+        i += 1
+    return None, ""
+
+
+def histogram_buckets(
+    sample: dict[str, float], name: str, op: str | None = None
+) -> dict[float, float]:
+    """Cumulative ``{le: count}`` buckets of one histogram series."""
+    out: dict[float, float] = {}
+    prefix = f"{name}{_BUCKET}{{"
+    for series, value in sample.items():
+        if not series.startswith(prefix):
+            continue
+        if op is not None and f'op="{op}"' not in series:
+            continue
+        le = _label_value(series, "le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        out[bound] = out.get(bound, 0.0) + value
+    return out
+
+
+def _label_value(series: str, label: str) -> str | None:
+    marker = f'{label}="'
+    at = series.find(marker)
+    if at == -1:
+        return None
+    end = series.find('"', at + len(marker))
+    return series[at + len(marker):end] if end != -1 else None
+
+
+def quantile(buckets: dict[float, float], q: float) -> float | None:
+    """Interpolated quantile from cumulative ``{le: count}`` buckets.
+
+    Returns the upper bound of the bucket the quantile falls in
+    (standard Prometheus ``histogram_quantile`` flavour, without the
+    in-bucket interpolation for the +Inf tail, which reports the last
+    finite bound).
+    """
+    if not buckets:
+        return None
+    bounds = sorted(buckets)
+    total = buckets[bounds[-1]]
+    if total <= 0:
+        return None
+    target = q * total
+    previous_finite = None
+    for bound in bounds:
+        if bound != float("inf"):
+            previous_finite = bound
+        if buckets[bound] >= target:
+            return bound if bound != float("inf") else previous_finite
+    return previous_finite
+
+
+def delta(
+    current: dict[str, float], previous: dict[str, float] | None, key: str
+) -> float:
+    """Counter increase between samples (current value on frame one)."""
+    now = current.get(key, 0.0)
+    if previous is None:
+        return now
+    return max(0.0, now - previous.get(key, 0.0))
+
+
+def bucket_delta(
+    current: dict[str, float],
+    previous: dict[str, float] | None,
+    name: str,
+    op: str | None = None,
+) -> dict[float, float]:
+    """Interval-local histogram buckets (cumulative minus previous)."""
+    now = histogram_buckets(current, name, op)
+    if previous is None:
+        return now
+    then = histogram_buckets(previous, name, op)
+    return {le: max(0.0, v - then.get(le, 0.0)) for le, v in now.items()}
+
+
+def _series_sum(sample: dict[str, float], prefix: str) -> float:
+    return sum(v for k, v in sample.items()
+               if k == prefix or k.startswith(prefix + "{"))
+
+
+# ----------------------------------------------------------------------
+# frame rendering (pure)
+# ----------------------------------------------------------------------
+def render(
+    current: dict[str, float],
+    previous: dict[str, float] | None,
+    slowlog: dict | None,
+    elapsed: float,
+) -> str:
+    """One ``repro top`` frame from two metric samples + the slow log."""
+    lines = []
+    window = "cumulative" if previous is None else f"last {elapsed:.1f}s"
+    requests = delta(current, previous, 'serve_requests{op="query"}')
+    qps = requests / elapsed if elapsed > 0 else 0.0
+    lat = bucket_delta(
+        current, previous, "serve_request_seconds", op="query")
+    p50 = quantile(lat, 0.50)
+    p99 = quantile(lat, 0.99)
+    lines.append(
+        f"repro top — window: {window}")
+    lines.append(
+        f"  qps {qps:8.1f}   p50 {_ms(p50):>9}   p99 {_ms(p99):>9}   "
+        f"inflight {current.get('serve_inflight', 0.0):.0f}   "
+        f"depth {current.get('serve_queue_depth', 0.0):.0f}")
+    traced = delta(current, previous, "serve_traced_requests")
+    if traced or _series_sum(current, "serve_traced_requests"):
+        pages_sum = delta(current, previous, "serve_request_pages_sum")
+        pages_n = delta(current, previous, "serve_request_pages_count")
+        per_query = pages_sum / pages_n if pages_n else 0.0
+        ratio = quantile(
+            bucket_delta(current, previous, "serve_cost_ratio"), 0.50)
+        violations = _series_sum(current, "cost_model_violations")
+        lines.append(
+            f"  pages/query {per_query:7.2f}   "
+            f"cost p50 (actual/predicted) {_num(ratio):>7}   "
+            f"violations {violations:.0f}")
+    else:
+        lines.append("  tracing off (start the server with "
+                     "--trace-sample to light this up)")
+    swaps = _series_sum(current, "tune_swaps")
+    skips = _series_sum(current, "tune_skipped")
+    lines.append(
+        f"  wal {current.get('serve_wal_bytes', 0.0):,.0f}B   "
+        f"checkpoint lag {current.get('serve_checkpoint_lag_bytes', 0.0):,.0f}B   "
+        f"tune swaps {swaps:.0f} / skips {skips:.0f}")
+    if slowlog and slowlog.get("entries"):
+        worst = slowlog["entries"][0]
+        lines.append(
+            f"  slowlog {len(slowlog['entries'])} kept / "
+            f"{slowlog.get('recorded', 0)} seen — worst "
+            f"{worst['latency_s'] * 1e3:.2f}ms / "
+            f"{worst['pages']:.1f} pages "
+            f"[{worst['trace_id']}]")
+    return "\n".join(lines)
+
+
+def _ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.2f}ms"
+
+
+def _num(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+# ----------------------------------------------------------------------
+# the loop
+# ----------------------------------------------------------------------
+def _http_fetcher(host: str, port: int, timeout: float = 5.0):
+    def fetch(path: str) -> str:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=timeout
+        ) as response:
+            return response.read().decode("utf-8")
+
+    return fetch
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    fetch=None,
+    out=print,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """Fetch/render frames until ``iterations`` runs out (None = forever).
+
+    ``fetch``/``out``/``clock``/``sleep`` are injectable for tests.
+    Returns 0; connection errors surface as exceptions to the CLI.
+    """
+    if fetch is None:
+        fetch = _http_fetcher(host, port)
+    previous = None
+    stamp = clock()
+    frames = 0
+    while iterations is None or frames < iterations:
+        if frames:
+            sleep(interval)
+        current = parse_prom(fetch("/metrics"))
+        try:
+            slowlog = json.loads(fetch("/slowlog"))
+        except Exception:
+            slowlog = None
+        now = clock()
+        out(render(current, previous, slowlog, max(now - stamp, 1e-9)))
+        previous, stamp = current, now
+        frames += 1
+    return 0

@@ -49,7 +49,8 @@ def unregister(key: int) -> None:
 
 
 def worker_batch(
-    key: int, shard: int, queries: "Sequence[HalfPlaneQuery]"
+    key: int, shard: int, queries: "Sequence[HalfPlaneQuery]",
+    trace: "dict | None" = None,
 ) -> "ShardPartials":
     """Answer one batch on one shard inside a forked worker.
 
@@ -57,9 +58,17 @@ def worker_batch(
     every batch cold so its page accounting matches the threaded
     fan-out's cold executors, and caching belongs to whoever owns the
     batch stream, not to a worker that may be re-forked away.
+
+    ``trace`` re-installs the parent's request trace context inside the
+    worker (module globals do not cross the fork *after* it happened),
+    so worker-side instrumentation sees the same trace id the serving
+    layer stamped on the request.
     """
+    from repro.obs import tracer
+
     executor = _EXECUTORS.get((key, shard))
     if executor is None:
         executor = BatchExecutor(_REGISTRY[key][shard], cache_size=0)
         _EXECUTORS[(key, shard)] = executor
-    return executor.execute_partials(queries)
+    with tracer.request_context(tracer.from_payload(trace)):
+        return executor.execute_partials(queries)

@@ -47,6 +47,7 @@ from repro.errors import IndexError_
 from repro.exec.executor import BatchExecutor, BatchResult
 from repro.obs import trace as obs
 from repro.obs import slopelog
+from repro.obs import tracer
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.storage.pager import Pager
 from repro.storage.stats import IOStats
@@ -242,7 +243,7 @@ class ShardedDualIndex:
         unsharded planner's on the same relation."""
         slopelog.record(query.slope_2d, query.query_type)
         with obs.span("shard.fanout", shards=self.shards,
-                      type=query.query_type):
+                      type=query.query_type, **_trace_meta()):
             obs.incr("shard_fanout.queries")
             partials = self._fanout(
                 lambda p: p.query(query, refresh=refresh)
@@ -267,7 +268,7 @@ class ShardedDualIndex:
             if merged is not None:
                 return merged
         with obs.span("shard.fanout_batch", shards=self.shards,
-                      queries=len(queries)):
+                      queries=len(queries), **_trace_meta()):
             obs.incr("shard_fanout.batches")
             obs.incr("shard_fanout.queries", len(queries))
             parts = self._fanout_executors(queries)
@@ -334,9 +335,14 @@ class ShardedDualIndex:
         pool = self._process_pool()
         if pool is None:
             return None
+        # The forked workers cannot see this process's request-context
+        # global, so the active trace context (if any) crosses the
+        # boundary as an explicit payload and each worker re-installs it.
+        trace_payload = tracer.payload()
         try:
             futures = [
-                pool.submit(procfan.worker_batch, self._proc_key, n, queries)
+                pool.submit(procfan.worker_batch, self._proc_key, n, queries,
+                            trace_payload)
                 for n in range(self.shards)
             ]
             parts = [f.result() for f in futures]
@@ -496,6 +502,12 @@ class ShardedDualIndex:
 def _noop(_n: int) -> None:
     """Worker warm-up task; its only job is to force the fork."""
     return None
+
+
+def _trace_meta() -> dict:
+    """Span meta carrying the active request trace id (usually empty)."""
+    ctx = tracer.context()
+    return {"trace": ctx.trace_id} if ctx is not None else {}
 
 
 def _merge_partials(parts, n_queries: int) -> BatchResult:

@@ -60,6 +60,124 @@ def expected_distance(
     return float((dist * weights).sum() / weights.sum())
 
 
+def nearest_anchor_distance(slope: float, anchors: Sequence[float]) -> float:
+    """Angle distance from one query slope to its nearest anchor in
+    ``S`` — the per-query quantity Theorems 4.1/4.2 price.
+
+    >>> from repro.tune.cost import nearest_anchor_distance
+    >>> nearest_anchor_distance(0.5, [0.5, 2.0])
+    0.0
+    >>> round(nearest_anchor_distance(1.0, [0.0]), 6)
+    0.785398
+    """
+    finite = [a for a in anchors if math.isfinite(a)]
+    if not finite or not math.isfinite(slope):
+        return 0.0
+    angle = math.atan(slope)
+    return min(abs(angle - math.atan(a)) for a in finite)
+
+
+class PageCostModel:
+    """Online calibration of the theorems into *pages*: the serve-path
+    cost watchdog.
+
+    :func:`expected_distance` is deliberately dimensionless — the
+    constant linking angle distance to pages depends on the data
+    distribution. This model learns that constant live: each traced
+    query contributes an ``(distance, observed pages)`` point to a
+    running least-squares fit ``pages ≈ base + slope · distance``, and
+    once ``min_samples`` points are in, :meth:`predict` prices new
+    queries. The fit is clamped to be monotone (a negative fitted slope
+    collapses to the running mean — distance then carries no signal in
+    this deployment, and the watchdog degrades to a mean-based SLO).
+
+    >>> from repro.tune.cost import PageCostModel
+    >>> model = PageCostModel([0.0], min_samples=4)
+    >>> for d_slope, pages in [(0.0, 10), (0.0, 12), (1.0, 30), (1.0, 32)]:
+    ...     model.observe(d_slope, pages)
+    >>> model.calibrated
+    True
+    >>> 8.0 < model.predict(0.0) < 14.0
+    True
+    >>> 26.0 < model.predict(1.0) < 36.0
+    True
+    """
+
+    def __init__(self, anchors: Sequence[float], min_samples: int = 32) -> None:
+        self.anchors = [float(a) for a in anchors if math.isfinite(a)]
+        #: Anchor *angles*, precomputed: distance() runs once or twice
+        #: per served query, so the atan over S must not be per-call.
+        self._angles = [math.atan(a) for a in self.anchors]
+        self.min_samples = max(2, min_samples)
+        self.n = 0
+        self._sum_d = 0.0
+        self._sum_p = 0.0
+        self._sum_dd = 0.0
+        self._sum_dp = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.n >= self.min_samples
+
+    def reset_anchors(self, anchors: Sequence[float]) -> None:
+        """Re-anchor after a tune swap; the calibration restarts because
+        the fitted constant belongs to the old ``S``."""
+        self.anchors = [float(a) for a in anchors if math.isfinite(a)]
+        self._angles = [math.atan(a) for a in self.anchors]
+        self.n = 0
+        self._sum_d = self._sum_p = self._sum_dd = self._sum_dp = 0.0
+
+    def distance(self, slope: float) -> float:
+        if not self._angles or not math.isfinite(slope):
+            return 0.0
+        angle = math.atan(slope)
+        return min(abs(angle - a) for a in self._angles)
+
+    def observe(
+        self, slope: float, pages: float, distance: float | None = None
+    ) -> None:
+        """Feed one traced query's observed page cost into the fit.
+
+        ``distance`` short-circuits the anchor scan when the caller
+        already priced this slope (the serve path predicts *and*
+        observes every query — one scan, not two).
+        """
+        d = self.distance(slope) if distance is None else distance
+        self.n += 1
+        self._sum_d += d
+        self._sum_p += pages
+        self._sum_dd += d * d
+        self._sum_dp += d * pages
+
+    def predict(
+        self, slope: float, distance: float | None = None
+    ) -> float | None:
+        """Predicted pages for ``slope``; ``None`` until calibrated.
+        Never below 1.0 — every query reads at least one page."""
+        if not self.calibrated:
+            return None
+        var = self._sum_dd - self._sum_d * self._sum_d / self.n
+        mean_p = self._sum_p / self.n
+        if var <= 1e-12:
+            return max(1.0, mean_p)
+        beta = (self._sum_dp - self._sum_d * self._sum_p / self.n) / var
+        if beta < 0.0:
+            return max(1.0, mean_p)
+        base = mean_p - beta * (self._sum_d / self.n)
+        if distance is None:
+            distance = self.distance(slope)
+        return max(1.0, base + beta * distance)
+
+    def state(self) -> dict:
+        """JSON-ready snapshot (``repro top`` / the ``stats`` op)."""
+        return {
+            "anchors": list(self.anchors),
+            "samples": self.n,
+            "calibrated": self.calibrated,
+            "mean_pages": (self._sum_p / self.n) if self.n else 0.0,
+        }
+
+
 def predicted_improvement(
     snapshot: SlopeLogSnapshot | Sequence[float],
     current: SlopeSet | Sequence[float],

@@ -1039,6 +1039,10 @@ def replay_repro(path: str) -> list[dict]:
         data = json.load(fh)
     if data["kind"] == "recovery":
         return run_recovery_case(data)
+    if data["kind"] == "slowlog":
+        from repro.verify.slowlog_replay import replay_slowlog_case
+
+        return replay_slowlog_case(data)
     tuples = [tuple_from_json(td) for td in data["tuples"]]
     if data["kind"] == "fault":
         query = query_from_json(data["query"])

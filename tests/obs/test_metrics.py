@@ -288,3 +288,71 @@ class TestPromExport:
 
     def test_empty_registry_exports_empty(self):
         assert MetricsRegistry().export_prom() == ""
+
+
+class TestExpositionEscapingAndExemplars:
+    """Satellite coverage: the exposition corner cases a scraper sees."""
+
+    def test_backslash_quote_newline_each_escaped(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c", labelnames=("v",))
+        counter.labels(v="back\\slash").inc()
+        counter.labels(v='quo"te').inc()
+        counter.labels(v="new\nline").inc()
+        text = reg.export_prom()
+        assert r'c{v="back\\slash"} 1' in text
+        assert r'c{v="quo\"te"} 1' in text
+        assert r'c{v="new\nline"} 1' in text
+        # no raw newline may survive inside a label value: every
+        # exposition line must still parse as one series + one value
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.rstrip().rsplit(" ", 1)[1] == "1"
+
+    def test_combined_escapes_round_trip_order(self):
+        # backslash must be escaped first, or the other escapes'
+        # backslashes get doubled
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("v",)).labels(v='\\"\n').inc()
+        assert r'c{v="\\\"\n"} 1' in reg.export_prom()
+
+    def test_histogram_exemplar_formatting(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pages", "pages", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="trace-a")
+        h.observe(5.0, exemplar={"trace_id": "trace-b"})
+        h.observe(50.0)
+        text = reg.export_prom()
+        assert 'pages_bucket{le="1"} 1 # {trace_id="trace-a"} 0.5' in text
+        assert 'pages_bucket{le="10"} 2 # {trace_id="trace-b"} 5' in text
+        # the un-exemplared bucket carries no suffix
+        assert 'pages_bucket{le="+Inf"} 3\n' in text
+
+    def test_exemplar_last_observation_wins(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pages", buckets=(1.0,))
+        h.observe(0.5, exemplar="first")
+        h.observe(0.7, exemplar="second")
+        text = reg.export_prom()
+        assert 'trace_id="second"' in text
+        assert "first" not in text
+
+    def test_exemplar_value_is_the_observation(self):
+        h = Histogram("h", buckets=(2.0,))
+        h.observe(1.25, exemplar="t")
+        assert h.exemplars[0] == ({"trace_id": "t"}, 1.25)
+
+    def test_labeled_exemplar_values_escaped(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pages", buckets=(1.0,))
+        h.observe(0.5, exemplar='odd"id')
+        assert r'# {trace_id="odd\"id"} 0.5' in reg.export_prom()
+
+    def test_exemplars_survive_json_export_absence(self):
+        # exemplars are an exposition-only concept: the JSON snapshot
+        # (CI artifacts) must stay byte-compatible without them
+        reg = MetricsRegistry()
+        h = reg.histogram("pages", buckets=(1.0,))
+        h.observe(0.5, exemplar="t")
+        assert "exemplar" not in reg.export_json()

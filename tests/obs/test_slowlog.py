@@ -1,0 +1,99 @@
+"""The slow-query log (repro.obs.slowlog)."""
+
+import pytest
+
+from repro.obs.slowlog import (
+    SlowLogEntry,
+    SlowQueryLog,
+    answer_digest,
+    load_jsonl,
+    slope_set_hash,
+)
+
+
+def entry(trace_id, latency_ms=1.0, pages=0.0, reason="latency", **kw):
+    return SlowLogEntry(
+        trace_id, "query", latency_s=latency_ms / 1e3, pages=pages,
+        reason=reason, **kw)
+
+
+class TestHashes:
+    def test_slope_set_hash_order_insensitive(self):
+        assert slope_set_hash([1.0, -2.0, 0.5]) == slope_set_hash(
+            [0.5, 1.0, -2.0])
+
+    def test_slope_set_hash_value_sensitive(self):
+        assert slope_set_hash([1.0]) != slope_set_hash([1.0000001])
+
+    def test_answer_digest_order_insensitive_and_stable(self):
+        assert answer_digest([3, 1, 2]) == answer_digest([1, 2, 3])
+        assert answer_digest([1, 2]) != answer_digest([1, 2, 3])
+        assert len(answer_digest([])) == 16
+
+
+class TestSlowQueryLog:
+    def test_keeps_worst_by_latency(self):
+        log = SlowQueryLog(capacity=2)
+        for ms in (1, 9, 5, 7):
+            log.record(entry(f"t{ms}", latency_ms=ms, pages=ms))
+        assert [e.trace_id for e in log.entries()] == ["t9", "t7"]
+
+    def test_union_of_both_rankings(self):
+        # t-pages is cheap by latency but tops the page ranking: kept.
+        log = SlowQueryLog(capacity=2)
+        log.record(entry("t-pages", latency_ms=0.1, pages=500))
+        for ms in (9, 7, 5):
+            log.record(entry(f"t{ms}", latency_ms=ms, pages=1))
+        kept = {e.trace_id for e in log.entries()}
+        assert "t-pages" in kept
+        assert kept == {"t9", "t7", "t-pages"}
+        assert log.worst(by="pages").trace_id == "t-pages"
+        assert log.worst(by="latency").trace_id == "t9"
+
+    def test_violations_always_kept(self):
+        log = SlowQueryLog(capacity=2)
+        log.record(entry("v1", latency_ms=0.01, pages=0,
+                         reason="cost_model"))
+        for ms in range(10, 20):
+            log.record(entry(f"t{ms}", latency_ms=ms, pages=ms))
+        assert "v1" in {e.trace_id for e in log.entries()}
+
+    def test_record_reports_kept(self):
+        log = SlowQueryLog(capacity=1)
+        assert log.record(entry("big", latency_ms=10, pages=10))
+        assert not log.record(entry("small", latency_ms=1, pages=1))
+        assert log.recorded == 2
+        assert log.dropped == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_to_json_shape(self):
+        log = SlowQueryLog(capacity=4)
+        log.record(entry("a", latency_ms=2))
+        log.record(entry("b", latency_ms=5))
+        doc = log.to_json()
+        assert doc["capacity"] == 4
+        assert doc["recorded"] == 2
+        assert [e["trace_id"] for e in doc["entries"]] == ["b", "a"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = SlowQueryLog(capacity=4)
+        full = entry(
+            "full", latency_ms=3, pages=12.5, technique="vector",
+            query={"query_type": "EXIST", "slope": [0.5],
+                   "intercept": [1.0], "theta": ["GE"]},
+            accounting={"candidates": 4, "refinement_pages": 2},
+            predicted_pages=10.0, ratio=1.25,
+            engine={"version": 3, "slope_hash": "abc"},
+            answer={"count": 2, "digest": answer_digest([1, 2])},
+            span_tree={"name": "serve.batch", "children": []},
+        )
+        log.record(full)
+        log.record(entry("plain", latency_ms=1))
+        path = tmp_path / "slow.jsonl"
+        assert log.write_jsonl(str(path)) == 2
+        back = load_jsonl(str(path))
+        assert [e.trace_id for e in back] == ["full", "plain"]
+        assert back[0].to_json() == full.to_json()

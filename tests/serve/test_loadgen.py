@@ -5,7 +5,7 @@ import asyncio
 import pytest
 
 from repro.bench.harness import dual_planner, queries_for
-from repro.serve.loadgen import run_loadgen, summarize
+from repro.serve.loadgen import per_op_breakdown, run_loadgen, summarize
 from repro.serve.server import ServeConfig
 from repro.serve.testing import ServerThread
 
@@ -73,6 +73,49 @@ def test_summarize_percentiles():
     summary = summarize([i / 1000.0 for i in range(1, 101)])
     assert summary["p50"] == pytest.approx(50.0, abs=2.0)
     assert summary["p99"] == pytest.approx(99.0, abs=2.0)
+    assert summary["p99"] <= summary["p99_9"] <= summary["max"]
     assert summary["max"] == pytest.approx(100.0)
     assert summarize([]) == {
-        "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "p99_9": 0.0,
+        "mean": 0.0, "max": 0.0}
+
+
+def test_per_op_breakdown_shapes():
+    samples = [
+        (0.001, "EXIST", 4.0),
+        (0.002, "EXIST", 8.0),
+        (0.004, "ALL", None),
+    ]
+    table = per_op_breakdown(samples)
+    assert sorted(table) == ["ALL", "EXIST"]
+    exist = table["EXIST"]
+    assert exist["count"] == 2
+    assert exist["latency_ms"]["p50"] == pytest.approx(1.0, abs=1.1)
+    assert set(exist["latency_ms"]) == {"p50", "p99", "p99_9", "mean"}
+    assert exist["pages"] == {"mean": 6.0, "max": 8.0}
+    # pages column omitted (not zeroed) when the server never sent any
+    assert "pages" not in table["ALL"]
+
+
+def test_report_carries_per_op_and_p99_9(served, queries):
+    report = asyncio.run(run_loadgen(
+        "127.0.0.1", served.port, queries,
+        mode="closed", requests=40, concurrency=4))
+    assert "p99_9" in report["latency_ms"]
+    assert report["per_op"]["EXIST"]["count"] == 40
+    # untraced server: no pages column, no traced marker
+    assert "pages" not in report["per_op"]["EXIST"]
+    assert "traced" not in report
+
+
+def test_traced_loadgen_against_traced_server(queries):
+    planner = dual_planner(N, SIZE, K)
+    with ServerThread(engine=planner, trace_sample=4) as server:
+        report = asyncio.run(run_loadgen(
+            "127.0.0.1", server.port, queries,
+            mode="closed", requests=40, concurrency=4,
+            trace=True, trace_sample=8))
+    assert report["errors"] == 0
+    assert report["traced"] is True
+    # the traced server attributes pages per request
+    assert report["per_op"]["EXIST"]["pages"]["mean"] >= 0.0

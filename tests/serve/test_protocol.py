@@ -22,6 +22,7 @@ from repro.serve.protocol import (
     query_from_request,
     query_to_request,
     validate_request,
+    validate_trace_field,
 )
 
 # JSON-representable payloads (ints bounded: json round-trips floats
@@ -169,3 +170,52 @@ def test_error_response_shape():
     assert error_response(None, "INTERNAL", "x")["id"] == -1
     with pytest.raises(ValueError):
         error_response(1, "EBADF", "not a protocol code")
+
+
+# ----------------------------------------------------------------------
+# the trace-context field
+# ----------------------------------------------------------------------
+def test_trace_field_accepted_and_roundtrips():
+    query = HalfPlaneQuery("EXIST", 0.5, 1.0, ">=")
+    envelope = query_to_request(
+        query, rid=3, trace={"id": "abc-1", "sampled": True})
+    assert envelope["trace"] == {"id": "abc-1", "sampled": True}
+    validate_request(envelope)
+    assert query_from_request(envelope) == query
+
+
+def test_trace_field_is_optional():
+    query = HalfPlaneQuery("EXIST", 0.5, 1.0, ">=")
+    envelope = query_to_request(query, rid=3)
+    assert "trace" not in envelope
+    validate_request(envelope)
+
+
+def test_trace_field_on_any_op():
+    validate_request(
+        {"id": 1, "op": "stats", "trace": {"id": "t"}})
+
+
+@pytest.mark.parametrize("bad_trace", [
+    "not-an-object",
+    ["id"],
+    {},                               # id required
+    {"id": ""},                       # empty id
+    {"id": 7},                        # non-string id
+    {"id": "x" * 65},                 # over MAX_TRACE_ID
+    {"id": "has\nnewline"},           # unprintable
+    {"id": "ok", "sampled": "yes"},   # non-bool sampled
+])
+def test_malformed_trace_field_rejected(bad_trace):
+    envelope = {"id": 1, "op": "query", "type": "ALL", "slope": 1,
+                "intercept": 0, "theta": ">=", "trace": bad_trace}
+    with pytest.raises(ProtocolError):
+        validate_request(envelope)
+
+
+def test_validate_trace_field_direct():
+    assert validate_trace_field({"id": "t"}) == {"id": "t"}
+    with pytest.raises(ProtocolError, match="printable"):
+        validate_trace_field({"id": "\x00"})
+    with pytest.raises(ProtocolError, match="boolean"):
+        validate_trace_field({"id": "t", "sampled": 1})

@@ -183,7 +183,12 @@ def test_stats_op_and_metrics_endpoint(planner):
         assert "serve_batch_size" in text
         health = urllib.request.urlopen(
             f"http://127.0.0.1:{mport}/healthz", timeout=10)
-        assert health.read() == b"ok\n"
+        health_body = json.loads(health.read())
+        assert health_body["ok"] is True
+        assert health_body["wal_bytes"] == 0  # in-memory engine
+        assert health_body["checkpoint_lag_bytes"] == 0
+        assert "serve_wal_bytes" in text
+        assert "serve_checkpoint_lag_bytes" in text
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(
                 f"http://127.0.0.1:{mport}/nope", timeout=10)

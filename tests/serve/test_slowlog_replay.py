@@ -1,0 +1,124 @@
+"""Bit-identical replay of slow-query-log entries (repro slowlog)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.harness import dual_planner, queries_for
+from repro.obs.slowlog import load_jsonl
+from repro.serve.protocol import query_to_request
+from repro.serve.testing import ServerThread
+from repro.storage.checkpoint import save_planner
+from repro.verify.differential import replay_repro, write_repro
+from repro.verify.slowlog_replay import (
+    entry_to_repro,
+    load_entry,
+    replay_entry,
+)
+
+N, SIZE, K = 300, "small", 3
+
+
+@pytest.fixture(scope="module")
+def served_log(tmp_path_factory):
+    """A saved engine plus the slow-query log a traced server produced
+    while answering real wire traffic against it."""
+    root = tmp_path_factory.mktemp("slowlog")
+    data_dir = str(root / "data")
+    planner = dual_planner(N, SIZE, K)
+    save_planner(planner, data_dir)
+    queries = (queries_for(N, SIZE, "EXIST", K, count=6)
+               + queries_for(N, SIZE, "ALL", K, count=6))
+    log_path = str(root / "slow.jsonl")
+    server = ServerThread(
+        data_dir=data_dir, trace_sample=2, slowlog_out=log_path,
+    ).start()
+    try:
+        client = server.client()
+        try:
+            for i, q in enumerate(queries * 2):
+                assert client.request(query_to_request(
+                    q, rid=i, trace={"id": f"rp-{i:04x}"}))["ok"]
+        finally:
+            client.close()
+    finally:
+        server.stop()
+    return {"data_dir": data_dir, "log_path": log_path}
+
+
+def test_worst_entry_replays_bit_identically(served_log):
+    for by in ("latency", "pages"):
+        entry = load_entry(served_log["log_path"], by=by)
+        findings = replay_entry(entry, data_dir=served_log["data_dir"])
+        assert findings == [], findings
+
+
+def test_entry_records_engine_identity(served_log):
+    entry = load_entry(served_log["log_path"])
+    assert entry.engine["data_dir"] == served_log["data_dir"]
+    assert entry.engine["slope_hash"]
+    assert entry.engine["commit_seq"] >= 0
+    assert entry.answer["digest"]
+
+
+def test_replay_through_fuzzer_repro_dialect(served_log, tmp_path):
+    entry = load_entry(served_log["log_path"])
+    path = write_repro(
+        entry_to_repro(entry, data_dir=served_log["data_dir"]),
+        str(tmp_path), "case")
+    assert replay_repro(path) == []
+    # and load_entry accepts the repro file itself
+    again = load_entry(path)
+    assert again.trace_id == entry.trace_id
+
+
+def test_answer_divergence_detected(served_log):
+    entry = load_entry(served_log["log_path"])
+    tampered = dataclasses.replace(
+        entry, answer={"count": entry.answer["count"] + 1,
+                       "digest": "deadbeefdeadbeef"})
+    findings = replay_entry(tampered, data_dir=served_log["data_dir"])
+    assert any(f["kind"] == "slowlog-answer-divergence" for f in findings)
+
+
+def test_engine_mismatch_explained(served_log):
+    entry = load_entry(served_log["log_path"])
+    tampered = dataclasses.replace(
+        entry, engine={**entry.engine, "slope_hash": "000000000000"})
+    findings = replay_entry(tampered, data_dir=served_log["data_dir"])
+    kinds = [f["kind"] for f in findings]
+    assert "slowlog-engine-mismatch" in kinds
+
+
+def test_accounting_divergence_detected(served_log):
+    entry = load_entry(served_log["log_path"])
+    tampered = dataclasses.replace(
+        entry, accounting={**entry.accounting,
+                           "candidates": 10_000_000})
+    findings = replay_entry(tampered, data_dir=served_log["data_dir"])
+    assert any(f["kind"] == "slowlog-accounting-divergence"
+               for f in findings)
+
+
+def test_unreplayable_entries_are_explained(served_log):
+    entry = load_entry(served_log["log_path"])
+    no_query = dataclasses.replace(entry, query=None)
+    assert replay_entry(no_query)[0]["kind"] == "slowlog-not-replayable"
+    nowhere = dataclasses.replace(entry, engine={})
+    assert replay_entry(nowhere)[0]["kind"] == "slowlog-not-replayable"
+
+
+def test_load_entry_ranking_and_bounds(served_log):
+    entries = load_jsonl(served_log["log_path"])
+    worst = load_entry(served_log["log_path"], by="pages")
+    assert worst.pages == max(e.pages for e in entries)
+    with pytest.raises(ValueError):
+        load_entry(served_log["log_path"], index=len(entries) + 50)
+
+
+def test_load_entry_rejects_other_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"kind": "fault"}))
+    with pytest.raises(ValueError):
+        load_entry(str(path))

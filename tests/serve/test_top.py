@@ -1,0 +1,153 @@
+"""The repro-top terminal view (pure parsing/rendering + the loop)."""
+
+import json
+
+from repro.serve.top import (
+    bucket_delta,
+    delta,
+    histogram_buckets,
+    parse_prom,
+    quantile,
+    render,
+    run_top,
+)
+
+INF = float("inf")
+
+
+class TestParseProm:
+    def test_basic_lines(self):
+        sample = parse_prom(
+            "# HELP a help\n# TYPE a counter\na 3\nb{op=\"query\"} 2.5\n")
+        assert sample == {"a": 3.0, 'b{op="query"}': 2.5}
+
+    def test_exemplar_suffix_stripped(self):
+        sample = parse_prom(
+            'h_bucket{le="0.1"} 7 # {trace_id="abc-1"} 0.05\n')
+        assert sample == {'h_bucket{le="0.1"}': 7.0}
+
+    def test_quoted_label_values_with_braces_and_spaces(self):
+        line = 'm{msg="a } b \\" c"} 4\n'
+        assert parse_prom(line) == {'m{msg="a } b \\" c"}': 4.0}
+
+    def test_garbage_skipped(self):
+        assert parse_prom("nonsense\nx notanumber\n\n  \n") == {}
+
+
+class TestHistogramQuantile:
+    def _buckets(self):
+        text = (
+            'lat_bucket{op="query",le="0.001"} 50\n'
+            'lat_bucket{op="query",le="0.01"} 90\n'
+            'lat_bucket{op="query",le="+Inf"} 100\n'
+            'lat_bucket{op="stats",le="0.001"} 5\n'
+            'lat_bucket{op="stats",le="0.01"} 5\n'
+            'lat_bucket{op="stats",le="+Inf"} 5\n'
+        )
+        return parse_prom(text)
+
+    def test_histogram_buckets_filters_by_op(self):
+        buckets = histogram_buckets(self._buckets(), "lat", op="query")
+        assert buckets == {0.001: 50.0, 0.01: 90.0, INF: 100.0}
+
+    def test_histogram_buckets_sums_without_op(self):
+        buckets = histogram_buckets(self._buckets(), "lat")
+        assert buckets == {0.001: 55.0, 0.01: 95.0, INF: 105.0}
+
+    def test_quantile_picks_bucket_upper_bound(self):
+        buckets = {0.001: 50.0, 0.01: 90.0, INF: 100.0}
+        assert quantile(buckets, 0.50) == 0.001
+        assert quantile(buckets, 0.90) == 0.01
+        # the +Inf tail reports the last finite bound
+        assert quantile(buckets, 0.999) == 0.01
+
+    def test_quantile_empty_or_zero(self):
+        assert quantile({}, 0.5) is None
+        assert quantile({0.1: 0.0, INF: 0.0}, 0.5) is None
+
+    def test_delta_and_bucket_delta(self):
+        prev = parse_prom('c 10\nh_bucket{le="+Inf"} 5\n')
+        cur = parse_prom('c 17\nh_bucket{le="+Inf"} 9\n')
+        assert delta(cur, prev, "c") == 7.0
+        assert delta(cur, None, "c") == 17.0
+        assert bucket_delta(cur, prev, "h") == {INF: 4.0}
+
+
+class TestRender:
+    CUR = (
+        'serve_requests{op="query"} 100\n'
+        'serve_request_seconds_bucket{op="query",le="0.001"} 80\n'
+        'serve_request_seconds_bucket{op="query",le="+Inf"} 100\n'
+        "serve_inflight 2\n"
+        "serve_queue_depth 1\n"
+        "serve_traced_requests 100\n"
+        "serve_request_pages_sum 400\n"
+        "serve_request_pages_count 100\n"
+        'serve_cost_ratio_bucket{le="1"} 60\n'
+        'serve_cost_ratio_bucket{le="+Inf"} 100\n'
+        "cost_model_violations 3\n"
+        "serve_wal_bytes 4096\n"
+        "serve_checkpoint_lag_bytes 0\n"
+        "tune_swaps 1\n"
+    )
+
+    def test_first_frame_is_cumulative(self):
+        frame = render(parse_prom(self.CUR), None, None, 1.0)
+        assert "cumulative" in frame
+        assert "qps    100.0" in frame
+        assert "pages/query    4.00" in frame
+        assert "violations 3" in frame
+        assert "tune swaps 1" in frame
+
+    def test_delta_frame_and_slowlog_line(self):
+        prev = parse_prom(self.CUR)
+        cur = dict(prev)
+        cur['serve_requests{op="query"}'] += 50
+        slowlog = {
+            "recorded": 60,
+            "entries": [{"trace_id": "t-9", "latency_s": 0.25,
+                         "pages": 41.0}],
+        }
+        frame = render(cur, prev, slowlog, 2.0)
+        assert "last 2.0s" in frame
+        assert "qps     25.0" in frame
+        assert "t-9" in frame and "250.00ms" in frame
+
+    def test_tracing_off_hint(self):
+        bare = parse_prom('serve_requests{op="query"} 5\n')
+        assert "tracing off" in render(bare, None, None, 1.0)
+
+
+class TestRunTop:
+    def test_loop_with_injected_io(self):
+        frames = []
+        clock = iter(range(0, 100, 2)).__next__
+        sleeps = []
+
+        def fetch(path):
+            if path == "/metrics":
+                return 'serve_requests{op="query"} 10\n'
+            return json.dumps({"recorded": 0, "entries": []})
+
+        code = run_top(
+            "h", 1, interval=0.5, iterations=3,
+            fetch=fetch, out=frames.append,
+            clock=clock, sleep=sleeps.append,
+        )
+        assert code == 0
+        assert len(frames) == 3
+        assert "cumulative" in frames[0]
+        assert all("last" in f for f in frames[1:])
+        assert sleeps == [0.5, 0.5]
+
+    def test_slowlog_fetch_failure_tolerated(self):
+        frames = []
+
+        def fetch(path):
+            if path == "/slowlog":
+                raise OSError("no sidecar")
+            return "serve_inflight 0\n"
+
+        assert run_top("h", 1, iterations=1, fetch=fetch,
+                       out=frames.append, sleep=lambda s: None) == 0
+        assert frames

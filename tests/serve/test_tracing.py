@@ -1,0 +1,224 @@
+"""End-to-end request tracing through the serve path.
+
+Covers the tentpole wiring: trace ids minted/adopted per request,
+OpenMetrics exemplars on the page/cost histograms, the slow-query log
+endpoint, span trees on sampled requests, sharded fan-out propagation,
+and — crucially — that the tracing-off path is bit-identical to the
+pre-tracing wire shape.
+"""
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.bench.harness import dual_planner, queries_for
+from repro.serve.client import ReproClient
+from repro.core.slope_set import SlopeSet
+from repro.serve.protocol import query_to_request
+from repro.serve.testing import ServerThread
+from repro.shard.sharded import ShardedDualIndex
+from repro.workloads.generator import make_relation
+
+N, SIZE, K = 300, "small", 3
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return dual_planner(N, SIZE, K)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return (queries_for(N, SIZE, "EXIST", K, count=6)
+            + queries_for(N, SIZE, "ALL", K, count=6))
+
+
+def _fetch(port, path):
+    return urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10).read().decode()
+
+
+def test_every_request_gets_a_trace_id(planner, queries):
+    with ServerThread(engine=planner, trace_sample=1) as server:
+        client = server.client()
+        try:
+            minted = client.request(query_to_request(queries[0], rid=1))
+            assert minted["ok"]
+            assert minted["trace_id"]
+            adopted = client.request(query_to_request(
+                queries[1], rid=2, trace={"id": "client-abc"}))
+            assert adopted["trace_id"] == "client-abc"
+            # a malformed trace field is a BAD_REQUEST, not silence
+            envelope = query_to_request(queries[2], rid=3)
+            envelope["trace"] = {"id": ""}
+            rejected = client.request(envelope)
+            assert not rejected["ok"]
+            assert rejected["error"]["code"] == "BAD_REQUEST"
+        finally:
+            client.close()
+
+
+def test_traced_answers_match_untraced(planner, queries):
+    with ServerThread(engine=planner) as server:
+        client = server.client()
+        try:
+            plain = [client.request(query_to_request(q, rid=i))
+                     for i, q in enumerate(queries)]
+        finally:
+            client.close()
+    with ServerThread(engine=planner, trace_sample=2) as server:
+        client = server.client()
+        try:
+            traced = [client.request(query_to_request(q, rid=i))
+                      for i, q in enumerate(queries)]
+        finally:
+            client.close()
+    for off, on in zip(plain, traced):
+        assert off["ids"] == on["ids"]
+        assert off["technique"] == on["technique"]
+        # tracing only *adds* fields to the response
+        assert set(off) <= set(on)
+        assert set(on) - set(off) <= {"trace_id", "pages"}
+
+
+def test_tracing_off_wire_shape_unchanged(planner, queries):
+    with ServerThread(engine=planner) as server:
+        client = server.client()
+        try:
+            response = client.request(query_to_request(queries[0], rid=9))
+        finally:
+            client.close()
+    assert "trace_id" not in response
+    assert "pages" not in response
+    # a client-sent trace field is valid protocol but ignored
+    with ServerThread(engine=planner) as server:
+        client = server.client()
+        try:
+            response = client.request(query_to_request(
+                queries[0], rid=9, trace={"id": "t", "sampled": True}))
+        finally:
+            client.close()
+    assert response["ok"]
+    assert "trace_id" not in response
+
+
+def test_exemplars_and_slowlog_endpoint(planner, queries):
+    with ServerThread(
+        engine=planner, trace_sample=2, metrics_port=0,
+    ) as server:
+        client = server.client()
+        try:
+            for i, q in enumerate(queries * 2):
+                assert client.request(query_to_request(
+                    q, rid=i, trace={"id": f"e2e-{i:04x}"}))["ok"]
+        finally:
+            client.close()
+        mport = server.server.metrics_port
+        prom = _fetch(mport, "/metrics")
+        assert "serve_traced_requests" in prom
+        assert "serve_request_pages_bucket" in prom
+        assert "serve_cost_ratio" in prom
+        exemplars = [line for line in prom.splitlines()
+                     if ' # {trace_id="e2e-' in line]
+        assert exemplars, "no per-request exemplars in /metrics"
+        slow = json.loads(_fetch(mport, "/slowlog"))
+        assert slow["recorded"] >= len(queries)
+        assert slow["entries"], "slow-query log is empty"
+        worst = slow["entries"][0]
+        assert worst["trace_id"].startswith("e2e-")
+        assert worst["query"]["query_type"] in ("EXIST", "ALL")
+        assert worst["engine"]["slope_hash"]
+        assert worst["answer"]["digest"]
+        sampled = [e for e in slow["entries"] if e["span_tree"]]
+        assert sampled, "no sampled request carried a span tree"
+        assert sampled[0]["span_tree"]["name"] == "serve.batch"
+
+
+def test_slowlog_endpoint_when_tracing_off(planner):
+    with ServerThread(engine=planner, metrics_port=0) as server:
+        slow = json.loads(_fetch(server.server.metrics_port, "/slowlog"))
+    assert slow == {"capacity": 0, "recorded": 0, "dropped": 0,
+                    "entries": []}
+
+
+def test_sharded_engine_propagates_trace(queries):
+    engine = ShardedDualIndex.build(
+        make_relation(N, SIZE, seed=5), SlopeSet.uniform_angles(K),
+        shards=2)
+    try:
+        expected = [r.ids for r in engine.query_batch(queries).results]
+        with ServerThread(engine=engine, trace_sample=1) as server:
+            client = server.client()
+            try:
+                responses = [
+                    client.request(query_to_request(
+                        q, rid=i, trace={"id": f"sh-{i}", "sampled": True}))
+                    for i, q in enumerate(queries)
+                ]
+            finally:
+                client.close()
+            answered = [sorted(r["ids"]) for r in responses]
+            assert answered == [sorted(ids) for ids in expected]
+            assert [r["trace_id"] for r in responses] == [
+                f"sh-{i}" for i in range(len(queries))]
+            assert all("pages" in r for r in responses)
+            worst = server.server.slowlog.worst()
+            assert worst is not None and worst.span_tree is not None
+    finally:
+        engine.close()
+
+
+def test_clients_attach_trace_context(planner, queries):
+    """Both client classes can mint-and-attach a trace context that the
+    server adopts end to end (the ``query(..., trace=...)`` kwarg)."""
+    with ServerThread(engine=planner, trace_sample=1) as server:
+        sync = server.client()
+        try:
+            response = sync.query(queries[0], trace={"id": "sync-1"})
+            assert response["trace_id"] == "sync-1"
+            untraced = sync.query(queries[0])
+            assert untraced["trace_id"] != "sync-1"  # server-minted
+        finally:
+            sync.close()
+
+        async def scenario(port):
+            client = await ReproClient.connect("127.0.0.1", port)
+            try:
+                adopted = await client.query(
+                    queries[1], trace={"id": "async-1", "sampled": True})
+                minted = await client.query(queries[1])
+            finally:
+                await client.close()
+            return adopted, minted
+
+        adopted, minted = asyncio.run(scenario(server.port))
+        assert adopted["trace_id"] == "async-1"
+        assert minted["trace_id"] != "async-1"
+        assert adopted["ids"] == minted["ids"]
+
+
+def test_shutdown_writes_slowlog_and_trace_artifacts(
+    planner, queries, tmp_path,
+):
+    slow_path = tmp_path / "slow.jsonl"
+    trace_path = tmp_path / "trace.json"
+    server = ServerThread(
+        engine=planner, trace_sample=1,
+        slowlog_out=str(slow_path), trace_out=str(trace_path),
+    ).start()
+    try:
+        client = server.client()
+        try:
+            for i, q in enumerate(queries):
+                assert client.request(query_to_request(q, rid=i))["ok"]
+        finally:
+            client.close()
+    finally:
+        server.stop()
+    lines = [json.loads(line) for line in
+             slow_path.read_text().splitlines()]
+    assert lines and all(entry["trace_id"] for entry in lines)
+    tree = json.loads(trace_path.read_text())
+    assert tree["name"] == "serve.batch"

@@ -1,0 +1,86 @@
+"""The online page-cost model behind the serve watchdog."""
+
+import pytest
+
+from repro.tune.cost import PageCostModel, nearest_anchor_distance
+
+
+class TestNearestAnchorDistance:
+    def test_zero_on_members(self):
+        assert nearest_anchor_distance(0.5, [0.5, 2.0]) == 0.0
+
+    def test_angle_space_not_slope_space(self):
+        # In raw slope space 100 is much farther from 1 than 0 is; in
+        # angle space the arctan compresses the tail.
+        near = nearest_anchor_distance(100.0, [1.0])
+        far = nearest_anchor_distance(0.0, [1.0])
+        assert near < far
+
+    def test_no_anchors_means_no_signal(self):
+        assert nearest_anchor_distance(1.0, []) == 0.0
+
+
+class TestPageCostModel:
+    def test_uncalibrated_predicts_none(self):
+        model = PageCostModel([0.0], min_samples=4)
+        model.observe(0.0, 10)
+        assert not model.calibrated
+        assert model.predict(0.0) is None
+
+    def test_learns_distance_slope(self):
+        model = PageCostModel([0.0], min_samples=4)
+        for d_slope, pages in [(0.0, 10), (0.0, 12), (1.0, 30), (1.0, 32)]:
+            model.observe(d_slope, pages)
+        assert model.calibrated
+        assert 8.0 < model.predict(0.0) < 14.0
+        assert 26.0 < model.predict(1.0) < 36.0
+
+    def test_flat_distance_falls_back_to_mean(self):
+        model = PageCostModel([0.0], min_samples=2)
+        model.observe(0.0, 10)
+        model.observe(0.0, 20)
+        assert model.predict(5.0) == pytest.approx(15.0)
+
+    def test_negative_fit_collapses_to_mean(self):
+        # Pages *decreasing* with distance contradicts the theorems;
+        # the model must degrade to the running mean, not extrapolate.
+        model = PageCostModel([0.0], min_samples=4)
+        for d_slope, pages in [(0.0, 30), (0.0, 32), (1.0, 10), (1.0, 12)]:
+            model.observe(d_slope, pages)
+        mean = (30 + 32 + 10 + 12) / 4
+        assert model.predict(0.0) == pytest.approx(mean)
+        assert model.predict(1.0) == pytest.approx(mean)
+
+    def test_prediction_floor_is_one_page(self):
+        model = PageCostModel([0.0], min_samples=2)
+        model.observe(0.0, 0.0)
+        model.observe(0.0, 0.0)
+        assert model.predict(0.0) == 1.0
+
+    def test_reset_anchors_restarts_calibration(self):
+        model = PageCostModel([0.0], min_samples=2)
+        model.observe(0.0, 10)
+        model.observe(0.0, 12)
+        assert model.calibrated
+        model.reset_anchors([1.0, 2.0])
+        assert not model.calibrated
+        assert model.predict(1.0) is None
+        assert model.anchors == [1.0, 2.0]
+
+    def test_min_samples_floor(self):
+        assert PageCostModel([0.0], min_samples=0).min_samples == 2
+
+    def test_non_finite_anchors_dropped(self):
+        model = PageCostModel([0.0, float("inf"), float("nan")])
+        assert model.anchors == [0.0]
+
+    def test_state_is_json_ready(self):
+        model = PageCostModel([0.5], min_samples=2)
+        model.observe(0.5, 4)
+        state = model.state()
+        assert state == {
+            "anchors": [0.5],
+            "samples": 1,
+            "calibrated": False,
+            "mean_pages": 4.0,
+        }
